@@ -1,0 +1,73 @@
+// Extension study: single-nest vs multi-nest tiling (the paper's stated
+// future work).  For each benchmark with a tilable costly nest, compare
+// TL+DL restricted to the costliest family against the chained multi-nest
+// variant, under CMDRPM, normalized to the untransformed Base run.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/schedule.h"
+#include "core/tiling.h"
+#include "experiments/runner.h"
+#include "policy/proactive.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "util/strings.h"
+
+namespace {
+
+double cmdrpm_energy(const sdpm::ir::Program& program,
+                     const std::vector<sdpm::layout::Striping>& striping,
+                     const sdpm::experiments::ExperimentConfig& config) {
+  using namespace sdpm;
+  const layout::LayoutTable table(program, striping, config.total_disks);
+  core::SchedulerOptions so;
+  so.access = config.gen;
+  const core::ScheduleResult scheduled =
+      core::schedule_power_calls(program, table, config.disk, so);
+  trace::GeneratorOptions gen = config.gen;
+  gen.noise = config.actual_noise;
+  trace::TraceGenerator generator(scheduled.program, table, gen);
+  policy::ProactivePolicy policy("CMDRPM");
+  return sim::simulate(generator.generate(), config.disk, policy)
+      .total_energy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sdpm;
+
+  Table table("Single-nest vs multi-nest tiling (CMDRPM energy, normalized)");
+  table.set_header({"Benchmark", "TL+DL (single)", "TL+DL (all nests)",
+                    "Arrays reshaped (single/all)"});
+
+  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
+    experiments::ExperimentConfig config;
+    experiments::Runner base_runner(b, config);
+    const Joules base_energy = base_runner.base_report().total_energy;
+
+    core::TilingOptions single;
+    single.total_disks = config.total_disks;
+    single.base_striping = config.striping;
+    single.access = config.gen;
+    const core::TilingResult one = core::apply_loop_tiling(b.program, single);
+
+    core::TilingOptions multi = single;
+    multi.all_nests = true;
+    const core::TilingResult all = core::apply_loop_tiling(b.program, multi);
+
+    table.add_row({
+        b.name,
+        fmt_double(cmdrpm_energy(one.program, one.striping, config) /
+                       base_energy,
+                   3),
+        fmt_double(cmdrpm_energy(all.program, all.striping, config) /
+                       base_energy,
+                   3),
+        std::to_string(one.reshaped_arrays.size()) + " / " +
+            std::to_string(all.reshaped_arrays.size()),
+    });
+  }
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Extension study: multiprogramming.  The paper evaluates one application
+// at a time; this bench co-runs two benchmarks against the same 8-disk
+// array and asks how each power-management scheme copes with interference:
+//   - reactive DRPM adapts to the *merged* load (its home turf),
+//   - CMDRPM executes schedules planned per program in isolation, so
+//     co-runner traffic invalidates some of its idle-period predictions.
+// Energies are normalized to the co-run under Base.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/schedule.h"
+#include "experiments/runner.h"
+#include "policy/base.h"
+#include "policy/drpm.h"
+#include "policy/proactive.h"
+#include "policy/tpm.h"
+#include "sim/multi_stream.h"
+#include "trace/generator.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"swim", "galgel"}, {"mgrid", "mesa"}, {"swim", "mgrid"}};
+
+  Table table("Co-run of two benchmarks on a shared 8-disk array");
+  table.set_header({"Pair", "Scheme", "Energy (norm)", "Makespan (norm)",
+                    "Mean resp (ms)"});
+
+  for (const auto& [first, second] : pairs) {
+    const experiments::ExperimentConfig config;
+    std::vector<trace::Trace> base_traces;
+    std::vector<trace::Trace> cm_traces;
+    std::vector<std::string> names = {first, second};
+    for (const std::string& name : names) {
+      const workloads::Benchmark bench = workloads::make_benchmark(name);
+      const layout::LayoutTable layout_table(bench.program, config.striping,
+                                             config.total_disks);
+      trace::GeneratorOptions gen = config.gen;
+      gen.noise = config.actual_noise;
+      trace::TraceGenerator generator(bench.program, layout_table, gen);
+      base_traces.push_back(generator.generate());
+
+      // CMDRPM schedule planned for the program running *alone*.
+      core::SchedulerOptions so;
+      so.access = config.gen;
+      const core::ScheduleResult scheduled = core::schedule_power_calls(
+          bench.program, layout_table, config.disk, so);
+      trace::TraceGenerator cm_generator(scheduled.program, layout_table,
+                                         gen);
+      cm_traces.push_back(cm_generator.generate());
+    }
+
+    policy::BasePolicy base_policy;
+    const sim::MultiStreamReport base = sim::simulate_streams(
+        base_traces, config.disk, base_policy, names);
+
+    const auto add_row = [&](const char* scheme,
+                             const sim::MultiStreamReport& report) {
+      double responses = 0;
+      std::int64_t count = 0;
+      for (const auto& s : report.streams) {
+        responses += s.response_ms.sum();
+        count += s.requests;
+      }
+      table.add_row({first + "+" + second, scheme,
+                     fmt_double(report.total_energy / base.total_energy, 3),
+                     fmt_double(report.makespan_ms / base.makespan_ms, 3),
+                     fmt_double(count > 0 ? responses / count : 0.0, 2)});
+    };
+
+    add_row("Base", base);
+    {
+      policy::TpmPolicy policy;
+      add_row("TPM", sim::simulate_streams(base_traces, config.disk, policy,
+                                           names));
+    }
+    {
+      policy::DrpmPolicy policy;
+      add_row("DRPM", sim::simulate_streams(base_traces, config.disk,
+                                            policy, names));
+    }
+    {
+      policy::ProactivePolicy policy("CMDRPM");
+      add_row("CMDRPM", sim::simulate_streams(cm_traces, config.disk,
+                                              policy, names));
+    }
+  }
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation: cycle-estimation error.  Sweeps the per-nest log-normal sigma
+// of the profiling-vs-production timing gap and reports CMDRPM's
+// misprediction rate (the Table 3 statistic), energy, and execution time on
+// swim — quantifying how much estimate quality the compiler-directed scheme
+// actually needs.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  Table table("Ablation: estimation-error sigma (swim, CMDRPM)");
+  table.set_header({"Sigma", "Mispredict %", "Norm. energy", "Norm. time",
+                    "IDRPM energy"});
+  workloads::Benchmark swim = workloads::make_swim();
+  for (const double sigma : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    experiments::ExperimentConfig config;
+    config.actual_noise.sigma = sigma;
+    config.profile_noise.sigma = sigma;
+    experiments::Runner runner(swim, config);
+    const auto cmdrpm = runner.run(experiments::Scheme::kCmdrpm);
+    const auto idrpm = runner.run(experiments::Scheme::kIdrpm);
+    table.add_row({
+        fmt_double(sigma, 2),
+        fmt_double(cmdrpm.mispredict_pct.value_or(0.0), 2),
+        fmt_double(cmdrpm.normalized_energy, 3),
+        fmt_double(cmdrpm.normalized_time, 3),
+        fmt_double(idrpm.normalized_energy, 3),
+    });
+  }
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Baseline: Popular Data Concentration (the paper's related work [16]).
+//
+// PDC reshapes the *layout* so popular data concentrates on few disks and
+// the rest can idle — the storage-level counterpart of this paper's
+// code-level transformations.  This bench compares, per benchmark, the
+// default striped layout against the PDC layout under reactive DRPM, and
+// against the paper's compiler scheme (CMDRPM on the default layout).
+// Values are normalized to Base on the default layout.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/pdc.h"
+#include "experiments/runner.h"
+#include "layout/layout_table.h"
+#include "policy/base.h"
+#include "policy/drpm.h"
+#include "policy/tpm.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  Table table("PDC layout vs compiler-directed power management");
+  table.set_header({"Benchmark", "PDC disks unused", "PDC+TPM energy",
+                    "PDC+DRPM energy", "PDC+DRPM time", "CMDRPM energy"});
+
+  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
+    experiments::ExperimentConfig config;
+    experiments::Runner runner(b, config);
+    const Joules base_energy = runner.base_report().total_energy;
+    const TimeMs base_time = runner.base_report().execution_ms;
+    const auto cmdrpm = runner.run(experiments::Scheme::kCmdrpm);
+
+    core::PdcOptions pdc_options;
+    pdc_options.total_disks = config.total_disks;
+    pdc_options.base_striping = config.striping;
+    pdc_options.access = config.gen;
+    const core::PdcResult pdc = core::apply_pdc(b.program, pdc_options);
+
+    const layout::LayoutTable pdc_table(b.program, pdc.striping,
+                                        config.total_disks);
+    trace::GeneratorOptions gen = config.gen;
+    gen.noise = config.actual_noise;
+    trace::TraceGenerator generator(b.program, pdc_table, gen);
+    const trace::Trace pdc_trace = generator.generate();
+
+    policy::TpmPolicy tpm;
+    policy::DrpmPolicy drpm;
+    const sim::SimReport pdc_tpm =
+        sim::simulate(pdc_trace, config.disk, tpm);
+    const sim::SimReport pdc_drpm =
+        sim::simulate(pdc_trace, config.disk, drpm);
+
+    table.add_row({
+        b.name,
+        std::to_string(pdc.unused_disks),
+        fmt_double(pdc_tpm.total_energy / base_energy, 3),
+        fmt_double(pdc_drpm.total_energy / base_energy, 3),
+        fmt_double(pdc_drpm.execution_ms / base_time, 3),
+        fmt_double(cmdrpm.normalized_energy, 3),
+    });
+  }
+  bench::emit(table);
+  return 0;
+}

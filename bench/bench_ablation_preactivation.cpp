@@ -1,0 +1,38 @@
+// Ablation: disk pre-activation on/off (paper §3: "if we do not use
+// pre-activation, the disk is automatically spun up when an access comes;
+// but, in this case, we incur the associated spin-up delay fully").
+// Reports CMDRPM energy/time per benchmark with and without the
+// pre-activating calls.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  Table table("Ablation: pre-activation (CMDRPM)");
+  table.set_header({"Benchmark", "Energy (pre-act)", "Energy (demand)",
+                    "Time (pre-act)", "Time (demand)"});
+  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
+    experiments::ExperimentConfig on;
+    experiments::Runner runner_on(b, on);
+    const auto with = runner_on.run(experiments::Scheme::kCmdrpm);
+
+    experiments::ExperimentConfig off;
+    off.preactivate = false;
+    experiments::Runner runner_off(b, off);
+    const auto without = runner_off.run(experiments::Scheme::kCmdrpm);
+
+    table.add_row({
+        b.name,
+        fmt_double(with.normalized_energy, 3),
+        fmt_double(without.normalized_energy, 3),
+        fmt_double(with.normalized_time, 3),
+        fmt_double(without.normalized_time, 3),
+    });
+  }
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: tile footprint (DS(i)) for the layout-aware tiling pass, on
+// wupwise — the benchmark whose TL+DL gain depends on the transposed
+// matrix's blocked layout.  The tile footprint becomes each reshaped
+// array's stripe size, so it sets both the request granularity and the
+// per-tile residence time the power schemes can exploit.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  Table table("Ablation: tile footprint (wupwise, TL+DL)");
+  table.set_header({"Tile bytes", "CMTPM energy", "CMDRPM energy",
+                    "CMDRPM time"});
+  workloads::Benchmark wupwise = workloads::make_wupwise();
+
+  experiments::ExperimentConfig base_config;
+  experiments::Runner base_runner(wupwise, base_config);
+  const Joules base_energy = base_runner.base_report().total_energy;
+
+  for (const Bytes tile : {kib(64), kib(128), kib(256), kib(512), mib(1)}) {
+    experiments::ExperimentConfig config;
+    config.transform = core::Transformation::kTLDL;
+    config.tile_bytes = tile;
+    experiments::Runner runner(wupwise, config);
+    const auto cmtpm = runner.run(experiments::Scheme::kCmtpm);
+    const auto cmdrpm = runner.run(experiments::Scheme::kCmdrpm);
+    table.add_row({
+        fmt_bytes(tile),
+        fmt_double(cmtpm.energy_j / base_energy, 3),
+        fmt_double(cmdrpm.energy_j / base_energy, 3),
+        fmt_double(cmdrpm.normalized_time, 3),
+    });
+  }
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the benchmark harness binaries.
+//
+// Every bench binary regenerates one table or figure from the paper and
+// prints it through util/Table.  Set SDPM_CSV=1 in the environment to emit
+// CSV (for plotting) instead of the aligned ASCII table.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/table.h"
+
+namespace sdpm::bench {
+
+inline bool csv_requested() {
+  const char* env = std::getenv("SDPM_CSV");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void emit(const Table& table) {
+  if (csv_requested()) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace sdpm::bench

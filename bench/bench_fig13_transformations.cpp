@@ -1,0 +1,63 @@
+// Regenerates paper Figure 13: normalized energy consumption with the code
+// transformations (LF, TL, LF+DL, TL+DL) under the compiler-managed
+// schemes.  All values are normalized against the *original* (untransformed)
+// program under Base — the same normalization the paper uses — so a value
+// below the untransformed CMTPM/CMDRPM column shows the additional benefit
+// contributed by the transformation.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+  using core::Transformation;
+  using experiments::Scheme;
+
+  const std::vector<Transformation> transforms = {
+      Transformation::kNone, Transformation::kLF, Transformation::kTL,
+      Transformation::kLFDL, Transformation::kTLDL};
+  const std::vector<Scheme> schemes = {Scheme::kCmtpm, Scheme::kCmdrpm};
+
+  Table table("Figure 13: normalized energy with code transformations");
+  std::vector<std::string> header = {"Benchmark"};
+  for (Transformation t : transforms) {
+    for (Scheme s : schemes) {
+      header.push_back(std::string(core::to_string(t)) + "/" +
+                       experiments::to_string(s));
+    }
+  }
+  table.set_header(header);
+
+  std::vector<double> sums(transforms.size() * schemes.size(), 0.0);
+  int count = 0;
+  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
+    // Reference: untransformed program, Base scheme.
+    experiments::ExperimentConfig base_config;
+    experiments::Runner base_runner(b, base_config);
+    const Joules base_energy = base_runner.base_report().total_energy;
+
+    std::vector<std::string> row = {b.name};
+    std::size_t col = 0;
+    for (Transformation t : transforms) {
+      experiments::ExperimentConfig config;
+      config.transform = t;
+      experiments::Runner runner(b, config);
+      for (Scheme s : schemes) {
+        const auto result = runner.run(s);
+        const double normalized = result.energy_j / base_energy;
+        row.push_back(fmt_double(normalized, 3));
+        sums[col++] += normalized;
+      }
+    }
+    table.add_row(row);
+    ++count;
+  }
+  std::vector<std::string> avg = {"average"};
+  for (double s : sums) avg.push_back(fmt_double(s / count, 3));
+  table.add_row(avg);
+
+  bench::emit(table);
+  return 0;
+}

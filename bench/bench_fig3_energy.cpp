@@ -1,0 +1,40 @@
+// Regenerates paper Figure 3: normalized disk energy consumption of every
+// benchmark under Base/TPM/ITPM/DRPM/IDRPM/CMTPM/CMDRPM with the default
+// configuration.  Values are normalized against the Base scheme (1.00).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  Table table("Figure 3: normalized energy consumption");
+  std::vector<std::string> header = {"Benchmark"};
+  for (experiments::Scheme s : experiments::all_schemes()) {
+    header.push_back(experiments::to_string(s));
+  }
+  table.set_header(header);
+
+  std::vector<double> sums(experiments::all_schemes().size(), 0.0);
+  int count = 0;
+  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
+    experiments::ExperimentConfig config;
+    experiments::Runner runner(b, config);
+    std::vector<std::string> row = {b.name};
+    const auto results = runner.run_all();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      row.push_back(fmt_double(results[i].normalized_energy, 3));
+      sums[i] += results[i].normalized_energy;
+    }
+    table.add_row(row);
+    ++count;
+  }
+  std::vector<std::string> avg = {"average"};
+  for (double s : sums) avg.push_back(fmt_double(s / count, 3));
+  table.add_row(avg);
+
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Regenerates paper Figure 4: normalized execution times of every benchmark
+// under the seven schemes with the default configuration.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  Table table("Figure 4: normalized execution time");
+  std::vector<std::string> header = {"Benchmark"};
+  for (experiments::Scheme s : experiments::all_schemes()) {
+    header.push_back(experiments::to_string(s));
+  }
+  table.set_header(header);
+
+  std::vector<double> sums(experiments::all_schemes().size(), 0.0);
+  int count = 0;
+  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
+    experiments::ExperimentConfig config;
+    experiments::Runner runner(b, config);
+    std::vector<std::string> row = {b.name};
+    const auto results = runner.run_all();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      row.push_back(fmt_double(results[i].normalized_time, 3));
+      sums[i] += results[i].normalized_time;
+    }
+    table.add_row(row);
+    ++count;
+  }
+  std::vector<std::string> avg = {"average"};
+  for (double s : sums) avg.push_back(fmt_double(s / count, 3));
+  table.add_row(avg);
+
+  bench::emit(table);
+  return 0;
+}

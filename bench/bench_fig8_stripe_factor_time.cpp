@@ -1,0 +1,35 @@
+// Regenerates paper Figure 8: normalized execution time of swim as a
+// function of the stripe factor (number of disks).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  Table table("Figure 8: swim execution time vs stripe factor");
+  std::vector<std::string> header = {"Disks"};
+  for (experiments::Scheme s : experiments::all_schemes()) {
+    header.push_back(experiments::to_string(s));
+  }
+  header.push_back("Base (ms)");
+  table.set_header(header);
+
+  workloads::Benchmark swim = workloads::make_swim();
+  for (const int disks : {2, 4, 8, 16, 32}) {
+    experiments::ExperimentConfig config;
+    config.total_disks = disks;
+    config.striping.stripe_factor = disks;
+    experiments::Runner runner(swim, config);
+    std::vector<std::string> row = {std::to_string(disks)};
+    for (const auto& result : runner.run_all()) {
+      row.push_back(fmt_double(result.normalized_time, 3));
+    }
+    row.push_back(fmt_double(runner.base_report().execution_ms, 1));
+    table.add_row(row);
+  }
+  bench::emit(table);
+  return 0;
+}

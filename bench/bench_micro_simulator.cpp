@@ -1,0 +1,87 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrate —
+// trace generation (access walker + buffer cache), the closed-loop
+// simulator, the DAP analysis, and the power-call scheduler.
+#include <benchmark/benchmark.h>
+
+#include "core/schedule.h"
+#include "layout/layout_table.h"
+#include "policy/base.h"
+#include "policy/drpm.h"
+#include "sim/simulator.h"
+#include "trace/dap.h"
+#include "trace/generator.h"
+#include "workloads/benchmarks.h"
+
+namespace {
+
+using namespace sdpm;
+
+const workloads::Benchmark& swim() {
+  static const workloads::Benchmark b = workloads::make_swim();
+  return b;
+}
+
+const layout::LayoutTable& swim_layout() {
+  static const layout::LayoutTable table(swim().program, layout::Striping{},
+                                         8);
+  return table;
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    trace::TraceGenerator generator(swim().program, swim_layout());
+    benchmark::DoNotOptimize(generator.generate().requests.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_DapAnalysis(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto dap = trace::DiskAccessPattern::analyze(swim().program,
+                                                       swim_layout());
+    benchmark::DoNotOptimize(dap.disk_count());
+  }
+}
+BENCHMARK(BM_DapAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_BaseSimulation(benchmark::State& state) {
+  trace::TraceGenerator generator(swim().program, swim_layout());
+  const trace::Trace trace = generator.generate();
+  for (auto _ : state) {
+    policy::BasePolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(), policy)
+            .total_energy);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_BaseSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_DrpmSimulation(benchmark::State& state) {
+  trace::TraceGenerator generator(swim().program, swim_layout());
+  const trace::Trace trace = generator.generate();
+  for (auto _ : state) {
+    policy::DrpmPolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(), policy)
+            .total_energy);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_DrpmSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_PowerCallScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto result = core::schedule_power_calls(
+        swim().program, swim_layout(),
+        disk::DiskParameters::ultrastar_36z15());
+    benchmark::DoNotOptimize(result.calls_inserted);
+  }
+}
+BENCHMARK(BM_PowerCallScheduling)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Regenerates paper Table 2: benchmark characteristics under the Base
+// scheme with the default configuration (64 KB stripes over 8 disks).
+// Columns show the paper's reported value next to the value our substrate
+// measures.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  Table table("Table 2: benchmarks and their characteristics");
+  table.set_header({"Benchmark", "Data (MB)", "Reqs (paper)", "Reqs (sim)",
+                    "Base E (paper J)", "Base E (sim J)",
+                    "Exec (paper ms)", "Exec (sim ms)"});
+
+  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
+    experiments::ExperimentConfig config;
+    experiments::Runner runner(b, config);
+    const sim::SimReport& base = runner.base_report();
+    table.add_row({
+        b.name,
+        fmt_double(static_cast<double>(b.program.total_data_bytes()) /
+                       (1024.0 * 1024.0),
+                   1),
+        std::to_string(b.paper.disk_requests),
+        std::to_string(base.requests),
+        fmt_double(b.paper.base_energy_j, 2),
+        fmt_double(base.total_energy, 2),
+        fmt_double(b.paper.execution_ms, 2),
+        fmt_double(base.execution_ms, 2),
+    });
+  }
+  bench::emit(table);
+  return 0;
+}

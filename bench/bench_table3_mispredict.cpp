@@ -1,0 +1,28 @@
+// Regenerates paper Table 3: the percentage of disk idle periods for which
+// CMDRPM (planning on the compiler's measured-but-noisy estimates) picks a
+// different RPM level than the IDRPM oracle (which sees the actual idle
+// durations).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sdpm;
+
+  Table table("Table 3: percentage of mispredicted disk speeds (CMDRPM)");
+  std::vector<std::string> header;
+  std::vector<std::string> row;
+  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
+    experiments::ExperimentConfig config;
+    experiments::Runner runner(b, config);
+    const auto result = runner.run(experiments::Scheme::kCmdrpm);
+    header.push_back(b.name);
+    row.push_back(fmt_double(result.mispredict_pct.value_or(0.0), 2));
+  }
+  table.set_header(header);
+  table.add_row(row);
+  bench::emit(table);
+  return 0;
+}

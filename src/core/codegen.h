@@ -1,0 +1,36 @@
+// Pseudo-source emission (paper Figure 2(d)).
+//
+// Renders a Program — including the power-management calls the scheduler
+// inserted — as readable pseudo-C.  This is the artifact the paper's
+// compiler ultimately produces: the original loop nests with explicit
+// spin_down / spin_up / set_RPM calls at their strip-mined insertion
+// points.  Directive sites inside a nest are rendered as guarded calls on
+// the loop iterators (`if (i == 61 && j == 440) set_RPM(...)`); a real
+// code generator would strip-mine the loop so the guard disappears into a
+// tile boundary, which is exactly how the paper describes the insertion
+// (§3: "we also stripe-mine the loop, because it is unreasonable to unroll
+// the loop to make explicit the point at which the spin-up call is to be
+// inserted").
+#pragma once
+
+#include <string>
+
+#include "disk/parameters.h"
+#include "ir/program.h"
+
+namespace sdpm::core {
+
+struct CodegenOptions {
+  /// Disk model used to render RPM level indices as RPM values.
+  disk::DiskParameters disk = disk::DiskParameters::ultrastar_36z15();
+  /// Emit the array declarations header.
+  bool emit_arrays = true;
+  /// Emit per-nest cycle-cost comments.
+  bool emit_costs = true;
+};
+
+/// Render `program` as pseudo-C source.
+std::string emit_pseudo_source(const ir::Program& program,
+                               const CodegenOptions& options = {});
+
+}  // namespace sdpm::core

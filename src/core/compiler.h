@@ -1,0 +1,64 @@
+// Compiler driver: the full pipeline of paper Figure 1.
+//
+// Takes an application program, optionally restructures it (loop fission /
+// loop tiling, with or without the disk-layout optimization), derives the
+// per-array striping, and — for the compiler-managed schemes — analyzes the
+// DAP and inserts explicit power-management calls.  The output is exactly
+// what the trace generator consumes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+#include "ir/program.h"
+#include "layout/layout_table.h"
+
+namespace sdpm::core {
+
+/// The code-restructuring variants evaluated in paper §6.2.
+enum class Transformation {
+  kNone,  ///< original code
+  kLF,    ///< loop fission, layout-oblivious
+  kTL,    ///< loop tiling, layout-oblivious
+  kLFDL,  ///< layout-aware loop fission (Fig. 11)
+  kTLDL,  ///< layout-aware loop tiling (Fig. 12)
+};
+
+const char* to_string(Transformation t);
+
+struct CompilerOptions {
+  int total_disks = 8;
+  layout::Striping base_striping{};
+  /// Disk model the scheduler plans against (break-even, RPM ladder).
+  disk::DiskParameters disk_params = disk::DiskParameters::ultrastar_36z15();
+  /// Access model shared by DAP analysis and nest-cost ranking.
+  trace::GeneratorOptions access;
+  /// Scheduler knobs (mode is passed separately to compile()).
+  std::int64_t call_site_granularity = 1;
+  bool preactivate = true;
+  /// Target tile footprint for the tiling transformation.
+  Bytes tile_bytes = 256 * 1024;
+};
+
+struct CompileOutput {
+  ir::Program program;
+  std::vector<layout::Striping> striping;  ///< per array
+  std::vector<GapPlan> plans;  ///< per idle period (empty without scheduling)
+  std::int64_t calls_inserted = 0;
+  std::string notes;
+
+  layout::LayoutTable make_layout_table(int total_disks) const {
+    return layout::LayoutTable(program, striping, total_disks);
+  }
+};
+
+/// Run the pipeline: transformation (optional) then power-call scheduling
+/// (when `mode` is set; CMTPM or CMDRPM).  Without a mode, the output is
+/// the restructured program for use with reactive/ideal schemes.
+CompileOutput compile(const ir::Program& program, Transformation transform,
+                      std::optional<PowerMode> mode,
+                      const CompilerOptions& options = {});
+
+}  // namespace sdpm::core

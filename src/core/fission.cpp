@@ -1,0 +1,217 @@
+#include "core/fission.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ir/transform.h"
+#include "util/error.h"
+
+namespace sdpm::core {
+
+namespace {
+
+/// Union-find over array ids.
+class ArrayUnionFind {
+ public:
+  explicit ArrayUnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(int a, int b) {
+    parent_[static_cast<std::size_t>(find(a))] = find(b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<ir::ArrayId>> array_groups(
+    const ir::Program& program) {
+  ArrayUnionFind uf(program.arrays.size());
+  std::vector<bool> accessed(program.arrays.size(), false);
+  for (const ir::LoopNest& nest : program.nests) {
+    for (const ir::Statement& stmt : nest.body) {
+      ir::ArrayId first = -1;
+      for (const ir::ArrayRef& ref : stmt.refs) {
+        accessed[static_cast<std::size_t>(ref.array)] = true;
+        if (first == -1) {
+          first = ref.array;
+        } else {
+          uf.unite(first, ref.array);
+        }
+      }
+    }
+  }
+  // Collect components in order of first appearance, accessed arrays only.
+  std::vector<std::vector<ir::ArrayId>> groups;
+  std::vector<int> root_to_group(program.arrays.size(), -1);
+  for (ir::ArrayId a = 0; a < static_cast<ir::ArrayId>(program.arrays.size());
+       ++a) {
+    if (!accessed[static_cast<std::size_t>(a)]) continue;
+    const int root = uf.find(a);
+    int& slot = root_to_group[static_cast<std::size_t>(root)];
+    if (slot == -1) {
+      slot = static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<std::size_t>(slot)].push_back(a);
+  }
+  return groups;
+}
+
+FissionResult apply_loop_fission(const ir::Program& program,
+                                 const FissionOptions& options) {
+  SDPM_REQUIRE(options.total_disks >= 1, "need at least one disk");
+  FissionResult result;
+
+  const std::vector<std::vector<ir::ArrayId>> groups = array_groups(program);
+
+  // Map array -> group index.
+  std::vector<int> group_of(program.arrays.size(), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (ir::ArrayId a : groups[g]) {
+      group_of[static_cast<std::size_t>(a)] = static_cast<int>(g);
+    }
+  }
+
+  // Rebuild the program, distributing each nest by statement group and
+  // *consolidating* the distributed loops per array group — the shape of
+  // the paper's Figure 9(b), where the transformed code runs all of group
+  // 1's loops, then all of group 2's, and so on.  This is legal because
+  // distinct groups access disjoint arrays (no cross-group dependences),
+  // and it is what turns per-phase idleness into one long contiguous idle
+  // period per disk set.
+  result.program.name = program.name + (options.layout_aware ? "+LF+DL"
+                                                             : "+LF");
+  result.program.arrays = program.arrays;
+  std::vector<std::vector<ir::LoopNest>> per_group_nests(groups.size());
+  for (const ir::LoopNest& nest : program.nests) {
+    // Partition statements by the array group they touch (every statement's
+    // arrays are in a single group by construction of the groups).
+    std::vector<std::vector<int>> stmt_groups;   // statement indices
+    std::vector<int> group_key;                  // array-group per partition
+    for (int si = 0; si < static_cast<int>(nest.body.size()); ++si) {
+      const ir::Statement& stmt = nest.body[static_cast<std::size_t>(si)];
+      SDPM_REQUIRE(!stmt.refs.empty(),
+                   "statement without references cannot be grouped");
+      const int g = group_of[static_cast<std::size_t>(stmt.refs[0].array)];
+      const auto it = std::find(group_key.begin(), group_key.end(), g);
+      if (it == group_key.end()) {
+        group_key.push_back(g);
+        stmt_groups.push_back({si});
+      } else {
+        stmt_groups[static_cast<std::size_t>(it - group_key.begin())]
+            .push_back(si);
+      }
+    }
+
+    if (stmt_groups.size() > 1) result.any_fissioned = true;
+    if (stmt_groups.size() <= 1) {
+      per_group_nests[static_cast<std::size_t>(group_key[0])].push_back(nest);
+      continue;
+    }
+    std::vector<ir::LoopNest> parts = ir::fission(nest, stmt_groups);
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      per_group_nests[static_cast<std::size_t>(group_key[p])].push_back(
+          std::move(parts[p]));
+    }
+  }
+  if (result.any_fissioned) {
+    for (auto& group_nests : per_group_nests) {
+      for (ir::LoopNest& nest : group_nests) {
+        result.program.add_nest(std::move(nest));
+      }
+    }
+  } else {
+    // Nothing was distributable; keep the original program order.
+    result.program.nests = program.nests;
+  }
+
+  // Disk allocation: proportional to group bytes, at least one disk each,
+  // largest-remainder rounding, contiguous ranges in group order.
+  result.striping.assign(program.arrays.size(), options.base_striping);
+  // The disk partitioning only accompanies an actual distribution (Fig. 11
+  // couples the two); programs with no fissionable nest — the paper's
+  // wupwise and galgel — are left untouched.
+  if (options.layout_aware && result.any_fissioned && !groups.empty() &&
+      static_cast<int>(groups.size()) <= options.total_disks) {
+    Bytes total_bytes = 0;
+    std::vector<Bytes> group_bytes(groups.size(), 0);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (ir::ArrayId a : groups[g]) {
+        group_bytes[g] += program.array(a).size_bytes();
+      }
+      total_bytes += group_bytes[g];
+    }
+
+    const int n = options.total_disks;
+    std::vector<int> alloc(groups.size(), 1);
+    int remaining = n - static_cast<int>(groups.size());
+    // Distribute the remaining disks by largest fractional share.
+    std::vector<double> share(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      share[g] = static_cast<double>(group_bytes[g]) /
+                 static_cast<double>(std::max<Bytes>(total_bytes, 1)) *
+                 static_cast<double>(n);
+    }
+    while (remaining > 0) {
+      std::size_t best = 0;
+      double best_deficit = -1e300;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        const double deficit = share[g] - static_cast<double>(alloc[g]);
+        if (deficit > best_deficit) {
+          best_deficit = deficit;
+          best = g;
+        }
+      }
+      ++alloc[best];
+      --remaining;
+    }
+
+    int cursor = 0;
+    result.groups.resize(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      ArrayGroup& ag = result.groups[g];
+      ag.arrays = groups[g];
+      ag.bytes = group_bytes[g];
+      ag.first_disk = cursor;
+      ag.disk_count = alloc[g];
+      for (ir::ArrayId a : groups[g]) {
+        layout::Striping s = options.base_striping;
+        s.starting_disk = ag.first_disk;
+        s.stripe_factor = ag.disk_count;
+        result.striping[static_cast<std::size_t>(a)] = s;
+      }
+      cursor += alloc[g];
+    }
+  } else {
+    // LF without DL (or more groups than disks): record the groups without
+    // a disk assignment.
+    result.groups.resize(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      result.groups[g].arrays = groups[g];
+      for (ir::ArrayId a : groups[g]) {
+        result.groups[g].bytes += program.array(a).size_bytes();
+      }
+      result.groups[g].first_disk = options.base_striping.starting_disk;
+      result.groups[g].disk_count = options.base_striping.stripe_factor;
+    }
+  }
+
+  result.program.validate();
+  return result;
+}
+
+}  // namespace sdpm::core

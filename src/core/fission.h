@@ -1,0 +1,58 @@
+// Layout-aware loop fission (paper §6.1, Figure 11).
+//
+// Visits every nest and distributes it so the resulting loops access
+// disjoint sets of arrays.  Arrays "coupled" through a statement (accessed
+// by the same statement, directly or transitively) form an *array group*;
+// statements touching the same group stay in the same fissioned loop, which
+// also makes the distribution trivially legal (loops over disjoint data
+// carry no fission-preventing dependences).  Each array group is then
+// assigned a disjoint, contiguous set of disks sized proportionally to the
+// group's total data (the "+DL" part) — so that while one group's loop
+// runs, the other groups' disks can sit in a low-power mode.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.h"
+#include "layout/striping.h"
+#include "util/units.h"
+
+namespace sdpm::core {
+
+struct FissionOptions {
+  /// Assign array groups to disjoint disk sets (LF+DL).  When false, the
+  /// loops are distributed but every array keeps the base striping (LF).
+  bool layout_aware = true;
+  int total_disks = 8;
+  layout::Striping base_striping{};
+};
+
+/// One array group and (when layout-aware) its disk allocation.
+struct ArrayGroup {
+  std::vector<ir::ArrayId> arrays;
+  Bytes bytes = 0;
+  int first_disk = 0;
+  int disk_count = 0;
+};
+
+struct FissionResult {
+  ir::Program program;
+  /// Per-array striping implementing the group-to-disk assignment; equals
+  /// the base striping for every array when !layout_aware.
+  std::vector<layout::Striping> striping;
+  std::vector<ArrayGroup> groups;
+  /// True when at least one nest was actually distributed.
+  bool any_fissioned = false;
+};
+
+/// Compute the whole-program array groups (Fig. 11's AG set): connected
+/// components of the "referenced by a common statement" relation.
+std::vector<std::vector<ir::ArrayId>> array_groups(
+    const ir::Program& program);
+
+/// Apply Figure 11: distribute every distributable nest and (optionally)
+/// partition the disks across the array groups.
+FissionResult apply_loop_fission(const ir::Program& program,
+                                 const FissionOptions& options = {});
+
+}  // namespace sdpm::core

@@ -1,0 +1,28 @@
+#include "core/mispredict.h"
+
+#include "policy/oracle.h"
+
+namespace sdpm::core {
+
+MispredictStats compare_with_oracle(const std::vector<GapPlan>& plans,
+                                    const trace::TimeEstimate& actual,
+                                    const disk::DiskParameters& params,
+                                    PowerMode mode) {
+  MispredictStats stats;
+  for (const GapPlan& plan : plans) {
+    const TimeMs actual_gap = actual.at_global(plan.end_iter) -
+                              actual.at_global(plan.begin_iter);
+    ++stats.gaps;
+    if (mode == PowerMode::kDrpm) {
+      const int oracle = policy::optimal_rpm_level(actual_gap, params);
+      if (oracle != plan.level) ++stats.mispredicted;
+    } else {
+      const bool oracle_down = policy::tpm_gap_beneficial(actual_gap, params);
+      const bool planned_down = plan.level == -1 && plan.acted;
+      if (oracle_down != planned_down) ++stats.mispredicted;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sdpm::core

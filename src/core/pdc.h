@@ -1,0 +1,48 @@
+// Popular Data Concentration (extension; paper's related work [16],
+// Pinheiro & Bianchini, ICS'04).
+//
+// PDC is the reactive *layout* counterpart of this paper's compiler-driven
+// scheme: instead of lengthening idle periods by restructuring the code, it
+// migrates the most popular data onto a prefix of the disks so the
+// remaining disks see little traffic and can be sent to low-power modes.
+// We implement the offline variant: array popularity comes from a profiling
+// pass (the same access model the compiler already runs), and each array is
+// concentrated onto the smallest disk prefix whose projected load stays
+// under a configurable cap.  Combined with reactive TPM/DRPM this gives the
+// paper's third point of comparison; `bench_ablation_pdc` evaluates it.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.h"
+#include "layout/striping.h"
+#include "trace/generator.h"
+
+namespace sdpm::core {
+
+struct PdcOptions {
+  int total_disks = 8;
+  layout::Striping base_striping{};
+  /// Access-model options for the popularity profile.
+  trace::GeneratorOptions access;
+  /// A disk accepts new data until its projected share of all requests
+  /// exceeds headroom/total_disks (headroom 1.0 = perfectly even load;
+  /// larger values concentrate harder).
+  double load_headroom = 2.0;
+};
+
+struct PdcResult {
+  /// Per-array striping implementing the concentration.
+  std::vector<layout::Striping> striping;
+  /// Arrays in popularity order (most requests first).
+  std::vector<ir::ArrayId> popularity_order;
+  /// Projected requests per disk under the new layout.
+  std::vector<double> projected_load;
+  /// Disks that received no data at all (prime spin-down candidates).
+  int unused_disks = 0;
+};
+
+/// Compute the PDC layout for `program`.
+PdcResult apply_pdc(const ir::Program& program, const PdcOptions& options);
+
+}  // namespace sdpm::core

@@ -1,0 +1,157 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "policy/oracle.h"
+#include "trace/timeline.h"
+#include "util/error.h"
+
+namespace sdpm::core {
+
+const char* to_string(PowerMode mode) {
+  return mode == PowerMode::kTpm ? "CMTPM" : "CMDRPM";
+}
+
+std::int64_t preactivation_distance(TimeMs t_su_ms, TimeMs s_ms,
+                                    TimeMs t_m_ms) {
+  SDPM_REQUIRE(s_ms + t_m_ms > 0, "per-iteration time must be positive");
+  return static_cast<std::int64_t>(std::ceil(t_su_ms / (s_ms + t_m_ms)));
+}
+
+namespace {
+
+/// Latest global iteration g in [lo, hi] whose estimated remaining time to
+/// `hi` is at least `lead_ms` (binary search on the monotone timeline).
+std::int64_t latest_start_with_lead(const trace::TimeEstimate& est,
+                                    std::int64_t lo, std::int64_t hi,
+                                    TimeMs lead_ms) {
+  const TimeMs deadline = est.at_global(hi);
+  if (deadline - est.at_global(lo) < lead_ms) return lo;
+  std::int64_t a = lo;  // invariant: satisfies the lead
+  std::int64_t b = hi;  // invariant: does not (or is the deadline itself)
+  while (b - a > 1) {
+    const std::int64_t mid = a + (b - a) / 2;
+    if (deadline - est.at_global(mid) >= lead_ms) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  return a;
+}
+
+std::int64_t snap_down(std::int64_t g, std::int64_t granularity) {
+  return granularity <= 1 ? g : (g / granularity) * granularity;
+}
+
+std::int64_t snap_up(std::int64_t g, std::int64_t granularity) {
+  return granularity <= 1 ? g
+                          : ((g + granularity - 1) / granularity) * granularity;
+}
+
+}  // namespace
+
+ScheduleResult schedule_power_calls(const ir::Program& program,
+                                    const layout::LayoutTable& layout,
+                                    const disk::DiskParameters& params,
+                                    const SchedulerOptions& options) {
+  SDPM_REQUIRE(options.call_site_granularity >= 1,
+               "call-site granularity must be >= 1");
+  SDPM_REQUIRE(options.safety_margin >= 0.0 && options.safety_margin < 1.0,
+               "safety margin must be in [0, 1)");
+  ScheduleResult result;
+  result.program = program;
+
+  const trace::DiskAccessPattern dap =
+      trace::DiskAccessPattern::analyze(program, layout, options.access);
+  const trace::Timeline nominal(program, options.access.clock_hz);
+  const trace::TimeEstimate& est =
+      options.estimate != nullptr ? *options.estimate : nominal;
+  SDPM_REQUIRE(est.total_iterations() == nominal.space().total(),
+               "estimate timeline does not match the program");
+  const trace::IterationSpace& space = nominal.space();
+  const std::int64_t total = space.total();
+  const int top = params.max_level();
+  const TimeMs tm = options.access.power_call_overhead_ms;
+
+  const auto place = [&](std::int64_t g, ir::PowerDirective directive) {
+    result.program.directives.push_back(
+        ir::PlacedDirective{space.point_of(g), directive});
+    ++result.calls_inserted;
+  };
+
+  for (int d = 0; d < dap.disk_count(); ++d) {
+    const IntervalSet idle = dap.idle_periods(d);
+    for (const Interval& gap : idle.intervals()) {
+      GapPlan plan;
+      plan.disk = d;
+      plan.begin_iter = gap.lo;
+      plan.end_iter = gap.hi;
+      plan.estimated_ms =
+          est.at_global(gap.hi) - est.at_global(gap.lo);
+      const TimeMs discounted =
+          plan.estimated_ms * (1.0 - options.safety_margin);
+      const bool has_next_use = gap.hi < total;
+
+      if (options.mode == PowerMode::kTpm) {
+        plan.level = -1;
+        const bool beneficial = policy::tpm_gap_beneficial(discounted, params);
+        if (beneficial) {
+          const std::int64_t down_site = std::min(
+              snap_up(gap.lo, options.call_site_granularity), gap.hi);
+          place(down_site,
+                ir::PowerDirective{ir::PowerDirective::Kind::kSpinDown, d, 0});
+          if (has_next_use && options.preactivate) {
+            const TimeMs lead =
+                (params.tpm.spin_up_time + tm) * (1.0 + options.safety_margin);
+            std::int64_t up_site =
+                latest_start_with_lead(est, gap.lo, gap.hi, lead);
+            up_site = std::max(snap_down(up_site,
+                                         options.call_site_granularity),
+                               down_site);
+            place(up_site,
+                  ir::PowerDirective{ir::PowerDirective::Kind::kSpinUp, d, 0});
+          }
+          plan.acted = true;
+        } else {
+          plan.level = top;  // stay up
+        }
+      } else {
+        // The level follows the estimate directly: an RPM round trip that
+        // slightly overruns a mispredicted gap delays the next request by
+        // at most the residual transition (tens of ms), never a full
+        // spin-up.  Conservatism is applied where it matters — the
+        // pre-activation lead below.
+        const int level =
+            policy::optimal_rpm_level(plan.estimated_ms, params);
+        plan.level = level;
+        if (level < top) {
+          const std::int64_t down_site = std::min(
+              snap_up(gap.lo, options.call_site_granularity), gap.hi);
+          place(down_site, ir::PowerDirective{
+                               ir::PowerDirective::Kind::kSetRpm, d, level});
+          if (has_next_use && options.preactivate) {
+            const TimeMs lead = (params.rpm_transition_time(level, top) + tm) *
+                                (1.0 + options.safety_margin);
+            std::int64_t up_site =
+                latest_start_with_lead(est, gap.lo, gap.hi, lead);
+            up_site = std::max(snap_down(up_site,
+                                         options.call_site_granularity),
+                               down_site);
+            place(up_site, ir::PowerDirective{
+                               ir::PowerDirective::Kind::kSetRpm, d, top});
+          }
+          plan.acted = true;
+        }
+      }
+      result.plans.push_back(plan);
+    }
+  }
+
+  result.program.sort_directives();
+  result.program.validate();
+  return result;
+}
+
+}  // namespace sdpm::core

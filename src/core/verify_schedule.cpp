@@ -1,0 +1,97 @@
+#include "core/verify_schedule.h"
+
+#include <map>
+
+#include "trace/iteration_space.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::core {
+
+std::int64_t verify_schedule(const ScheduleResult& result, int total_disks,
+                             const disk::DiskParameters& params) {
+  const trace::IterationSpace space(result.program);
+  const int top = params.max_level();
+
+  // Index the plans per disk for containment checks.
+  std::map<int, std::vector<const GapPlan*>> plans_by_disk;
+  for (const GapPlan& plan : result.plans) {
+    plans_by_disk[plan.disk].push_back(&plan);
+  }
+
+  struct DiskState {
+    bool standby = false;
+    int level;
+    explicit DiskState(int l) : level(l) {}
+  };
+  std::map<int, DiskState> state;
+
+  std::int64_t prev_global = -1;
+  std::int64_t checked = 0;
+  for (const ir::PlacedDirective& pd : result.program.directives) {
+    const std::int64_t g = space.global_of(pd.point);
+    SDPM_REQUIRE(g >= prev_global, "directives out of program order");
+    prev_global = g;
+
+    const int d = pd.directive.disk;
+    SDPM_REQUIRE(d >= 0 && d < total_disks,
+                 str_printf("directive targets disk %d of %d", d,
+                            total_disks));
+
+    // Containment: the directive must sit inside a planned idle period
+    // (inclusive of the gap end, where pre-activations complete).
+    bool contained = false;
+    for (const GapPlan* plan : plans_by_disk[d]) {
+      if (g >= plan->begin_iter && g <= plan->end_iter) {
+        contained = true;
+        break;
+      }
+    }
+    SDPM_REQUIRE(contained,
+                 str_printf("directive at global iteration %lld outside "
+                            "every planned idle period of disk %d",
+                            static_cast<long long>(g), d));
+
+    auto [it, inserted] = state.try_emplace(d, top);
+    DiskState& ds = it->second;
+    switch (pd.directive.kind) {
+      case ir::PowerDirective::Kind::kSpinDown:
+        SDPM_REQUIRE(!ds.standby,
+                     str_printf("double spin_down on disk %d", d));
+        ds.standby = true;
+        break;
+      case ir::PowerDirective::Kind::kSpinUp:
+        SDPM_REQUIRE(ds.standby,
+                     str_printf("spin_up without spin_down on disk %d", d));
+        ds.standby = false;
+        break;
+      case ir::PowerDirective::Kind::kSetRpm:
+        SDPM_REQUIRE(!ds.standby,
+                     str_printf("set_RPM on standby disk %d", d));
+        SDPM_REQUIRE(pd.directive.rpm_level >= 0 &&
+                         pd.directive.rpm_level <= top,
+                     str_printf("set_RPM level out of range on disk %d", d));
+        ds.level = pd.directive.rpm_level;
+        break;
+    }
+    ++checked;
+  }
+
+  // Every disk with a *later use* after its last slow-down must have been
+  // restored: a disk left slow or in standby is only legal when its last
+  // planned gap runs to the end of the program.
+  const std::int64_t total = space.total();
+  for (const auto& [d, ds] : state) {
+    if (!ds.standby && ds.level == top) continue;
+    bool trailing_gap = false;
+    for (const GapPlan* plan : plans_by_disk[d]) {
+      if (plan->end_iter >= total) trailing_gap = true;
+    }
+    SDPM_REQUIRE(trailing_gap,
+                 str_printf("disk %d left %s but is used again later", d,
+                            ds.standby ? "in standby" : "below full speed"));
+  }
+  return checked;
+}
+
+}  // namespace sdpm::core

@@ -1,0 +1,114 @@
+#include "disk/parameters.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace sdpm::disk {
+
+DiskParameters DiskParameters::ultrastar_36z15() {
+  return DiskParameters{};  // defaults are the Table 1 values
+}
+
+int DiskParameters::rpm_level_count() const {
+  return (drpm.max_rpm - drpm.min_rpm) / drpm.rpm_step + 1;
+}
+
+int DiskParameters::rpm_of_level(int level) const {
+  SDPM_REQUIRE(level >= 0 && level < rpm_level_count(),
+               "RPM level out of range");
+  return drpm.min_rpm + level * drpm.rpm_step;
+}
+
+int DiskParameters::level_of_rpm(int target_rpm) const {
+  SDPM_REQUIRE(target_rpm >= drpm.min_rpm && target_rpm <= drpm.max_rpm &&
+                   (target_rpm - drpm.min_rpm) % drpm.rpm_step == 0,
+               "RPM value not on the ladder");
+  return (target_rpm - drpm.min_rpm) / drpm.rpm_step;
+}
+
+Watts DiskParameters::idle_power_at_level(int level) const {
+  const double ratio = static_cast<double>(rpm_of_level(level)) /
+                       static_cast<double>(drpm.max_rpm);
+  return drpm.electronics_power +
+         drpm.spindle_power_at_max * std::pow(ratio, drpm.spindle_exponent);
+}
+
+Watts DiskParameters::active_power_at_level(int level) const {
+  const double ratio = static_cast<double>(rpm_of_level(level)) /
+                       static_cast<double>(drpm.max_rpm);
+  return idle_power_at_level(level) + drpm.access_power_at_max * ratio;
+}
+
+TimeMs DiskParameters::rotational_latency_at_level(int level) const {
+  const double ratio = static_cast<double>(drpm.max_rpm) /
+                       static_cast<double>(rpm_of_level(level));
+  return average_rotation_time * ratio;
+}
+
+double DiskParameters::transfer_rate_at_level(int level) const {
+  const double ratio = static_cast<double>(rpm_of_level(level)) /
+                       static_cast<double>(drpm.max_rpm);
+  return internal_transfer_mb_per_s * ratio;
+}
+
+TimeMs DiskParameters::service_time(Bytes request_bytes, int level,
+                                    bool sequential) const {
+  SDPM_ASSERT(request_bytes >= 0, "negative request size");
+  const double rate_bytes_per_ms =
+      transfer_rate_at_level(level) * 1'000'000.0 / 1'000.0;
+  const TimeMs transfer = static_cast<double>(request_bytes) / rate_bytes_per_ms;
+  if (sequential) return transfer;
+  return average_seek_time + rotational_latency_at_level(level) + transfer;
+}
+
+TimeMs DiskParameters::rpm_transition_time(int from_level,
+                                           int to_level) const {
+  const int steps = std::abs(to_level - from_level);
+  return static_cast<double>(steps) * drpm.transition_time_per_step;
+}
+
+Joules DiskParameters::rpm_transition_energy(int from_level,
+                                             int to_level) const {
+  if (from_level == to_level) return 0.0;
+  const int faster = std::max(from_level, to_level);
+  return joules_from_watt_ms(idle_power_at_level(faster),
+                             rpm_transition_time(from_level, to_level));
+}
+
+TimeMs DiskParameters::break_even_time() const {
+  const Joules transition_cost =
+      tpm.spin_down_energy + tpm.spin_up_energy -
+      tpm.standby_power *
+          seconds_from_ms(tpm.spin_down_time + tpm.spin_up_time);
+  const Watts saving_rate = tpm.idle_power - tpm.standby_power;
+  SDPM_REQUIRE(saving_rate > 0, "idle power must exceed standby power");
+  return ms_from_seconds(transition_cost / saving_rate);
+}
+
+TimeMs DiskParameters::effective_idleness_threshold() const {
+  return tpm.idleness_threshold >= 0 ? tpm.idleness_threshold
+                                     : break_even_time();
+}
+
+void DiskParameters::validate() const {
+  SDPM_REQUIRE(rpm == drpm.max_rpm, "nominal RPM must equal the top level");
+  SDPM_REQUIRE(drpm.min_rpm > 0 && drpm.min_rpm <= drpm.max_rpm,
+               "bad RPM range");
+  SDPM_REQUIRE((drpm.max_rpm - drpm.min_rpm) % drpm.rpm_step == 0,
+               "RPM step must divide the RPM range");
+  SDPM_REQUIRE(tpm.active_power >= tpm.idle_power &&
+                   tpm.idle_power > tpm.standby_power,
+               "power ordering must be active >= idle > standby");
+  SDPM_REQUIRE(average_seek_time >= 0 && average_rotation_time >= 0,
+               "negative positioning times");
+  SDPM_REQUIRE(internal_transfer_mb_per_s > 0, "transfer rate must be > 0");
+  SDPM_REQUIRE(drpm.window_size >= 1, "window size must be >= 1");
+  // The TPM decomposition must reproduce Table 1 at the top level.
+  const Watts idle_top = drpm.electronics_power + drpm.spindle_power_at_max;
+  SDPM_REQUIRE(std::abs(idle_top - tpm.idle_power) < 1e-6,
+               "electronics + spindle power must equal idle power");
+}
+
+}  // namespace sdpm::disk

@@ -1,0 +1,81 @@
+#include "disk/power_state.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::disk {
+
+const char* to_string(PowerState state) {
+  switch (state) {
+    case PowerState::kActive:
+      return "active";
+    case PowerState::kIdle:
+      return "idle";
+    case PowerState::kStandby:
+      return "standby";
+    case PowerState::kSpinningDown:
+      return "spin-down";
+    case PowerState::kSpinningUp:
+      return "spin-up";
+    case PowerState::kRpmShift:
+      return "rpm-shift";
+  }
+  return "?";
+}
+
+void EnergyBreakdown::add(PowerState state, TimeMs duration, Joules energy) {
+  SDPM_ASSERT(duration >= -1e-9 && energy >= -1e-9,
+              "negative duration or energy");
+  switch (state) {
+    case PowerState::kActive:
+      active_ms += duration;
+      active_j += energy;
+      break;
+    case PowerState::kIdle:
+      idle_ms += duration;
+      idle_j += energy;
+      break;
+    case PowerState::kStandby:
+      standby_ms += duration;
+      standby_j += energy;
+      break;
+    case PowerState::kSpinningDown:
+      spin_down_ms += duration;
+      spin_down_j += energy;
+      break;
+    case PowerState::kSpinningUp:
+      spin_up_ms += duration;
+      spin_up_j += energy;
+      break;
+    case PowerState::kRpmShift:
+      rpm_shift_ms += duration;
+      rpm_shift_j += energy;
+      break;
+  }
+}
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& other) {
+  active_ms += other.active_ms;
+  idle_ms += other.idle_ms;
+  standby_ms += other.standby_ms;
+  spin_down_ms += other.spin_down_ms;
+  spin_up_ms += other.spin_up_ms;
+  rpm_shift_ms += other.rpm_shift_ms;
+  active_j += other.active_j;
+  idle_j += other.idle_j;
+  standby_j += other.standby_j;
+  spin_down_j += other.spin_down_j;
+  spin_up_j += other.spin_up_j;
+  rpm_shift_j += other.rpm_shift_j;
+  return *this;
+}
+
+std::string EnergyBreakdown::to_string() const {
+  return str_printf(
+      "active %.1fJ/%.0fms idle %.1fJ/%.0fms standby %.1fJ/%.0fms "
+      "down %.1fJ up %.1fJ shift %.1fJ",
+      active_j, active_ms, idle_j, idle_ms, standby_j, standby_ms,
+      spin_down_j, spin_up_j, rpm_shift_j);
+}
+
+}  // namespace sdpm::disk

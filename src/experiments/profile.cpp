@@ -1,0 +1,79 @@
+#include "experiments/profile.h"
+
+#include "trace/iteration_space.h"
+#include "trace/timeline.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::experiments {
+
+Table per_nest_profile(const ir::Program& program, const trace::Trace& trace,
+                       const sim::SimReport& report) {
+  SDPM_REQUIRE(report.responses.size() == trace.requests.size(),
+               "report does not match trace");
+  const trace::IterationSpace space(program);
+  const trace::Timeline nominal(program);
+
+  std::vector<std::int64_t> requests(program.nests.size(), 0);
+  std::vector<TimeMs> stall(program.nests.size(), 0.0);
+  std::vector<Bytes> bytes(program.nests.size(), 0);
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const auto n = static_cast<std::size_t>(
+        space.point_of(trace.requests[i].global_iter).nest_index);
+    ++requests[n];
+    stall[n] += report.responses[i];
+    bytes[n] += trace.requests[i].size_bytes;
+  }
+
+  Table table("per-nest profile");
+  table.set_header({"Nest", "Compute", "Stall", "Requests", "Bytes",
+                    "Share of run"});
+  for (std::size_t n = 0; n < program.nests.size(); ++n) {
+    const ir::LoopNest& nest = program.nests[n];
+    const TimeMs compute =
+        nominal.per_iteration_ms(static_cast<int>(n)) *
+        static_cast<double>(nest.iteration_count());
+    const TimeMs total = compute + stall[n];
+    table.add_row({
+        nest.name,
+        fmt_time_ms(compute),
+        fmt_time_ms(stall[n]),
+        std::to_string(requests[n]),
+        fmt_bytes(bytes[n]),
+        fmt_double(100.0 * total / report.execution_ms, 1) + "%",
+    });
+  }
+  return table;
+}
+
+Histogram idle_gap_histogram(const sim::SimReport& report) {
+  Histogram hist(0.1, 1.3);  // 0.1 ms resolution
+  for (const sim::DiskReport& disk : report.disks) {
+    TimeMs cursor = 0;
+    for (const sim::BusyPeriod& bp : disk.busy_periods) {
+      if (bp.start > cursor) hist.add(bp.start - cursor);
+      cursor = bp.completion;
+    }
+    if (report.execution_ms > cursor) {
+      hist.add(report.execution_ms - cursor);
+    }
+  }
+  return hist;
+}
+
+Table idle_gap_table(const sim::SimReport& report,
+                     const disk::DiskParameters& params) {
+  const Histogram hist = idle_gap_histogram(report);
+  Table table("per-disk idle gaps");
+  table.set_header({"Metric", "Value"});
+  table.add_row({"gaps", std::to_string(hist.count())});
+  table.add_row({"median", fmt_time_ms(hist.median())});
+  table.add_row({"p95", fmt_time_ms(hist.p95())});
+  table.add_row({"max", fmt_time_ms(hist.max())});
+  table.add_row({"DRPM one-step round trip",
+                 fmt_time_ms(2 * params.drpm.transition_time_per_step)});
+  table.add_row({"TPM break-even", fmt_time_ms(params.break_even_time())});
+  return table;
+}
+
+}  // namespace sdpm::experiments

@@ -1,0 +1,32 @@
+// Per-nest and per-disk profiling of a simulated run.
+//
+// Attribution tables that explain *where* a program's disk energy and time
+// go: which nest generates the requests and stalls (the information behind
+// the "most costly nest" selection of the tiling pass), and how long each
+// disk's idle gaps are (the distribution the power-management schemes
+// harvest).
+#pragma once
+
+#include "ir/program.h"
+#include "layout/layout_table.h"
+#include "sim/report.h"
+#include "trace/request.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+namespace sdpm::experiments {
+
+/// Per-nest attribution of a Base run: duration share, requests, stall
+/// time.  `trace` and `report` must come from the same simulation.
+Table per_nest_profile(const ir::Program& program, const trace::Trace& trace,
+                       const sim::SimReport& report);
+
+/// Distribution of per-disk idle-gap lengths in a simulated run (from the
+/// busy timelines), as a histogram over milliseconds.
+Histogram idle_gap_histogram(const sim::SimReport& report);
+
+/// Render the idle-gap distribution with summary quantiles.
+Table idle_gap_table(const sim::SimReport& report,
+                     const disk::DiskParameters& params);
+
+}  // namespace sdpm::experiments

@@ -1,0 +1,107 @@
+#include "experiments/report.h"
+
+#include "util/strings.h"
+
+namespace sdpm::experiments {
+
+Table per_disk_table(const sim::SimReport& report, const std::string& title) {
+  Table table(title);
+  table.set_header({"Disk", "Energy (J)", "Active", "Idle", "Standby",
+                    "Transitions (J)", "Services", "Spin-downs",
+                    "Demand-ups", "RPM shifts"});
+  for (int d = 0; d < report.disk_count(); ++d) {
+    const sim::DiskReport& disk = report.disks[static_cast<std::size_t>(d)];
+    const auto& b = disk.breakdown;
+    table.add_row({
+        std::to_string(d),
+        fmt_double(b.total_j(), 2),
+        fmt_time_ms(b.active_ms) + " / " + fmt_double(b.active_j, 1) + " J",
+        fmt_time_ms(b.idle_ms) + " / " + fmt_double(b.idle_j, 1) + " J",
+        fmt_time_ms(b.standby_ms) + " / " + fmt_double(b.standby_j, 1) +
+            " J",
+        fmt_double(b.spin_down_j + b.spin_up_j + b.rpm_shift_j, 2),
+        std::to_string(disk.services),
+        std::to_string(disk.spin_downs),
+        std::to_string(disk.demand_spin_ups),
+        std::to_string(disk.rpm_transitions),
+    });
+  }
+  return table;
+}
+
+Table summary_table(const sim::SimReport& report, const std::string& title) {
+  Table table(title);
+  table.set_header({"Metric", "Value"});
+  table.add_row({"policy", report.policy_name});
+  table.add_row({"disks", std::to_string(report.disk_count())});
+  table.add_row({"requests", std::to_string(report.requests)});
+  table.add_row({"bytes transferred", fmt_bytes(report.bytes_transferred)});
+  table.add_row({"disk energy", fmt_double(report.total_energy, 2) + " J"});
+  table.add_row({"execution", fmt_time_ms(report.execution_ms)});
+  table.add_row({"compute", fmt_time_ms(report.compute_ms)});
+  table.add_row({"I/O stall", fmt_time_ms(report.io_stall_ms)});
+  table.add_row({"mean response",
+                 fmt_time_ms(report.response_ms.mean())});
+  table.add_row({"max response", fmt_time_ms(report.response_ms.max())});
+  return table;
+}
+
+Table rpm_residency_table(const sim::SimReport& report,
+                          const disk::DiskParameters& params,
+                          const std::string& title) {
+  // Find the levels that appear anywhere.
+  std::vector<bool> used(static_cast<std::size_t>(params.rpm_level_count()),
+                         false);
+  for (const sim::DiskReport& d : report.disks) {
+    for (std::size_t l = 0; l < d.level_residency_ms.size(); ++l) {
+      if (d.level_residency_ms[l] > 0) used[l] = true;
+    }
+  }
+  Table table(title);
+  std::vector<std::string> header = {"Disk"};
+  for (std::size_t l = 0; l < used.size(); ++l) {
+    if (used[l]) {
+      header.push_back(std::to_string(params.rpm_of_level(
+                           static_cast<int>(l))) +
+                       " RPM");
+    }
+  }
+  header.push_back("standby");
+  table.set_header(header);
+  for (int d = 0; d < report.disk_count(); ++d) {
+    const sim::DiskReport& disk = report.disks[static_cast<std::size_t>(d)];
+    std::vector<std::string> row = {std::to_string(d)};
+    for (std::size_t l = 0; l < used.size(); ++l) {
+      if (!used[l]) continue;
+      const TimeMs ms = l < disk.level_residency_ms.size()
+                            ? disk.level_residency_ms[l]
+                            : 0.0;
+      row.push_back(fmt_double(100.0 * ms / report.execution_ms, 1) + "%");
+    }
+    row.push_back(fmt_double(100.0 * disk.breakdown.standby_ms /
+                                 report.execution_ms,
+                             1) +
+                  "%");
+    table.add_row(row);
+  }
+  return table;
+}
+
+Table stream_table(const sim::MultiStreamReport& report,
+                   const std::string& title) {
+  Table table(title);
+  table.set_header({"Stream", "Completion", "Compute", "Requests",
+                    "Mean response"});
+  for (const sim::StreamReport& s : report.streams) {
+    table.add_row({
+        s.name,
+        fmt_time_ms(s.completion_ms),
+        fmt_time_ms(s.compute_ms),
+        std::to_string(s.requests),
+        fmt_time_ms(s.response_ms.mean()),
+    });
+  }
+  return table;
+}
+
+}  // namespace sdpm::experiments

@@ -1,0 +1,180 @@
+#include "experiments/runner.h"
+
+#include <cmath>
+
+#include "core/mispredict.h"
+#include "core/schedule.h"
+#include "policy/base.h"
+#include "policy/drpm.h"
+#include "policy/oracle.h"
+#include "policy/proactive.h"
+#include "policy/tpm.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace sdpm::experiments {
+
+const char* to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kBase:
+      return "Base";
+    case Scheme::kTpm:
+      return "TPM";
+    case Scheme::kItpm:
+      return "ITPM";
+    case Scheme::kDrpm:
+      return "DRPM";
+    case Scheme::kIdrpm:
+      return "IDRPM";
+    case Scheme::kCmtpm:
+      return "CMTPM";
+    case Scheme::kCmdrpm:
+      return "CMDRPM";
+  }
+  return "?";
+}
+
+std::vector<Scheme> all_schemes() {
+  return {Scheme::kBase, Scheme::kTpm,    Scheme::kItpm, Scheme::kDrpm,
+          Scheme::kIdrpm, Scheme::kCmtpm, Scheme::kCmdrpm};
+}
+
+Runner::Runner(const workloads::Benchmark& benchmark,
+               ExperimentConfig config)
+    : benchmark_(benchmark), config_(std::move(config)) {
+  core::CompilerOptions co;
+  co.total_disks = config_.total_disks;
+  co.base_striping = config_.striping;
+  co.disk_params = config_.disk;
+  co.access = config_.gen;
+  co.tile_bytes = config_.tile_bytes;
+  compiled_ = core::compile(benchmark_.program, config_.transform,
+                            std::nullopt, co);
+  layout_.emplace(compiled_.program, compiled_.striping,
+                  config_.total_disks);
+}
+
+void Runner::ensure_base() {
+  if (base_.has_value()) return;
+  trace::GeneratorOptions gen = config_.gen;
+  gen.noise = config_.actual_noise;
+  trace::TraceGenerator generator(compiled_.program, *layout_, gen);
+  trace_ = generator.generate();
+
+  policy::BasePolicy policy;
+  base_ = sim::simulate(*trace_, config_.disk, policy);
+
+}
+
+const sim::SimReport& Runner::base_report() {
+  ensure_base();
+  return *base_;
+}
+
+trace::StallAwareTimeline Runner::measured_timeline(
+    const trace::CycleNoise& noise) const {
+  SDPM_REQUIRE(base_.has_value(), "Base run required first");
+  const trace::Timeline compute = trace::Timeline::with_noise(
+      compiled_.program, noise, config_.gen.clock_hz);
+  std::vector<std::int64_t> miss_iters;
+  miss_iters.reserve(trace_->requests.size());
+  for (const trace::Request& r : trace_->requests) {
+    miss_iters.push_back(r.global_iter);
+  }
+  return trace::StallAwareTimeline(compute, std::move(miss_iters),
+                                   base_->responses);
+}
+
+SchemeResult Runner::run(Scheme scheme) {
+  ensure_base();
+  SchemeResult result;
+  result.scheme = scheme;
+  result.requests = base_->requests;
+
+  switch (scheme) {
+    case Scheme::kBase: {
+      result.energy_j = base_->total_energy;
+      result.execution_ms = base_->execution_ms;
+      break;
+    }
+    case Scheme::kTpm: {
+      policy::TpmPolicy policy;
+      const sim::SimReport report = sim::simulate(*trace_, config_.disk,
+                                                  policy);
+      result.energy_j = report.total_energy;
+      result.execution_ms = report.execution_ms;
+      break;
+    }
+    case Scheme::kDrpm: {
+      policy::DrpmPolicy policy;
+      const sim::SimReport report = sim::simulate(*trace_, config_.disk,
+                                                  policy);
+      result.energy_j = report.total_energy;
+      result.execution_ms = report.execution_ms;
+      break;
+    }
+    case Scheme::kItpm: {
+      const policy::OracleReport report =
+          policy::ideal_tpm(*base_, config_.disk);
+      result.energy_j = report.total_energy;
+      result.execution_ms = report.execution_ms;
+      break;
+    }
+    case Scheme::kIdrpm: {
+      const policy::OracleReport report =
+          policy::ideal_drpm(*base_, config_.disk);
+      result.energy_j = report.total_energy;
+      result.execution_ms = report.execution_ms;
+      break;
+    }
+    case Scheme::kCmtpm:
+    case Scheme::kCmdrpm: {
+      const core::PowerMode mode = scheme == Scheme::kCmtpm
+                                       ? core::PowerMode::kTpm
+                                       : core::PowerMode::kDrpm;
+      const trace::StallAwareTimeline estimate =
+          measured_timeline(config_.profile_noise);
+      core::SchedulerOptions so;
+      so.mode = mode;
+      so.access = config_.gen;
+      so.call_site_granularity = config_.call_site_granularity;
+      so.preactivate = config_.preactivate;
+      so.estimate = &estimate;
+      core::ScheduleResult scheduled = core::schedule_power_calls(
+          compiled_.program, *layout_, config_.disk, so);
+      result.power_calls = scheduled.calls_inserted;
+
+      trace::GeneratorOptions gen = config_.gen;
+      gen.noise = config_.actual_noise;
+      trace::TraceGenerator generator(scheduled.program, *layout_, gen);
+      const trace::Trace cm_trace = generator.generate();
+
+      policy::ProactivePolicy policy(scheme == Scheme::kCmtpm ? "CMTPM"
+                                                              : "CMDRPM");
+      const sim::SimReport report =
+          sim::simulate(cm_trace, config_.disk, policy);
+      result.energy_j = report.total_energy;
+      result.execution_ms = report.execution_ms;
+
+      const trace::StallAwareTimeline actual =
+          measured_timeline(config_.actual_noise);
+      result.mispredict_pct =
+          core::compare_with_oracle(scheduled.plans, actual, config_.disk,
+                                    mode)
+              .percent();
+      break;
+    }
+  }
+
+  result.normalized_energy = result.energy_j / base_->total_energy;
+  result.normalized_time = result.execution_ms / base_->execution_ms;
+  return result;
+}
+
+std::vector<SchemeResult> Runner::run_all() {
+  std::vector<SchemeResult> results;
+  for (Scheme scheme : all_schemes()) results.push_back(run(scheme));
+  return results;
+}
+
+}  // namespace sdpm::experiments

@@ -1,0 +1,112 @@
+// Fluent builder for constructing Programs.
+//
+// Example (the paper's Figure 2(a) fragment):
+//
+//   ProgramBuilder pb("figure2");
+//   ArrayId u1 = pb.array("U1", {4 * s}, 8);
+//   ArrayId u2 = pb.array("U2", {2 * s}, 8);
+//   pb.nest("nest1")
+//       .loop("i", 1, 2 * s + 1)
+//       .stmt(120.0)
+//       .read(u1, {sym("i")})
+//       .read(u2, {sym("i")})
+//       .done();
+//
+// Subscripts are symbolic affine expressions over loop names (sym("i") + 1,
+// 2 * sym("j"), ...), resolved against the nest's loops when the statement
+// is finalized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace sdpm::ir {
+
+/// A symbolic affine expression over named loop variables, used only while
+/// building; resolved to an AffineExpr when the enclosing nest is known.
+struct SymExpr {
+  struct Term {
+    std::string var;
+    std::int64_t coef = 1;
+  };
+  std::vector<Term> terms;
+  std::int64_t constant = 0;
+
+  /// Resolve against a nest's loop names (outer-to-inner).
+  AffineExpr resolve(const std::vector<std::string>& loop_names) const;
+};
+
+/// A symbolic loop variable.
+SymExpr sym(std::string var);
+/// A constant subscript.
+SymExpr sym_const(std::int64_t c);
+
+SymExpr operator+(SymExpr lhs, const SymExpr& rhs);
+SymExpr operator+(SymExpr lhs, std::int64_t c);
+SymExpr operator-(SymExpr lhs, std::int64_t c);
+SymExpr operator*(std::int64_t c, SymExpr rhs);
+
+class ProgramBuilder;
+
+/// Builder for one loop nest; obtained from ProgramBuilder::nest().
+class NestBuilder {
+ public:
+  /// Append a loop level (outer-to-inner order).
+  NestBuilder& loop(std::string var, std::int64_t lower, std::int64_t upper,
+                    std::int64_t step = 1);
+
+  /// Begin a new statement with the given per-execution cycle cost.
+  NestBuilder& stmt(Cycles cycles, std::string label = "");
+
+  /// Add a read reference to the current statement.
+  NestBuilder& read(ArrayId array, std::vector<SymExpr> subscripts);
+
+  /// Add a write reference to the current statement.
+  NestBuilder& write(ArrayId array, std::vector<SymExpr> subscripts);
+
+  /// Set per-iteration loop control overhead in cycles.
+  NestBuilder& overhead(Cycles cycles);
+
+  /// Finalize the nest into the program; returns its nest index.
+  int done();
+
+ private:
+  friend class ProgramBuilder;
+  NestBuilder(ProgramBuilder& parent, std::string name);
+
+  NestBuilder& add_ref(ArrayId array, std::vector<SymExpr> subscripts,
+                       AccessKind kind);
+
+  ProgramBuilder& parent_;
+  LoopNest nest_;
+  std::vector<std::pair<Statement, std::vector<std::vector<SymExpr>>>>
+      pending_;  // statement skeletons + unresolved subscripts per ref
+  std::vector<std::vector<AccessKind>> pending_kinds_;
+  std::vector<std::vector<ArrayId>> pending_arrays_;
+};
+
+/// Top-level program builder.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  /// Declare a disk-resident array; returns its id.
+  ArrayId array(std::string name, std::vector<std::int64_t> extents,
+                Bytes element_size = 8,
+                StorageLayout layout = StorageLayout::kRowMajor);
+
+  /// Start building a nest; call NestBuilder::done() to commit it.
+  NestBuilder nest(std::string name);
+
+  /// Validate and return the finished program.
+  Program build();
+
+ private:
+  friend class NestBuilder;
+  Program program_;
+};
+
+}  // namespace sdpm::ir

@@ -1,0 +1,70 @@
+#include "layout/layout_table.h"
+
+#include "util/error.h"
+
+namespace sdpm::layout {
+
+LayoutTable::LayoutTable(const ir::Program& program, const Striping& striping,
+                         int total_disks)
+    : total_disks_(total_disks) {
+  layouts_.reserve(program.arrays.size());
+  for (const ir::Array& a : program.arrays) {
+    layouts_.emplace_back(striping, a.size_bytes(), total_disks);
+  }
+  allocate_regions();
+}
+
+LayoutTable::LayoutTable(const ir::Program& program,
+                         std::vector<Striping> per_array_striping,
+                         int total_disks)
+    : total_disks_(total_disks) {
+  SDPM_REQUIRE(per_array_striping.size() == program.arrays.size(),
+               "need exactly one striping per array");
+  layouts_.reserve(program.arrays.size());
+  for (std::size_t i = 0; i < program.arrays.size(); ++i) {
+    layouts_.emplace_back(per_array_striping[i],
+                          program.arrays[i].size_bytes(), total_disks);
+  }
+  allocate_regions();
+}
+
+void LayoutTable::allocate_regions() {
+  std::vector<Bytes> cursor(static_cast<std::size_t>(total_disks_), 0);
+  region_base_.assign(layouts_.size(),
+                      std::vector<Bytes>(static_cast<std::size_t>(total_disks_), 0));
+  for (std::size_t a = 0; a < layouts_.size(); ++a) {
+    for (int d = 0; d < total_disks_; ++d) {
+      const Bytes used = layouts_[a].bytes_on_disk(d);
+      region_base_[a][static_cast<std::size_t>(d)] =
+          cursor[static_cast<std::size_t>(d)];
+      cursor[static_cast<std::size_t>(d)] += used;
+    }
+  }
+}
+
+const FileLayout& LayoutTable::layout_of(ir::ArrayId array) const {
+  SDPM_REQUIRE(array >= 0 && array < static_cast<ir::ArrayId>(layouts_.size()),
+               "array id out of range in layout table");
+  return layouts_[static_cast<std::size_t>(array)];
+}
+
+PhysicalLocation LayoutTable::locate(ir::ArrayId array, Bytes offset) const {
+  const DiskLocation loc = layout_of(array).locate(offset);
+  PhysicalLocation phys;
+  phys.disk = loc.disk;
+  phys.disk_byte = region_base_[static_cast<std::size_t>(array)]
+                               [static_cast<std::size_t>(loc.disk)] +
+                   loc.offset;
+  return phys;
+}
+
+Bytes LayoutTable::bytes_on_disk(int disk) const {
+  SDPM_REQUIRE(disk >= 0 && disk < total_disks_, "disk out of range");
+  Bytes total = 0;
+  for (const FileLayout& layout : layouts_) {
+    total += layout.bytes_on_disk(disk);
+  }
+  return total;
+}
+
+}  // namespace sdpm::layout

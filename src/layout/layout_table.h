@@ -1,0 +1,67 @@
+// Layout table: per-array file layouts plus physical region allocation.
+//
+// Maps (array, file byte offset) to an absolute location on a disk.  Each
+// array's per-disk region is allocated sequentially by a per-disk cursor, so
+// distinct arrays never overlap and sequential file access translates to
+// sequential disk access.  This is the "disk layout information" the
+// compiler consumes (paper §3) — either taken from file-creation parameters
+// or supplied externally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+#include "layout/striping.h"
+
+namespace sdpm::layout {
+
+/// Absolute physical position of a byte: disk id + byte offset from the
+/// start of that disk.
+struct PhysicalLocation {
+  int disk = 0;
+  Bytes disk_byte = 0;
+
+  BlockNo sector() const { return disk_byte / kSectorBytes; }
+  friend bool operator==(const PhysicalLocation&,
+                         const PhysicalLocation&) = default;
+};
+
+/// Per-array striping plus physical base addresses on every disk.
+class LayoutTable {
+ public:
+  /// Build a table giving every array in `program` the same striping.
+  LayoutTable(const ir::Program& program, const Striping& striping,
+              int total_disks);
+
+  /// Build a table with per-array striping (one entry per array, in array
+  /// id order).  Used by the layout-aware transformations, which assign
+  /// array groups to disjoint disk subsets.
+  LayoutTable(const ir::Program& program,
+              std::vector<Striping> per_array_striping, int total_disks);
+
+  int total_disks() const { return total_disks_; }
+  std::size_t array_count() const { return layouts_.size(); }
+
+  const FileLayout& layout_of(ir::ArrayId array) const;
+
+  /// Absolute physical location of byte `offset` of array `array`.
+  PhysicalLocation locate(ir::ArrayId array, Bytes offset) const;
+
+  /// Disks holding any part of `array`.
+  std::vector<int> disks_of(ir::ArrayId array) const {
+    return layout_of(array).disks_used();
+  }
+
+  /// Bytes stored on `disk` across all arrays.
+  Bytes bytes_on_disk(int disk) const;
+
+ private:
+  void allocate_regions();
+
+  int total_disks_;
+  std::vector<FileLayout> layouts_;              // by array id
+  std::vector<std::vector<Bytes>> region_base_;  // [array][disk] base byte
+};
+
+}  // namespace sdpm::layout

@@ -1,0 +1,91 @@
+// Disk striping model.
+//
+// The paper specifies a file's placement on the disk subsystem with the
+// PVFS-style 3-tuple (starting disk, stripe factor, stripe size): the file
+// is cut into stripe-size units distributed round-robin over `stripe
+// factor` consecutive disks beginning at `starting disk` (paper §3, Table 1
+// "Striping Information").  One I/O node == one disk; no nested striping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sdpm::layout {
+
+/// Sector size used for trace block numbers (DiskSim convention).
+inline constexpr Bytes kSectorBytes = 512;
+
+/// The (starting disk, stripe factor, stripe size) placement tuple.
+struct Striping {
+  int starting_disk = 0;    ///< first I/O node used ("base" in PVFS)
+  int stripe_factor = 8;    ///< number of disks used ("pcount")
+  Bytes stripe_size = 64 * 1024;  ///< stripe unit in bytes ("ssize")
+
+  std::string to_string() const;
+  friend bool operator==(const Striping&, const Striping&) = default;
+};
+
+/// A physical location: byte offset within one disk's region of a file.
+struct DiskLocation {
+  int disk = 0;
+  Bytes offset = 0;  ///< offset within this file's region on that disk
+  friend bool operator==(const DiskLocation&, const DiskLocation&) = default;
+};
+
+/// A contiguous piece of a file access landing on a single disk.
+struct DiskExtent {
+  int disk = 0;
+  Bytes offset = 0;  ///< offset within the file's region on that disk
+  Bytes length = 0;
+};
+
+/// Striped placement of one file (one array) over the disk subsystem.
+class FileLayout {
+ public:
+  /// `total_disks` is the number of disks in the subsystem; the stripe
+  /// window [starting_disk, starting_disk + stripe_factor) wraps modulo
+  /// `total_disks`.
+  FileLayout(Striping striping, Bytes file_size, int total_disks);
+
+  const Striping& striping() const { return striping_; }
+  Bytes file_size() const { return file_size_; }
+  int total_disks() const { return total_disks_; }
+
+  /// The disk holding file byte `offset`.
+  int disk_of(Bytes offset) const;
+
+  /// Physical location (disk + per-disk offset) of file byte `offset`.
+  DiskLocation locate(Bytes offset) const;
+
+  /// Decompose a file range [offset, offset+length) into single-disk
+  /// extents, in file order.
+  std::vector<DiskExtent> extents(Bytes offset, Bytes length) const;
+
+  /// Bytes of this file stored on `disk` (for region allocation).
+  Bytes bytes_on_disk(int disk) const;
+
+  /// Disks actually used by this file, in stripe order.
+  std::vector<int> disks_used() const;
+
+  /// Inverse mapping: file offset of the first byte of stripe `s`.
+  Bytes stripe_start(std::int64_t stripe) const {
+    return stripe * striping_.stripe_size;
+  }
+
+  /// Stripe index containing file byte `offset`.
+  std::int64_t stripe_of(Bytes offset) const {
+    return offset / striping_.stripe_size;
+  }
+
+  std::int64_t stripe_count() const;
+
+ private:
+  Striping striping_;
+  Bytes file_size_;
+  int total_disks_;
+};
+
+}  // namespace sdpm::layout

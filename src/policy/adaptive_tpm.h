@@ -1,0 +1,52 @@
+// Adaptive-threshold TPM (extension).
+//
+// The paper notes that reactive TPM can choose its idleness threshold "by
+// making use of either fixed or adaptive threshold based strategies" (§2)
+// but only evaluates the fixed break-even threshold.  This policy
+// implements the classic multiplicative-adjustment rule of Douglis et
+// al.'s adaptive spin-down work: after each spin-down, if the disk was
+// woken again quickly (the gap did not recoup the transition cost) the
+// threshold is increased; after a spin-down that paid off, the threshold is
+// decreased toward an aggressive floor.  Exposed as an ablation against
+// the paper's fixed-threshold TPM.
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/policy.h"
+
+namespace sdpm::policy {
+
+struct AdaptiveTpmOptions {
+  /// Initial threshold; <0 selects the disk's break-even time.
+  TimeMs initial_threshold_ms = -1.0;
+  /// Threshold bounds (floor keeps the policy from thrashing on bursty
+  /// request runs; ceiling keeps it responsive).
+  TimeMs min_threshold_ms = 1'000.0;
+  TimeMs max_threshold_ms = 120'000.0;
+  /// Multiplicative adjustment factor (> 1).
+  double adjust = 2.0;
+};
+
+class AdaptiveTpmPolicy final : public sim::PowerPolicy {
+ public:
+  explicit AdaptiveTpmPolicy(AdaptiveTpmOptions options = {})
+      : options_(options) {}
+
+  void attach(sim::DiskUnit& disk) override;
+  void before_service(sim::DiskUnit& disk, TimeMs now) override;
+  void finalize(sim::DiskUnit& disk, TimeMs end) override;
+
+  const char* name() const override { return "ATPM"; }
+
+  /// Current threshold of `disk_id` (for tests/inspection).
+  TimeMs threshold_of(int disk_id) const;
+
+ private:
+  void maybe_spin_down(sim::DiskUnit& disk, TimeMs now);
+
+  AdaptiveTpmOptions options_;
+  std::unordered_map<int, TimeMs> threshold_;
+};
+
+}  // namespace sdpm::policy

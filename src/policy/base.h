@@ -1,0 +1,13 @@
+// Base policy: no power management (the paper's normalization baseline).
+#pragma once
+
+#include "sim/policy.h"
+
+namespace sdpm::policy {
+
+class BasePolicy final : public sim::PowerPolicy {
+ public:
+  const char* name() const override { return "Base"; }
+};
+
+}  // namespace sdpm::policy

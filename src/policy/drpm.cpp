@@ -1,0 +1,61 @@
+#include "policy/drpm.h"
+
+namespace sdpm::policy {
+
+void DrpmPolicy::attach(sim::DiskUnit& disk) {
+  state_.emplace(disk.id(), DiskState{});
+}
+
+void DrpmPolicy::apply_idle_steps(sim::DiskUnit& disk, TimeMs now) const {
+  if (idle_step_ms_ <= 0) return;
+  const TimeMs idle_start = disk.last_completion();
+  // One step per full idle_step_ms of observed idleness, each applied at
+  // the instant its threshold fired.
+  int level = disk.target_level();
+  for (TimeMs t = idle_start + idle_step_ms_; t <= now && level > 0;
+       t += idle_step_ms_) {
+    --level;
+    disk.set_rpm_level(t, level);
+  }
+}
+
+void DrpmPolicy::before_service(sim::DiskUnit& disk, TimeMs now) {
+  apply_idle_steps(disk, now);
+}
+
+void DrpmPolicy::finalize(sim::DiskUnit& disk, TimeMs end) {
+  apply_idle_steps(disk, end);
+}
+
+void DrpmPolicy::after_service(sim::DiskUnit& disk, TimeMs completion,
+                               TimeMs response_ms) {
+  DiskState& st = state_[disk.id()];
+  st.window_sum += response_ms;
+  ++st.window_count;
+  const int n = disk.params().drpm.window_size;
+  if (st.window_count < n) return;
+
+  const double mean = st.window_sum / static_cast<double>(st.window_count);
+  st.window_sum = 0;
+  st.window_count = 0;
+
+  if (st.prev_mean < 0) {
+    // First full window: establish the reference, keep the speed.
+    st.prev_mean = mean;
+    return;
+  }
+
+  const double delta = (mean - st.prev_mean) / st.prev_mean;
+  st.prev_mean = mean;
+  const auto& params = disk.params();
+  const int level = disk.target_level();
+  if (delta > params.drpm.upper_tolerance) {
+    // Response times degraded beyond tolerance: restore full speed.
+    disk.set_rpm_level(completion, params.max_level());
+  } else if (delta < params.drpm.lower_tolerance && level > 0) {
+    // Load is light; drop one RPM step.
+    disk.set_rpm_level(completion, level - 1);
+  }
+}
+
+}  // namespace sdpm::policy

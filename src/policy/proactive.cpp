@@ -1,0 +1,26 @@
+#include "policy/proactive.h"
+
+namespace sdpm::policy {
+
+void ProactivePolicy::on_power_event(sim::DiskUnit& disk, TimeMs now,
+                                     const ir::PowerDirective& directive) {
+  switch (directive.kind) {
+    case ir::PowerDirective::Kind::kSpinDown:
+      disk.spin_down(now);
+      break;
+    case ir::PowerDirective::Kind::kSpinUp:
+      disk.spin_up(now);
+      break;
+    case ir::PowerDirective::Kind::kSetRpm:
+      // A mispredicted timeline can ask for a speed change while the disk
+      // is (still) heading to standby under a CMTPM-style schedule; wake it
+      // first so the command remains meaningful.
+      if (disk.heading_to_standby()) {
+        disk.spin_up(now);
+      }
+      disk.set_rpm_level(now, directive.rpm_level);
+      break;
+  }
+}
+
+}  // namespace sdpm::policy

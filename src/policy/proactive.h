@@ -1,0 +1,27 @@
+// Proactive policy: executes the compiler-inserted power calls.
+//
+// The runtime side of CMTPM/CMDRPM is deliberately trivial — all the
+// intelligence is in the compiler passes (core/) that decided where to
+// place spin_down / spin_up / set_RPM calls.  The policy merely translates
+// each executed call into the corresponding DiskUnit command.
+#pragma once
+
+#include "sim/policy.h"
+
+namespace sdpm::policy {
+
+class ProactivePolicy final : public sim::PowerPolicy {
+ public:
+  /// `label` distinguishes CMTPM from CMDRPM in reports.
+  explicit ProactivePolicy(const char* label = "CM") : label_(label) {}
+
+  void on_power_event(sim::DiskUnit& disk, TimeMs now,
+                      const ir::PowerDirective& directive) override;
+
+  const char* name() const override { return label_; }
+
+ private:
+  const char* label_;
+};
+
+}  // namespace sdpm::policy

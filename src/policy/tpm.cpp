@@ -1,0 +1,29 @@
+#include "policy/tpm.h"
+
+namespace sdpm::policy {
+
+TimeMs TpmPolicy::effective_threshold(const sim::DiskUnit& disk) const {
+  return threshold_ms_ >= 0 ? threshold_ms_
+                            : disk.params().break_even_time();
+}
+
+void TpmPolicy::maybe_spin_down(sim::DiskUnit& disk, TimeMs now) const {
+  if (disk.heading_to_standby()) return;
+  const TimeMs idle_start = disk.last_completion();
+  const TimeMs threshold = effective_threshold(disk);
+  if (now - idle_start > threshold) {
+    // The timeout fired during the idle gap; apply it retroactively at the
+    // exact timeout instant.
+    disk.spin_down(idle_start + threshold);
+  }
+}
+
+void TpmPolicy::before_service(sim::DiskUnit& disk, TimeMs now) {
+  maybe_spin_down(disk, now);
+}
+
+void TpmPolicy::finalize(sim::DiskUnit& disk, TimeMs end) {
+  maybe_spin_down(disk, end);
+}
+
+}  // namespace sdpm::policy

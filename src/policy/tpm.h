@@ -1,0 +1,32 @@
+// Reactive traditional power management (TPM).
+//
+// Spins a disk down once it has been idle longer than the idleness
+// threshold (paper §2); the disk stays in standby until the next request,
+// which then pays the full demand spin-up delay.  The threshold defaults to
+// the break-even time — the classic 2-competitive fixed-threshold policy of
+// Douglis et al.
+#pragma once
+
+#include "sim/policy.h"
+
+namespace sdpm::policy {
+
+class TpmPolicy final : public sim::PowerPolicy {
+ public:
+  /// `threshold_ms < 0` selects the disk's break-even time.
+  explicit TpmPolicy(TimeMs threshold_ms = -1.0)
+      : threshold_ms_(threshold_ms) {}
+
+  void before_service(sim::DiskUnit& disk, TimeMs now) override;
+  void finalize(sim::DiskUnit& disk, TimeMs end) override;
+
+  const char* name() const override { return "TPM"; }
+
+ private:
+  TimeMs effective_threshold(const sim::DiskUnit& disk) const;
+  void maybe_spin_down(sim::DiskUnit& disk, TimeMs now) const;
+
+  TimeMs threshold_ms_;
+};
+
+}  // namespace sdpm::policy

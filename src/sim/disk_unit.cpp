@@ -1,0 +1,169 @@
+#include "sim/disk_unit.h"
+
+#include <algorithm>
+
+#include "layout/striping.h"
+#include "util/error.h"
+
+namespace sdpm::sim {
+
+namespace {
+constexpr TimeMs kTimeEps = 1e-9;
+}
+
+DiskUnit::DiskUnit(const disk::DiskParameters& params, int id)
+    : params_(&params), id_(id), level_(params.max_level()),
+      level_residency_(static_cast<std::size_t>(params.rpm_level_count()),
+                       0.0) {
+  params.validate();
+}
+
+void DiskUnit::accumulate(TimeMs dt) {
+  if (dt <= 0) return;
+  switch (mode_) {
+    case Mode::kSpinning:
+      breakdown_.add(disk::PowerState::kIdle, dt,
+                     joules_from_watt_ms(params_->idle_power_at_level(level_),
+                                         dt));
+      level_residency_[static_cast<std::size_t>(level_)] += dt;
+      break;
+    case Mode::kStandby:
+      breakdown_.add(disk::PowerState::kStandby, dt,
+                     joules_from_watt_ms(params_->standby_power(), dt));
+      break;
+    case Mode::kTransition:
+      breakdown_.add(trans_bucket_, dt,
+                     joules_from_watt_ms(trans_power_, dt));
+      break;
+  }
+}
+
+void DiskUnit::advance_to(TimeMs t) {
+  SDPM_ASSERT(t >= clock_ - kTimeEps, "disk commands must be time-ordered");
+  if (t <= clock_) return;
+  if (mode_ == Mode::kTransition && trans_end_ <= t) {
+    accumulate(trans_end_ - clock_);
+    clock_ = trans_end_;
+    mode_ = after_mode_;
+    level_ = after_level_;
+  }
+  if (t > clock_) {
+    accumulate(t - clock_);
+    clock_ = t;
+  }
+}
+
+void DiskUnit::settle() {
+  if (mode_ == Mode::kTransition) advance_to(trans_end_);
+  SDPM_ASSERT(mode_ != Mode::kTransition, "settle left a transition open");
+}
+
+void DiskUnit::begin_transition(disk::PowerState bucket, TimeMs duration,
+                                Joules energy, Mode after, int level_after) {
+  SDPM_ASSERT(mode_ != Mode::kTransition, "transition already in flight");
+  if (duration <= 0) {
+    mode_ = after;
+    level_ = level_after;
+    breakdown_.add(bucket, 0, energy);
+    return;
+  }
+  mode_ = Mode::kTransition;
+  trans_end_ = clock_ + duration;
+  trans_power_ = energy / seconds_from_ms(duration);
+  trans_bucket_ = bucket;
+  after_mode_ = after;
+  after_level_ = level_after;
+}
+
+int DiskUnit::target_level() const {
+  if (mode_ == Mode::kTransition && after_mode_ == Mode::kSpinning) {
+    return after_level_;
+  }
+  return level_;
+}
+
+bool DiskUnit::heading_to_standby() const {
+  return mode_ == Mode::kStandby ||
+         (mode_ == Mode::kTransition && after_mode_ == Mode::kStandby);
+}
+
+void DiskUnit::spin_down(TimeMs t) {
+  if (heading_to_standby()) return;
+  advance_to(std::max(t, clock_));
+  settle();
+  if (mode_ == Mode::kStandby) return;
+  ++spin_downs_;
+  begin_transition(disk::PowerState::kSpinningDown, params_->tpm.spin_down_time,
+                   params_->tpm.spin_down_energy, Mode::kStandby, level_);
+}
+
+void DiskUnit::spin_up(TimeMs t) {
+  if (mode_ == Mode::kSpinning) return;
+  if (mode_ == Mode::kTransition && after_mode_ == Mode::kSpinning) return;
+  advance_to(std::max(t, clock_));
+  settle();
+  if (mode_ == Mode::kSpinning) return;
+  begin_transition(disk::PowerState::kSpinningUp, params_->tpm.spin_up_time,
+                   params_->tpm.spin_up_energy, Mode::kSpinning,
+                   params_->max_level());
+}
+
+void DiskUnit::set_rpm_level(TimeMs t, int level) {
+  SDPM_REQUIRE(level >= 0 && level < params_->rpm_level_count(),
+               "RPM level out of range");
+  SDPM_REQUIRE(!heading_to_standby(),
+               "set_rpm_level on a standby disk (spin it up first)");
+  if (target_level() == level) return;
+  advance_to(std::max(t, clock_));
+  settle();
+  if (level_ == level) return;
+  ++rpm_transitions_;
+  begin_transition(disk::PowerState::kRpmShift,
+                   params_->rpm_transition_time(level_, level),
+                   params_->rpm_transition_energy(level_, level),
+                   Mode::kSpinning, level);
+}
+
+DiskUnit::ServeResult DiskUnit::serve(TimeMs arrival, BlockNo sector,
+                                      Bytes size_bytes, ir::AccessKind kind) {
+  (void)kind;  // reads and writes share the service model
+  ServeResult result;
+  advance_to(std::max(arrival, clock_));
+  if (mode_ == Mode::kTransition) {
+    result.waited_transition = after_mode_ == Mode::kSpinning;
+    settle();
+  }
+  if (mode_ == Mode::kStandby) {
+    result.demand_spin_up = true;
+    ++demand_spin_ups_;
+    begin_transition(disk::PowerState::kSpinningUp, params_->tpm.spin_up_time,
+                     params_->tpm.spin_up_energy, Mode::kSpinning,
+                     params_->max_level());
+    settle();
+  }
+  SDPM_ASSERT(mode_ == Mode::kSpinning, "disk must spin to serve");
+
+  const bool sequential = sector == next_sector_;
+  const TimeMs service =
+      params_->service_time(size_bytes, level_, sequential);
+  result.start = clock_;
+  result.completion = clock_ + service;
+  breakdown_.add(disk::PowerState::kActive, service,
+                 joules_from_watt_ms(params_->active_power_at_level(level_),
+                                     service));
+  level_residency_[static_cast<std::size_t>(level_)] += service;
+  clock_ = result.completion;
+  last_completion_ = clock_;
+  next_sector_ = sector + (size_bytes + layout::kSectorBytes - 1) /
+                              layout::kSectorBytes;
+  busy_.push_back(BusyPeriod{result.start, result.completion});
+  ++services_;
+  return result;
+}
+
+void DiskUnit::finish(TimeMs end) {
+  advance_to(std::max(end, clock_));
+  settle();
+}
+
+}  // namespace sdpm::sim

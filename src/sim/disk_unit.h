@@ -1,0 +1,148 @@
+// Per-disk simulation unit: power-state machine + service model + energy
+// integration.
+//
+// A DiskUnit is driven by timestamped power commands (spin_down / spin_up /
+// set_rpm_level) and service calls.  Times must be non-decreasing per disk;
+// the unit lazily integrates energy from its internal clock to each new
+// timestamp, so a policy may issue a command "in the past" relative to the
+// global simulation clock as long as it is not before the disk's own last
+// event — exactly what a reactive timeout policy needs (the spin-down
+// conceptually happened during an idle gap that is only examined when the
+// next request arrives).
+//
+// Commands issued while a transition is in progress take effect when the
+// transition settles (a physical spindle cannot abort a speed change
+// mid-flight in this model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/parameters.h"
+#include "disk/power_state.h"
+#include "ir/nest.h"
+#include "util/units.h"
+
+namespace sdpm::sim {
+
+/// One serviced request interval (for oracle post-processing and
+/// utilization statistics).
+struct BusyPeriod {
+  TimeMs start = 0;       ///< service start (after any wake-up wait)
+  TimeMs completion = 0;  ///< service end
+};
+
+class DiskUnit {
+ public:
+  DiskUnit(const disk::DiskParameters& params, int id);
+
+  int id() const { return id_; }
+  const disk::DiskParameters& params() const { return *params_; }
+
+  // ---- power commands ----------------------------------------------------
+
+  /// Begin spinning down at `t` (idle -> standby).  No-op when already in
+  /// standby.  A transition in progress completes first.
+  void spin_down(TimeMs t);
+
+  /// Begin spinning up at `t` (standby -> active at full RPM).  No-op when
+  /// the disk is spinning.  A spin-down in progress completes first.
+  void spin_up(TimeMs t);
+
+  /// Begin an RPM transition towards `level` at `t`.  No-op when already at
+  /// `level`.  Must not be called on a standby disk.
+  void set_rpm_level(TimeMs t, int level);
+
+  // ---- service -----------------------------------------------------------
+
+  struct ServeResult {
+    TimeMs start = 0;       ///< when service began (after any waits)
+    TimeMs completion = 0;  ///< when the request finished
+    bool demand_spin_up = false;     ///< had to wake a standby disk
+    bool waited_transition = false;  ///< waited on an in-flight transition
+  };
+
+  /// Service a request arriving at `arrival`: waits out any in-flight
+  /// transition, wakes the disk if it is in standby (demand spin-up), then
+  /// transfers `size_bytes` starting at `sector` at the current RPM level.
+  ServeResult serve(TimeMs arrival, BlockNo sector, Bytes size_bytes,
+                    ir::AccessKind kind = ir::AccessKind::kRead);
+
+  /// Integrate energy up to the end of simulation.
+  void finish(TimeMs end);
+
+  // ---- introspection -----------------------------------------------------
+
+  /// RPM level the disk is at (or transitioning toward).
+  int target_level() const;
+
+  /// True when in standby or spinning down toward it.
+  bool heading_to_standby() const;
+
+  /// The unit's internal clock: the last time up to which energy has been
+  /// integrated.
+  TimeMs clock() const { return clock_; }
+
+  /// Completion time of the last serviced request (start of the current
+  /// idle period); 0 if never serviced.
+  TimeMs last_completion() const { return last_completion_; }
+
+  const disk::EnergyBreakdown& breakdown() const { return breakdown_; }
+  const std::vector<BusyPeriod>& busy_periods() const { return busy_; }
+
+  /// Time spent spinning (idle or active) at each RPM level, indexed by
+  /// level; the DRPM analogue of the active/idle/standby buckets.
+  const std::vector<TimeMs>& level_residency_ms() const {
+    return level_residency_;
+  }
+
+  std::int64_t services() const { return services_; }
+  std::int64_t demand_spin_ups() const { return demand_spin_ups_; }
+  std::int64_t rpm_transitions() const { return rpm_transitions_; }
+  std::int64_t commanded_spin_downs() const { return spin_downs_; }
+
+ private:
+  enum class Mode { kSpinning, kStandby, kTransition };
+
+  /// Integrate energy from clock_ to `t`, resolving a transition that
+  /// completes in between.
+  void advance_to(TimeMs t);
+
+  /// Account `dt` of time in the *current* mode ending at clock_ + dt.
+  void accumulate(TimeMs dt);
+
+  /// Advance through any in-flight transition; afterwards the mode is
+  /// kSpinning or kStandby and clock_ >= previous transition end.
+  void settle();
+
+  /// Start a transition at clock_ (mode must be settled).
+  void begin_transition(disk::PowerState bucket, TimeMs duration,
+                        Joules energy, Mode after, int level_after);
+
+  const disk::DiskParameters* params_;
+  int id_;
+
+  TimeMs clock_ = 0;
+  Mode mode_ = Mode::kSpinning;
+  int level_ = 0;  ///< physical RPM level while spinning
+
+  // Valid while mode_ == kTransition:
+  TimeMs trans_end_ = 0;
+  Watts trans_power_ = 0;
+  disk::PowerState trans_bucket_ = disk::PowerState::kRpmShift;
+  Mode after_mode_ = Mode::kSpinning;
+  int after_level_ = 0;
+
+  TimeMs last_completion_ = 0;
+  BlockNo next_sector_ = -1;  ///< head position for sequential detection
+
+  disk::EnergyBreakdown breakdown_;
+  std::vector<BusyPeriod> busy_;
+  std::vector<TimeMs> level_residency_;
+  std::int64_t services_ = 0;
+  std::int64_t demand_spin_ups_ = 0;
+  std::int64_t rpm_transitions_ = 0;
+  std::int64_t spin_downs_ = 0;
+};
+
+}  // namespace sdpm::sim

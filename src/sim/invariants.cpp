@@ -1,0 +1,109 @@
+#include "sim/invariants.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::sim {
+
+namespace {
+
+constexpr double kRelTol = 1e-6;
+constexpr double kAbsTolMs = 1e-3;
+
+void check_disk(const DiskReport& disk, TimeMs duration,
+                const disk::DiskParameters& params, int index) {
+  const auto& b = disk.breakdown;
+  SDPM_REQUIRE(std::abs(b.total_ms() - duration) <=
+                   kAbsTolMs + kRelTol * duration,
+               str_printf("disk %d time buckets (%.6f ms) do not cover the "
+                          "run (%.6f ms)",
+                          index, b.total_ms(), duration));
+  SDPM_REQUIRE(b.total_j() >= -1e-9, "negative disk energy");
+
+  TimeMs cursor = -1.0;
+  for (const BusyPeriod& bp : disk.busy_periods) {
+    SDPM_REQUIRE(bp.completion >= bp.start,
+                 str_printf("disk %d busy period ends before it starts",
+                            index));
+    SDPM_REQUIRE(bp.start >= cursor,
+                 str_printf("disk %d busy periods overlap or regress",
+                            index));
+    SDPM_REQUIRE(bp.completion <= duration + kAbsTolMs,
+                 str_printf("disk %d busy period outruns the simulation",
+                            index));
+    cursor = bp.completion;
+  }
+  SDPM_REQUIRE(static_cast<std::int64_t>(disk.busy_periods.size()) ==
+                   disk.services,
+               "service count does not match busy periods");
+
+  // Physical envelope.
+  const Joules floor =
+      joules_from_watt_ms(params.standby_power(), duration) * 0.99 - 1e-6;
+  const Joules active_ceiling =
+      joules_from_watt_ms(params.active_power_at_level(params.max_level()),
+                          duration);
+  // Transitions are billed at <= spin-up average power (135 J / 10.9 s
+  // ~ 12.4 W < active); demand spin-ups add bounded lumps.
+  const Joules ceiling = active_ceiling * 1.05 +
+                         static_cast<double>(disk.demand_spin_ups +
+                                             disk.spin_downs) *
+                             (params.tpm.spin_up_energy +
+                              params.tpm.spin_down_energy);
+  SDPM_REQUIRE(b.total_j() >= floor,
+               str_printf("disk %d energy %.3f J below the standby floor "
+                          "%.3f J",
+                          index, b.total_j(), floor));
+  SDPM_REQUIRE(b.total_j() <= ceiling,
+               str_printf("disk %d energy %.3f J above the active ceiling "
+                          "%.3f J",
+                          index, b.total_j(), ceiling));
+}
+
+}  // namespace
+
+void check_invariants(const SimReport& report,
+                      const disk::DiskParameters& params) {
+  SDPM_REQUIRE(report.execution_ms >= report.compute_ms - kAbsTolMs,
+               "execution shorter than compute");
+  SDPM_REQUIRE(std::abs(report.compute_ms + report.io_stall_ms -
+                        report.execution_ms) <=
+                   kAbsTolMs + kRelTol * report.execution_ms,
+               "execution != compute + stalls");
+  SDPM_REQUIRE(static_cast<std::int64_t>(report.responses.size()) ==
+                   report.requests,
+               "one response per request required");
+
+  Joules sum = 0;
+  for (int d = 0; d < report.disk_count(); ++d) {
+    check_disk(report.disks[static_cast<std::size_t>(d)],
+               report.execution_ms, params, d);
+    sum += report.disks[static_cast<std::size_t>(d)].breakdown.total_j();
+  }
+  SDPM_REQUIRE(std::abs(sum - report.total_energy) <=
+                   1e-6 + kRelTol * std::abs(sum),
+               "total energy does not equal the per-disk sum");
+}
+
+void check_invariants(const MultiStreamReport& report,
+                      const disk::DiskParameters& params) {
+  for (const StreamReport& s : report.streams) {
+    SDPM_REQUIRE(s.completion_ms <= report.makespan_ms + kAbsTolMs,
+                 "stream completes after the makespan");
+    SDPM_REQUIRE(s.completion_ms >= s.compute_ms - kAbsTolMs,
+                 "stream completes before its compute time");
+  }
+  Joules sum = 0;
+  for (int d = 0; d < static_cast<int>(report.disks.size()); ++d) {
+    check_disk(report.disks[static_cast<std::size_t>(d)],
+               report.makespan_ms, params, d);
+    sum += report.disks[static_cast<std::size_t>(d)].breakdown.total_j();
+  }
+  SDPM_REQUIRE(std::abs(sum - report.total_energy) <=
+                   1e-6 + kRelTol * std::abs(sum),
+               "total energy does not equal the per-disk sum");
+}
+
+}  // namespace sdpm::sim

@@ -1,0 +1,29 @@
+// Simulation invariant checker.
+//
+// Validates the conservation properties every SimReport must satisfy,
+// independent of policy or workload; the fuzz suite runs it over random
+// programs, and callers can assert it after any simulation.  Violations
+// throw sdpm::Error with a description of the broken invariant.
+#pragma once
+
+#include "sim/multi_stream.h"
+#include "sim/report.h"
+
+namespace sdpm::sim {
+
+/// Check a single-stream report:
+///   - every disk's time buckets partition [0, execution_ms] exactly,
+///   - total energy equals the per-disk sum,
+///   - busy periods are non-overlapping, ordered, within the run,
+///   - execution = compute + I/O stalls,
+///   - energy is within the physical envelope
+///     [standby_power, active_power] x disks x duration.
+void check_invariants(const SimReport& report,
+                      const disk::DiskParameters& params);
+
+/// Same for a multiprogrammed report (per-stream completions bounded by
+/// the makespan; disk timelines span the makespan).
+void check_invariants(const MultiStreamReport& report,
+                      const disk::DiskParameters& params);
+
+}  // namespace sdpm::sim

@@ -1,0 +1,56 @@
+// Abstract runtime power-management policy.
+//
+// The simulator calls these hooks while replaying a trace; concrete
+// policies (reactive TPM, reactive DRPM, the compiler-directed proactive
+// executor, and the no-op base) live in policy/.  A policy manipulates
+// disks exclusively through the timestamped DiskUnit command API.
+#pragma once
+
+#include "ir/program.h"
+#include "sim/disk_unit.h"
+#include "util/units.h"
+
+namespace sdpm::sim {
+
+class PowerPolicy {
+ public:
+  virtual ~PowerPolicy() = default;
+
+  /// Called once per disk before the replay starts.
+  virtual void attach(DiskUnit& disk) { (void)disk; }
+
+  /// Called when a request for `disk` arrives at `now`, before service.
+  /// Reactive policies apply any state change that should have happened
+  /// during the idle gap [disk.last_completion(), now) here.
+  virtual void before_service(DiskUnit& disk, TimeMs now) {
+    (void)disk;
+    (void)now;
+  }
+
+  /// Called after the request completes.
+  virtual void after_service(DiskUnit& disk, TimeMs completion,
+                             TimeMs response_ms) {
+    (void)disk;
+    (void)completion;
+    (void)response_ms;
+  }
+
+  /// Called when the application executes a compiler-inserted power call.
+  virtual void on_power_event(DiskUnit& disk, TimeMs now,
+                              const ir::PowerDirective& directive) {
+    (void)disk;
+    (void)now;
+    (void)directive;
+  }
+
+  /// Called once per disk after the last request, before energy is
+  /// finalized at `end`.
+  virtual void finalize(DiskUnit& disk, TimeMs end) {
+    (void)disk;
+    (void)end;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace sdpm::sim

@@ -1,0 +1,45 @@
+// Simulation results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disk/power_state.h"
+#include "sim/disk_unit.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace sdpm::sim {
+
+/// Per-disk outcome.
+struct DiskReport {
+  disk::EnergyBreakdown breakdown;
+  /// Spinning time per RPM level (see DiskUnit::level_residency_ms).
+  std::vector<TimeMs> level_residency_ms;
+  std::int64_t services = 0;
+  std::int64_t demand_spin_ups = 0;
+  std::int64_t rpm_transitions = 0;
+  std::int64_t spin_downs = 0;
+  std::vector<BusyPeriod> busy_periods;
+};
+
+/// Whole-run outcome.
+struct SimReport {
+  std::string policy_name;
+  Joules total_energy = 0;      ///< disk-subsystem energy (paper's "energy")
+  TimeMs execution_ms = 0;      ///< application completion time
+  TimeMs compute_ms = 0;        ///< pure compute (incl. power-call overhead)
+  TimeMs io_stall_ms = 0;       ///< execution - compute
+  std::int64_t requests = 0;
+  Bytes bytes_transferred = 0;
+  RunningStats response_ms;
+  /// Response time of every request, in trace order (index-aligned with
+  /// Trace::requests); used to build measured per-nest timelines.
+  std::vector<TimeMs> responses;
+  std::vector<DiskReport> disks;
+
+  int disk_count() const { return static_cast<int>(disks.size()); }
+};
+
+}  // namespace sdpm::sim

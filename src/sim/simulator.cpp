@@ -1,0 +1,201 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sdpm::sim {
+
+Simulator::Simulator(const trace::Trace& trace,
+                     const disk::DiskParameters& params, PowerPolicy& policy,
+                     ReplayMode mode)
+    : trace_(trace), params_(params), policy_(policy), mode_(mode) {
+  SDPM_REQUIRE(trace.total_disks >= 1, "trace must name at least one disk");
+}
+
+SimReport Simulator::run() {
+  SDPM_REQUIRE(!ran_, "Simulator::run may only be called once");
+  ran_ = true;
+  return mode_ == ReplayMode::kClosedLoop ? run_closed_loop()
+                                          : run_open_loop();
+}
+
+SimReport Simulator::run_closed_loop() {
+
+  std::vector<DiskUnit> units;
+  units.reserve(static_cast<std::size_t>(trace_.total_disks));
+  for (int d = 0; d < trace_.total_disks; ++d) {
+    units.emplace_back(params_, d);
+  }
+  for (DiskUnit& unit : units) policy_.attach(unit);
+
+  SimReport report;
+  report.policy_name = policy_.name();
+
+  // Merge requests and power events by compute-timeline order.  Power
+  // events sit *before* the iteration they annotate, so they win ties.
+  std::size_t ri = 0;
+  std::size_t pi = 0;
+  const auto& requests = trace_.requests;
+  const auto& events = trace_.power_events;
+
+  TimeMs compute_cursor = 0;  // compute-timeline position
+  TimeMs app_clock = 0;       // real simulated time (compute + stalls)
+  std::vector<TimeMs> last_issue(
+      static_cast<std::size_t>(trace_.total_disks), 0.0);
+
+  const auto advance_app = [&](TimeMs compute_time) {
+    SDPM_ASSERT(compute_time >= compute_cursor - 1e-9,
+                "compute timeline must be monotone");
+    const TimeMs think = std::max(0.0, compute_time - compute_cursor);
+    compute_cursor = std::max(compute_cursor, compute_time);
+    app_clock += think;
+  };
+
+  while (ri < requests.size() || pi < events.size()) {
+    const bool take_power =
+        pi < events.size() &&
+        (ri >= requests.size() ||
+         events[pi].app_time_ms <= requests[ri].arrival_ms);
+    if (take_power) {
+      const trace::PowerEvent& ev = events[pi++];
+      advance_app(ev.app_time_ms);
+      const int d = ev.directive.disk;
+      SDPM_REQUIRE(d >= 0 && d < trace_.total_disks,
+                   "power event targets unknown disk");
+      policy_.on_power_event(units[static_cast<std::size_t>(d)], app_clock,
+                             ev.directive);
+    } else {
+      const trace::Request& req = requests[ri++];
+      advance_app(req.arrival_ms);
+      SDPM_REQUIRE(req.disk >= 0 && req.disk < trace_.total_disks,
+                   "request targets unknown disk");
+      DiskUnit& unit = units[static_cast<std::size_t>(req.disk)];
+      // With a prefetch lead, the request was issued that much earlier and
+      // its service overlaps the preceding compute; the application only
+      // stalls for whatever remains at demand time.  The issue time never
+      // precedes this disk's previous issue (per-disk FIFO ordering).
+      TimeMs issue = app_clock;
+      if (req.prefetch_lead_ms > 0) {
+        TimeMs& last = last_issue[static_cast<std::size_t>(req.disk)];
+        issue = std::max(app_clock - req.prefetch_lead_ms, last);
+        issue = std::min(issue, app_clock);
+        last = issue;
+      } else {
+        last_issue[static_cast<std::size_t>(req.disk)] = app_clock;
+      }
+      policy_.before_service(unit, issue);
+      const DiskUnit::ServeResult result =
+          unit.serve(issue, req.start_sector, req.size_bytes, req.kind);
+      const TimeMs stall = std::max(0.0, result.completion - app_clock);
+      report.response_ms.add(stall);
+      report.responses.push_back(stall);
+      policy_.after_service(unit, result.completion, stall);
+      app_clock += stall;  // blocking only for the un-hidden remainder
+      ++report.requests;
+      report.bytes_transferred += req.size_bytes;
+    }
+  }
+
+  // Trailing compute after the last request / power call.
+  advance_app(trace_.compute_total_ms);
+  const TimeMs end = app_clock;
+
+  report.compute_ms = trace_.compute_total_ms;
+  report.execution_ms = end;
+  report.io_stall_ms = end - trace_.compute_total_ms;
+
+  report.disks.reserve(units.size());
+  for (DiskUnit& unit : units) {
+    policy_.finalize(unit, end);
+    unit.finish(end);
+    DiskReport dr;
+    dr.breakdown = unit.breakdown();
+    dr.level_residency_ms = unit.level_residency_ms();
+    dr.services = unit.services();
+    dr.demand_spin_ups = unit.demand_spin_ups();
+    dr.rpm_transitions = unit.rpm_transitions();
+    dr.spin_downs = unit.commanded_spin_downs();
+    dr.busy_periods = unit.busy_periods();
+    report.total_energy += dr.breakdown.total_j();
+    report.disks.push_back(std::move(dr));
+  }
+  return report;
+}
+
+SimReport Simulator::run_open_loop() {
+  std::vector<DiskUnit> units;
+  units.reserve(static_cast<std::size_t>(trace_.total_disks));
+  for (int d = 0; d < trace_.total_disks; ++d) {
+    units.emplace_back(params_, d);
+  }
+  for (DiskUnit& unit : units) policy_.attach(unit);
+
+  SimReport report;
+  report.policy_name = policy_.name();
+
+  // Merge requests and power events by recorded timestamp; power events
+  // win ties (they precede the iteration they annotate).
+  std::size_t ri = 0;
+  std::size_t pi = 0;
+  TimeMs end = trace_.compute_total_ms;
+  while (ri < trace_.requests.size() || pi < trace_.power_events.size()) {
+    const bool take_power =
+        pi < trace_.power_events.size() &&
+        (ri >= trace_.requests.size() ||
+         trace_.power_events[pi].app_time_ms <=
+             trace_.requests[ri].arrival_ms);
+    if (take_power) {
+      const trace::PowerEvent& ev = trace_.power_events[pi++];
+      const int d = ev.directive.disk;
+      SDPM_REQUIRE(d >= 0 && d < trace_.total_disks,
+                   "power event targets unknown disk");
+      policy_.on_power_event(units[static_cast<std::size_t>(d)],
+                             ev.app_time_ms, ev.directive);
+    } else {
+      const trace::Request& req = trace_.requests[ri++];
+      SDPM_REQUIRE(req.disk >= 0 && req.disk < trace_.total_disks,
+                   "request targets unknown disk");
+      DiskUnit& unit = units[static_cast<std::size_t>(req.disk)];
+      policy_.before_service(unit, req.arrival_ms);
+      const DiskUnit::ServeResult result =
+          unit.serve(req.arrival_ms, req.start_sector, req.size_bytes,
+                     req.kind);
+      const TimeMs response = result.completion - req.arrival_ms;
+      report.response_ms.add(response);
+      report.responses.push_back(response);
+      end = std::max(end, result.completion);
+      ++report.requests;
+      report.bytes_transferred += req.size_bytes;
+    }
+  }
+
+  report.compute_ms = trace_.compute_total_ms;
+  report.execution_ms = end;
+  report.io_stall_ms = end - trace_.compute_total_ms;
+
+  report.disks.reserve(units.size());
+  for (DiskUnit& unit : units) {
+    policy_.finalize(unit, end);
+    unit.finish(end);
+    DiskReport dr;
+    dr.breakdown = unit.breakdown();
+    dr.level_residency_ms = unit.level_residency_ms();
+    dr.services = unit.services();
+    dr.demand_spin_ups = unit.demand_spin_ups();
+    dr.rpm_transitions = unit.rpm_transitions();
+    dr.spin_downs = unit.commanded_spin_downs();
+    dr.busy_periods = unit.busy_periods();
+    report.total_energy += dr.breakdown.total_j();
+    report.disks.push_back(std::move(dr));
+  }
+  return report;
+}
+
+SimReport simulate(const trace::Trace& trace,
+                   const disk::DiskParameters& params, PowerPolicy& policy,
+                   ReplayMode mode) {
+  return Simulator(trace, params, policy, mode).run();
+}
+
+}  // namespace sdpm::sim

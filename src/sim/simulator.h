@@ -1,0 +1,58 @@
+// Trace-driven, closed-loop disk-subsystem simulator.
+//
+// Replays a Trace against a bank of DiskUnits under a PowerPolicy.  The
+// application model matches the paper's benchmarks: a single thread that
+// computes (think time = the gap between consecutive compute-timeline
+// timestamps), issues one blocking I/O request at a time, and executes
+// compiler-inserted power calls asynchronously (their Tm overhead is
+// already folded into the trace's compute timeline).  Every I/O stall —
+// queueing behind a transition, demand spin-up, slow service at reduced
+// RPM — pushes the application's completion time out, which is how power
+// management's performance cost (paper Fig. 4/6/8) arises.
+#pragma once
+
+#include "disk/parameters.h"
+#include "sim/policy.h"
+#include "sim/report.h"
+#include "trace/request.h"
+
+namespace sdpm::sim {
+
+/// Replay discipline.
+enum class ReplayMode {
+  /// The application blocks on each request; think times come from the
+  /// compute-timeline deltas and every stall pushes later requests out
+  /// (the paper's single-application model; the default).
+  kClosedLoop,
+  /// Requests fire at their recorded timestamps regardless of completion
+  /// (classic DiskSim open-loop replay; disks queue FIFO).  Useful for
+  /// replaying externally captured traces.
+  kOpenLoop,
+};
+
+class Simulator {
+ public:
+  Simulator(const trace::Trace& trace, const disk::DiskParameters& params,
+            PowerPolicy& policy, ReplayMode mode = ReplayMode::kClosedLoop);
+
+  /// Run the replay to completion and produce the report.  May be called
+  /// once per Simulator instance.
+  SimReport run();
+
+ private:
+  SimReport run_closed_loop();
+  SimReport run_open_loop();
+
+  const trace::Trace& trace_;
+  const disk::DiskParameters& params_;
+  PowerPolicy& policy_;
+  ReplayMode mode_;
+  bool ran_ = false;
+};
+
+/// Convenience: simulate `trace` under `policy` with `params`.
+SimReport simulate(const trace::Trace& trace,
+                   const disk::DiskParameters& params, PowerPolicy& policy,
+                   ReplayMode mode = ReplayMode::kClosedLoop);
+
+}  // namespace sdpm::sim

@@ -1,0 +1,368 @@
+// sdpm_cli — command-line driver for the sdpm library.
+//
+//   sdpm_cli list
+//       Show the available benchmarks, schemes and transformations.
+//   sdpm_cli run --benchmark swim [--scheme all|Base|TPM|ITPM|DRPM|IDRPM|
+//                 CMTPM|CMDRPM] [--transform none|LF|TL|LF+DL|TL+DL]
+//                 [--disks N] [--stripe BYTES] [--block BYTES]
+//                 [--cache BYTES] [--noise SIGMA] [--no-preactivate] [--csv]
+//       Evaluate scheme(s) on a benchmark under a configuration.
+//   sdpm_cli dap --benchmark NAME [--disks N] [--stripe BYTES]
+//       Print the compiler's Disk Access Pattern for a benchmark.
+//   sdpm_cli trace --benchmark NAME [--out FILE] [config flags]
+//       Emit the generated I/O request trace in the text format.
+//   sdpm_cli replay --in FILE [--policy Base|TPM|ATPM|DRPM] [--open-loop]
+//       Replay a (possibly external) text trace under a reactive policy.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/codegen.h"
+#include "experiments/profile.h"
+#include "experiments/report.h"
+#include "experiments/runner.h"
+#include "layout/layout_table.h"
+#include "policy/adaptive_tpm.h"
+#include "policy/base.h"
+#include "policy/drpm.h"
+#include "policy/tpm.h"
+#include "sim/simulator.h"
+#include "trace/dap.h"
+#include "trace/generator.h"
+#include "trace/text_io.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sdpm;
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage: sdpm_cli <command> [flags]\n"
+      "  list                       show benchmarks / schemes / transforms\n"
+      "  run    --benchmark NAME [--scheme S] [--transform T] [config]\n"
+      "  inspect --benchmark NAME [--policy P] [--per-disk] [config]\n"
+      "  codegen --benchmark NAME [--mode CMTPM|CMDRPM] [--transform T]\n"
+      "  profile --benchmark NAME [config]\n"
+      "  dap    --benchmark NAME [config]\n"
+      "  trace  --benchmark NAME [--out FILE] [config]\n"
+      "  replay --in FILE [--policy P] [--open-loop] [--per-disk]\n"
+      "config flags: --disks N --stripe BYTES --block BYTES --cache BYTES\n"
+      "              --noise SIGMA --no-preactivate --csv\n";
+  std::exit(2);
+}
+
+/// Tiny flag parser: --key value and boolean --key.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage("unexpected argument '" + key + "'");
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+experiments::ExperimentConfig config_from(const Args& args) {
+  experiments::ExperimentConfig config;
+  config.total_disks = static_cast<int>(args.get_int("disks", 8));
+  config.striping.stripe_factor = config.total_disks;
+  config.striping.stripe_size = args.get_int("stripe", kib(64));
+  config.gen.block_size = args.get_int("block", 0);
+  config.gen.cache_bytes = args.get_int("cache", mib(6));
+  if (args.has("noise")) {
+    const double sigma = args.get_double("noise", 0.2);
+    config.actual_noise.sigma = sigma;
+    config.profile_noise.sigma = sigma;
+  }
+  config.preactivate = !args.has("no-preactivate");
+  if (args.has("transform")) {
+    const std::string t = args.get("transform");
+    if (t == "none") {
+      config.transform = core::Transformation::kNone;
+    } else if (t == "LF") {
+      config.transform = core::Transformation::kLF;
+    } else if (t == "TL") {
+      config.transform = core::Transformation::kTL;
+    } else if (t == "LF+DL") {
+      config.transform = core::Transformation::kLFDL;
+    } else if (t == "TL+DL") {
+      config.transform = core::Transformation::kTLDL;
+    } else {
+      usage("unknown transform '" + t + "'");
+    }
+  }
+  return config;
+}
+
+std::optional<experiments::Scheme> scheme_from(const std::string& name) {
+  for (const experiments::Scheme s : experiments::all_schemes()) {
+    if (name == experiments::to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
+void emit(const Table& table, const Args& args) {
+  if (args.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+int cmd_list() {
+  std::cout << "benchmarks:";
+  for (const std::string& name : workloads::benchmark_names()) {
+    std::cout << " " << name;
+  }
+  std::cout << "\nschemes:   ";
+  for (const experiments::Scheme s : experiments::all_schemes()) {
+    std::cout << " " << experiments::to_string(s);
+  }
+  std::cout << "\ntransforms: none LF TL LF+DL TL+DL\n";
+  std::cout << "replay policies: Base TPM ATPM DRPM\n";
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  if (!args.has("benchmark")) usage("run requires --benchmark");
+  workloads::Benchmark bench =
+      workloads::make_benchmark(args.get("benchmark"));
+  experiments::Runner runner(bench, config_from(args));
+
+  std::vector<experiments::SchemeResult> results;
+  const std::string scheme_name = args.get("scheme", "all");
+  if (scheme_name == "all") {
+    results = runner.run_all();
+  } else {
+    const auto scheme = scheme_from(scheme_name);
+    if (!scheme) usage("unknown scheme '" + scheme_name + "'");
+    results.push_back(runner.run(*scheme));
+  }
+
+  Table table(bench.name + " (" +
+              std::string(core::to_string(runner.config().transform)) + ")");
+  table.set_header({"Scheme", "Energy (J)", "Norm. energy", "Exec (ms)",
+                    "Norm. time", "Requests", "Calls", "Mispredict %"});
+  for (const auto& r : results) {
+    table.add_row({
+        experiments::to_string(r.scheme),
+        fmt_double(r.energy_j, 2),
+        fmt_double(r.normalized_energy, 3),
+        fmt_double(r.execution_ms, 2),
+        fmt_double(r.normalized_time, 3),
+        std::to_string(r.requests),
+        std::to_string(r.power_calls),
+        r.mispredict_pct ? fmt_double(*r.mispredict_pct, 2) : "-",
+    });
+  }
+  emit(table, args);
+  return 0;
+}
+
+sim::PowerPolicy* pick_policy(const std::string& name,
+                              policy::BasePolicy& base,
+                              policy::TpmPolicy& tpm,
+                              policy::AdaptiveTpmPolicy& atpm,
+                              policy::DrpmPolicy& drpm) {
+  if (name == "Base") return &base;
+  if (name == "TPM") return &tpm;
+  if (name == "ATPM") return &atpm;
+  if (name == "DRPM") return &drpm;
+  usage("unknown policy '" + name + "'");
+}
+
+int cmd_inspect(const Args& args) {
+  if (!args.has("benchmark")) usage("inspect requires --benchmark");
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(args.get("benchmark"));
+  const experiments::ExperimentConfig config = config_from(args);
+  const layout::LayoutTable table(bench.program, config.striping,
+                                  config.total_disks);
+  trace::GeneratorOptions gen = config.gen;
+  gen.noise = config.actual_noise;
+  trace::TraceGenerator generator(bench.program, table, gen);
+  const trace::Trace trace = generator.generate();
+
+  policy::BasePolicy base;
+  policy::TpmPolicy tpm;
+  policy::AdaptiveTpmPolicy atpm;
+  policy::DrpmPolicy drpm;
+  sim::PowerPolicy* policy =
+      pick_policy(args.get("policy", "Base"), base, tpm, atpm, drpm);
+  const sim::SimReport report =
+      sim::simulate(trace, config.disk, *policy);
+  emit(experiments::summary_table(report, bench.name), args);
+  if (args.has("per-disk")) {
+    emit(experiments::per_disk_table(report), args);
+  }
+  return 0;
+}
+
+int cmd_codegen(const Args& args) {
+  if (!args.has("benchmark")) usage("codegen requires --benchmark");
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(args.get("benchmark"));
+  const experiments::ExperimentConfig config = config_from(args);
+  core::CompilerOptions co;
+  co.total_disks = config.total_disks;
+  co.base_striping = config.striping;
+  co.access = config.gen;
+  const std::string mode_name = args.get("mode", "CMDRPM");
+  std::optional<core::PowerMode> mode;
+  if (mode_name == "CMTPM") {
+    mode = core::PowerMode::kTpm;
+  } else if (mode_name == "CMDRPM") {
+    mode = core::PowerMode::kDrpm;
+  } else if (mode_name == "none") {
+    mode = std::nullopt;
+  } else {
+    usage("unknown codegen mode '" + mode_name + "'");
+  }
+  const core::CompileOutput out =
+      core::compile(bench.program, config.transform, mode, co);
+  std::cout << core::emit_pseudo_source(out.program);
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  if (!args.has("benchmark")) usage("profile requires --benchmark");
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(args.get("benchmark"));
+  const experiments::ExperimentConfig config = config_from(args);
+  const layout::LayoutTable table(bench.program, config.striping,
+                                  config.total_disks);
+  trace::GeneratorOptions gen = config.gen;
+  gen.noise = config.actual_noise;
+  trace::TraceGenerator generator(bench.program, table, gen);
+  const trace::Trace trace = generator.generate();
+  policy::BasePolicy policy;
+  const sim::SimReport report = sim::simulate(trace, config.disk, policy);
+  emit(experiments::per_nest_profile(bench.program, trace, report), args);
+  emit(experiments::idle_gap_table(report, config.disk), args);
+  return 0;
+}
+
+int cmd_dap(const Args& args) {
+  if (!args.has("benchmark")) usage("dap requires --benchmark");
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(args.get("benchmark"));
+  const experiments::ExperimentConfig config = config_from(args);
+  const layout::LayoutTable table(bench.program, config.striping,
+                                  config.total_disks);
+  const auto dap =
+      trace::DiskAccessPattern::analyze(bench.program, table, config.gen);
+  std::cout << dap.to_string(bench.program);
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  if (!args.has("benchmark")) usage("trace requires --benchmark");
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(args.get("benchmark"));
+  const experiments::ExperimentConfig config = config_from(args);
+  const layout::LayoutTable table(bench.program, config.striping,
+                                  config.total_disks);
+  trace::TraceGenerator generator(bench.program, table, config.gen);
+  const trace::Trace trace = generator.generate();
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    if (!out) usage("cannot open '" + args.get("out") + "'");
+    trace::write_trace_text(trace, out);
+    std::cout << trace.requests.size() << " requests written to "
+              << args.get("out") << "\n";
+  } else {
+    trace::write_trace_text(trace, std::cout);
+  }
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  if (!args.has("in")) usage("replay requires --in");
+  std::ifstream in(args.get("in"));
+  if (!in) usage("cannot open '" + args.get("in") + "'");
+  const trace::Trace trace = trace::read_trace_text(in);
+
+  policy::BasePolicy base;
+  policy::TpmPolicy tpm;
+  policy::AdaptiveTpmPolicy atpm;
+  policy::DrpmPolicy drpm;
+  sim::PowerPolicy* policy =
+      pick_policy(args.get("policy", "Base"), base, tpm, atpm, drpm);
+
+  const sim::ReplayMode mode = args.has("open-loop")
+                                   ? sim::ReplayMode::kOpenLoop
+                                   : sim::ReplayMode::kClosedLoop;
+  const sim::SimReport report = sim::simulate(
+      trace, disk::DiskParameters::ultrastar_36z15(), *policy, mode);
+
+  Table table("replay of " + args.get("in") + " under " +
+              args.get("policy", "Base"));
+  table.set_header({"Metric", "Value"});
+  table.add_row({"requests", std::to_string(report.requests)});
+  table.add_row({"disks", std::to_string(report.disk_count())});
+  table.add_row({"energy", fmt_double(report.total_energy, 2) + " J"});
+  table.add_row({"completion", fmt_time_ms(report.execution_ms)});
+  table.add_row({"mean response", fmt_time_ms(report.response_ms.mean())});
+  table.add_row({"max response", fmt_time_ms(report.response_ms.max())});
+  emit(table, args);
+  if (args.has("per-disk")) {
+    emit(experiments::per_disk_table(report), args);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(args);
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "codegen") return cmd_codegen(args);
+    if (command == "profile") return cmd_profile(args);
+    if (command == "dap") return cmd_dap(args);
+    if (command == "trace") return cmd_trace(args);
+    if (command == "replay") return cmd_replay(args);
+    usage("unknown command '" + command + "'");
+  } catch (const sdpm::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

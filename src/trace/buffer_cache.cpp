@@ -1,0 +1,54 @@
+#include "trace/buffer_cache.h"
+
+#include "util/error.h"
+
+namespace sdpm::trace {
+
+BufferCache::BufferCache(Bytes capacity_bytes) : capacity_(capacity_bytes) {
+  SDPM_REQUIRE(capacity_bytes >= 0, "cache capacity must be non-negative");
+}
+
+std::uint64_t BufferCache::make_key(ir::ArrayId array, std::int64_t block) {
+  SDPM_ASSERT(array >= 0 && array < (1 << 15), "array id out of key range");
+  SDPM_ASSERT(block >= 0 && block < (std::int64_t{1} << 48),
+              "block out of key range");
+  return (static_cast<std::uint64_t>(array) << 48) |
+         static_cast<std::uint64_t>(block);
+}
+
+bool BufferCache::access(ir::ArrayId array, std::int64_t block,
+                         Bytes block_bytes) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const std::uint64_t key = make_key(array, block);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return true;
+  }
+  ++misses_;
+  // Evict from the tail until the new block fits.
+  while (used_ + block_bytes > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+  if (block_bytes <= capacity_) {
+    lru_.push_front(Entry{key, block_bytes});
+    index_.emplace(key, lru_.begin());
+    used_ += block_bytes;
+  }
+  return false;
+}
+
+void BufferCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+}  // namespace sdpm::trace

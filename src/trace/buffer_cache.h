@@ -1,0 +1,49 @@
+// LRU buffer cache model.
+//
+// The paper makes data disk-resident, "so each array reference causes a disk
+// access unless the data is captured in the buffer cache" (§4.1).  We model
+// that buffer cache as a byte-budgeted LRU over (array, block) entries;
+// every miss becomes one trace I/O request.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "ir/array.h"
+#include "util/units.h"
+
+namespace sdpm::trace {
+
+class BufferCache {
+ public:
+  /// `capacity_bytes == 0` disables caching entirely (every access misses).
+  explicit BufferCache(Bytes capacity_bytes);
+
+  /// Touch (array, block) of `block_bytes` size.  Returns true on hit.
+  /// On miss the block is inserted, evicting LRU entries as needed.
+  bool access(ir::ArrayId array, std::int64_t block, Bytes block_bytes);
+
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+  Bytes bytes_used() const { return used_; }
+  Bytes capacity() const { return capacity_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    Bytes bytes;
+  };
+  static std::uint64_t make_key(ir::ArrayId array, std::int64_t block);
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace sdpm::trace

@@ -1,0 +1,126 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+
+#include "trace/buffer_cache.h"
+#include "trace/walker.h"
+#include "util/error.h"
+
+namespace sdpm::trace {
+
+Bytes block_size_for(const layout::LayoutTable& layout, ir::ArrayId array,
+                     const GeneratorOptions& options) {
+  const Bytes stripe = layout.layout_of(array).striping().stripe_size;
+  if (options.block_size == 0) return stripe;
+  SDPM_REQUIRE(stripe % options.block_size == 0,
+               "block size must divide every array's stripe size");
+  return options.block_size;
+}
+
+std::vector<MissRecord> collect_misses(const ir::Program& program,
+                                       const layout::LayoutTable& layout,
+                                       const GeneratorOptions& options) {
+  SDPM_REQUIRE(layout.array_count() == program.arrays.size(),
+               "layout table does not match program arrays");
+  IterationSpace space(program);
+  BufferCache cache(options.cache_bytes);
+  std::vector<MissRecord> misses;
+
+  const BlockSizeFn block_size_of = [&](ir::ArrayId a) {
+    return block_size_for(layout, a, options);
+  };
+
+  walk_block_touches(program, block_size_of, [&](const BlockTouch& touch) {
+    const Bytes bs = block_size_for(layout, touch.array, options);
+    const Bytes file_size = layout.layout_of(touch.array).file_size();
+    const Bytes begin = touch.block * bs;
+    const Bytes length = std::min(bs, file_size - begin);
+    if (cache.access(touch.array, touch.block, length)) return;
+
+    // A block never spans disks: block size divides the stripe size.
+    const layout::PhysicalLocation loc = layout.locate(touch.array, begin);
+    MissRecord miss;
+    miss.global_iter =
+        space.global_of(ir::IterationPoint{touch.nest, touch.flat_iter});
+    miss.disk = loc.disk;
+    miss.start_sector = loc.sector();
+    miss.size_bytes = length;
+    miss.kind = touch.kind;
+    miss.array = touch.array;
+    miss.block = touch.block;
+    misses.push_back(miss);
+  });
+  return misses;
+}
+
+TraceGenerator::TraceGenerator(const ir::Program& program,
+                               const layout::LayoutTable& layout,
+                               GeneratorOptions options)
+    : program_(program), layout_(layout), options_(options),
+      actual_(Timeline::with_noise(program, options.noise, options.clock_hz)) {
+  program_.validate();
+}
+
+Trace TraceGenerator::generate() const {
+  Trace trace;
+  trace.total_disks = layout_.total_disks();
+
+  const IterationSpace& space = actual_.space();
+
+  // Global coordinates of the program's power directives, in program order.
+  std::vector<std::int64_t> directive_globals;
+  directive_globals.reserve(program_.directives.size());
+  for (const ir::PlacedDirective& pd : program_.directives) {
+    directive_globals.push_back(space.global_of(pd.point));
+  }
+  SDPM_REQUIRE(std::is_sorted(directive_globals.begin(),
+                              directive_globals.end()),
+               "program directives must be sorted (call sort_directives)");
+
+  const TimeMs tm = options_.power_call_overhead_ms;
+
+  // Each directive executed before global iteration g shifts all later
+  // compute times by Tm.
+  const auto overhead_before = [&](std::int64_t g) {
+    const auto it = std::upper_bound(directive_globals.begin(),
+                                     directive_globals.end(), g);
+    return tm * static_cast<double>(it - directive_globals.begin());
+  };
+
+  // A power event fires at its iteration's compute time plus the overhead
+  // of every directive executed before it (directives at the same point run
+  // in program order, each paying Tm).
+  for (std::size_t i = 0; i < program_.directives.size(); ++i) {
+    PowerEvent ev;
+    ev.global_iter = directive_globals[i];
+    ev.app_time_ms =
+        actual_.at_global(ev.global_iter) + tm * static_cast<double>(i);
+    ev.directive = program_.directives[i].directive;
+    trace.power_events.push_back(ev);
+  }
+
+  const std::vector<MissRecord> misses =
+      collect_misses(program_, layout_, options_);
+  trace.requests.reserve(misses.size());
+  for (const MissRecord& miss : misses) {
+    Request r;
+    r.arrival_ms =
+        actual_.at_global(miss.global_iter) + overhead_before(miss.global_iter);
+    r.disk = miss.disk;
+    r.start_sector = miss.start_sector;
+    r.size_bytes = miss.size_bytes;
+    r.kind = miss.kind;
+    r.global_iter = miss.global_iter;
+    if (miss.kind == ir::AccessKind::kRead) {
+      r.prefetch_lead_ms = options_.prefetch_lead_ms;
+    }
+    trace.requests.push_back(r);
+    trace.bytes_transferred += miss.size_bytes;
+  }
+
+  trace.compute_total_ms =
+      actual_.total() + tm * static_cast<double>(program_.directives.size());
+  return trace;
+}
+
+}  // namespace sdpm::trace

@@ -1,0 +1,19 @@
+#include "trace/request.h"
+
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace sdpm::trace {
+
+void Trace::write_text(std::ostream& os) const {
+  os << "# arrival_ms disk start_sector size_bytes type\n";
+  for (const Request& r : requests) {
+    os << str_printf("%.6f %d %lld %lld %c\n", r.arrival_ms, r.disk,
+                     static_cast<long long>(r.start_sector),
+                     static_cast<long long>(r.size_bytes),
+                     r.kind == ir::AccessKind::kRead ? 'R' : 'W');
+  }
+}
+
+}  // namespace sdpm::trace

@@ -1,0 +1,61 @@
+// Disk I/O request trace — the paper's simulator input format.
+//
+// "Each I/O request is composed of the four parameters: request arrival
+// time (in milliseconds), start block number, request size (in bytes), and
+// request type (read or write)" (§4.1), extended with the target disk
+// (which the paper's simulator derives from the striping information) and
+// provenance (which global iteration issued it).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ir/program.h"
+#include "util/units.h"
+
+namespace sdpm::trace {
+
+/// One disk I/O request.
+struct Request {
+  TimeMs arrival_ms = 0;  ///< compute-timeline arrival (no I/O stalls)
+  int disk = 0;
+  BlockNo start_sector = 0;  ///< 512-byte sector number on that disk
+  Bytes size_bytes = 0;
+  ir::AccessKind kind = ir::AccessKind::kRead;
+  std::int64_t global_iter = 0;  ///< issuing global iteration (provenance)
+  /// Compiler-directed prefetching (extension; the paper assumes no
+  /// prefetching): how far ahead of the demand access the request may be
+  /// issued.  0 = synchronous demand access.  The closed-loop simulator
+  /// overlaps the lead with compute and only stalls the application for
+  /// whatever service remains at demand time.
+  TimeMs prefetch_lead_ms = 0;
+};
+
+/// One compiler-inserted power-management call, timestamped on the compute
+/// timeline.
+struct PowerEvent {
+  TimeMs app_time_ms = 0;
+  ir::PowerDirective directive;
+  std::int64_t global_iter = 0;
+};
+
+/// A complete program trace: I/O requests and power calls in program order,
+/// plus the pure-compute duration (used by the simulator's closed-loop
+/// replay as think time between requests).
+struct Trace {
+  std::vector<Request> requests;
+  std::vector<PowerEvent> power_events;
+  TimeMs compute_total_ms = 0;
+  int total_disks = 0;
+  Bytes bytes_transferred = 0;
+
+  std::int64_t request_count() const {
+    return static_cast<std::int64_t>(requests.size());
+  }
+
+  /// Write in a DiskSim-like text format: one request per line.
+  void write_text(std::ostream& os) const;
+};
+
+}  // namespace sdpm::trace

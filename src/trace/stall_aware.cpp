@@ -1,0 +1,50 @@
+#include "trace/stall_aware.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sdpm::trace {
+
+StallAwareTimeline::StallAwareTimeline(Timeline compute,
+                                       std::vector<std::int64_t> miss_iters,
+                                       const std::vector<TimeMs>& responses)
+    : compute_(std::move(compute)), miss_iters_(std::move(miss_iters)) {
+  SDPM_REQUIRE(miss_iters_.size() == responses.size(),
+               "one response per request required");
+  SDPM_REQUIRE(std::is_sorted(miss_iters_.begin(), miss_iters_.end()),
+               "request iterations must be sorted");
+  cum_stall_.reserve(miss_iters_.size());
+  TimeMs cum = 0;
+  for (TimeMs r : responses) {
+    SDPM_ASSERT(r >= 0, "negative response time");
+    cum += r;
+    cum_stall_.push_back(cum);
+  }
+}
+
+StallAwareTimeline::StallAwareTimeline(Timeline compute,
+                                       std::vector<std::int64_t> miss_iters,
+                                       TimeMs avg_response_ms)
+    : compute_(std::move(compute)), miss_iters_(std::move(miss_iters)) {
+  SDPM_REQUIRE(std::is_sorted(miss_iters_.begin(), miss_iters_.end()),
+               "request iterations must be sorted");
+  SDPM_REQUIRE(avg_response_ms >= 0, "negative response time");
+  cum_stall_.reserve(miss_iters_.size());
+  for (std::size_t i = 0; i < miss_iters_.size(); ++i) {
+    cum_stall_.push_back(avg_response_ms * static_cast<double>(i + 1));
+  }
+}
+
+TimeMs StallAwareTimeline::at_global(std::int64_t g) const {
+  const TimeMs compute_time = compute_.at_global(g);
+  // Stalls of requests issued strictly before iteration g have elapsed by
+  // the time g starts.
+  const auto it =
+      std::lower_bound(miss_iters_.begin(), miss_iters_.end(), g);
+  const std::size_t before =
+      static_cast<std::size_t>(it - miss_iters_.begin());
+  return compute_time + (before == 0 ? 0.0 : cum_stall_[before - 1]);
+}
+
+}  // namespace sdpm::trace

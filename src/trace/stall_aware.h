@@ -1,0 +1,57 @@
+// Stall-aware execution-time estimate.
+//
+// The paper's cycle estimates come from measuring the actual program, so
+// they reflect not just compute but the I/O time the execution spends
+// blocked.  Those stalls are *bursty* — they occur exactly at the
+// iterations that issue disk requests — and pre-activation placement (how
+// many iterations before the next use a spin-up must start) is only
+// accurate when that burstiness is modelled: the iterations between two
+// request bursts pass at pure compute speed, not at the nest's average
+// rate.
+//
+// StallAwareTimeline therefore estimates
+//   t(g) = compute_timeline(g) + sum of responses of requests issued
+//          before iteration g,
+// which the compiler can build entirely from information it already has:
+// its (possibly noisy) per-nest cycle estimates and the request stream it
+// derived during DAP analysis, priced at a measured average response time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/timeline.h"
+
+namespace sdpm::trace {
+
+class StallAwareTimeline final : public TimeEstimate {
+ public:
+  /// `miss_iters` is the (sorted, possibly repeating) global iteration of
+  /// every disk request; `responses` the per-request stall times, aligned
+  /// with `miss_iters`.
+  StallAwareTimeline(Timeline compute, std::vector<std::int64_t> miss_iters,
+                     const std::vector<TimeMs>& responses);
+
+  /// Convenience: price every request at a flat `avg_response_ms`.
+  StallAwareTimeline(Timeline compute, std::vector<std::int64_t> miss_iters,
+                     TimeMs avg_response_ms);
+
+  TimeMs at_global(std::int64_t g) const override;
+  std::int64_t total_iterations() const override {
+    return compute_.total_iterations();
+  }
+
+  const Timeline& compute() const { return compute_; }
+
+  /// Total stall time across all requests.
+  TimeMs total_stall_ms() const {
+    return cum_stall_.empty() ? 0.0 : cum_stall_.back();
+  }
+
+ private:
+  Timeline compute_;
+  std::vector<std::int64_t> miss_iters_;  // sorted
+  std::vector<TimeMs> cum_stall_;         // prefix sums, same length
+};
+
+}  // namespace sdpm::trace

@@ -1,0 +1,86 @@
+#include "trace/text_io.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::trace {
+
+void write_trace_text(const Trace& trace, std::ostream& os) {
+  os << str_printf("# sdpm-trace v1 disks=%d compute_ms=%.6f\n",
+                   trace.total_disks, trace.compute_total_ms);
+  os << "# arrival_ms disk start_sector size_bytes type\n";
+  for (const Request& r : trace.requests) {
+    os << str_printf("%.6f %d %lld %lld %c\n", r.arrival_ms, r.disk,
+                     static_cast<long long>(r.start_sector),
+                     static_cast<long long>(r.size_bytes),
+                     r.kind == ir::AccessKind::kRead ? 'R' : 'W');
+  }
+}
+
+Trace read_trace_text(std::istream& is) {
+  Trace trace;
+  bool have_header = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Parse the v1 header when present.
+      const auto disks_pos = line.find("disks=");
+      const auto compute_pos = line.find("compute_ms=");
+      if (disks_pos != std::string::npos &&
+          compute_pos != std::string::npos) {
+        trace.total_disks =
+            std::stoi(line.substr(disks_pos + 6));
+        trace.compute_total_ms =
+            std::stod(line.substr(compute_pos + 11));
+        have_header = true;
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    Request r;
+    char type = 'R';
+    long long sector = 0;
+    long long size = 0;
+    if (!(fields >> r.arrival_ms >> r.disk >> sector >> size >> type)) {
+      throw Error("malformed trace line " + std::to_string(line_no) + ": '" +
+                  line + "'");
+    }
+    SDPM_REQUIRE(r.arrival_ms >= 0 && r.disk >= 0 && sector >= 0 && size > 0,
+                 "trace line " + std::to_string(line_no) +
+                     " has out-of-range fields");
+    SDPM_REQUIRE(type == 'R' || type == 'W',
+                 "trace line " + std::to_string(line_no) +
+                     " has unknown request type");
+    r.start_sector = sector;
+    r.size_bytes = size;
+    r.kind = type == 'R' ? ir::AccessKind::kRead : ir::AccessKind::kWrite;
+    trace.requests.push_back(r);
+    trace.bytes_transferred += size;
+  }
+  SDPM_REQUIRE(
+      std::is_sorted(trace.requests.begin(), trace.requests.end(),
+                     [](const Request& a, const Request& b) {
+                       return a.arrival_ms < b.arrival_ms;
+                     }),
+      "trace arrivals must be non-decreasing");
+  if (!have_header) {
+    for (const Request& r : trace.requests) {
+      trace.total_disks = std::max(trace.total_disks, r.disk + 1);
+      trace.compute_total_ms =
+          std::max(trace.compute_total_ms, r.arrival_ms);
+    }
+    trace.total_disks = std::max(trace.total_disks, 1);
+  }
+  return trace;
+}
+
+}  // namespace sdpm::trace

@@ -1,0 +1,32 @@
+// Text serialization of I/O traces.
+//
+// The format mirrors the paper's trace description — one request per line:
+// arrival time (ms), start block (sector), request size (bytes), request
+// type (R/W) — extended with the target disk and framed by a small header
+// so a trace file is self-describing:
+//
+//   # sdpm-trace v1 disks=<N> compute_ms=<T>
+//   # arrival_ms disk start_sector size_bytes type
+//   0.000000 0 0 65536 R
+//   ...
+//
+// write_trace_text / read_trace_text round-trip exactly; read_trace_text
+// also accepts header-less files (disk count inferred, compute time taken
+// from the last arrival) so externally captured traces can be replayed
+// with Simulator's open-loop mode.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/request.h"
+
+namespace sdpm::trace {
+
+/// Serialize `trace` (requests only; power events are compiler-internal
+/// and not part of the interchange format).
+void write_trace_text(const Trace& trace, std::ostream& os);
+
+/// Parse a trace from `is`.  Throws sdpm::Error on malformed input.
+Trace read_trace_text(std::istream& is);
+
+}  // namespace sdpm::trace

@@ -1,0 +1,224 @@
+#include "trace/walker.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/error.h"
+
+namespace sdpm::trace {
+
+namespace {
+
+/// Static (per-nest) description of one array reference.
+struct RefInfo {
+  int statement = 0;
+  int ref_index = 0;
+  ir::ArrayId array = -1;
+  ir::AccessKind kind = ir::AccessKind::kRead;
+  Bytes file_size = 0;
+  Bytes block_size = 0;
+  /// Byte-offset delta per innermost trip (B in off(t) = A + B*t).
+  Bytes inner_stride = 0;
+  /// Linear-index coefficient of each loop (outer-to-inner, excluding the
+  /// contribution folded into inner_stride), plus the constant part, both
+  /// in *bytes*.
+  std::vector<Bytes> outer_coef;  // per loop, bytes per iterator unit
+  Bytes const_bytes = 0;
+};
+
+/// A lazy stream of block-entry events for one reference within one inner
+/// sweep: emits (trip, block) pairs in increasing trip order.
+struct RefStream {
+  const RefInfo* info = nullptr;
+  Bytes base = 0;          // A: byte offset at trip 0
+  std::int64_t trips = 0;  // innermost trip count
+  std::int64_t next_trip = 0;
+  std::int64_t current_block = -1;  // block emitted at next_trip
+  bool exhausted = false;
+
+  void start(Bytes a, std::int64_t t) {
+    base = a;
+    trips = t;
+    next_trip = 0;
+    exhausted = trips <= 0;
+    if (!exhausted) current_block = a / info->block_size;
+  }
+
+  /// Advance to the next block-entry event; sets exhausted when the sweep
+  /// has no further new blocks.
+  void advance() {
+    const Bytes b = info->inner_stride;
+    const Bytes bs = info->block_size;
+    if (b == 0) {
+      exhausted = true;
+      return;
+    }
+    const Bytes off = base + b * next_trip;
+    std::int64_t t_next;
+    if (b > 0) {
+      const Bytes target = (current_block + 1) * bs;  // first byte of next block
+      t_next = next_trip + (target - off + b - 1) / b;
+    } else {
+      // Need off' <= current_block*bs - 1; drop of (off - current_block*bs + 1).
+      const Bytes drop = off - current_block * bs + 1;
+      t_next = next_trip + (drop + (-b) - 1) / (-b);
+    }
+    if (t_next >= trips) {
+      exhausted = true;
+      return;
+    }
+    next_trip = t_next;
+    current_block = (base + b * t_next) / bs;
+  }
+};
+
+struct HeapEntry {
+  std::int64_t trip;
+  int statement;
+  int ref_index;
+  std::size_t stream;
+
+  bool operator>(const HeapEntry& other) const {
+    if (trip != other.trip) return trip > other.trip;
+    if (statement != other.statement) return statement > other.statement;
+    return ref_index > other.ref_index;
+  }
+};
+
+void walk_nest(const ir::Program& program, int nest_index,
+               const BlockSizeFn& block_size_of, const TouchCallback& fn) {
+  const ir::LoopNest& nest =
+      program.nests[static_cast<std::size_t>(nest_index)];
+  const int depth = nest.depth();
+  const ir::Loop& inner = nest.loops[static_cast<std::size_t>(depth - 1)];
+  const std::int64_t inner_trips = inner.trip_count();
+
+  // Build static reference descriptions.
+  std::vector<RefInfo> refs;
+  for (int si = 0; si < static_cast<int>(nest.body.size()); ++si) {
+    const ir::Statement& stmt = nest.body[static_cast<std::size_t>(si)];
+    for (int ri = 0; ri < static_cast<int>(stmt.refs.size()); ++ri) {
+      const ir::ArrayRef& ref = stmt.refs[static_cast<std::size_t>(ri)];
+      const ir::Array& array = program.array(ref.array);
+      RefInfo info;
+      info.statement = si;
+      info.ref_index = ri;
+      info.array = ref.array;
+      info.kind = ref.kind;
+      info.file_size = array.size_bytes();
+      info.block_size = block_size_of(ref.array);
+      SDPM_REQUIRE(info.block_size > 0 &&
+                       info.block_size % array.element_size == 0,
+                   "block size must be a positive multiple of the element "
+                   "size of array '" + array.name + "'");
+      info.outer_coef.assign(static_cast<std::size_t>(depth), 0);
+      for (int d = 0; d < array.rank(); ++d) {
+        const ir::AffineExpr& sub =
+            ref.subscripts[static_cast<std::size_t>(d)];
+        const Bytes dim_bytes = array.dim_stride(d) * array.element_size;
+        info.const_bytes += sub.constant * dim_bytes;
+        for (int k = 0; k < depth; ++k) {
+          const std::int64_t c = sub.coef(static_cast<std::size_t>(k));
+          if (c == 0) continue;
+          info.outer_coef[static_cast<std::size_t>(k)] += c * dim_bytes;
+        }
+      }
+      // Fold the innermost loop's contribution into the stride; the
+      // remaining outer_coef entry for the innermost loop applies to its
+      // *lower bound* contribution via the iterator value at trip 0.
+      info.inner_stride =
+          info.outer_coef[static_cast<std::size_t>(depth - 1)] * inner.step;
+      refs.push_back(std::move(info));
+    }
+  }
+
+  // Odometer over outer loops (all but innermost), tracking iterator values.
+  std::vector<std::int64_t> trip(static_cast<std::size_t>(depth), 0);
+  std::vector<std::int64_t> value(static_cast<std::size_t>(depth));
+  for (int k = 0; k < depth; ++k) {
+    value[static_cast<std::size_t>(k)] =
+        nest.loops[static_cast<std::size_t>(k)].lower;
+  }
+
+  std::vector<RefStream> streams(refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) streams[i].info = &refs[i];
+
+  const std::int64_t outer_total = nest.iteration_count() / inner_trips;
+  for (std::int64_t o = 0; o < outer_total; ++o) {
+    // Base offset of every reference at innermost trip 0.
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const RefInfo& info = refs[i];
+      Bytes a = info.const_bytes;
+      for (int k = 0; k < depth; ++k) {
+        a += info.outer_coef[static_cast<std::size_t>(k)] *
+             value[static_cast<std::size_t>(k)];
+      }
+      // Validate the whole sweep's range once (offsets are linear in t).
+      const Bytes last = a + info.inner_stride * (inner_trips - 1);
+      SDPM_REQUIRE(a >= 0 && a < info.file_size && last >= 0 &&
+                       last < info.file_size,
+                   "array reference out of bounds in nest '" + nest.name +
+                       "'");
+      streams[i].start(a, inner_trips);
+      if (!streams[i].exhausted) {
+        heap.push(HeapEntry{streams[i].next_trip, info.statement,
+                            info.ref_index, i});
+      }
+    }
+
+    const std::int64_t flat_base = o * inner_trips;
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      RefStream& stream = streams[top.stream];
+      const RefInfo& info = *stream.info;
+      BlockTouch touch;
+      touch.nest = nest_index;
+      touch.flat_iter = flat_base + stream.next_trip;
+      touch.array = info.array;
+      touch.block = stream.current_block;
+      touch.kind = info.kind;
+      touch.statement = info.statement;
+      fn(touch);
+      stream.advance();
+      if (!stream.exhausted) {
+        heap.push(HeapEntry{stream.next_trip, info.statement, info.ref_index,
+                            top.stream});
+      }
+    }
+
+    // Advance the outer odometer (innermost outer loop fastest).
+    for (int k = depth - 2; k >= 0; --k) {
+      const auto idx = static_cast<std::size_t>(k);
+      const ir::Loop& loop = nest.loops[idx];
+      if (++trip[idx] < loop.trip_count()) {
+        value[idx] += loop.step;
+        break;
+      }
+      trip[idx] = 0;
+      value[idx] = loop.lower;
+    }
+  }
+}
+
+}  // namespace
+
+void walk_block_touches(const ir::Program& program,
+                        const BlockSizeFn& block_size_of,
+                        const TouchCallback& fn) {
+  for (int n = 0; n < static_cast<int>(program.nests.size()); ++n) {
+    walk_nest(program, n, block_size_of, fn);
+  }
+}
+
+void walk_block_touches(const ir::Program& program, Bytes block_size,
+                        const TouchCallback& fn) {
+  walk_block_touches(
+      program, [block_size](ir::ArrayId) { return block_size; }, fn);
+}
+
+}  // namespace sdpm::trace

@@ -1,0 +1,50 @@
+// Block-granular access walker.
+//
+// Enumerates, in program order, every (iteration, array, block) touch a
+// program makes at a given cache-block granularity.  The innermost loop of
+// each nest is never executed element-by-element: because every subscript
+// is affine, the byte offset of a reference is a linear function
+// off(t) = A + B*t of the innermost trip index t, and the walker jumps
+// directly from block boundary to block boundary in closed form.  Touches
+// from different references of the same inner sweep are merged back into
+// iteration order with a small heap, so downstream consumers (buffer cache,
+// trace timestamps, DAP) observe the true program order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ir/program.h"
+#include "util/units.h"
+
+namespace sdpm::trace {
+
+/// One cache-block touch: the first iteration at which a reference enters a
+/// new block of an array.
+struct BlockTouch {
+  int nest = 0;                 ///< nest index within the program
+  std::int64_t flat_iter = 0;   ///< flat iteration within the nest
+  ir::ArrayId array = -1;
+  std::int64_t block = 0;       ///< block index within the array's file
+  ir::AccessKind kind = ir::AccessKind::kRead;
+  int statement = 0;            ///< statement index (provenance)
+};
+
+using TouchCallback = std::function<void(const BlockTouch&)>;
+
+/// Block size to use per array, in bytes.  Must divide into the array's
+/// element size evenly (block_size % element_size == 0).
+using BlockSizeFn = std::function<Bytes(ir::ArrayId)>;
+
+/// Walk all nests of `program` in execution order, invoking `fn` for every
+/// block-entry event in iteration order.  `block_size_of` gives the cache
+/// block size for each array.
+void walk_block_touches(const ir::Program& program,
+                        const BlockSizeFn& block_size_of,
+                        const TouchCallback& fn);
+
+/// Convenience overload with a single uniform block size.
+void walk_block_touches(const ir::Program& program, Bytes block_size,
+                        const TouchCallback& fn);
+
+}  // namespace sdpm::trace

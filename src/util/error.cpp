@@ -1,0 +1,15 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace sdpm::detail {
+
+void throw_error(const char* file, int line, const char* cond,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed (" << cond << "): "
+     << message;
+  throw Error(os.str());
+}
+
+}  // namespace sdpm::detail

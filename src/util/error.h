@@ -1,0 +1,43 @@
+// Error handling primitives for the sdpm library.
+//
+// The library reports contract violations and invalid configurations by
+// throwing sdpm::Error (a std::runtime_error).  Hot simulation paths use
+// SDPM_ASSERT, which compiles to nothing in NDEBUG builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sdpm {
+
+/// Exception type thrown for all recoverable sdpm errors (bad configuration,
+/// malformed programs, out-of-range arguments).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* cond,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace sdpm
+
+/// Validate a precondition; throws sdpm::Error with source location when the
+/// condition is false.  Always active (also in release builds) — use for API
+/// boundaries and configuration validation.
+#define SDPM_REQUIRE(cond, message)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::sdpm::detail::throw_error(__FILE__, __LINE__, #cond, (message));   \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant check; disabled in NDEBUG builds.  Use inside hot
+/// simulation loops.
+#ifdef NDEBUG
+#define SDPM_ASSERT(cond, message) ((void)0)
+#else
+#define SDPM_ASSERT(cond, message) SDPM_REQUIRE(cond, message)
+#endif

@@ -1,0 +1,97 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm {
+
+Histogram::Histogram(double min_value, double growth)
+    : min_value_(min_value), growth_(growth) {
+  SDPM_REQUIRE(min_value > 0, "min_value must be positive");
+  SDPM_REQUIRE(growth > 1.0, "growth must exceed 1");
+}
+
+std::size_t Histogram::bucket_of(double value) const {
+  if (value <= min_value_) return 0;
+  return static_cast<std::size_t>(
+             std::floor(std::log(value / min_value_) / std::log(growth_))) +
+         1;
+}
+
+double Histogram::bucket_lower(std::size_t b) const {
+  return b == 0 ? 0.0 : min_value_ * std::pow(growth_, static_cast<double>(b - 1));
+}
+
+double Histogram::bucket_upper(std::size_t b) const {
+  return min_value_ * std::pow(growth_, static_cast<double>(b));
+}
+
+void Histogram::add(double value) {
+  SDPM_ASSERT(value >= 0, "histogram values must be non-negative");
+  const std::size_t b = bucket_of(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_seen_ = max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_seen_; }
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_seen_; }
+
+double Histogram::quantile(double q) const {
+  SDPM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets_[b]);
+    if (next >= target) {
+      const double frac =
+          buckets_[b] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(buckets_[b]);
+      const double lo = std::max(bucket_lower(b), min_seen_);
+      const double hi = std::min(bucket_upper(b), max_seen_);
+      return lo + std::clamp(frac, 0.0, 1.0) * std::max(0.0, hi - lo);
+    }
+    cumulative = next;
+  }
+  return max_seen_;
+}
+
+std::string Histogram::summary() const {
+  return str_printf("n=%lld mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                    static_cast<long long>(count_), mean(), median(), p95(),
+                    p99(), max());
+}
+
+std::string Histogram::to_string(int max_width) const {
+  std::ostringstream os;
+  std::int64_t peak = 0;
+  for (const std::int64_t c : buckets_) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const int width = peak == 0
+                          ? 0
+                          : static_cast<int>(static_cast<double>(buckets_[b]) *
+                                             max_width / static_cast<double>(peak));
+    os << str_printf("[%9.3f, %9.3f) %8lld |", bucket_lower(b),
+                     bucket_upper(b), static_cast<long long>(buckets_[b]))
+       << std::string(static_cast<std::size_t>(std::max(width, 1)), '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sdpm

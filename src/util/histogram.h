@@ -1,0 +1,53 @@
+// Log-bucketed histogram for latency-like quantities.
+//
+// Buckets grow geometrically from a configurable resolution, so a single
+// histogram covers microsecond service times and ten-second spin-ups with
+// bounded memory and ~4% relative quantile error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdpm {
+
+class Histogram {
+ public:
+  /// `min_value` sizes the first bucket; values at or below it land in
+  /// bucket 0.  `growth` is the geometric bucket ratio (> 1).
+  explicit Histogram(double min_value = 1e-3, double growth = 1.25);
+
+  void add(double value);
+
+  std::int64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Quantile in [0, 1]; linear interpolation inside the winning bucket.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Render a compact one-line summary ("n=... mean=... p50/p95/p99=...").
+  std::string summary() const;
+
+  /// Render an ASCII bar chart of the non-empty buckets.
+  std::string to_string(int max_width = 40) const;
+
+ private:
+  std::size_t bucket_of(double value) const;
+  double bucket_lower(std::size_t b) const;
+  double bucket_upper(std::size_t b) const;
+
+  double min_value_;
+  double growth_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  double min_seen_ = 0;
+  double max_seen_ = 0;
+};
+
+}  // namespace sdpm

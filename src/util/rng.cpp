@@ -1,0 +1,29 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace sdpm {
+
+double SplitMix64::next_gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = next_double(-1.0, 1.0);
+    v = next_double(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  has_spare_ = true;
+  return u * m;
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) {
+  SplitMix64 mixer(parent ^ (0x9e3779b97f4a7c15ULL + stream * 0xbf58476d1ce4e5b9ULL));
+  return mixer.next_u64();
+}
+
+}  // namespace sdpm

@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// All stochastic components (cycle-estimation error, workload jitter) draw
+// from SplitMix64 streams keyed by explicit seeds so every experiment is
+// exactly reproducible, independent of platform or standard library.
+#pragma once
+
+#include <cstdint>
+
+namespace sdpm {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG.  Used both directly and
+/// to seed derived streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    // Modulo bias is negligible for the small n used in this library.
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double next_gaussian();
+
+ private:
+  std::uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Derive a child seed from a parent seed and a stream label; used to give
+/// each (benchmark, nest) pair its own deterministic stream.
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream);
+
+}  // namespace sdpm

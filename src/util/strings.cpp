@@ -1,0 +1,57 @@
+#include "util/strings.h"
+
+#include <cstdio>
+
+namespace sdpm {
+
+std::string str_printf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string fmt_double(double value, int precision) {
+  return str_printf("%.*f", precision, value);
+}
+
+std::string fmt_bytes(std::int64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (std::int64_t{1} << 30)) {
+    return str_printf("%.1f GB", b / (1 << 30));
+  }
+  if (bytes >= (std::int64_t{1} << 20)) {
+    return str_printf("%.1f MB", b / (1 << 20));
+  }
+  if (bytes >= 1024) {
+    return str_printf("%.0f KB", b / 1024);
+  }
+  return str_printf("%lld B", static_cast<long long>(bytes));
+}
+
+std::string fmt_time_ms(double ms) {
+  if (ms >= 1000.0) return str_printf("%.2f s", ms / 1000.0);
+  if (ms >= 1.0) return str_printf("%.2f ms", ms);
+  return str_printf("%.1f us", ms * 1000.0);
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace sdpm

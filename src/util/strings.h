@@ -1,0 +1,27 @@
+// Small string formatting helpers (libstdc++ 12 has no <format>).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace sdpm {
+
+/// printf-style formatting into std::string.
+std::string str_printf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-precision double, e.g. fmt_double(3.14159, 2) == "3.14".
+std::string fmt_double(double value, int precision);
+
+/// Human-readable byte count ("64 KB", "176.7 MB").
+std::string fmt_bytes(std::int64_t bytes);
+
+/// Human-readable duration from milliseconds ("3.40 ms", "10.9 s").
+std::string fmt_time_ms(double ms);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace sdpm

@@ -1,0 +1,52 @@
+// Minimal work-queue thread pool used by the experiment runner to evaluate
+// independent (benchmark, scheme, configuration) cells in parallel.
+//
+// The discrete-event simulator itself stays single-threaded for determinism;
+// parallelism lives strictly at the granularity of independent simulations.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdpm {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (defaults to hardware
+  /// concurrency, at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task.  Tasks must not throw; wrap exceptions at call sites.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run `tasks` on a transient pool and wait for completion.  Convenience
+/// wrapper for fan-out/fan-in experiment sweeps.
+void run_parallel(std::vector<std::function<void()>> tasks,
+                  unsigned threads = 0);
+
+}  // namespace sdpm

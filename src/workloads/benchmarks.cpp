@@ -1,0 +1,292 @@
+#include "workloads/benchmarks.h"
+
+#include <array>
+
+#include "ir/builder.h"
+#include "trace/timeline.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::workloads {
+
+namespace {
+
+using ir::ProgramBuilder;
+using ir::StorageLayout;
+using ir::sym;
+
+/// Per-iteration cycle cost that makes a nest of `iters` iterations take
+/// `duration_ms` of compute on the 750 MHz reference machine.
+Cycles cycles_for(TimeMs duration_ms, std::int64_t iters) {
+  return duration_ms * trace::kDefaultClockHz / 1e3 /
+         static_cast<double>(iters);
+}
+
+}  // namespace
+
+Benchmark make_swim() {
+  // Shallow-water stencil: three independent field pairs (U, V, P and their
+  // previous-timestep copies), swept twice, plus a compute-only boundary
+  // relaxation (calc3) whose working set stays in the buffer cache.
+  ProgramBuilder pb("swim");
+  const auto u = pb.array("U", {1024, 2048});
+  const auto uold = pb.array("UOLD", {1024, 2048});
+  const auto v = pb.array("V", {1024, 2048});
+  const auto vold = pb.array("VOLD", {1024, 2048});
+  const auto p = pb.array("P", {1024, 2048});
+  const auto pold = pb.array("POLD", {1024, 2048});
+
+  const std::int64_t sweep_iters = 1024 * 2048;
+  const Cycles stmt_cycles = cycles_for(5000.0, sweep_iters) / 3.0;
+  pb.nest("calc1")
+      .loop("i", 0, 1024)
+      .loop("j", 0, 2048)
+      .stmt(stmt_cycles, "upd_u")
+      .read(u, {sym("i"), sym("j")})
+      .write(uold, {sym("i"), sym("j")})
+      .stmt(stmt_cycles, "upd_v")
+      .read(v, {sym("i"), sym("j")})
+      .write(vold, {sym("i"), sym("j")})
+      .stmt(stmt_cycles, "upd_p")
+      .read(p, {sym("i"), sym("j")})
+      .write(pold, {sym("i"), sym("j")})
+      .done();
+  // calc2 propagates the previous-timestep copies back — a *different*
+  // textual loop from calc1 (reads the OLD fields, writes the current
+  // ones), which keeps swim out of the tiling pass's reach: the fields are
+  // shared between distinct nests, so no layout transformation applies.
+  pb.nest("calc2")
+      .loop("i", 0, 1024)
+      .loop("j", 0, 2048)
+      .stmt(stmt_cycles, "adv_u")
+      .read(uold, {sym("i"), sym("j")})
+      .write(u, {sym("i"), sym("j")})
+      .stmt(stmt_cycles, "adv_v")
+      .read(vold, {sym("i"), sym("j")})
+      .write(v, {sym("i"), sym("j")})
+      .stmt(stmt_cycles, "adv_p")
+      .read(pold, {sym("i"), sym("j")})
+      .write(p, {sym("i"), sym("j")})
+      .done();
+  pb.nest("calc3")
+      .loop("t", 0, 4000)
+      .loop("j", 0, 2048)
+      .stmt(cycles_for(2000.0, 4000 * 2048), "boundary")
+      .read(u, {ir::sym_const(0), sym("j")})
+      .write(u, {ir::sym_const(0), sym("j")})
+      .done();
+
+  return Benchmark{"swim", pb.build(),
+                   PaperReference{96.0, 3159, 2686.79, 32088.98}};
+}
+
+Benchmark make_mgrid() {
+  // Multigrid relaxation: three grids smoothed independently, 31 sweeps.
+  ProgramBuilder pb("mgrid");
+  const auto a = pb.array("A", {1024, 1024});
+  const auto b = pb.array("B", {1024, 1024});
+  const auto c = pb.array("C", {1024, 1024});
+  const std::int64_t iters = 1024 * 1024;
+  const Cycles stmt_cycles = cycles_for(1580.0, iters) / 3.0;
+  // The V-cycle visits the grids in a rotating order, so consecutive
+  // sweeps are distinct textual nests (all referencing all three grids —
+  // which is why the tiling pass's layout step has nothing private to
+  // transform in mgrid).
+  const std::array<ir::ArrayId, 3> grids = {a, b, c};
+  const char* labels[3] = {"relax_a", "relax_b", "relax_c"};
+  for (int k = 0; k < 31; ++k) {
+    auto nb = pb.nest(str_printf("smooth%02d", k + 1));
+    nb.loop("i", 0, 1024).loop("j", 0, 1024);
+    for (int s = 0; s < 3; ++s) {
+      const int g = (k + s) % 3;
+      nb.stmt(stmt_cycles, labels[g])
+          .read(grids[static_cast<std::size_t>(g)], {sym("i"), sym("j")})
+          .write(grids[static_cast<std::size_t>(g)], {sym("i"), sym("j")});
+    }
+    nb.done();
+  }
+  return Benchmark{"mgrid", pb.build(),
+                   PaperReference{24.7, 12288, 10600.54, 126651.12}};
+}
+
+Benchmark make_galgel() {
+  // Galerkin FEM: every statement couples both matrices -> one array group,
+  // single-statement nests -> not fissionable; accesses conform to the
+  // row-major layout -> tiling's layout step is a no-op too.
+  ProgramBuilder pb("galgel");
+  const auto g1 = pb.array("G1", {1024, 1024});
+  const auto g2 = pb.array("G2", {1024, 1024});
+  const Cycles cycles = cycles_for(900.0, 1024 * 1024);
+  for (int k = 1; k <= 8; ++k) {
+    auto nb = pb.nest(str_printf("galerkin%d", k));
+    nb.loop("i", 0, 1024).loop("j", 0, 1024);
+    if (k % 2 == 1) {
+      nb.stmt(cycles, "assemble")
+          .read(g1, {sym("i"), sym("j")})
+          .read(g2, {sym("i"), sym("j")})
+          .write(g1, {sym("i"), sym("j")});
+    } else {
+      nb.stmt(cycles, "project")
+          .read(g2, {sym("i"), sym("j")})
+          .read(g1, {sym("i"), sym("j")})
+          .write(g2, {sym("i"), sym("j")});
+    }
+    nb.done();
+  }
+  return Benchmark{"galgel", pb.build(),
+                   PaperReference{16.0, 2048, 1715.37, 20478.80}};
+}
+
+Benchmark make_applu() {
+  // SSOR solver: quartered right-hand-side sweeps with two independent
+  // statement groups ({U,RSD} and {QA,QB}) plus a costly Jacobian nest that
+  // privately owns W and reads it transposed.
+  ProgramBuilder pb("applu");
+  const auto u = pb.array("U", {1248, 1248});
+  const auto rsd = pb.array("RSD", {1248, 1248});
+  const auto qa = pb.array("QA", {1248, 1248});
+  const auto qb = pb.array("QB", {1248, 1248});
+  const auto w = pb.array("W", {576, 576});
+  const auto wt = pb.array("WT", {576, 576});
+
+  const std::int64_t quarter_iters = 312 * 1248;
+  const Cycles rhs_cycles = cycles_for(200.0, quarter_iters) / 2.0;
+  const Cycles jac_cycles = cycles_for(2500.0, 576 * 576);
+  for (int k = 1; k <= 8; ++k) {
+    for (int q = 0; q < 4; ++q) {
+      pb.nest(str_printf("rhs%02d_q%d", k, q))
+          .loop("i", 312 * q, 312 * (q + 1))
+          .loop("j", 0, 1248)
+          .stmt(rhs_cycles, "flux_u")
+          .read(u, {sym("i"), sym("j")})
+          .write(rsd, {sym("i"), sym("j")})
+          .stmt(rhs_cycles, "flux_q")
+          .read(qa, {sym("i"), sym("j")})
+          .write(qb, {sym("i"), sym("j")})
+          .done();
+    }
+    pb.nest(str_printf("jac%02d", k))
+        .loop("i", 0, 576)
+        .loop("j", 0, 576)
+        .stmt(jac_cycles, "jacobian")
+        .read(w, {sym("i"), sym("j")})
+        .read(wt, {sym("j"), sym("i")})
+        .write(w, {sym("i"), sym("j")})
+        .done();
+  }
+  return Benchmark{"applu", pb.build(),
+                   PaperReference{54.7, 7004, 5875.11, 70142.24}};
+}
+
+Benchmark make_mesa() {
+  // Rasterization pipeline: four independent buffer groups per frame
+  // ({FB,DEPTH}, {TEX}, {VTX}) in quartered sweeps, plus a private
+  // texture-warp nest (STEX) with a transposed read.
+  ProgramBuilder pb("mesa");
+  const auto fb = pb.array("FB", {1024, 1024});
+  const auto tex = pb.array("TEX", {1024, 640});
+  const auto vtx = pb.array("VTX", {1024, 448});
+  const auto depth = pb.array("DEPTH", {1024, 448});
+  const auto stex = pb.array("STEX", {512, 512});
+  const auto stext = pb.array("STEXT", {512, 512});
+
+  const std::int64_t quarter_iters = 256 * 448;
+  const Cycles pipe_cycles = cycles_for(170.0, quarter_iters) / 3.0;
+  const Cycles warp_cycles = cycles_for(1000.0, 512 * 512);
+  for (int k = 1; k <= 8; ++k) {
+    for (int q = 0; q < 4; ++q) {
+      pb.nest(str_printf("pipe%02d_q%d", k, q))
+          .loop("i", 256 * q, 256 * (q + 1))
+          .loop("j", 0, 448)
+          .stmt(pipe_cycles, "raster")
+          .read(fb, {sym("i"), sym("j")})
+          .write(depth, {sym("i"), sym("j")})
+          .stmt(pipe_cycles, "texture")
+          .read(tex, {sym("i"), sym("j")})
+          .write(tex, {sym("i"), sym("j")})
+          .stmt(pipe_cycles, "vertex")
+          .read(vtx, {sym("i"), sym("j")})
+          .write(vtx, {sym("i"), sym("j")})
+          .done();
+    }
+    pb.nest(str_printf("warp%02d", k))
+        .loop("i", 0, 512)
+        .loop("j", 0, 512)
+        .stmt(warp_cycles, "warp")
+        .read(stex, {sym("i"), sym("j")})
+        .read(stext, {sym("j"), sym("i")})
+        .write(stex, {sym("i"), sym("j")})
+        .done();
+  }
+  return Benchmark{"mesa", pb.build(),
+                   PaperReference{24.0, 3072, 2667.00, 31869.54}};
+}
+
+Benchmark make_wupwise() {
+  // Lattice-QCD matrix sweeps: the su3 statements couple PSI, GAUGE, E and
+  // TMP (one array group, single statement -> not fissionable).  The
+  // costliest nest (zmul) privately owns M1 and the column-major M2, which
+  // it reads row-wise (non-conforming) -> TL+DL's layout transformation
+  // applies.
+  ProgramBuilder pb("wupwise");
+  const auto psi = pb.array("PSI", {2048, 3072});
+  const auto gauge = pb.array("GAUGE", {2048, 3072});
+  const auto tmp = pb.array("TMP", {2048, 2048});
+  const auto e = pb.array("E", {2048, 1330});
+  const auto m1 = pb.array("M1", {1536, 2048});
+  const auto m2 = pb.array("M2", {1536, 320}, 8, StorageLayout::kColMajor);
+
+  const Cycles su3_cycles = cycles_for(5600.0, 2048 * 1330);
+  for (int k = 1; k <= 7; ++k) {
+    pb.nest(str_printf("su3mul%d", k))
+        .loop("i", 0, 2048)
+        .loop("j", 0, 1330)
+        .stmt(su3_cycles, "su3")
+        .read(psi, {sym("i"), sym("j")})
+        .read(gauge, {sym("i"), sym("j")})
+        .read(e, {sym("i"), sym("j")})
+        .write(tmp, {sym("i"), sym("j")})
+        .done();
+  }
+  const Cycles zmul_cycles = cycles_for(24000.0, 5ll * 1536 * 320);
+  for (int k = 1; k <= 4; ++k) {
+    pb.nest(str_printf("zmul%d", k))
+        .loop("t", 0, 5)
+        .loop("i", 0, 1536)
+        .loop("j", 0, 320)
+        .stmt(zmul_cycles, "zmul")
+        .read(m1, {sym("i"), sym("j")})
+        .read(m2, {sym("i"), sym("j")})
+        .write(m1, {sym("i"), sym("j")})
+        .done();
+  }
+  return Benchmark{"wupwise", pb.build(),
+                   PaperReference{176.7, 24718, 20835.96, 248790.00}};
+}
+
+std::vector<Benchmark> all_benchmarks() {
+  std::vector<Benchmark> out;
+  out.push_back(make_wupwise());
+  out.push_back(make_swim());
+  out.push_back(make_mgrid());
+  out.push_back(make_applu());
+  out.push_back(make_mesa());
+  out.push_back(make_galgel());
+  return out;
+}
+
+std::vector<std::string> benchmark_names() {
+  return {"wupwise", "swim", "mgrid", "applu", "mesa", "galgel"};
+}
+
+Benchmark make_benchmark(const std::string& name) {
+  if (name == "wupwise") return make_wupwise();
+  if (name == "swim") return make_swim();
+  if (name == "mgrid") return make_mgrid();
+  if (name == "applu") return make_applu();
+  if (name == "mesa") return make_mesa();
+  if (name == "galgel") return make_galgel();
+  throw Error("unknown benchmark '" + name + "'");
+}
+
+}  // namespace sdpm::workloads

@@ -1,0 +1,70 @@
+// The six Specfp2000-derived benchmark programs (paper §4.1, Table 2).
+//
+// Each benchmark is modelled as an affine loop-nest program whose disk
+// behaviour reproduces the paper's Table 2 characteristics — dataset size,
+// request count, base disk energy and execution time under the default
+// 64 KB x 8-disk striping — together with the structural properties §6
+// reports for the code transformations:
+//
+//   wupwise  176.7 MB, ~24.7k requests.  All sweep statements couple their
+//            arrays (not fissionable).  The costliest nest (zmul) privately
+//            owns two matrices, one stored column-major but accessed
+//            row-wise (non-conforming) -> TL+DL wins.
+//   swim      96.0 MB, ~3.2k requests.  Three independent field pairs in
+//            each stencil sweep -> fissionable into 3 groups (LF+DL wins);
+//            the sensitivity-study subject (Figs. 5-8).
+//   mgrid     24.0 MB, ~12.3k requests.  Three grids smoothed
+//            independently in 31 relaxation sweeps -> fissionable; arrays
+//            shared by every nest -> tiling's layout step not applicable.
+//   applu     54.8 MB, ~7.0k requests.  Quartered SSOR sweeps with two
+//            independent statement groups (fissionable) plus a costly
+//            Jacobian nest with a private, transpose-accessed matrix
+//            -> both LF+DL and TL+DL win.
+//   mesa      24.0 MB, ~3.1k requests.  Rasterization pipeline with four
+//            independent buffer groups (fissionable) plus a private
+//            texture-warp nest with transposed access -> both win.
+//   galgel    16.0 MB, ~2.0k requests.  Every statement couples both
+//            Galerkin matrices (not fissionable) and all accesses conform
+//            to the storage layout -> no transformation helps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "util/units.h"
+
+namespace sdpm::workloads {
+
+/// Table 2 reference values (what the paper reports), kept alongside each
+/// generated program so benches can print paper-vs-measured columns.
+struct PaperReference {
+  double data_mb = 0;
+  std::int64_t disk_requests = 0;
+  double base_energy_j = 0;
+  double execution_ms = 0;
+};
+
+struct Benchmark {
+  std::string name;
+  ir::Program program;
+  PaperReference paper;
+};
+
+Benchmark make_wupwise();
+Benchmark make_swim();
+Benchmark make_mgrid();
+Benchmark make_applu();
+Benchmark make_mesa();
+Benchmark make_galgel();
+
+/// All six, in Table 2 order.
+std::vector<Benchmark> all_benchmarks();
+
+/// Look up one benchmark by name; throws sdpm::Error for unknown names.
+Benchmark make_benchmark(const std::string& name);
+
+/// Names in Table 2 order.
+std::vector<std::string> benchmark_names();
+
+}  // namespace sdpm::workloads

@@ -1,0 +1,29 @@
+// Extra workloads beyond the paper's six benchmarks (extension).
+//
+// The paper's suite is fixed by its Table 2; these additional programs
+// exercise access-pattern regimes the six do not cover and feed the
+// multiprogramming and capacity studies:
+//
+//   transpose  — an out-of-core matrix transpose: every reference pair is
+//                (row-order, column-order), the worst case for layout
+//                conformance and the best case for the tiling pass.
+//   checkpoint — long compute phases punctuated by bursty full-state dumps
+//                (write-heavy), the classic HPC checkpoint/restart shape
+//                with idle periods far above the TPM break-even.
+//   scan       — a database-style repeated full scan with a tiny hot index:
+//                maximal sequential throughput, minimal reuse, the regime
+//                where reactive DRPM is strongest.
+#pragma once
+
+#include "workloads/benchmarks.h"
+
+namespace sdpm::workloads {
+
+Benchmark make_transpose();
+Benchmark make_checkpoint();
+Benchmark make_scan();
+
+/// The three extra workloads.
+std::vector<Benchmark> extra_benchmarks();
+
+}  // namespace sdpm::workloads

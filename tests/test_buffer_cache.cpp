@@ -1,0 +1,103 @@
+// BufferCache: LRU semantics and byte budgeting.
+#include <gtest/gtest.h>
+
+#include "trace/buffer_cache.h"
+
+namespace sdpm::trace {
+namespace {
+
+TEST(BufferCache, MissThenHit) {
+  BufferCache cache(1024);
+  EXPECT_FALSE(cache.access(0, 0, 256));
+  EXPECT_TRUE(cache.access(0, 0, 256));
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(BufferCache, DistinctArraysDistinctEntries) {
+  BufferCache cache(1024);
+  EXPECT_FALSE(cache.access(0, 7, 256));
+  EXPECT_FALSE(cache.access(1, 7, 256));
+  EXPECT_TRUE(cache.access(0, 7, 256));
+  EXPECT_TRUE(cache.access(1, 7, 256));
+}
+
+TEST(BufferCache, EvictsLeastRecentlyUsed) {
+  BufferCache cache(512);  // two 256-byte blocks
+  cache.access(0, 0, 256);
+  cache.access(0, 1, 256);
+  cache.access(0, 0, 256);  // refresh block 0
+  cache.access(0, 2, 256);  // evicts block 1
+  EXPECT_TRUE(cache.access(0, 0, 256));
+  EXPECT_FALSE(cache.access(0, 1, 256));
+}
+
+TEST(BufferCache, ZeroCapacityAlwaysMisses) {
+  BufferCache cache(0);
+  EXPECT_FALSE(cache.access(0, 0, 8));
+  EXPECT_FALSE(cache.access(0, 0, 8));
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.bytes_used(), 0);
+}
+
+TEST(BufferCache, OversizedBlockNotCached) {
+  BufferCache cache(100);
+  EXPECT_FALSE(cache.access(0, 0, 200));
+  EXPECT_FALSE(cache.access(0, 0, 200));  // still a miss
+  EXPECT_EQ(cache.bytes_used(), 0);
+}
+
+TEST(BufferCache, BytesUsedTracksContents) {
+  BufferCache cache(1000);
+  cache.access(0, 0, 300);
+  cache.access(0, 1, 300);
+  EXPECT_EQ(cache.bytes_used(), 600);
+  cache.access(0, 2, 300);
+  EXPECT_EQ(cache.bytes_used(), 900);
+  cache.access(0, 3, 300);  // evicts block 0
+  EXPECT_EQ(cache.bytes_used(), 900);
+}
+
+TEST(BufferCache, CyclicSweepLargerThanCacheAlwaysMisses) {
+  // The classic LRU worst case the workloads rely on: sweeping N+1 blocks
+  // through an N-block cache misses on every access, every sweep.
+  BufferCache cache(4 * 64);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (std::int64_t b = 0; b < 5; ++b) {
+      EXPECT_FALSE(cache.access(0, b, 64)) << "sweep " << sweep << " b " << b;
+    }
+  }
+  EXPECT_EQ(cache.misses(), 15);
+  EXPECT_EQ(cache.hits(), 0);
+}
+
+TEST(BufferCache, WorkingSetThatFitsStaysResident) {
+  BufferCache cache(4 * 64);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (std::int64_t b = 0; b < 4; ++b) {
+      cache.access(0, b, 64);
+    }
+  }
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.hits(), 8);
+}
+
+TEST(BufferCache, Clear) {
+  BufferCache cache(1024);
+  cache.access(0, 0, 64);
+  cache.clear();
+  EXPECT_EQ(cache.bytes_used(), 0);
+  EXPECT_FALSE(cache.access(0, 0, 64));
+}
+
+TEST(BufferCache, VariableBlockSizesEvictUntilFit) {
+  BufferCache cache(1000);
+  cache.access(0, 0, 400);
+  cache.access(0, 1, 400);
+  cache.access(0, 2, 900);  // must evict both
+  EXPECT_EQ(cache.bytes_used(), 900);
+  EXPECT_FALSE(cache.access(0, 0, 400));
+}
+
+}  // namespace
+}  // namespace sdpm::trace

@@ -1,0 +1,148 @@
+// The compile() facade (paper Figure 1 pipeline) and report rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/codegen.h"
+#include "core/compiler.h"
+#include "experiments/report.h"
+#include "policy/base.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm::core {
+namespace {
+
+TEST(Compile, NoneKeepsProgramAndUniformStriping) {
+  const workloads::Benchmark b = workloads::make_galgel();
+  CompilerOptions options;
+  const CompileOutput out =
+      compile(b.program, Transformation::kNone, std::nullopt, options);
+  EXPECT_EQ(out.program.nests.size(), b.program.nests.size());
+  EXPECT_EQ(out.striping.size(), b.program.arrays.size());
+  for (const layout::Striping& s : out.striping) {
+    EXPECT_EQ(s, options.base_striping);
+  }
+  EXPECT_TRUE(out.plans.empty());
+  EXPECT_EQ(out.calls_inserted, 0);
+}
+
+TEST(Compile, SchedulingModesInsertMatchingCalls) {
+  const workloads::Benchmark b = workloads::make_swim();
+  CompilerOptions options;
+  const CompileOutput drpm =
+      compile(b.program, Transformation::kNone, PowerMode::kDrpm, options);
+  EXPECT_GT(drpm.calls_inserted, 0);
+  for (const ir::PlacedDirective& pd : drpm.program.directives) {
+    EXPECT_EQ(pd.directive.kind, ir::PowerDirective::Kind::kSetRpm);
+  }
+  const CompileOutput tpm =
+      compile(b.program, Transformation::kNone, PowerMode::kTpm, options);
+  // Untransformed swim has no above-break-even gaps: CMTPM stays silent.
+  EXPECT_EQ(tpm.calls_inserted, 0);
+}
+
+TEST(Compile, TransformNotesAreInformative) {
+  const workloads::Benchmark swim = workloads::make_swim();
+  CompilerOptions options;
+  const CompileOutput lf =
+      compile(swim.program, Transformation::kLFDL, std::nullopt, options);
+  EXPECT_NE(lf.notes.find("array group"), std::string::npos);
+
+  const workloads::Benchmark galgel = workloads::make_galgel();
+  const CompileOutput none =
+      compile(galgel.program, Transformation::kLFDL, std::nullopt, options);
+  EXPECT_NE(none.notes.find("no fissionable nest"), std::string::npos);
+}
+
+TEST(Compile, MakeLayoutTableMatchesStriping) {
+  const workloads::Benchmark b = workloads::make_mgrid();
+  CompilerOptions options;
+  const CompileOutput out =
+      compile(b.program, Transformation::kLFDL, std::nullopt, options);
+  const layout::LayoutTable table = out.make_layout_table(options.total_disks);
+  EXPECT_EQ(table.array_count(), out.program.arrays.size());
+  for (std::size_t a = 0; a < out.striping.size(); ++a) {
+    EXPECT_EQ(table.layout_of(static_cast<ir::ArrayId>(a)).striping(),
+              out.striping[a]);
+  }
+}
+
+TEST(Compile, PipelineOutputSimulates) {
+  const workloads::Benchmark b = workloads::make_mesa();
+  CompilerOptions options;
+  const CompileOutput out =
+      compile(b.program, Transformation::kTLDL, PowerMode::kDrpm, options);
+  const layout::LayoutTable table = out.make_layout_table(options.total_disks);
+  trace::TraceGenerator generator(out.program, table);
+  policy::BasePolicy policy;
+  const sim::SimReport report = sim::simulate(generator.generate(),
+                                              options.disk_params, policy);
+  EXPECT_GT(report.requests, 0);
+  EXPECT_GT(report.total_energy, 0.0);
+}
+
+TEST(Report, SummaryAndPerDiskTablesRender) {
+  const workloads::Benchmark b = workloads::make_galgel();
+  CompilerOptions options;
+  const CompileOutput out =
+      compile(b.program, Transformation::kNone, std::nullopt, options);
+  const layout::LayoutTable table = out.make_layout_table(options.total_disks);
+  trace::TraceGenerator generator(out.program, table);
+  policy::BasePolicy policy;
+  const sim::SimReport report = sim::simulate(generator.generate(),
+                                              options.disk_params, policy);
+
+  const Table summary = experiments::summary_table(report);
+  EXPECT_GE(summary.row_count(), 8u);
+  const Table per_disk = experiments::per_disk_table(report);
+  EXPECT_EQ(per_disk.row_count(), 8u);
+  std::ostringstream os;
+  summary.print(os);
+  per_disk.print(os);
+  EXPECT_NE(os.str().find("disk energy"), std::string::npos);
+}
+
+TEST(Codegen, EmitsArraysLoopsAndStatements) {
+  const workloads::Benchmark b = workloads::make_galgel();
+  const std::string source = emit_pseudo_source(b.program);
+  EXPECT_NE(source.find("double G1[1024][1024]"), std::string::npos);
+  EXPECT_NE(source.find("for (i = 0; i < 1024; i += 1)"), std::string::npos);
+  EXPECT_NE(source.find("G1[i][j] = f(G1[i][j], G2[i][j])"),
+            std::string::npos);
+}
+
+TEST(Codegen, RendersDirectivesAtTheirSites) {
+  const workloads::Benchmark b = workloads::make_swim();
+  CompilerOptions options;
+  const CompileOutput out =
+      compile(b.program, Transformation::kNone, PowerMode::kDrpm, options);
+  const std::string source = emit_pseudo_source(out.program);
+  EXPECT_NE(source.find("set_RPM(RPM_"), std::string::npos);
+  EXPECT_NE(source.find("strip-mined call site"), std::string::npos);
+}
+
+TEST(Codegen, TpmCallsUseSpinVerbs) {
+  // A program with a long quiet period gets spin_down/spin_up calls.
+  const workloads::Benchmark b = workloads::make_mgrid();
+  CompilerOptions options;
+  const CompileOutput out =
+      compile(b.program, Transformation::kLFDL, PowerMode::kTpm, options);
+  const std::string source = emit_pseudo_source(out.program);
+  EXPECT_NE(source.find("spin_down(disk"), std::string::npos);
+  EXPECT_NE(source.find("spin_up(disk"), std::string::npos);
+}
+
+TEST(Codegen, OptionsSuppressSections) {
+  const workloads::Benchmark b = workloads::make_galgel();
+  CodegenOptions options;
+  options.emit_arrays = false;
+  options.emit_costs = false;
+  const std::string source = emit_pseudo_source(b.program, options);
+  EXPECT_EQ(source.find("double G1"), std::string::npos);
+  EXPECT_EQ(source.find("cycles/iteration"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdpm::core

@@ -1,0 +1,170 @@
+// End-to-end integration: the full pipeline on a small, hand-analyzable
+// program, plus system-wide conservation properties.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "experiments/runner.h"
+#include "ir/builder.h"
+#include "policy/base.h"
+#include "policy/proactive.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace sdpm {
+namespace {
+
+using ir::ArrayId;
+using ir::ProgramBuilder;
+using ir::sym;
+
+// A three-phase program on two disks: an I/O sweep, a 35 s compute-only
+// phase (cache-resident working set -> both disks idle far beyond the
+// 15.2 s break-even), and a second I/O sweep.  Small enough to reason
+// about by hand.
+workloads::Benchmark tiny_benchmark() {
+  ProgramBuilder pb("tiny");
+  const ArrayId a = pb.array("A", {64 * 8192});
+  const ArrayId b = pb.array("B", {64 * 8192});
+  const double io_cycles = 30'000.0 /*ms*/ * 750e3 / (64.0 * 8192.0);
+  pb.nest("io1")
+      .loop("i", 0, 64 * 8192)
+      .stmt(io_cycles)
+      .read(a, {sym("i")})
+      .done();
+  pb.nest("quiet")
+      .loop("t", 0, 1'000)
+      .loop("j", 0, 1'024)
+      .stmt(35'000.0 * 750e3 / (1'000.0 * 1'024.0))
+      .read(a, {ir::sym_const(0) + sym("j")})
+      .done();
+  pb.nest("io2")
+      .loop("i", 0, 64 * 8192)
+      .stmt(io_cycles)
+      .read(b, {sym("i")})
+      .done();
+  workloads::Benchmark bench;
+  bench.name = "tiny";
+  bench.program = pb.build();
+  return bench;
+}
+
+experiments::ExperimentConfig tiny_config() {
+  experiments::ExperimentConfig config;
+  config.total_disks = 2;
+  config.striping = layout::Striping{0, 2, kib(64)};
+  config.actual_noise = trace::CycleNoise::none();
+  config.profile_noise = trace::CycleNoise::none();
+  return config;
+}
+
+TEST(EndToEnd, CompileProducesRunnableOutput) {
+  const workloads::Benchmark bench = tiny_benchmark();
+  core::CompilerOptions co;
+  co.total_disks = 2;
+  co.base_striping = layout::Striping{0, 2, kib(64)};
+  const core::CompileOutput out = core::compile(
+      bench.program, core::Transformation::kNone, core::PowerMode::kDrpm, co);
+  EXPECT_GT(out.calls_inserted, 0);
+  EXPECT_FALSE(out.plans.empty());
+  out.program.validate();
+
+  const layout::LayoutTable table = out.make_layout_table(2);
+  trace::TraceGenerator gen(out.program, table);
+  const trace::Trace trace = gen.generate();
+  EXPECT_EQ(trace.power_events.size(),
+            static_cast<std::size_t>(out.calls_inserted));
+
+  policy::ProactivePolicy policy("CMDRPM");
+  const sim::SimReport report =
+      sim::simulate(trace, co.disk_params, policy);
+  EXPECT_GT(report.total_energy, 0.0);
+}
+
+TEST(EndToEnd, SystemEnergyConservation) {
+  workloads::Benchmark bench = tiny_benchmark();
+  experiments::Runner runner(bench, tiny_config());
+  const sim::SimReport& base = runner.base_report();
+  // Per-disk timelines all span exactly the execution and bucket times sum
+  // up; total energy equals the per-disk sum.
+  Joules sum = 0;
+  for (const sim::DiskReport& d : base.disks) {
+    EXPECT_NEAR(d.breakdown.total_ms(), base.execution_ms, 1e-6);
+    sum += d.breakdown.total_j();
+  }
+  EXPECT_NEAR(sum, base.total_energy, 1e-9);
+  // Execution = compute + stalls.
+  EXPECT_NEAR(base.execution_ms, base.compute_ms + base.io_stall_ms, 1e-9);
+}
+
+TEST(EndToEnd, SchemesOrderAsExpectedOnTiny) {
+  workloads::Benchmark bench = tiny_benchmark();
+  experiments::Runner runner(bench, tiny_config());
+  const auto base = runner.run(experiments::Scheme::kBase);
+  const auto itpm = runner.run(experiments::Scheme::kItpm);
+  const auto idrpm = runner.run(experiments::Scheme::kIdrpm);
+  const auto cmtpm = runner.run(experiments::Scheme::kCmtpm);
+  const auto cmdrpm = runner.run(experiments::Scheme::kCmdrpm);
+
+  // The 35 s quiet phase beats the 15.2 s break-even: TPM saves here.
+  EXPECT_LT(itpm.normalized_energy, 0.95);
+  EXPECT_LT(cmtpm.normalized_energy, 0.95);
+  // Oracles bound their compiler-managed counterparts.
+  EXPECT_LE(itpm.energy_j, cmtpm.energy_j + 1e-6);
+  EXPECT_LE(idrpm.energy_j, cmdrpm.energy_j + 1e-6);
+  // IDRPM beats ITPM here: it exploits the short intra-phase gaps too.
+  EXPECT_LT(idrpm.energy_j, itpm.energy_j);
+  // With exact estimates CMTPM matches ITPM almost exactly.
+  EXPECT_NEAR(cmtpm.normalized_energy, itpm.normalized_energy, 0.03);
+  // And the proactive schemes stay at Base speed.
+  EXPECT_LT(cmtpm.normalized_time, 1.01);
+  EXPECT_LT(cmdrpm.normalized_time, 1.01);
+  EXPECT_DOUBLE_EQ(base.normalized_energy, 1.0);
+}
+
+TEST(EndToEnd, CmtpmPreactivationHidesSpinUp) {
+  workloads::Benchmark bench = tiny_benchmark();
+  experiments::ExperimentConfig on = tiny_config();
+  experiments::Runner runner_on(bench, on);
+  const auto with = runner_on.run(experiments::Scheme::kCmtpm);
+
+  experiments::ExperimentConfig off = tiny_config();
+  off.preactivate = false;
+  experiments::Runner runner_off(bench, off);
+  const auto without = runner_off.run(experiments::Scheme::kCmtpm);
+
+  // Without pre-activation, io2's first request per disk eats a 10.9 s
+  // demand spin-up.
+  EXPECT_GT(without.execution_ms, with.execution_ms + 10'000.0);
+}
+
+TEST(EndToEnd, DeterministicAcrossRuns) {
+  workloads::Benchmark b1 = tiny_benchmark();
+  workloads::Benchmark b2 = tiny_benchmark();
+  experiments::Runner r1(b1, tiny_config());
+  experiments::Runner r2(b2, tiny_config());
+  for (const auto scheme :
+       {experiments::Scheme::kDrpm, experiments::Scheme::kCmdrpm}) {
+    EXPECT_DOUBLE_EQ(r1.run(scheme).energy_j, r2.run(scheme).energy_j);
+    EXPECT_DOUBLE_EQ(r1.run(scheme).execution_ms,
+                     r2.run(scheme).execution_ms);
+  }
+}
+
+TEST(EndToEnd, TraceRegenerationIsStable) {
+  const workloads::Benchmark bench = tiny_benchmark();
+  const layout::LayoutTable table(bench.program,
+                                  layout::Striping{0, 2, kib(64)}, 2);
+  trace::TraceGenerator g1(bench.program, table);
+  trace::TraceGenerator g2(bench.program, table);
+  const trace::Trace t1 = g1.generate();
+  const trace::Trace t2 = g2.generate();
+  ASSERT_EQ(t1.requests.size(), t2.requests.size());
+  for (std::size_t i = 0; i < t1.requests.size(); ++i) {
+    EXPECT_EQ(t1.requests[i].disk, t2.requests[i].disk);
+    EXPECT_EQ(t1.requests[i].start_sector, t2.requests[i].start_sector);
+    EXPECT_DOUBLE_EQ(t1.requests[i].arrival_ms, t2.requests[i].arrival_ms);
+  }
+}
+
+}  // namespace
+}  // namespace sdpm

@@ -1,0 +1,157 @@
+// Property-based pipeline fuzzing over random synthetic programs.
+//
+// For a sweep of seeds, the full stack — trace generation, DAP analysis,
+// every policy, the scheduler, and the code transformations — must uphold
+// its invariants on arbitrary valid programs, not just the curated
+// benchmarks.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/fission.h"
+#include "core/tiling.h"
+#include "experiments/runner.h"
+#include "policy/base.h"
+#include "sim/invariants.h"
+#include "sim/simulator.h"
+#include "trace/dap.h"
+#include "trace/generator.h"
+#include "workloads/synthetic.h"
+
+namespace sdpm {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  workloads::Benchmark benchmark() const {
+    workloads::SyntheticOptions options;
+    options.seed = GetParam();
+    workloads::Benchmark b;
+    b.name = "synthetic";
+    b.program = workloads::make_synthetic(options);
+    return b;
+  }
+
+  experiments::ExperimentConfig config() const {
+    experiments::ExperimentConfig c;
+    c.total_disks = 4;
+    c.striping = layout::Striping{0, 4, kib(64)};
+    c.gen.cache_bytes = kib(512);  // small cache: plenty of disk traffic
+    return c;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+TEST_P(FuzzTest, ProgramIsValidAndDeterministic) {
+  const workloads::Benchmark a = benchmark();
+  const workloads::Benchmark b = benchmark();
+  a.program.validate();
+  EXPECT_EQ(a.program.to_string(), b.program.to_string());
+}
+
+TEST_P(FuzzTest, TraceInvariants) {
+  const workloads::Benchmark bench = benchmark();
+  const experiments::ExperimentConfig c = config();
+  const layout::LayoutTable table(bench.program, c.striping, c.total_disks);
+  trace::TraceGenerator generator(bench.program, table, c.gen);
+  const trace::Trace t = generator.generate();
+  TimeMs prev = -1;
+  for (const trace::Request& r : t.requests) {
+    ASSERT_GE(r.arrival_ms, prev);
+    ASSERT_GE(r.disk, 0);
+    ASSERT_LT(r.disk, c.total_disks);
+    ASSERT_GT(r.size_bytes, 0);
+    prev = r.arrival_ms;
+  }
+  EXPECT_GE(t.compute_total_ms, prev);
+}
+
+TEST_P(FuzzTest, DapPartitionsIterationSpace) {
+  const workloads::Benchmark bench = benchmark();
+  const experiments::ExperimentConfig c = config();
+  const layout::LayoutTable table(bench.program, c.striping, c.total_disks);
+  const auto dap =
+      trace::DiskAccessPattern::analyze(bench.program, table, c.gen);
+  for (int d = 0; d < dap.disk_count(); ++d) {
+    EXPECT_EQ(dap.active_iterations(d).total_length() +
+                  dap.idle_periods(d).total_length(),
+              dap.space().total());
+  }
+}
+
+TEST_P(FuzzTest, EnergyConservation) {
+  workloads::Benchmark bench = benchmark();
+  experiments::Runner runner(bench, config());
+  const sim::SimReport& base = runner.base_report();
+  sim::check_invariants(base, config().disk);
+}
+
+TEST_P(FuzzTest, SchemeOrderings) {
+  workloads::Benchmark bench = benchmark();
+  experiments::Runner runner(bench, config());
+  const auto base = runner.run(experiments::Scheme::kBase);
+  const auto itpm = runner.run(experiments::Scheme::kItpm);
+  const auto idrpm = runner.run(experiments::Scheme::kIdrpm);
+  const auto cmdrpm = runner.run(experiments::Scheme::kCmdrpm);
+  // Oracles never lose to Base; IDRPM never loses to ITPM's standby-only
+  // playbook... (ITPM <= Base always; IDRPM <= Base always.)
+  EXPECT_LE(itpm.energy_j, base.energy_j + 1e-6);
+  EXPECT_LE(idrpm.energy_j, base.energy_j + 1e-6);
+  // The compiler-managed scheme must not blow up execution time.
+  EXPECT_LT(cmdrpm.normalized_time, 1.25);
+  EXPECT_GT(cmdrpm.energy_j, 0.0);
+}
+
+TEST_P(FuzzTest, FissionPreservesWork) {
+  const workloads::Benchmark bench = benchmark();
+  core::FissionOptions options;
+  options.total_disks = 4;
+  options.base_striping = layout::Striping{0, 4, kib(64)};
+  const core::FissionResult result =
+      core::apply_loop_fission(bench.program, options);
+  result.program.validate();
+  EXPECT_DOUBLE_EQ(result.program.total_cycles(),
+                   bench.program.total_cycles());
+  EXPECT_EQ(result.program.total_data_bytes(),
+            bench.program.total_data_bytes());
+}
+
+TEST_P(FuzzTest, TilingKeepsIterationCount) {
+  const workloads::Benchmark bench = benchmark();
+  core::TilingOptions options;
+  options.total_disks = 4;
+  options.base_striping = layout::Striping{0, 4, kib(64)};
+  options.access.cache_bytes = kib(512);
+  const core::TilingResult result =
+      core::apply_loop_tiling(bench.program, options);
+  result.program.validate();
+  std::int64_t before = 0, after = 0;
+  for (const auto& nest : bench.program.nests) {
+    before += nest.iteration_count();
+  }
+  for (const auto& nest : result.program.nests) {
+    after += nest.iteration_count();
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST_P(FuzzTest, TransformedConfigurationsStillConserveEnergy) {
+  for (const auto transform :
+       {core::Transformation::kLFDL, core::Transformation::kTLDL}) {
+    workloads::Benchmark bench = benchmark();
+    experiments::ExperimentConfig c = config();
+    c.transform = transform;
+    experiments::Runner runner(bench, c);
+    const sim::SimReport& base = runner.base_report();
+    Joules sum = 0;
+    for (const sim::DiskReport& d : base.disks) {
+      sum += d.breakdown.total_j();
+    }
+    EXPECT_NEAR(sum, base.total_energy, 1e-6) << core::to_string(transform);
+  }
+}
+
+}  // namespace
+}  // namespace sdpm

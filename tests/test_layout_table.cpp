@@ -1,0 +1,93 @@
+// LayoutTable: physical region allocation across arrays.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "layout/layout_table.h"
+#include "util/error.h"
+
+namespace sdpm::layout {
+namespace {
+
+ir::Program two_array_program() {
+  ir::ProgramBuilder pb("p");
+  pb.array("A", {1024});           // 8 KB
+  pb.array("B", {2048});           // 16 KB
+  return pb.build();
+}
+
+TEST(LayoutTable, UniformStriping) {
+  const ir::Program p = two_array_program();
+  const LayoutTable table(p, Striping{0, 4, 1024}, 4);
+  EXPECT_EQ(table.array_count(), 2u);
+  EXPECT_EQ(table.layout_of(0).striping().stripe_factor, 4);
+  EXPECT_EQ(table.layout_of(1).file_size(), 2048 * 8);
+}
+
+TEST(LayoutTable, RegionsDoNotOverlap) {
+  const ir::Program p = two_array_program();
+  const LayoutTable table(p, Striping{0, 2, 1024}, 2);
+  // A occupies 4 stripes (8KB/1KB), 2 per disk; B starts after them.
+  const PhysicalLocation a0 = table.locate(0, 0);
+  const PhysicalLocation b0 = table.locate(1, 0);
+  EXPECT_EQ(a0.disk, 0);
+  EXPECT_EQ(a0.disk_byte, 0);
+  EXPECT_EQ(b0.disk, 0);
+  EXPECT_EQ(b0.disk_byte, table.layout_of(0).bytes_on_disk(0));
+}
+
+TEST(LayoutTable, PerArrayStriping) {
+  const ir::Program p = two_array_program();
+  std::vector<Striping> stripings = {Striping{0, 2, 1024},
+                                     Striping{2, 2, 1024}};
+  const LayoutTable table(p, stripings, 4);
+  EXPECT_EQ(table.locate(0, 0).disk, 0);
+  EXPECT_EQ(table.locate(1, 0).disk, 2);
+  // Disjoint disk sets.
+  for (const int d : table.disks_of(0)) {
+    EXPECT_TRUE(d == 0 || d == 1);
+  }
+  for (const int d : table.disks_of(1)) {
+    EXPECT_TRUE(d == 2 || d == 3);
+  }
+}
+
+TEST(LayoutTable, PerArrayStripingSizeMismatchThrows) {
+  const ir::Program p = two_array_program();
+  EXPECT_THROW(LayoutTable(p, std::vector<Striping>{Striping{}}, 8), Error);
+}
+
+TEST(LayoutTable, BytesOnDiskAggregates) {
+  const ir::Program p = two_array_program();
+  const LayoutTable table(p, Striping{0, 2, 1024}, 2);
+  Bytes total = 0;
+  for (int d = 0; d < 2; ++d) total += table.bytes_on_disk(d);
+  EXPECT_GE(total, p.total_data_bytes());
+}
+
+TEST(LayoutTable, LocateConsistentWithFileLayout) {
+  const ir::Program p = two_array_program();
+  const LayoutTable table(p, Striping{1, 3, 512}, 4);
+  for (Bytes off = 0; off < 8192; off += 511) {
+    const DiskLocation dl = table.layout_of(0).locate(off);
+    const PhysicalLocation pl = table.locate(0, off);
+    EXPECT_EQ(pl.disk, dl.disk);
+    // Array A is allocated first, so its region starts at 0 on every disk.
+    EXPECT_EQ(pl.disk_byte, dl.offset);
+  }
+}
+
+TEST(LayoutTable, DistinctArraysNeverAlias) {
+  const ir::Program p = two_array_program();
+  const LayoutTable table(p, Striping{0, 2, 1024}, 2);
+  // Compare every block start of A with every block start of B.
+  for (Bytes a_off = 0; a_off < 8192; a_off += 1024) {
+    for (Bytes b_off = 0; b_off < 16384; b_off += 1024) {
+      const PhysicalLocation pa = table.locate(0, a_off);
+      const PhysicalLocation pb = table.locate(1, b_off);
+      EXPECT_FALSE(pa == pb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdpm::layout

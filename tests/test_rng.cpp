@@ -1,0 +1,85 @@
+// SplitMix64 determinism and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sdpm {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, DoublesInUnitInterval) {
+  SplitMix64 rng(99);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(SplitMix64, DoubleRangeRespected) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.next_double(-3.0, 7.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 7.0);
+  }
+}
+
+TEST(SplitMix64, UniformMeanApproximatelyHalf) {
+  SplitMix64 rng(2024);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(SplitMix64, GaussianMoments) {
+  SplitMix64 rng(77);
+  double sum = 0, sum2 = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(SplitMix64, NextBelowBounds) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(DeriveSeed, DistinctStreams) {
+  const std::uint64_t parent = 42;
+  EXPECT_NE(derive_seed(parent, 0), derive_seed(parent, 1));
+  EXPECT_NE(derive_seed(parent, 1), derive_seed(parent, 2));
+  // And stable:
+  EXPECT_EQ(derive_seed(parent, 5), derive_seed(parent, 5));
+}
+
+}  // namespace
+}  // namespace sdpm

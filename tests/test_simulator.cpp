@@ -1,0 +1,160 @@
+// Closed-loop simulator: think time, blocking I/O, energy accounting.
+#include <gtest/gtest.h>
+
+#include "policy/base.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace sdpm::sim {
+namespace {
+
+const disk::DiskParameters& params() {
+  static const disk::DiskParameters p = disk::DiskParameters::ultrastar_36z15();
+  return p;
+}
+
+trace::Trace empty_trace(int disks, TimeMs compute_ms) {
+  trace::Trace t;
+  t.total_disks = disks;
+  t.compute_total_ms = compute_ms;
+  return t;
+}
+
+trace::Request make_request(TimeMs arrival, int disk, BlockNo sector,
+                            Bytes size) {
+  trace::Request r;
+  r.arrival_ms = arrival;
+  r.disk = disk;
+  r.start_sector = sector;
+  r.size_bytes = size;
+  return r;
+}
+
+TEST(Simulator, NoRequestsPureIdle) {
+  const trace::Trace t = empty_trace(4, 10'000.0);
+  policy::BasePolicy policy;
+  const SimReport report = simulate(t, params(), policy);
+  EXPECT_EQ(report.requests, 0);
+  EXPECT_NEAR(report.execution_ms, 10'000.0, 1e-9);
+  EXPECT_NEAR(report.total_energy, 4 * 10.2 * 10.0, 1e-6);
+  EXPECT_NEAR(report.io_stall_ms, 0.0, 1e-9);
+}
+
+TEST(Simulator, BlockingIoExtendsExecution) {
+  trace::Trace t = empty_trace(1, 1'000.0);
+  t.requests.push_back(make_request(500.0, 0, 0, kib(64)));
+  policy::BasePolicy policy;
+  const SimReport report = simulate(t, params(), policy);
+  const TimeMs service = params().service_time(kib(64), 10, false);
+  EXPECT_NEAR(report.execution_ms, 1'000.0 + service, 1e-9);
+  EXPECT_NEAR(report.io_stall_ms, service, 1e-9);
+  ASSERT_EQ(report.responses.size(), 1u);
+  EXPECT_NEAR(report.responses[0], service, 1e-9);
+}
+
+TEST(Simulator, StallsCascadeThroughThinkTimes) {
+  trace::Trace t = empty_trace(1, 1'000.0);
+  // Two requests 100 ms of compute apart.
+  t.requests.push_back(make_request(100.0, 0, 0, kib(64)));
+  t.requests.push_back(make_request(200.0, 0, 999'999, kib(64)));
+  policy::BasePolicy policy;
+  const SimReport report = simulate(t, params(), policy);
+  const TimeMs service = params().service_time(kib(64), 10, false);
+  // Second request arrives at (100 + service) + 100.
+  EXPECT_NEAR(report.disks[0].busy_periods[1].start, 200.0 + service, 1e-9);
+  EXPECT_NEAR(report.execution_ms, 1'000.0 + 2 * service, 1e-9);
+}
+
+TEST(Simulator, EnergyMatchesDurationTimesPower) {
+  trace::Trace t = empty_trace(2, 5'000.0);
+  t.requests.push_back(make_request(1'000.0, 0, 0, kib(64)));
+  policy::BasePolicy policy;
+  const SimReport report = simulate(t, params(), policy);
+  const TimeMs service = params().service_time(kib(64), 10, false);
+  const TimeMs end = 5'000.0 + service;
+  const Joules expected_disk0 =
+      joules_from_watt_ms(10.2, end - service) +
+      joules_from_watt_ms(13.5, service);
+  const Joules expected_disk1 = joules_from_watt_ms(10.2, end);
+  EXPECT_NEAR(report.disks[0].breakdown.total_j(), expected_disk0, 1e-6);
+  EXPECT_NEAR(report.disks[1].breakdown.total_j(), expected_disk1, 1e-6);
+  EXPECT_NEAR(report.total_energy, expected_disk0 + expected_disk1, 1e-6);
+}
+
+TEST(Simulator, PerDiskTimeAccountingExhaustive) {
+  trace::Trace t = empty_trace(3, 2'000.0);
+  t.requests.push_back(make_request(100.0, 0, 0, kib(16)));
+  t.requests.push_back(make_request(300.0, 2, 0, kib(16)));
+  policy::BasePolicy policy;
+  const SimReport report = simulate(t, params(), policy);
+  for (const DiskReport& d : report.disks) {
+    EXPECT_NEAR(d.breakdown.total_ms(), report.execution_ms, 1e-6);
+  }
+}
+
+TEST(Simulator, RejectsUnknownDisk) {
+  trace::Trace t = empty_trace(2, 1'000.0);
+  t.requests.push_back(make_request(0.0, 5, 0, kib(16)));
+  policy::BasePolicy policy;
+  Simulator sim(t, params(), policy);
+  EXPECT_THROW(sim.run(), Error);
+}
+
+TEST(Simulator, RunOnlyOnce) {
+  const trace::Trace t = empty_trace(1, 100.0);
+  policy::BasePolicy policy;
+  Simulator sim(t, params(), policy);
+  sim.run();
+  EXPECT_THROW(sim.run(), Error);
+}
+
+TEST(Simulator, PowerEventsReachPolicy) {
+  struct CountingPolicy final : PowerPolicy {
+    int events = 0;
+    void on_power_event(DiskUnit&, TimeMs,
+                        const ir::PowerDirective&) override {
+      ++events;
+    }
+    const char* name() const override { return "count"; }
+  };
+  trace::Trace t = empty_trace(2, 1'000.0);
+  trace::PowerEvent ev;
+  ev.app_time_ms = 500.0;
+  ev.directive = ir::PowerDirective{ir::PowerDirective::Kind::kSpinDown, 1, 0};
+  t.power_events.push_back(ev);
+  CountingPolicy policy;
+  simulate(t, params(), policy);
+  EXPECT_EQ(policy.events, 1);
+}
+
+TEST(Simulator, PowerEventBeforeRequestAtSameTime) {
+  struct OrderPolicy final : PowerPolicy {
+    std::vector<char> order;
+    void on_power_event(DiskUnit&, TimeMs,
+                        const ir::PowerDirective&) override {
+      order.push_back('p');
+    }
+    void before_service(DiskUnit&, TimeMs) override { order.push_back('r'); }
+    const char* name() const override { return "order"; }
+  };
+  trace::Trace t = empty_trace(1, 1'000.0);
+  t.requests.push_back(make_request(500.0, 0, 0, kib(16)));
+  trace::PowerEvent ev;
+  ev.app_time_ms = 500.0;
+  ev.directive = ir::PowerDirective{ir::PowerDirective::Kind::kSpinUp, 0, 0};
+  t.power_events.push_back(ev);
+  OrderPolicy policy;
+  simulate(t, params(), policy);
+  ASSERT_EQ(policy.order.size(), 2u);
+  EXPECT_EQ(policy.order[0], 'p');
+  EXPECT_EQ(policy.order[1], 'r');
+}
+
+TEST(Simulator, ReportNamesPolicy) {
+  const trace::Trace t = empty_trace(1, 100.0);
+  policy::BasePolicy policy;
+  EXPECT_EQ(simulate(t, params(), policy).policy_name, "Base");
+}
+
+}  // namespace
+}  // namespace sdpm::sim

@@ -1,0 +1,42 @@
+// String formatting helpers.
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace sdpm {
+namespace {
+
+TEST(Strings, Printf) {
+  EXPECT_EQ(str_printf("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(str_printf("%.2f", 1.239), "1.24");
+  EXPECT_EQ(str_printf("empty"), "empty");
+}
+
+TEST(Strings, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, FmtBytes) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(kib(64)), "64 KB");
+  EXPECT_EQ(fmt_bytes(mib(96)), "96.0 MB");
+  EXPECT_EQ(fmt_bytes(gib(18)), "18.0 GB");
+}
+
+TEST(Strings, FmtTime) {
+  EXPECT_EQ(fmt_time_ms(3.4), "3.40 ms");
+  EXPECT_EQ(fmt_time_ms(10'900.0), "10.90 s");
+  EXPECT_EQ(fmt_time_ms(0.02), "20.0 us");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+}  // namespace
+}  // namespace sdpm

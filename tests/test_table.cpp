@@ -1,0 +1,57 @@
+// Table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace sdpm {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, HeaderAfterRowsRejected) {
+  Table t;
+  t.add_row({"x"});
+  EXPECT_THROW(t.set_header({"a"}), Error);
+}
+
+TEST(Table, RowAccessors) {
+  Table t;
+  t.set_header({"h"});
+  t.add_row({"v"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "v");
+  EXPECT_EQ(t.header()[0], "h");
+}
+
+}  // namespace
+}  // namespace sdpm

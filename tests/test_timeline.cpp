@@ -1,0 +1,145 @@
+// Timeline, IterationSpace, CycleNoise, and StallAwareTimeline.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "trace/stall_aware.h"
+#include "trace/timeline.h"
+#include "util/error.h"
+
+namespace sdpm::trace {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::sym;
+
+ir::Program two_nest_program() {
+  ProgramBuilder pb("p");
+  const auto u = pb.array("U", {100});
+  pb.nest("n1").loop("i", 0, 100).stmt(750.0).read(u, {sym("i")}).done();
+  pb.nest("n2").loop("i", 0, 50).stmt(1500.0).read(u, {sym("i")}).done();
+  return pb.build();
+}
+
+TEST(IterationSpace, GlobalCoordinates) {
+  const ir::Program p = two_nest_program();
+  const IterationSpace space(p);
+  EXPECT_EQ(space.total(), 150);
+  EXPECT_EQ(space.nest_begin(0), 0);
+  EXPECT_EQ(space.nest_end(0), 100);
+  EXPECT_EQ(space.nest_begin(1), 100);
+  EXPECT_EQ(space.nest_end(1), 150);
+  EXPECT_EQ(space.global_of({1, 10}), 110);
+}
+
+TEST(IterationSpace, PointOfRoundTrips) {
+  const ir::Program p = two_nest_program();
+  const IterationSpace space(p);
+  for (std::int64_t g = 0; g < space.total(); ++g) {
+    EXPECT_EQ(space.global_of(space.point_of(g)), g);
+  }
+  // End sentinel maps to the end of the last nest.
+  const ir::IterationPoint end = space.point_of(space.total());
+  EXPECT_EQ(end.nest_index, 1);
+  EXPECT_EQ(end.flat_iteration, 50);
+}
+
+TEST(Timeline, PerIterationAtClockRate) {
+  const ir::Program p = two_nest_program();
+  const Timeline tl(p, 750e6);
+  // 750 cycles at 750 MHz = 1 microsecond.
+  EXPECT_NEAR(tl.per_iteration_ms(0), 0.001, 1e-12);
+  EXPECT_NEAR(tl.per_iteration_ms(1), 0.002, 1e-12);
+  EXPECT_NEAR(tl.total(), 100 * 0.001 + 50 * 0.002, 1e-9);
+}
+
+TEST(Timeline, AtIsMonotone) {
+  const ir::Program p = two_nest_program();
+  const Timeline tl(p, 750e6);
+  TimeMs prev = -1;
+  for (std::int64_t g = 0; g <= tl.space().total(); ++g) {
+    const TimeMs t = tl.at_global(g);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Timeline, NestBoundariesLineUp) {
+  const ir::Program p = two_nest_program();
+  const Timeline tl(p, 750e6);
+  EXPECT_NEAR(tl.nest_start(1), tl.at_global(100), 1e-12);
+  EXPECT_NEAR(tl.at({1, 0}), tl.nest_start(1), 1e-12);
+}
+
+TEST(Timeline, MultipliersScalePerNest) {
+  const ir::Program p = two_nest_program();
+  const Timeline tl(p, {2.0, 0.5}, 750e6);
+  EXPECT_NEAR(tl.per_iteration_ms(0), 0.002, 1e-12);
+  EXPECT_NEAR(tl.per_iteration_ms(1), 0.001, 1e-12);
+}
+
+TEST(Timeline, NoiseIsDeterministic) {
+  const ir::Program p = two_nest_program();
+  const CycleNoise noise{0.2, 99};
+  const Timeline a = Timeline::with_noise(p, noise);
+  const Timeline b = Timeline::with_noise(p, noise);
+  EXPECT_EQ(a.multipliers(), b.multipliers());
+  EXPECT_NE(a.multipliers()[0], 1.0);
+}
+
+TEST(Timeline, ZeroSigmaMeansNominal) {
+  const ir::Program p = two_nest_program();
+  const Timeline tl = Timeline::with_noise(p, CycleNoise::none());
+  EXPECT_EQ(tl.multipliers(), (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(Timeline, DifferentSeedsDiffer) {
+  const ir::Program p = two_nest_program();
+  const Timeline a = Timeline::with_noise(p, CycleNoise{0.2, 1});
+  const Timeline b = Timeline::with_noise(p, CycleNoise{0.2, 2});
+  EXPECT_NE(a.multipliers(), b.multipliers());
+}
+
+TEST(StallAware, AddsStallsAtIterations) {
+  const ir::Program p = two_nest_program();
+  Timeline compute(p, 750e6);
+  // Requests at global iterations 10 and 20 with 5 ms and 7 ms responses.
+  const StallAwareTimeline sa(compute, {10, 20}, std::vector<TimeMs>{5, 7});
+  EXPECT_NEAR(sa.at_global(10), compute.at_global(10), 1e-12);
+  EXPECT_NEAR(sa.at_global(11), compute.at_global(11) + 5, 1e-12);
+  EXPECT_NEAR(sa.at_global(20), compute.at_global(20) + 5, 1e-12);
+  EXPECT_NEAR(sa.at_global(21), compute.at_global(21) + 12, 1e-12);
+  EXPECT_NEAR(sa.total_stall_ms(), 12, 1e-12);
+}
+
+TEST(StallAware, FlatAverageConstructor) {
+  const ir::Program p = two_nest_program();
+  Timeline compute(p, 750e6);
+  const StallAwareTimeline sa(compute, {5, 10, 15}, 2.0);
+  EXPECT_NEAR(sa.at_global(16) - compute.at_global(16), 6.0, 1e-12);
+}
+
+TEST(StallAware, MonotoneLikeAnyTimeEstimate) {
+  const ir::Program p = two_nest_program();
+  Timeline compute(p, 750e6);
+  const StallAwareTimeline sa(compute, {3, 3, 80}, 4.0);
+  TimeMs prev = -1;
+  for (std::int64_t g = 0; g <= sa.total_iterations(); ++g) {
+    const TimeMs t = sa.at_global(g);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(StallAware, RejectsUnsortedOrMismatched) {
+  const ir::Program p = two_nest_program();
+  Timeline compute(p, 750e6);
+  EXPECT_THROW(StallAwareTimeline(compute, {5, 3},
+                                  std::vector<TimeMs>{1, 1}),
+               Error);
+  EXPECT_THROW(StallAwareTimeline(compute, {1, 2},
+                                  std::vector<TimeMs>{1}),
+               Error);
+}
+
+}  // namespace
+}  // namespace sdpm::trace
