@@ -5,14 +5,26 @@
 namespace sdpm::experiments {
 
 Table per_disk_table(const sim::SimReport& report, const std::string& title) {
+  // The fault columns only appear when some fault fired, so fault-free
+  // reports keep their historical shape.
+  bool any_faults = false;
+  for (const sim::DiskReport& disk : report.disks) {
+    any_faults = any_faults || disk.spin_up_retries > 0 ||
+                 disk.media_errors > 0 || disk.dropped_directives > 0;
+  }
   Table table(title);
-  table.set_header({"Disk", "Energy (J)", "Active", "Idle", "Standby",
-                    "Transitions (J)", "Services", "Spin-downs",
-                    "Demand-ups", "RPM shifts"});
+  std::vector<std::string> header = {
+      "Disk", "Energy (J)", "Active", "Idle", "Standby", "Transitions (J)",
+      "Services", "Spin-downs", "Demand-ups", "RPM shifts"};
+  if (any_faults) {
+    header.insert(header.end(),
+                  {"Retries", "Media errs", "Remaps", "Dropped"});
+  }
+  table.set_header(header);
   for (int d = 0; d < report.disk_count(); ++d) {
     const sim::DiskReport& disk = report.disks[static_cast<std::size_t>(d)];
     const auto& b = disk.breakdown;
-    table.add_row({
+    std::vector<std::string> row = {
         std::to_string(d),
         fmt_double(b.total_j(), 2),
         fmt_time_ms(b.active_ms) + " / " + fmt_double(b.active_j, 1) + " J",
@@ -24,7 +36,14 @@ Table per_disk_table(const sim::SimReport& report, const std::string& title) {
         std::to_string(disk.spin_downs),
         std::to_string(disk.demand_spin_ups),
         std::to_string(disk.rpm_transitions),
-    });
+    };
+    if (any_faults) {
+      row.push_back(std::to_string(disk.spin_up_retries));
+      row.push_back(std::to_string(disk.media_errors));
+      row.push_back(std::to_string(disk.remapped_sectors));
+      row.push_back(std::to_string(disk.dropped_directives));
+    }
+    table.add_row(row);
   }
   return table;
 }

@@ -62,13 +62,46 @@ void Runner::ensure_base() {
   trace_ = generator.generate();
 
   policy::BasePolicy policy;
-  base_ = sim::simulate(*trace_, config_.disk, policy);
-
+  base_ = sim::simulate(*trace_, config_.disk, policy,
+                        sim::ReplayMode::kClosedLoop, config_.faults);
 }
 
 const sim::SimReport& Runner::base_report() {
   ensure_base();
   return *base_;
+}
+
+const trace::Trace& Runner::trace() {
+  ensure_base();
+  return *trace_;
+}
+
+core::ScheduleResult Runner::schedule_cm(core::PowerMode mode) {
+  ensure_base();
+  const trace::StallAwareTimeline estimate =
+      measured_timeline(config_.profile_noise);
+  core::SchedulerOptions so;
+  so.mode = mode;
+  so.access = config_.gen;
+  so.call_site_granularity = config_.call_site_granularity;
+  so.preactivate = config_.preactivate;
+  so.estimate = &estimate;
+  return core::schedule_power_calls(compiled_.program, *layout_,
+                                    config_.disk, so);
+}
+
+trace::Trace Runner::generate_actual(const ir::Program& program) const {
+  trace::GeneratorOptions gen = config_.gen;
+  gen.noise = config_.actual_noise;
+  trace::TraceGenerator generator(program, *layout_, gen);
+  return generator.generate();
+}
+
+trace::Trace Runner::cm_trace(core::PowerMode mode,
+                              std::int64_t* calls_inserted) {
+  const core::ScheduleResult scheduled = schedule_cm(mode);
+  if (calls_inserted != nullptr) *calls_inserted = scheduled.calls_inserted;
+  return generate_actual(scheduled.program);
 }
 
 trace::StallAwareTimeline Runner::measured_timeline(
@@ -99,16 +132,18 @@ SchemeResult Runner::run(Scheme scheme) {
     }
     case Scheme::kTpm: {
       policy::TpmPolicy policy;
-      const sim::SimReport report = sim::simulate(*trace_, config_.disk,
-                                                  policy);
+      const sim::SimReport report =
+          sim::simulate(*trace_, config_.disk, policy,
+                        sim::ReplayMode::kClosedLoop, config_.faults);
       result.energy_j = report.total_energy;
       result.execution_ms = report.execution_ms;
       break;
     }
     case Scheme::kDrpm: {
       policy::DrpmPolicy policy;
-      const sim::SimReport report = sim::simulate(*trace_, config_.disk,
-                                                  policy);
+      const sim::SimReport report =
+          sim::simulate(*trace_, config_.disk, policy,
+                        sim::ReplayMode::kClosedLoop, config_.faults);
       result.energy_j = report.total_energy;
       result.execution_ms = report.execution_ms;
       break;
@@ -132,27 +167,15 @@ SchemeResult Runner::run(Scheme scheme) {
       const core::PowerMode mode = scheme == Scheme::kCmtpm
                                        ? core::PowerMode::kTpm
                                        : core::PowerMode::kDrpm;
-      const trace::StallAwareTimeline estimate =
-          measured_timeline(config_.profile_noise);
-      core::SchedulerOptions so;
-      so.mode = mode;
-      so.access = config_.gen;
-      so.call_site_granularity = config_.call_site_granularity;
-      so.preactivate = config_.preactivate;
-      so.estimate = &estimate;
-      core::ScheduleResult scheduled = core::schedule_power_calls(
-          compiled_.program, *layout_, config_.disk, so);
+      const core::ScheduleResult scheduled = schedule_cm(mode);
       result.power_calls = scheduled.calls_inserted;
-
-      trace::GeneratorOptions gen = config_.gen;
-      gen.noise = config_.actual_noise;
-      trace::TraceGenerator generator(scheduled.program, *layout_, gen);
-      const trace::Trace cm_trace = generator.generate();
+      const trace::Trace cm = generate_actual(scheduled.program);
 
       policy::ProactivePolicy policy(scheme == Scheme::kCmtpm ? "CMTPM"
                                                               : "CMDRPM");
       const sim::SimReport report =
-          sim::simulate(cm_trace, config_.disk, policy);
+          sim::simulate(cm, config_.disk, policy,
+                        sim::ReplayMode::kClosedLoop, config_.faults);
       result.energy_j = report.total_energy;
       result.execution_ms = report.execution_ms;
 

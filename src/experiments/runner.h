@@ -23,6 +23,7 @@
 
 #include "core/compiler.h"
 #include "disk/parameters.h"
+#include "sim/faults.h"
 #include "sim/report.h"
 #include "trace/generator.h"
 #include "trace/stall_aware.h"
@@ -50,6 +51,9 @@ struct ExperimentConfig {
   std::int64_t call_site_granularity = 1;
   bool preactivate = true;
   Bytes tile_bytes = 256 * 1024;
+  /// Fault injection applied to every simulated scheme (Base included, so
+  /// normalization stays against the same faulty machine).  Default: none.
+  sim::FaultConfig faults;
 };
 
 struct SchemeResult {
@@ -76,6 +80,15 @@ class Runner {
   /// The Base simulation (runs lazily, cached).
   const sim::SimReport& base_report();
 
+  /// The generated trace without power calls (shared by Base/TPM/DRPM).
+  const trace::Trace& trace();
+
+  /// The re-generated trace with the compiler's power calls inserted for
+  /// `mode`, as used by the CM schemes; `calls_inserted` (optional)
+  /// receives the directive count.
+  trace::Trace cm_trace(core::PowerMode mode,
+                        std::int64_t* calls_inserted = nullptr);
+
   /// Evaluate one scheme.
   SchemeResult run(Scheme scheme);
 
@@ -91,6 +104,11 @@ class Runner {
   /// exact iterations.
   trace::StallAwareTimeline measured_timeline(
       const trace::CycleNoise& noise) const;
+  /// Run the compiler's power-call scheduler for `mode` against the
+  /// profile-noise estimate.
+  core::ScheduleResult schedule_cm(core::PowerMode mode);
+  /// Generate the production-run trace of `program` (actual noise).
+  trace::Trace generate_actual(const ir::Program& program) const;
 
   workloads::Benchmark benchmark_;
   ExperimentConfig config_;

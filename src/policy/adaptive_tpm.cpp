@@ -21,6 +21,11 @@ TimeMs AdaptiveTpmPolicy::threshold_of(int disk_id) const {
   return it == threshold_.end() ? -1.0 : it->second;
 }
 
+void AdaptiveTpmPolicy::set_threshold(int disk_id, TimeMs threshold_ms) {
+  threshold_[disk_id] = std::clamp(threshold_ms, options_.min_threshold_ms,
+                                   options_.max_threshold_ms);
+}
+
 void AdaptiveTpmPolicy::maybe_spin_down(sim::DiskUnit& disk, TimeMs now) {
   if (disk.heading_to_standby()) return;
   TimeMs& threshold = threshold_[disk.id()];

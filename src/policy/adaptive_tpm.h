@@ -42,6 +42,11 @@ class AdaptiveTpmPolicy final : public sim::PowerPolicy {
   /// Current threshold of `disk_id` (for tests/inspection).
   TimeMs threshold_of(int disk_id) const;
 
+  /// Override `disk_id`'s threshold (clamped to the configured bounds).
+  /// Used by ResilientPolicy to start a demoted disk at the conservative
+  /// ceiling; the adaptive rule relaxes it again if spin-downs pay off.
+  void set_threshold(int disk_id, TimeMs threshold_ms);
+
  private:
   void maybe_spin_down(sim::DiskUnit& disk, TimeMs now);
 

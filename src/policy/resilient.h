@@ -1,0 +1,104 @@
+// Resilient policy wrapper: graceful degradation when the plan is wrong.
+//
+// The compiler-directed proactive schemes assume the array obeys every
+// directive and every spin-up succeeds.  When hardware misbehaves — failed
+// spin-ups retried with backoff, dropped directives — a compile-time
+// schedule keeps paying the same penalties over and over, because nothing
+// in the loop observes that reality has drifted from the plan.  This
+// wrapper is the runtime counterpart of the paper's Table 3 misprediction
+// analysis: it composes any inner policy with an online per-disk health
+// monitor and, once a disk has accumulated enough observable fault evidence
+// (spin-up retries; unplanned demand spin-ups while under the inner
+// policy), *demotes* that disk to a reactive adaptive-TPM fallback seeded
+// at its conservative threshold ceiling — the demoted disk effectively
+// stops power-cycling, and the fallback's adaptive rule earns the
+// threshold back down only if spin-downs pay off.  After a configurable
+// fault-free stable
+// window the disk is *re-promoted* to the inner policy.  The demote score
+// threshold sits well above the promote condition (score reset + minimum
+// quiet time), so the wrapper does not flap between managers.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "policy/adaptive_tpm.h"
+#include "sim/policy.h"
+
+namespace sdpm::policy {
+
+struct ResilientOptions {
+  /// Health-score weight of one observed spin-up retry (each costs a
+  /// spin-up attempt + backoff, so retries are weighted as hard evidence).
+  double retry_weight = 1.0;
+  /// Weight of one demand spin-up observed while the disk is governed by
+  /// the inner policy (the plan said the disk would be up; it was not —
+  /// either a misprediction or a silently dropped pre-activation).
+  double miss_weight = 0.5;
+  /// Demote a disk when its score reaches this value.  The default demotes
+  /// on the first observed spin-up retry: one failed wake costs ~11 s of
+  /// stall on the Ultrastar parameters, which dwarfs any TPM energy win,
+  /// and the stable-window re-promotion below forgives a one-off.
+  double demote_score = 1.0;
+  /// Fault-free time after which a disk's score is forgiven and, if
+  /// degraded, the disk is re-promoted to the inner policy.
+  TimeMs stable_ms = 120'000.0;
+  /// Tuning of the degraded-mode adaptive-TPM fallback.
+  AdaptiveTpmOptions fallback{};
+};
+
+/// Composes an inner PowerPolicy with per-disk degradation to AdaptiveTpm.
+/// The wrapper owns no disks and may be used with any simulator entry
+/// point; like all policies it is single-run state.
+class ResilientPolicy final : public sim::PowerPolicy {
+ public:
+  explicit ResilientPolicy(sim::PowerPolicy& inner,
+                           ResilientOptions options = {});
+
+  void attach(sim::DiskUnit& disk) override;
+  void before_service(sim::DiskUnit& disk, TimeMs now) override;
+  void after_service(sim::DiskUnit& disk, TimeMs completion,
+                     TimeMs response_ms) override;
+  void on_power_event(sim::DiskUnit& disk, TimeMs now,
+                      const ir::PowerDirective& directive) override;
+  void finalize(sim::DiskUnit& disk, TimeMs end) override;
+
+  const char* name() const override { return label_.c_str(); }
+
+  // ---- introspection (tests / reports) -----------------------------------
+
+  /// True while `disk_id` is governed by the adaptive-TPM fallback.
+  bool degraded(int disk_id) const;
+  /// Demotions and re-promotions across all disks.
+  std::int64_t demotions() const { return demotions_; }
+  std::int64_t promotions() const { return promotions_; }
+  /// Compiler directives swallowed while their disk was degraded.
+  std::int64_t suppressed_directives() const {
+    return suppressed_directives_;
+  }
+
+ private:
+  struct Health {
+    double score = 0.0;
+    bool degraded = false;
+    TimeMs last_bad = -1.0;       ///< time of the last observed fault
+    TimeMs demoted_at = 0.0;
+    std::int64_t prev_retries = 0;
+    std::int64_t prev_demand = 0;
+  };
+
+  /// Fold the counter deltas since the last observation into the score and
+  /// apply the demote / promote transitions at time `now`.
+  void observe(sim::DiskUnit& disk, TimeMs now);
+
+  sim::PowerPolicy& inner_;
+  AdaptiveTpmPolicy fallback_;
+  ResilientOptions options_;
+  std::string label_;
+  std::unordered_map<int, Health> health_;
+  std::int64_t demotions_ = 0;
+  std::int64_t promotions_ = 0;
+  std::int64_t suppressed_directives_ = 0;
+};
+
+}  // namespace sdpm::policy

@@ -11,8 +11,10 @@ namespace {
 constexpr TimeMs kTimeEps = 1e-9;
 }
 
-DiskUnit::DiskUnit(const disk::DiskParameters& params, int id)
-    : params_(&params), id_(id), level_(params.max_level()),
+DiskUnit::DiskUnit(const disk::DiskParameters& params, int id,
+                   FaultModel* faults)
+    : params_(&params), id_(id), faults_(faults),
+      level_(params.max_level()),
       level_residency_(static_cast<std::size_t>(params.rpm_level_count()),
                        0.0) {
   params.validate();
@@ -87,8 +89,42 @@ bool DiskUnit::heading_to_standby() const {
          (mode_ == Mode::kTransition && after_mode_ == Mode::kStandby);
 }
 
+void DiskUnit::begin_spin_up() {
+  SDPM_ASSERT(mode_ == Mode::kStandby, "spin-up must start from standby");
+  if (faults_ != nullptr) {
+    const FaultConfig& fc = faults_->config();
+    TimeMs attempt_ms = fc.spin_up_attempt_ms >= 0 ? fc.spin_up_attempt_ms
+                                                   : params_->tpm.spin_up_time;
+    attempt_ms = std::min(attempt_ms, params_->tpm.spin_up_time);
+    const Joules attempt_j =
+        params_->tpm.spin_up_energy *
+        (params_->tpm.spin_up_time > 0
+             ? attempt_ms / params_->tpm.spin_up_time
+             : 1.0);
+    int attempt = 0;
+    // The attempt after the retry cap always succeeds (controller
+    // recovery), so service can never wedge behind a permanently dead
+    // spindle.
+    while (attempt < fc.max_spin_up_retries && faults_->spin_up_fails(id_)) {
+      ++spin_up_retries_;
+      begin_transition(disk::PowerState::kSpinningUp, attempt_ms, attempt_j,
+                       Mode::kStandby, level_);
+      settle();
+      advance_to(clock_ + faults_->backoff_ms(attempt));
+      ++attempt;
+    }
+  }
+  begin_transition(disk::PowerState::kSpinningUp, params_->tpm.spin_up_time,
+                   params_->tpm.spin_up_energy, Mode::kSpinning,
+                   params_->max_level());
+}
+
 void DiskUnit::spin_down(TimeMs t) {
   if (heading_to_standby()) return;
+  if (faults_ != nullptr && faults_->drops_directive(id_)) {
+    ++dropped_directives_;
+    return;
+  }
   advance_to(std::max(t, clock_));
   settle();
   if (mode_ == Mode::kStandby) return;
@@ -103,9 +139,7 @@ void DiskUnit::spin_up(TimeMs t) {
   advance_to(std::max(t, clock_));
   settle();
   if (mode_ == Mode::kSpinning) return;
-  begin_transition(disk::PowerState::kSpinningUp, params_->tpm.spin_up_time,
-                   params_->tpm.spin_up_energy, Mode::kSpinning,
-                   params_->max_level());
+  begin_spin_up();
 }
 
 void DiskUnit::set_rpm_level(TimeMs t, int level) {
@@ -114,6 +148,10 @@ void DiskUnit::set_rpm_level(TimeMs t, int level) {
   SDPM_REQUIRE(!heading_to_standby(),
                "set_rpm_level on a standby disk (spin it up first)");
   if (target_level() == level) return;
+  if (faults_ != nullptr && faults_->drops_directive(id_)) {
+    ++dropped_directives_;
+    return;
+  }
   advance_to(std::max(t, clock_));
   settle();
   if (level_ == level) return;
@@ -136,16 +174,30 @@ DiskUnit::ServeResult DiskUnit::serve(TimeMs arrival, BlockNo sector,
   if (mode_ == Mode::kStandby) {
     result.demand_spin_up = true;
     ++demand_spin_ups_;
-    begin_transition(disk::PowerState::kSpinningUp, params_->tpm.spin_up_time,
-                     params_->tpm.spin_up_energy, Mode::kSpinning,
-                     params_->max_level());
+    begin_spin_up();
     settle();
   }
   SDPM_ASSERT(mode_ == Mode::kSpinning, "disk must spin to serve");
 
   const bool sequential = sector == next_sector_;
-  const TimeMs service =
-      params_->service_time(size_bytes, level_, sequential);
+  TimeMs service = params_->service_time(size_bytes, level_, sequential);
+  if (faults_ != nullptr) {
+    if (faults_->is_remapped(id_, sector)) {
+      // The head must detour to the spare area: one reposition (seek +
+      // rotational latency) on top of the nominal transfer.
+      service += params_->average_seek_time +
+                 params_->rotational_latency_at_level(level_);
+    }
+    const FaultModel::MediaOutcome media = faults_->media_check(id_, sector);
+    if (media.error) {
+      ++media_errors_;
+      if (media.new_remap) ++remapped_sectors_;
+      // Retry the transfer from the (re)mapped location: a full
+      // non-sequential re-read at the current level.
+      service += params_->service_time(size_bytes, level_, false);
+    }
+    service *= faults_->service_jitter_factor(id_);
+  }
   result.start = clock_;
   result.completion = clock_ + service;
   breakdown_.add(disk::PowerState::kActive, service,

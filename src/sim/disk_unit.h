@@ -21,6 +21,7 @@
 #include "disk/parameters.h"
 #include "disk/power_state.h"
 #include "ir/nest.h"
+#include "sim/faults.h"
 #include "util/units.h"
 
 namespace sdpm::sim {
@@ -34,7 +35,11 @@ struct BusyPeriod {
 
 class DiskUnit {
  public:
-  DiskUnit(const disk::DiskParameters& params, int id);
+  /// `faults` (optional, not owned, may outlive no call) injects spin-up
+  /// failures, media errors, jitter and dropped directives; nullptr keeps
+  /// the unit's behavior exactly fault-free.
+  DiskUnit(const disk::DiskParameters& params, int id,
+           FaultModel* faults = nullptr);
 
   int id() const { return id_; }
   const disk::DiskParameters& params() const { return *params_; }
@@ -42,7 +47,8 @@ class DiskUnit {
   // ---- power commands ----------------------------------------------------
 
   /// Begin spinning down at `t` (idle -> standby).  No-op when already in
-  /// standby.  A transition in progress completes first.
+  /// standby.  A transition in progress completes first.  Under fault
+  /// injection the command may be silently dropped.
   void spin_down(TimeMs t);
 
   /// Begin spinning up at `t` (standby -> active at full RPM).  No-op when
@@ -101,6 +107,17 @@ class DiskUnit {
   std::int64_t rpm_transitions() const { return rpm_transitions_; }
   std::int64_t commanded_spin_downs() const { return spin_downs_; }
 
+  // ---- fault outcomes (all zero when no FaultModel is attached) ----------
+
+  /// Failed spin-up attempts (each paid attempt time + energy + backoff).
+  std::int64_t spin_up_retries() const { return spin_up_retries_; }
+  /// Transient media errors hit while servicing requests.
+  std::int64_t media_errors() const { return media_errors_; }
+  /// Sectors remapped to the spare area by this unit's media errors.
+  std::int64_t remapped_sectors() const { return remapped_sectors_; }
+  /// spin_down / set_rpm_level commands that silently did not take effect.
+  std::int64_t dropped_directives() const { return dropped_directives_; }
+
  private:
   enum class Mode { kSpinning, kStandby, kTransition };
 
@@ -119,8 +136,15 @@ class DiskUnit {
   void begin_transition(disk::PowerState bucket, TimeMs duration,
                         Joules energy, Mode after, int level_after);
 
+  /// Start the standby -> spinning transition at clock_ (mode kStandby,
+  /// settled), burning through any injected failed attempts (attempt time +
+  /// capped exponential backoff each) before the final, successful spin-up
+  /// is left in flight.
+  void begin_spin_up();
+
   const disk::DiskParameters* params_;
   int id_;
+  FaultModel* faults_;
 
   TimeMs clock_ = 0;
   Mode mode_ = Mode::kSpinning;
@@ -143,6 +167,10 @@ class DiskUnit {
   std::int64_t demand_spin_ups_ = 0;
   std::int64_t rpm_transitions_ = 0;
   std::int64_t spin_downs_ = 0;
+  std::int64_t spin_up_retries_ = 0;
+  std::int64_t media_errors_ = 0;
+  std::int64_t remapped_sectors_ = 0;
+  std::int64_t dropped_directives_ = 0;
 };
 
 }  // namespace sdpm::sim

@@ -1,0 +1,99 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sdpm::sim {
+
+namespace {
+
+bool valid_prob(double p) { return p >= 0.0 && p <= 1.0 && std::isfinite(p); }
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  SDPM_REQUIRE(valid_prob(spin_up_failure_prob),
+               "spin_up_failure_prob must be in [0, 1]");
+  SDPM_REQUIRE(valid_prob(media_error_prob),
+               "media_error_prob must be in [0, 1]");
+  SDPM_REQUIRE(valid_prob(dropped_directive_prob),
+               "dropped_directive_prob must be in [0, 1]");
+  SDPM_REQUIRE(service_jitter >= 0.0 && service_jitter < 1.0,
+               "service_jitter must be in [0, 1)");
+  SDPM_REQUIRE(max_spin_up_retries >= 0, "max_spin_up_retries must be >= 0");
+  SDPM_REQUIRE(retry_backoff_base_ms >= 0.0,
+               "retry_backoff_base_ms must be >= 0");
+  SDPM_REQUIRE(retry_backoff_factor >= 1.0,
+               "retry_backoff_factor must be >= 1");
+  SDPM_REQUIRE(retry_backoff_cap_ms >= 0.0,
+               "retry_backoff_cap_ms must be >= 0");
+}
+
+FaultModel::FaultModel(const FaultConfig& config) : config_(config) {
+  config_.validate();
+}
+
+FaultModel::DiskState& FaultModel::state(int disk) {
+  while (static_cast<std::size_t>(disk) >= disks_.size()) {
+    disks_.emplace_back(derive_seed(config_.seed,
+                                    static_cast<std::uint64_t>(disks_.size())));
+  }
+  return disks_[static_cast<std::size_t>(disk)];
+}
+
+bool FaultModel::spin_up_fails(int disk) {
+  if (config_.spin_up_failure_prob <= 0.0) return false;
+  return state(disk).rng.next_double() < config_.spin_up_failure_prob;
+}
+
+bool FaultModel::drops_directive(int disk) {
+  if (config_.dropped_directive_prob <= 0.0) return false;
+  return state(disk).rng.next_double() < config_.dropped_directive_prob;
+}
+
+FaultModel::MediaOutcome FaultModel::media_check(int disk, BlockNo sector) {
+  MediaOutcome outcome;
+  if (config_.media_error_prob <= 0.0) return outcome;
+  DiskState& s = state(disk);
+  if (s.rng.next_double() >= config_.media_error_prob) return outcome;
+  outcome.error = true;
+  // A sector already living in the spare area is not remapped again; the
+  // error was transient and the retry alone recovers it.
+  if (!s.remap.contains(sector)) {
+    // Spare-area location: a stable synthetic block keyed by arrival order.
+    s.remap.emplace(sector,
+                    static_cast<BlockNo>(s.remap.size()) | (BlockNo{1} << 62));
+    outcome.new_remap = true;
+  }
+  return outcome;
+}
+
+double FaultModel::service_jitter_factor(int disk) {
+  if (config_.service_jitter <= 0.0) return 1.0;
+  return state(disk).rng.next_double(1.0 - config_.service_jitter,
+                                     1.0 + config_.service_jitter);
+}
+
+bool FaultModel::is_remapped(int disk, BlockNo sector) const {
+  if (static_cast<std::size_t>(disk) >= disks_.size()) return false;
+  return disks_[static_cast<std::size_t>(disk)].remap.contains(sector);
+}
+
+TimeMs FaultModel::backoff_ms(int attempt) const {
+  TimeMs delay = config_.retry_backoff_base_ms;
+  for (int i = 0; i < attempt; ++i) {
+    delay *= config_.retry_backoff_factor;
+    if (delay >= config_.retry_backoff_cap_ms) break;
+  }
+  return std::min(delay, config_.retry_backoff_cap_ms);
+}
+
+std::int64_t FaultModel::remapped_count(int disk) const {
+  if (static_cast<std::size_t>(disk) >= disks_.size()) return 0;
+  return static_cast<std::int64_t>(
+      disks_[static_cast<std::size_t>(disk)].remap.size());
+}
+
+}  // namespace sdpm::sim

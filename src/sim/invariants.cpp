@@ -39,6 +39,19 @@ void check_disk(const DiskReport& disk, TimeMs duration,
                    disk.services,
                "service count does not match busy periods");
 
+  // Fault counters: non-negative, and every remapped sector was created by
+  // a media error (remaps are monotone in errors).
+  SDPM_REQUIRE(disk.spin_up_retries >= 0 && disk.media_errors >= 0 &&
+                   disk.remapped_sectors >= 0 &&
+                   disk.dropped_directives >= 0,
+               str_printf("disk %d has a negative fault counter", index));
+  SDPM_REQUIRE(disk.remapped_sectors <= disk.media_errors,
+               str_printf("disk %d remapped more sectors (%lld) than media "
+                          "errors seen (%lld)",
+                          index,
+                          static_cast<long long>(disk.remapped_sectors),
+                          static_cast<long long>(disk.media_errors)));
+
   // Physical envelope.
   const Joules floor =
       joules_from_watt_ms(params.standby_power(), duration) * 0.99 - 1e-6;
@@ -46,12 +59,16 @@ void check_disk(const DiskReport& disk, TimeMs duration,
       joules_from_watt_ms(params.active_power_at_level(params.max_level()),
                           duration);
   // Transitions are billed at <= spin-up average power (135 J / 10.9 s
-  // ~ 12.4 W < active); demand spin-ups add bounded lumps.
+  // ~ 12.4 W < active); demand spin-ups add bounded lumps, and each failed
+  // spin-up attempt adds at most one more spin-up's worth of energy (a
+  // timed-out attempt is billed pro rata, never above the full cost).
   const Joules ceiling = active_ceiling * 1.05 +
                          static_cast<double>(disk.demand_spin_ups +
                                              disk.spin_downs) *
                              (params.tpm.spin_up_energy +
-                              params.tpm.spin_down_energy);
+                              params.tpm.spin_down_energy) +
+                         static_cast<double>(disk.spin_up_retries) *
+                             params.tpm.spin_up_energy;
   SDPM_REQUIRE(b.total_j() >= floor,
                str_printf("disk %d energy %.3f J below the standby floor "
                           "%.3f J",

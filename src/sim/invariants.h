@@ -16,8 +16,11 @@ namespace sdpm::sim {
 ///   - total energy equals the per-disk sum,
 ///   - busy periods are non-overlapping, ordered, within the run,
 ///   - execution = compute + I/O stalls,
+///   - fault counters are non-negative and remapped sectors never exceed
+///     media errors,
 ///   - energy is within the physical envelope
-///     [standby_power, active_power] x disks x duration.
+///     [standby_power, active_power] x disks x duration (plus bounded
+///     transition and spin-up-retry lumps).
 void check_invariants(const SimReport& report,
                       const disk::DiskParameters& params);
 

@@ -50,17 +50,21 @@ struct Stream {
 MultiStreamReport simulate_streams(std::span<const trace::Trace> traces,
                                    const disk::DiskParameters& params,
                                    PowerPolicy& policy,
-                                   std::span<const std::string> names) {
+                                   std::span<const std::string> names,
+                                   FaultConfig faults) {
   SDPM_REQUIRE(!traces.empty(), "need at least one stream");
   const int disks = traces[0].total_disks;
   for (const trace::Trace& t : traces) {
     SDPM_REQUIRE(t.total_disks == disks,
                  "all streams must share the disk array");
   }
+  faults.validate();
+  FaultModel fault_model(faults);
+  FaultModel* fault_ptr = faults.enabled() ? &fault_model : nullptr;
 
   std::vector<DiskUnit> units;
   units.reserve(static_cast<std::size_t>(disks));
-  for (int d = 0; d < disks; ++d) units.emplace_back(params, d);
+  for (int d = 0; d < disks; ++d) units.emplace_back(params, d, fault_ptr);
   for (DiskUnit& unit : units) policy.attach(unit);
 
   MultiStreamReport report;
@@ -131,14 +135,7 @@ MultiStreamReport simulate_streams(std::span<const trace::Trace> traces,
   for (DiskUnit& unit : units) {
     policy.finalize(unit, report.makespan_ms);
     unit.finish(report.makespan_ms);
-    DiskReport dr;
-    dr.breakdown = unit.breakdown();
-    dr.level_residency_ms = unit.level_residency_ms();
-    dr.services = unit.services();
-    dr.demand_spin_ups = unit.demand_spin_ups();
-    dr.rpm_transitions = unit.rpm_transitions();
-    dr.spin_downs = unit.commanded_spin_downs();
-    dr.busy_periods = unit.busy_periods();
+    DiskReport dr = make_disk_report(unit);
     report.total_energy += dr.breakdown.total_j();
     report.disks.push_back(std::move(dr));
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "disk/parameters.h"
+#include "sim/faults.h"
 #include "sim/policy.h"
 #include "sim/report.h"
 #include "trace/request.h"
@@ -40,10 +41,12 @@ struct MultiStreamReport {
 
 /// Replay `traces` concurrently against one disk array under `policy`.
 /// All traces must agree on total_disks.  `names` (optional) labels the
-/// streams in the report.
+/// streams in the report; `faults` (optional) injects disk misbehavior, the
+/// default keeps the replay fault-free.
 MultiStreamReport simulate_streams(std::span<const trace::Trace> traces,
                                    const disk::DiskParameters& params,
                                    PowerPolicy& policy,
-                                   std::span<const std::string> names = {});
+                                   std::span<const std::string> names = {},
+                                   FaultConfig faults = FaultConfig::none());
 
 }  // namespace sdpm::sim

@@ -21,8 +21,30 @@ struct DiskReport {
   std::int64_t demand_spin_ups = 0;
   std::int64_t rpm_transitions = 0;
   std::int64_t spin_downs = 0;
+  // Fault outcomes (all zero without fault injection).
+  std::int64_t spin_up_retries = 0;
+  std::int64_t media_errors = 0;
+  std::int64_t remapped_sectors = 0;
+  std::int64_t dropped_directives = 0;
   std::vector<BusyPeriod> busy_periods;
 };
+
+/// Snapshot a finished DiskUnit into its report entry.
+inline DiskReport make_disk_report(const DiskUnit& unit) {
+  DiskReport dr;
+  dr.breakdown = unit.breakdown();
+  dr.level_residency_ms = unit.level_residency_ms();
+  dr.services = unit.services();
+  dr.demand_spin_ups = unit.demand_spin_ups();
+  dr.rpm_transitions = unit.rpm_transitions();
+  dr.spin_downs = unit.commanded_spin_downs();
+  dr.spin_up_retries = unit.spin_up_retries();
+  dr.media_errors = unit.media_errors();
+  dr.remapped_sectors = unit.remapped_sectors();
+  dr.dropped_directives = unit.dropped_directives();
+  dr.busy_periods = unit.busy_periods();
+  return dr;
+}
 
 /// Whole-run outcome.
 struct SimReport {
@@ -40,6 +62,23 @@ struct SimReport {
   std::vector<DiskReport> disks;
 
   int disk_count() const { return static_cast<int>(disks.size()); }
+
+  // Array-wide fault totals (zero without fault injection).
+  std::int64_t spin_up_retries() const {
+    std::int64_t n = 0;
+    for (const DiskReport& d : disks) n += d.spin_up_retries;
+    return n;
+  }
+  std::int64_t media_errors() const {
+    std::int64_t n = 0;
+    for (const DiskReport& d : disks) n += d.media_errors;
+    return n;
+  }
+  std::int64_t dropped_directives() const {
+    std::int64_t n = 0;
+    for (const DiskReport& d : disks) n += d.dropped_directives;
+    return n;
+  }
 };
 
 }  // namespace sdpm::sim

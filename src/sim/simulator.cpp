@@ -8,24 +8,29 @@ namespace sdpm::sim {
 
 Simulator::Simulator(const trace::Trace& trace,
                      const disk::DiskParameters& params, PowerPolicy& policy,
-                     ReplayMode mode)
-    : trace_(trace), params_(params), policy_(policy), mode_(mode) {
+                     ReplayMode mode, FaultConfig faults)
+    : trace_(trace), params_(params), policy_(policy), mode_(mode),
+      faults_(faults) {
   SDPM_REQUIRE(trace.total_disks >= 1, "trace must name at least one disk");
+  faults_.validate();
 }
 
 SimReport Simulator::run() {
-  SDPM_REQUIRE(!ran_, "Simulator::run may only be called once");
+  SDPM_REQUIRE(!ran_,
+               "Simulator::run may only be called once per instance; "
+               "construct a fresh Simulator (and policy) to replay again");
   ran_ = true;
-  return mode_ == ReplayMode::kClosedLoop ? run_closed_loop()
-                                          : run_open_loop();
+  FaultModel model(faults_);
+  FaultModel* faults = faults_.enabled() ? &model : nullptr;
+  return mode_ == ReplayMode::kClosedLoop ? run_closed_loop(faults)
+                                          : run_open_loop(faults);
 }
 
-SimReport Simulator::run_closed_loop() {
-
+SimReport Simulator::run_closed_loop(FaultModel* faults) {
   std::vector<DiskUnit> units;
   units.reserve(static_cast<std::size_t>(trace_.total_disks));
   for (int d = 0; d < trace_.total_disks; ++d) {
-    units.emplace_back(params_, d);
+    units.emplace_back(params_, d, faults);
   }
   for (DiskUnit& unit : units) policy_.attach(unit);
 
@@ -109,25 +114,18 @@ SimReport Simulator::run_closed_loop() {
   for (DiskUnit& unit : units) {
     policy_.finalize(unit, end);
     unit.finish(end);
-    DiskReport dr;
-    dr.breakdown = unit.breakdown();
-    dr.level_residency_ms = unit.level_residency_ms();
-    dr.services = unit.services();
-    dr.demand_spin_ups = unit.demand_spin_ups();
-    dr.rpm_transitions = unit.rpm_transitions();
-    dr.spin_downs = unit.commanded_spin_downs();
-    dr.busy_periods = unit.busy_periods();
+    DiskReport dr = make_disk_report(unit);
     report.total_energy += dr.breakdown.total_j();
     report.disks.push_back(std::move(dr));
   }
   return report;
 }
 
-SimReport Simulator::run_open_loop() {
+SimReport Simulator::run_open_loop(FaultModel* faults) {
   std::vector<DiskUnit> units;
   units.reserve(static_cast<std::size_t>(trace_.total_disks));
   for (int d = 0; d < trace_.total_disks; ++d) {
-    units.emplace_back(params_, d);
+    units.emplace_back(params_, d, faults);
   }
   for (DiskUnit& unit : units) policy_.attach(unit);
 
@@ -178,14 +176,7 @@ SimReport Simulator::run_open_loop() {
   for (DiskUnit& unit : units) {
     policy_.finalize(unit, end);
     unit.finish(end);
-    DiskReport dr;
-    dr.breakdown = unit.breakdown();
-    dr.level_residency_ms = unit.level_residency_ms();
-    dr.services = unit.services();
-    dr.demand_spin_ups = unit.demand_spin_ups();
-    dr.rpm_transitions = unit.rpm_transitions();
-    dr.spin_downs = unit.commanded_spin_downs();
-    dr.busy_periods = unit.busy_periods();
+    DiskReport dr = make_disk_report(unit);
     report.total_energy += dr.breakdown.total_j();
     report.disks.push_back(std::move(dr));
   }
@@ -194,8 +185,8 @@ SimReport Simulator::run_open_loop() {
 
 SimReport simulate(const trace::Trace& trace,
                    const disk::DiskParameters& params, PowerPolicy& policy,
-                   ReplayMode mode) {
-  return Simulator(trace, params, policy, mode).run();
+                   ReplayMode mode, FaultConfig faults) {
+  return Simulator(trace, params, policy, mode, faults).run();
 }
 
 }  // namespace sdpm::sim

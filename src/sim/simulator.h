@@ -12,6 +12,7 @@
 #pragma once
 
 #include "disk/parameters.h"
+#include "sim/faults.h"
 #include "sim/policy.h"
 #include "sim/report.h"
 #include "trace/request.h"
@@ -32,27 +33,34 @@ enum class ReplayMode {
 
 class Simulator {
  public:
+  /// `faults` selects the fault-injection configuration; the default
+  /// FaultConfig::none() reproduces the fault-free simulator bit for bit.
   Simulator(const trace::Trace& trace, const disk::DiskParameters& params,
-            PowerPolicy& policy, ReplayMode mode = ReplayMode::kClosedLoop);
+            PowerPolicy& policy, ReplayMode mode = ReplayMode::kClosedLoop,
+            FaultConfig faults = FaultConfig::none());
 
-  /// Run the replay to completion and produce the report.  May be called
-  /// once per Simulator instance.
+  /// Run the replay to completion and produce the report.  A Simulator is
+  /// single-shot: a second call throws sdpm::Error (the policy and fault
+  /// streams carry state from the first replay, so rerunning would silently
+  /// produce different results).
   SimReport run();
 
  private:
-  SimReport run_closed_loop();
-  SimReport run_open_loop();
+  SimReport run_closed_loop(FaultModel* faults);
+  SimReport run_open_loop(FaultModel* faults);
 
   const trace::Trace& trace_;
   const disk::DiskParameters& params_;
   PowerPolicy& policy_;
   ReplayMode mode_;
+  FaultConfig faults_;
   bool ran_ = false;
 };
 
 /// Convenience: simulate `trace` under `policy` with `params`.
 SimReport simulate(const trace::Trace& trace,
                    const disk::DiskParameters& params, PowerPolicy& policy,
-                   ReplayMode mode = ReplayMode::kClosedLoop);
+                   ReplayMode mode = ReplayMode::kClosedLoop,
+                   FaultConfig faults = FaultConfig::none());
 
 }  // namespace sdpm::sim

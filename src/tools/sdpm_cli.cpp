@@ -13,6 +13,11 @@
 //       Emit the generated I/O request trace in the text format.
 //   sdpm_cli replay --in FILE [--policy Base|TPM|ATPM|DRPM] [--open-loop]
 //       Replay a (possibly external) text trace under a reactive policy.
+//
+// All simulating commands accept fault-injection flags (--fault-seed,
+// --fault-spinup, --fault-media, --fault-jitter, --fault-drop) and
+// inspect/replay accept --resilient to wrap the chosen policy in the
+// degrading ResilientPolicy.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -28,6 +33,7 @@
 #include "policy/adaptive_tpm.h"
 #include "policy/base.h"
 #include "policy/drpm.h"
+#include "policy/resilient.h"
 #include "policy/tpm.h"
 #include "sim/simulator.h"
 #include "trace/dap.h"
@@ -54,7 +60,10 @@ using namespace sdpm;
       "  trace  --benchmark NAME [--out FILE] [config]\n"
       "  replay --in FILE [--policy P] [--open-loop] [--per-disk]\n"
       "config flags: --disks N --stripe BYTES --block BYTES --cache BYTES\n"
-      "              --noise SIGMA --no-preactivate --csv\n";
+      "              --noise SIGMA --no-preactivate --csv\n"
+      "fault flags:  --fault-seed N --fault-spinup P --fault-media P\n"
+      "              --fault-jitter F --fault-drop P --fault-retries N\n"
+      "              (inspect/replay also accept --resilient)\n";
   std::exit(2);
 }
 
@@ -84,20 +93,59 @@ class Args {
 
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoll(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t pos = 0;
+    std::int64_t value = 0;
+    try {
+      value = std::stoll(it->second, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
+    if (pos != it->second.size()) {
+      usage("--" + key + " expects an integer, got '" + it->second + "'");
+    }
+    return value;
   }
 
   double get_double(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(it->second, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
+    if (pos != it->second.size()) {
+      usage("--" + key + " expects a number, got '" + it->second + "'");
+    }
+    return value;
   }
 
  private:
   std::map<std::string, std::string> values_;
 };
 
+sim::FaultConfig fault_config_from(const Args& args) {
+  sim::FaultConfig faults;
+  faults.spin_up_failure_prob = args.get_double("fault-spinup", 0.0);
+  faults.media_error_prob = args.get_double("fault-media", 0.0);
+  faults.service_jitter = args.get_double("fault-jitter", 0.0);
+  faults.dropped_directive_prob = args.get_double("fault-drop", 0.0);
+  faults.max_spin_up_retries =
+      static_cast<int>(args.get_int("fault-retries",
+                                    faults.max_spin_up_retries));
+  if (args.has("fault-seed")) {
+    faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  }
+  faults.validate();
+  return faults;
+}
+
 experiments::ExperimentConfig config_from(const Args& args) {
   experiments::ExperimentConfig config;
+  config.faults = fault_config_from(args);
   config.total_disks = static_cast<int>(args.get_int("disks", 8));
   config.striping.stripe_factor = config.total_disks;
   config.striping.stripe_size = args.get_int("stripe", kib(64));
@@ -153,7 +201,8 @@ int cmd_list() {
     std::cout << " " << experiments::to_string(s);
   }
   std::cout << "\ntransforms: none LF TL LF+DL TL+DL\n";
-  std::cout << "replay policies: Base TPM ATPM DRPM\n";
+  std::cout << "replay policies: Base TPM ATPM DRPM (each wrappable with "
+               "--resilient)\n";
   return 0;
 }
 
@@ -223,8 +272,11 @@ int cmd_inspect(const Args& args) {
   policy::DrpmPolicy drpm;
   sim::PowerPolicy* policy =
       pick_policy(args.get("policy", "Base"), base, tpm, atpm, drpm);
+  std::optional<policy::ResilientPolicy> resilient;
+  if (args.has("resilient")) policy = &resilient.emplace(*policy);
   const sim::SimReport report =
-      sim::simulate(trace, config.disk, *policy);
+      sim::simulate(trace, config.disk, *policy,
+                    sim::ReplayMode::kClosedLoop, config.faults);
   emit(experiments::summary_table(report, bench.name), args);
   if (args.has("per-disk")) {
     emit(experiments::per_disk_table(report), args);
@@ -314,7 +366,7 @@ int cmd_replay(const Args& args) {
   if (!args.has("in")) usage("replay requires --in");
   std::ifstream in(args.get("in"));
   if (!in) usage("cannot open '" + args.get("in") + "'");
-  const trace::Trace trace = trace::read_trace_text(in);
+  const trace::Trace trace = trace::read_trace_text(in, args.get("in"));
 
   policy::BasePolicy base;
   policy::TpmPolicy tpm;
@@ -322,15 +374,18 @@ int cmd_replay(const Args& args) {
   policy::DrpmPolicy drpm;
   sim::PowerPolicy* policy =
       pick_policy(args.get("policy", "Base"), base, tpm, atpm, drpm);
+  std::optional<policy::ResilientPolicy> resilient;
+  if (args.has("resilient")) policy = &resilient.emplace(*policy);
 
   const sim::ReplayMode mode = args.has("open-loop")
                                    ? sim::ReplayMode::kOpenLoop
                                    : sim::ReplayMode::kClosedLoop;
   const sim::SimReport report = sim::simulate(
-      trace, disk::DiskParameters::ultrastar_36z15(), *policy, mode);
+      trace, disk::DiskParameters::ultrastar_36z15(), *policy, mode,
+      fault_config_from(args));
 
   Table table("replay of " + args.get("in") + " under " +
-              args.get("policy", "Base"));
+              std::string(policy->name()));
   table.set_header({"Metric", "Value"});
   table.add_row({"requests", std::to_string(report.requests)});
   table.add_row({"disks", std::to_string(report.disk_count())});

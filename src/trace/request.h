@@ -58,4 +58,11 @@ struct Trace {
   void write_text(std::ostream& os) const;
 };
 
+/// Concatenate `timesteps` copies of `trace` on the compute timeline —
+/// the iterative-application view of a single-timestep trace.  Requests
+/// and power events of copy `t` are shifted by `t * compute_total_ms`;
+/// sectors repeat (a timestep revisits its working set, which exceeds the
+/// buffer cache for every workload we model).  Throws on `timesteps < 1`.
+Trace repeat_trace(const Trace& trace, int timesteps);
+
 }  // namespace sdpm::trace

@@ -1,6 +1,7 @@
 #include "trace/text_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -23,26 +24,58 @@ void write_trace_text(const Trace& trace, std::ostream& os) {
   }
 }
 
-Trace read_trace_text(std::istream& is) {
+namespace {
+
+/// Throw sdpm::Error pinpointing the offending input line.
+[[noreturn]] void fail_at(const std::string& source, int line_no,
+                          const std::string& line, const std::string& why) {
+  throw Error(source + ":" + std::to_string(line_no) + ": " + why + ": '" +
+              line + "'");
+}
+
+}  // namespace
+
+Trace read_trace_text(std::istream& is, const std::string& source_name) {
   Trace trace;
   bool have_header = false;
   std::string line;
   int line_no = 0;
+  TimeMs prev_arrival = 0;
   while (std::getline(is, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    if (line.empty() ||
+        line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
     if (line[0] == '#') {
-      // Parse the v1 header when present.
+      // Parse the v1 header when present.  A comment that carries either
+      // header key must carry both, well-formed — a truncated header would
+      // otherwise silently degrade to disk-count inference.
       const auto disks_pos = line.find("disks=");
       const auto compute_pos = line.find("compute_ms=");
-      if (disks_pos != std::string::npos &&
-          compute_pos != std::string::npos) {
-        trace.total_disks =
-            std::stoi(line.substr(disks_pos + 6));
-        trace.compute_total_ms =
-            std::stod(line.substr(compute_pos + 11));
-        have_header = true;
+      if (disks_pos == std::string::npos &&
+          compute_pos == std::string::npos) {
+        continue;  // ordinary comment
       }
+      if (disks_pos == std::string::npos ||
+          compute_pos == std::string::npos) {
+        fail_at(source_name, line_no, line,
+                "header needs both disks= and compute_ms=");
+      }
+      int disks = 0;
+      std::istringstream disks_field(line.substr(disks_pos + 6));
+      if (!(disks_field >> disks) || disks < 1) {
+        fail_at(source_name, line_no, line, "bad disks= value");
+      }
+      TimeMs compute = 0;
+      std::istringstream compute_field(line.substr(compute_pos + 11));
+      if (!(compute_field >> compute) || !std::isfinite(compute) ||
+          compute < 0) {
+        fail_at(source_name, line_no, line, "bad compute_ms= value");
+      }
+      trace.total_disks = disks;
+      trace.compute_total_ms = compute;
+      have_header = true;
       continue;
     }
     std::istringstream fields(line);
@@ -51,27 +84,40 @@ Trace read_trace_text(std::istream& is) {
     long long sector = 0;
     long long size = 0;
     if (!(fields >> r.arrival_ms >> r.disk >> sector >> size >> type)) {
-      throw Error("malformed trace line " + std::to_string(line_no) + ": '" +
-                  line + "'");
+      fail_at(source_name, line_no, line,
+              "malformed request (want: arrival_ms disk sector size R|W)");
     }
-    SDPM_REQUIRE(r.arrival_ms >= 0 && r.disk >= 0 && sector >= 0 && size > 0,
-                 "trace line " + std::to_string(line_no) +
-                     " has out-of-range fields");
-    SDPM_REQUIRE(type == 'R' || type == 'W',
-                 "trace line " + std::to_string(line_no) +
-                     " has unknown request type");
+    std::string extra;
+    if (fields >> extra) {
+      fail_at(source_name, line_no, line,
+              "trailing garbage '" + extra + "' after request fields");
+    }
+    if (!std::isfinite(r.arrival_ms) || r.arrival_ms < 0) {
+      fail_at(source_name, line_no, line, "arrival time out of range");
+    }
+    if (r.disk < 0 || sector < 0 || size <= 0) {
+      fail_at(source_name, line_no, line, "out-of-range fields");
+    }
+    if (have_header && r.disk >= trace.total_disks) {
+      fail_at(source_name, line_no, line,
+              "request targets disk " + std::to_string(r.disk) +
+                  " but the header declares only " +
+                  std::to_string(trace.total_disks));
+    }
+    if (type != 'R' && type != 'W') {
+      fail_at(source_name, line_no, line, "unknown request type");
+    }
+    if (r.arrival_ms < prev_arrival) {
+      fail_at(source_name, line_no, line,
+              "arrivals must be non-decreasing");
+    }
+    prev_arrival = r.arrival_ms;
     r.start_sector = sector;
     r.size_bytes = size;
     r.kind = type == 'R' ? ir::AccessKind::kRead : ir::AccessKind::kWrite;
     trace.requests.push_back(r);
     trace.bytes_transferred += size;
   }
-  SDPM_REQUIRE(
-      std::is_sorted(trace.requests.begin(), trace.requests.end(),
-                     [](const Request& a, const Request& b) {
-                       return a.arrival_ms < b.arrival_ms;
-                     }),
-      "trace arrivals must be non-decreasing");
   if (!have_header) {
     for (const Request& r : trace.requests) {
       trace.total_disks = std::max(trace.total_disks, r.disk + 1);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
 #include "trace/request.h"
 
@@ -26,7 +27,10 @@ namespace sdpm::trace {
 /// and not part of the interchange format).
 void write_trace_text(const Trace& trace, std::ostream& os);
 
-/// Parse a trace from `is`.  Throws sdpm::Error on malformed input.
-Trace read_trace_text(std::istream& is);
+/// Parse a trace from `is`.  Malformed, truncated, or out-of-range lines
+/// raise sdpm::Error naming `source_name` and the 1-based line number (use
+/// the file name when reading from a file, so errors are actionable).
+Trace read_trace_text(std::istream& is,
+                      const std::string& source_name = "<trace>");
 
 }  // namespace sdpm::trace

@@ -11,6 +11,8 @@
 #include "core/tiling.h"
 #include "experiments/runner.h"
 #include "policy/base.h"
+#include "policy/tpm.h"
+#include "sim/faults.h"
 #include "sim/invariants.h"
 #include "sim/simulator.h"
 #include "trace/dap.h"
@@ -135,6 +137,42 @@ TEST_P(FuzzTest, TilingKeepsIterationCount) {
     after += nest.iteration_count();
   }
   EXPECT_EQ(before, after);
+}
+
+TEST_P(FuzzTest, FaultedRunsAreDeterministicAndInvariant) {
+  // Arbitrary programs under arbitrary fault mixes: the same seed must
+  // yield the same report twice, and every run must conserve energy.
+  const workloads::Benchmark bench = benchmark();
+  const experiments::ExperimentConfig c = config();
+  const layout::LayoutTable table(bench.program, c.striping, c.total_disks);
+  trace::TraceGenerator generator(bench.program, table, c.gen);
+  const trace::Trace t = generator.generate();
+
+  sim::FaultConfig faults;
+  faults.seed = GetParam();
+  faults.spin_up_failure_prob = 0.2;
+  faults.media_error_prob = 0.05;
+  faults.service_jitter = 0.15;
+  faults.dropped_directive_prob = 0.1;
+
+  // An aggressive threshold forces spin-downs, hence spin-up fault draws.
+  policy::TpmPolicy first_policy(50.0);
+  policy::TpmPolicy second_policy(50.0);
+  const sim::SimReport first = sim::simulate(
+      t, c.disk, first_policy, sim::ReplayMode::kClosedLoop, faults);
+  const sim::SimReport second = sim::simulate(
+      t, c.disk, second_policy, sim::ReplayMode::kClosedLoop, faults);
+
+  sim::check_invariants(first, c.disk);
+  EXPECT_EQ(first.total_energy, second.total_energy);
+  EXPECT_EQ(first.execution_ms, second.execution_ms);
+  EXPECT_EQ(first.spin_up_retries(), second.spin_up_retries());
+  EXPECT_EQ(first.media_errors(), second.media_errors());
+  EXPECT_EQ(first.dropped_directives(), second.dropped_directives());
+  ASSERT_EQ(first.responses.size(), second.responses.size());
+  for (std::size_t i = 0; i < first.responses.size(); ++i) {
+    ASSERT_EQ(first.responses[i], second.responses[i]);
+  }
 }
 
 TEST_P(FuzzTest, TransformedConfigurationsStillConserveEnergy) {

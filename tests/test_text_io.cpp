@@ -1,0 +1,144 @@
+// Hardened trace parsing: every malformed input is rejected with an
+// sdpm::Error naming the source and 1-based line number.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "trace/text_io.h"
+#include "util/error.h"
+
+namespace sdpm::trace {
+namespace {
+
+/// Parse `text` expecting failure; return the error message.
+std::string parse_error(const std::string& text,
+                        const std::string& source = "<trace>") {
+  std::istringstream in(text);
+  try {
+    read_trace_text(in, source);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected Error for: " << text;
+  return "";
+}
+
+TEST(TextIoErrors, MalformedLineNamesSourceAndLine) {
+  const std::string msg =
+      parse_error("0.0 0 0 65536 R\nbogus line\n", "input.trace");
+  EXPECT_NE(msg.find("input.trace:2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("malformed request"), std::string::npos) << msg;
+}
+
+TEST(TextIoErrors, TruncatedLineRejected) {
+  const std::string msg = parse_error("0.0 0 100\n");
+  EXPECT_NE(msg.find("<trace>:1"), std::string::npos) << msg;
+}
+
+TEST(TextIoErrors, TrailingGarbageRejected) {
+  const std::string msg = parse_error("0.0 0 100 65536 R extra\n");
+  EXPECT_NE(msg.find("trailing garbage"), std::string::npos) << msg;
+}
+
+TEST(TextIoErrors, HeaderMissingComputeRejected) {
+  const std::string msg = parse_error("# sdpm-trace v1 disks=4\n");
+  EXPECT_NE(msg.find("header"), std::string::npos) << msg;
+}
+
+TEST(TextIoErrors, HeaderBadDiskCountRejected) {
+  parse_error("# sdpm-trace v1 disks=0 compute_ms=10\n");
+  parse_error("# sdpm-trace v1 disks=x compute_ms=10\n");
+}
+
+TEST(TextIoErrors, HeaderBadComputeRejected) {
+  parse_error("# sdpm-trace v1 disks=4 compute_ms=-1\n");
+  parse_error("# sdpm-trace v1 disks=4 compute_ms=nope\n");
+}
+
+TEST(TextIoErrors, NegativeArrivalRejected) {
+  const std::string msg = parse_error("-1.0 0 0 65536 R\n");
+  EXPECT_NE(msg.find("arrival"), std::string::npos) << msg;
+}
+
+TEST(TextIoErrors, NonFiniteArrivalRejected) {
+  parse_error("nan 0 0 65536 R\n");
+  parse_error("inf 0 0 65536 R\n");
+}
+
+TEST(TextIoErrors, OutOfRangeFieldsRejected) {
+  parse_error("0.0 -1 0 65536 R\n");  // negative disk
+  parse_error("0.0 0 -5 65536 R\n");  // negative sector
+  parse_error("0.0 0 0 0 R\n");       // zero size
+}
+
+TEST(TextIoErrors, DiskBeyondHeaderRejected) {
+  const std::string msg = parse_error(
+      "# sdpm-trace v1 disks=2 compute_ms=100\n0.0 2 0 65536 R\n");
+  EXPECT_NE(msg.find("disk 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(":2"), std::string::npos) << msg;
+}
+
+TEST(TextIoErrors, NonMonotoneArrivalsRejected) {
+  const std::string msg =
+      parse_error("5.0 0 0 65536 R\n4.0 0 0 65536 R\n");
+  EXPECT_NE(msg.find("non-decreasing"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("<trace>:2"), std::string::npos) << msg;
+}
+
+TEST(TextIoErrors, UnknownRequestTypeRejected) {
+  const std::string msg = parse_error("0.0 0 0 65536 Q\n");
+  EXPECT_NE(msg.find("unknown request type"), std::string::npos) << msg;
+}
+
+TEST(TextIo, BlankAndCommentLinesSkipped) {
+  std::istringstream in(
+      "# a comment\n\n   \t \n0.0 0 0 65536 R\n# trailing comment\n");
+  const Trace t = read_trace_text(in);
+  ASSERT_EQ(t.requests.size(), 1u);
+  EXPECT_EQ(t.total_disks, 1);
+}
+
+TEST(TextIo, HeaderParsedStrictly) {
+  std::istringstream in(
+      "# sdpm-trace v1 disks=3 compute_ms=250.5\n0.0 2 7 4096 W\n");
+  const Trace t = read_trace_text(in);
+  EXPECT_EQ(t.total_disks, 3);
+  EXPECT_NEAR(t.compute_total_ms, 250.5, 1e-9);
+  ASSERT_EQ(t.requests.size(), 1u);
+  EXPECT_EQ(t.requests[0].kind, ir::AccessKind::kWrite);
+}
+
+TEST(RepeatTrace, ShiftsCopiesOnComputeTimeline) {
+  Trace t;
+  t.total_disks = 2;
+  t.compute_total_ms = 100.0;
+  t.bytes_transferred = kib(64);
+  Request r;
+  r.arrival_ms = 40.0;
+  r.disk = 1;
+  r.size_bytes = kib(64);
+  r.global_iter = 7;
+  t.requests.push_back(r);
+  PowerEvent e;
+  e.app_time_ms = 10.0;
+  e.directive = ir::PowerDirective{ir::PowerDirective::Kind::kSpinDown, 0, 0};
+  t.power_events.push_back(e);
+
+  const Trace x3 = repeat_trace(t, 3);
+  EXPECT_EQ(x3.total_disks, 2);
+  EXPECT_NEAR(x3.compute_total_ms, 300.0, 1e-9);
+  EXPECT_EQ(x3.bytes_transferred, 3 * kib(64));
+  ASSERT_EQ(x3.requests.size(), 3u);
+  EXPECT_NEAR(x3.requests[0].arrival_ms, 40.0, 1e-9);
+  EXPECT_NEAR(x3.requests[1].arrival_ms, 140.0, 1e-9);
+  EXPECT_NEAR(x3.requests[2].arrival_ms, 240.0, 1e-9);
+  EXPECT_EQ(x3.requests[2].global_iter, 7 + 2 * 8);
+  ASSERT_EQ(x3.power_events.size(), 3u);
+  EXPECT_NEAR(x3.power_events[2].app_time_ms, 210.0, 1e-9);
+
+  EXPECT_THROW(repeat_trace(t, 0), Error);
+}
+
+}  // namespace
+}  // namespace sdpm::trace
