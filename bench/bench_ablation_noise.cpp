@@ -2,29 +2,42 @@
 // of the profiling-vs-production timing gap and reports CMDRPM's
 // misprediction rate (the Table 3 statistic), energy, and execution time on
 // swim — quantifying how much estimate quality the compiler-directed scheme
-// actually needs.
+// actually needs.  One sweep-engine cell per sigma.
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "experiments/runner.h"
+#include "experiments/sweep.h"
 #include "util/strings.h"
 
 int main() {
   using namespace sdpm;
+  using experiments::Scheme;
 
   Table table("Ablation: estimation-error sigma (swim, CMDRPM)");
   table.set_header({"Sigma", "Mispredict %", "Norm. energy", "Norm. time",
                     "IDRPM energy"});
-  workloads::Benchmark swim = workloads::make_swim();
-  for (const double sigma : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
-    experiments::ExperimentConfig config;
-    config.actual_noise.sigma = sigma;
-    config.profile_noise.sigma = sigma;
-    experiments::Runner runner(swim, config);
-    const auto cmdrpm = runner.run(experiments::Scheme::kCmdrpm);
-    const auto idrpm = runner.run(experiments::Scheme::kIdrpm);
+  const workloads::Benchmark swim = workloads::make_swim();
+  const std::vector<double> sigmas = {0.0, 0.05, 0.1, 0.2, 0.4, 0.8};
+
+  std::vector<experiments::SweepCell> cells;
+  for (const double sigma : sigmas) {
+    experiments::SweepCell cell;
+    cell.label = fmt_double(sigma, 2);
+    cell.benchmark = swim;
+    cell.config.actual_noise.sigma = sigma;
+    cell.config.profile_noise.sigma = sigma;
+    cell.schemes = {Scheme::kCmdrpm, Scheme::kIdrpm};
+    cells.push_back(std::move(cell));
+  }
+
+  const std::vector<experiments::SweepCellResult> sweep =
+      experiments::SweepEngine().run(cells);
+
+  for (const experiments::SweepCellResult& cell : sweep) {
+    const experiments::SchemeResult& cmdrpm = cell.results[0];
+    const experiments::SchemeResult& idrpm = cell.results[1];
     table.add_row({
-        fmt_double(sigma, 2),
+        cell.label,
         fmt_double(cmdrpm.mispredict_pct.value_or(0.0), 2),
         fmt_double(cmdrpm.normalized_energy, 3),
         fmt_double(cmdrpm.normalized_time, 3),

@@ -3,33 +3,53 @@
 // matrix's blocked layout.  The tile footprint becomes each reshaped
 // array's stripe size, so it sets both the request granularity and the
 // per-tile residence time the power schemes can exploit.
+//
+// The tile-size cells fan out over the sweep engine; the anchor cell
+// (untransformed Base) rides along as its own cell.
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "experiments/runner.h"
+#include "experiments/sweep.h"
 #include "util/strings.h"
 
 int main() {
   using namespace sdpm;
+  using experiments::Scheme;
 
   Table table("Ablation: tile footprint (wupwise, TL+DL)");
   table.set_header({"Tile bytes", "CMTPM energy", "CMDRPM energy",
                     "CMDRPM time"});
-  workloads::Benchmark wupwise = workloads::make_wupwise();
+  const workloads::Benchmark wupwise = workloads::make_wupwise();
+  const std::vector<Bytes> tiles = {kib(64), kib(128), kib(256), kib(512),
+                                    mib(1)};
 
-  experiments::ExperimentConfig base_config;
-  experiments::Runner base_runner(wupwise, base_config);
-  const Joules base_energy = base_runner.base_report().total_energy;
+  std::vector<experiments::SweepCell> cells;
+  {
+    experiments::SweepCell anchor;
+    anchor.label = "base";
+    anchor.benchmark = wupwise;
+    anchor.schemes = {Scheme::kBase};
+    cells.push_back(std::move(anchor));
+  }
+  for (const Bytes tile : tiles) {
+    experiments::SweepCell cell;
+    cell.label = fmt_bytes(tile);
+    cell.benchmark = wupwise;
+    cell.config.transform = core::Transformation::kTLDL;
+    cell.config.tile_bytes = tile;
+    cell.schemes = {Scheme::kCmtpm, Scheme::kCmdrpm};
+    cells.push_back(std::move(cell));
+  }
 
-  for (const Bytes tile : {kib(64), kib(128), kib(256), kib(512), mib(1)}) {
-    experiments::ExperimentConfig config;
-    config.transform = core::Transformation::kTLDL;
-    config.tile_bytes = tile;
-    experiments::Runner runner(wupwise, config);
-    const auto cmtpm = runner.run(experiments::Scheme::kCmtpm);
-    const auto cmdrpm = runner.run(experiments::Scheme::kCmdrpm);
+  const std::vector<experiments::SweepCellResult> sweep =
+      experiments::SweepEngine().run(cells);
+  const Joules base_energy = sweep[0].results[0].energy_j;
+
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    const experiments::SchemeResult& cmtpm = sweep[i].results[0];
+    const experiments::SchemeResult& cmdrpm = sweep[i].results[1];
     table.add_row({
-        fmt_bytes(tile),
+        sweep[i].label,
         fmt_double(cmtpm.energy_j / base_energy, 3),
         fmt_double(cmdrpm.energy_j / base_energy, 3),
         fmt_double(cmdrpm.normalized_time, 3),

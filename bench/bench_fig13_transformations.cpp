@@ -4,10 +4,14 @@
 // program under Base — the same normalization the paper uses — so a value
 // below the untransformed CMTPM/CMDRPM column shows the additional benefit
 // contributed by the transformation.
+//
+// The (benchmark x transformation) grid fans out over the sweep engine:
+// one cell per pair, the untransformed cell also carrying the Base scheme
+// that anchors the benchmark's normalization.
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "experiments/runner.h"
+#include "experiments/sweep.h"
 #include "util/strings.h"
 
 int main() {
@@ -30,32 +34,49 @@ int main() {
   }
   table.set_header(header);
 
-  std::vector<double> sums(transforms.size() * schemes.size(), 0.0);
-  int count = 0;
-  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
-    // Reference: untransformed program, Base scheme.
-    experiments::ExperimentConfig base_config;
-    experiments::Runner base_runner(b, base_config);
-    const Joules base_energy = base_runner.base_report().total_energy;
+  const std::vector<workloads::Benchmark> benchmarks =
+      workloads::all_benchmarks();
+  std::vector<experiments::SweepCell> cells;
+  for (const workloads::Benchmark& b : benchmarks) {
+    for (Transformation t : transforms) {
+      experiments::SweepCell cell;
+      cell.label = b.name + "/" + core::to_string(t);
+      cell.benchmark = b;
+      cell.config.transform = t;
+      cell.schemes = schemes;
+      // The untransformed cell also anchors the normalization.
+      if (t == Transformation::kNone) {
+        cell.schemes.insert(cell.schemes.begin(), Scheme::kBase);
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
 
+  const std::vector<experiments::SweepCellResult> sweep =
+      experiments::SweepEngine().run(cells);
+
+  std::vector<double> sums(transforms.size() * schemes.size(), 0.0);
+  std::size_t cell_index = 0;
+  for (const workloads::Benchmark& b : benchmarks) {
+    // cells are laid out benchmark-major, kNone first.
+    const Joules base_energy = sweep[cell_index].results[0].energy_j;
     std::vector<std::string> row = {b.name};
     std::size_t col = 0;
-    for (Transformation t : transforms) {
-      experiments::ExperimentConfig config;
-      config.transform = t;
-      experiments::Runner runner(b, config);
-      for (Scheme s : schemes) {
-        const auto result = runner.run(s);
-        const double normalized = result.energy_j / base_energy;
+    for (std::size_t t = 0; t < transforms.size(); ++t) {
+      const experiments::SweepCellResult& cell = sweep[cell_index++];
+      const std::size_t first = t == 0 ? 1 : 0;  // skip the Base anchor
+      for (std::size_t s = first; s < cell.results.size(); ++s) {
+        const double normalized = cell.results[s].energy_j / base_energy;
         row.push_back(fmt_double(normalized, 3));
         sums[col++] += normalized;
       }
     }
     table.add_row(row);
-    ++count;
   }
   std::vector<std::string> avg = {"average"};
-  for (double s : sums) avg.push_back(fmt_double(s / count, 3));
+  for (double s : sums) {
+    avg.push_back(fmt_double(s / static_cast<double>(benchmarks.size()), 3));
+  }
   table.add_row(avg);
 
   bench::emit(table);

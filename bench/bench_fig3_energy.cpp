@@ -1,10 +1,12 @@
 // Regenerates paper Figure 3: normalized disk energy consumption of every
 // benchmark under Base/TPM/ITPM/DRPM/IDRPM/CMTPM/CMDRPM with the default
 // configuration.  Values are normalized against the Base scheme (1.00).
+// The six benchmark cells fan out over the sweep engine (--jobs/SDPM_JOBS
+// controls the worker count); results are identical to the serial run.
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "experiments/runner.h"
+#include "experiments/sweep.h"
 #include "util/strings.h"
 
 int main() {
@@ -17,22 +19,25 @@ int main() {
   }
   table.set_header(header);
 
+  const std::vector<experiments::SweepCell> cells =
+      experiments::cells_for_benchmarks(workloads::all_benchmarks(),
+                                        experiments::ExperimentConfig{});
+  const std::vector<experiments::SweepCellResult> sweep =
+      experiments::SweepEngine().run(cells);
+
   std::vector<double> sums(experiments::all_schemes().size(), 0.0);
-  int count = 0;
-  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
-    experiments::ExperimentConfig config;
-    experiments::Runner runner(b, config);
-    std::vector<std::string> row = {b.name};
-    const auto results = runner.run_all();
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      row.push_back(fmt_double(results[i].normalized_energy, 3));
-      sums[i] += results[i].normalized_energy;
+  for (const experiments::SweepCellResult& cell : sweep) {
+    std::vector<std::string> row = {cell.label};
+    for (std::size_t i = 0; i < cell.results.size(); ++i) {
+      row.push_back(fmt_double(cell.results[i].normalized_energy, 3));
+      sums[i] += cell.results[i].normalized_energy;
     }
     table.add_row(row);
-    ++count;
   }
   std::vector<std::string> avg = {"average"};
-  for (double s : sums) avg.push_back(fmt_double(s / count, 3));
+  for (double s : sums) {
+    avg.push_back(fmt_double(s / static_cast<double>(sweep.size()), 3));
+  }
   table.add_row(avg);
 
   bench::emit(table);

@@ -1,9 +1,11 @@
 // Regenerates paper Figure 4: normalized execution times of every benchmark
-// under the seven schemes with the default configuration.
+// under the seven schemes with the default configuration.  The six
+// benchmark cells fan out over the sweep engine (--jobs/SDPM_JOBS controls
+// the worker count); results are identical to the serial run.
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "experiments/runner.h"
+#include "experiments/sweep.h"
 #include "util/strings.h"
 
 int main() {
@@ -16,22 +18,25 @@ int main() {
   }
   table.set_header(header);
 
+  const std::vector<experiments::SweepCell> cells =
+      experiments::cells_for_benchmarks(workloads::all_benchmarks(),
+                                        experiments::ExperimentConfig{});
+  const std::vector<experiments::SweepCellResult> sweep =
+      experiments::SweepEngine().run(cells);
+
   std::vector<double> sums(experiments::all_schemes().size(), 0.0);
-  int count = 0;
-  for (workloads::Benchmark& b : workloads::all_benchmarks()) {
-    experiments::ExperimentConfig config;
-    experiments::Runner runner(b, config);
-    std::vector<std::string> row = {b.name};
-    const auto results = runner.run_all();
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      row.push_back(fmt_double(results[i].normalized_time, 3));
-      sums[i] += results[i].normalized_time;
+  for (const experiments::SweepCellResult& cell : sweep) {
+    std::vector<std::string> row = {cell.label};
+    for (std::size_t i = 0; i < cell.results.size(); ++i) {
+      row.push_back(fmt_double(cell.results[i].normalized_time, 3));
+      sums[i] += cell.results[i].normalized_time;
     }
     table.add_row(row);
-    ++count;
   }
   std::vector<std::string> avg = {"average"};
-  for (double s : sums) avg.push_back(fmt_double(s / count, 3));
+  for (double s : sums) {
+    avg.push_back(fmt_double(s / static_cast<double>(sweep.size()), 3));
+  }
   table.add_row(avg);
 
   bench::emit(table);

@@ -1,15 +1,23 @@
 // Micro-benchmarks (google-benchmark): throughput of the substrate —
 // trace generation (access walker + buffer cache), the closed-loop
-// simulator, the DAP analysis, and the power-call scheduler.
+// simulator (materialized and streamed), the DAP analysis, the power-call
+// scheduler, the sweep engine (serial-uncached vs pooled-cached), and the
+// large-trace memory comparison between the materialized and streaming
+// delivery paths.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "core/schedule.h"
+#include "experiments/sweep.h"
+#include "experiments/trace_cache.h"
 #include "layout/layout_table.h"
 #include "policy/base.h"
 #include "policy/drpm.h"
 #include "sim/simulator.h"
 #include "trace/dap.h"
 #include "trace/generator.h"
+#include "util/perf_counters.h"
 #include "workloads/benchmarks.h"
 
 namespace {
@@ -58,6 +66,32 @@ void BM_BaseSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_BaseSimulation)->Unit(benchmark::kMillisecond);
 
+// Same replay fed by the streaming generator: no request vector is ever
+// materialized.  The result must be bit-identical to BM_BaseSimulation's.
+void BM_StreamedSimulation(benchmark::State& state) {
+  trace::TraceGenerator generator(swim().program, swim_layout());
+  const trace::Trace trace = generator.generate();
+  policy::BasePolicy reference_policy;
+  const double reference =
+      sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(),
+                    reference_policy)
+          .total_energy;
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    trace::StreamingTraceSource source(swim().program, swim_layout());
+    policy::BasePolicy policy;
+    const sim::SimReport report = sim::simulate(
+        source, disk::DiskParameters::ultrastar_36z15(), policy);
+    requests = report.requests;
+    if (report.total_energy != reference) {
+      state.SkipWithError("streamed replay diverged from materialized");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * requests);
+}
+BENCHMARK(BM_StreamedSimulation)->Unit(benchmark::kMillisecond);
+
 void BM_DrpmSimulation(benchmark::State& state) {
   trace::TraceGenerator generator(swim().program, swim_layout());
   const trace::Trace trace = generator.generate();
@@ -81,6 +115,148 @@ void BM_PowerCallScheduling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PowerCallScheduling)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Sweep engine: serial + cold trace cache vs pooled + warm trace cache on a
+// small 2-cell x 7-scheme grid (galgel is the cheapest benchmark).  Both
+// variants produce numerically identical results; the first iteration of
+// the pooled variant verifies that against the serial reference.
+
+std::vector<experiments::SweepCell> small_sweep() {
+  std::vector<experiments::SweepCell> cells;
+  for (const Bytes stripe : {kib(32), kib(64)}) {
+    experiments::SweepCell cell;
+    cell.label = "galgel/s" + std::to_string(stripe / 1024) + "K";
+    cell.benchmark = workloads::make_galgel();
+    cell.config.striping.stripe_size = stripe;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+void BM_SweepSerialUncached(benchmark::State& state) {
+  const std::vector<experiments::SweepCell> cells = small_sweep();
+  for (auto _ : state) {
+    experiments::TraceCache::global().set_enabled(false);
+    const auto results = experiments::SweepEngine(1).run(cells);
+    benchmark::DoNotOptimize(results.back().results.back().energy_j);
+  }
+  experiments::TraceCache::global().set_enabled(true);
+}
+BENCHMARK(BM_SweepSerialUncached)->Unit(benchmark::kMillisecond);
+
+void BM_SweepEngineCached(benchmark::State& state) {
+  const std::vector<experiments::SweepCell> cells = small_sweep();
+  experiments::TraceCache::global().set_enabled(false);
+  const auto reference = experiments::SweepEngine(1).run(cells);
+  experiments::TraceCache::global().set_enabled(true);
+  bool verified = false;
+  for (auto _ : state) {
+    const auto results = experiments::SweepEngine().run(cells);
+    if (!verified) {
+      verified = true;
+      for (std::size_t c = 0; c < results.size(); ++c) {
+        for (std::size_t s = 0; s < results[c].results.size(); ++s) {
+          if (results[c].results[s].energy_j !=
+                  reference[c].results[s].energy_j ||
+              results[c].results[s].execution_ms !=
+                  reference[c].results[s].execution_ms) {
+            state.SkipWithError("pooled sweep diverged from serial");
+            return;
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(results.back().results.back().energy_j);
+  }
+}
+BENCHMARK(BM_SweepEngineCached)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Large-trace memory comparison: replay >= 10M synthetic requests through
+// the streaming interface (O(1) request memory) and through a materialized
+// Trace (~600 MB of requests).  Each variant reports the process peak RSS
+// after its run; the streamed case registers (and runs) first, so its
+// reported peak is not inflated by the materialized allocation.
+
+constexpr std::int64_t kLargeRequests = 10'000'000;
+constexpr int kLargeDisks = 8;
+constexpr TimeMs kLargeGapMs = 0.002;
+
+/// Deterministic synthetic request stream: fixed-size sequential reads
+/// round-robined over the disks at a fixed arrival cadence.
+class SyntheticSource final : public trace::RequestSource {
+ public:
+  explicit SyntheticSource(std::int64_t count) : count_(count) {}
+
+  bool next(trace::TraceItem& item) override {
+    if (i_ >= count_) return false;
+    item.kind = trace::TraceItem::Kind::kRequest;
+    item.request = request_at(i_);
+    ++i_;
+    return true;
+  }
+
+  int total_disks() const override { return kLargeDisks; }
+  TimeMs compute_total_ms() const override {
+    return kLargeGapMs * static_cast<double>(count_);
+  }
+
+  static trace::Request request_at(std::int64_t i) {
+    trace::Request r;
+    r.arrival_ms = kLargeGapMs * static_cast<double>(i);
+    r.disk = static_cast<int>(i % kLargeDisks);
+    r.start_sector = (i / kLargeDisks) * 16;
+    r.size_bytes = kib(8);
+    r.kind = ir::AccessKind::kRead;
+    r.global_iter = i;
+    return r;
+  }
+
+ private:
+  std::int64_t count_;
+  std::int64_t i_ = 0;
+};
+
+void BM_LargeTraceStreamedRss(benchmark::State& state) {
+  for (auto _ : state) {
+    SyntheticSource source(kLargeRequests);
+    policy::BasePolicy policy;
+    const sim::SimReport report = sim::simulate(
+        source, disk::DiskParameters::ultrastar_36z15(), policy);
+    benchmark::DoNotOptimize(report.total_energy);
+  }
+  state.counters["peak_rss_mib"] =
+      static_cast<double>(peak_rss_kib()) / 1024.0;
+  state.SetItemsProcessed(state.iterations() * kLargeRequests);
+}
+BENCHMARK(BM_LargeTraceStreamedRss)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_LargeTraceMaterializedRss(benchmark::State& state) {
+  for (auto _ : state) {
+    trace::Trace trace;
+    trace.total_disks = kLargeDisks;
+    trace.compute_total_ms =
+        kLargeGapMs * static_cast<double>(kLargeRequests);
+    trace.requests.reserve(static_cast<std::size_t>(kLargeRequests));
+    for (std::int64_t i = 0; i < kLargeRequests; ++i) {
+      trace.requests.push_back(SyntheticSource::request_at(i));
+      trace.bytes_transferred += trace.requests.back().size_bytes;
+    }
+    policy::BasePolicy policy;
+    const sim::SimReport report = sim::simulate(
+        trace, disk::DiskParameters::ultrastar_36z15(), policy);
+    benchmark::DoNotOptimize(report.total_energy);
+  }
+  state.counters["peak_rss_mib"] =
+      static_cast<double>(peak_rss_kib()) / 1024.0;
+  state.SetItemsProcessed(state.iterations() * kLargeRequests);
+}
+BENCHMARK(BM_LargeTraceMaterializedRss)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 

@@ -1,9 +1,12 @@
 #include "experiments/runner.h"
 
+#include <bit>
 #include <cmath>
+#include <functional>
 
 #include "core/mispredict.h"
 #include "core/schedule.h"
+#include "experiments/trace_cache.h"
 #include "policy/base.h"
 #include "policy/drpm.h"
 #include "policy/oracle.h"
@@ -11,6 +14,8 @@
 #include "policy/tpm.h"
 #include "sim/simulator.h"
 #include "util/error.h"
+#include "util/perf_counters.h"
+#include "util/thread_pool.h"
 
 namespace sdpm::experiments {
 
@@ -55,15 +60,21 @@ Runner::Runner(const workloads::Benchmark& benchmark,
 }
 
 void Runner::ensure_base() {
-  if (base_.has_value()) return;
-  trace::GeneratorOptions gen = config_.gen;
-  gen.noise = config_.actual_noise;
-  trace::TraceGenerator generator(compiled_.program, *layout_, gen);
-  trace_ = generator.generate();
+  std::call_once(base_once_, [this] {
+    trace::GeneratorOptions gen = config_.gen;
+    gen.noise = config_.actual_noise;
+    trace_ = TraceCache::global().get_or_generate(compiled_.program,
+                                                  *layout_, gen);
 
-  policy::BasePolicy policy;
-  base_ = sim::simulate(*trace_, config_.disk, policy,
-                        sim::ReplayMode::kClosedLoop, config_.faults);
+    policy::BasePolicy policy;
+    sim::SimOptions options;
+    options.mode = sim::ReplayMode::kClosedLoop;
+    options.faults = config_.faults;
+    // The measured per-nest timelines consume the Base run's per-request
+    // stall vector; no other scheme's replay needs it.
+    options.capture_responses = true;
+    base_ = sim::simulate(*trace_, config_.disk, policy, options);
+  });
 }
 
 const sim::SimReport& Runner::base_report() {
@@ -78,7 +89,7 @@ const trace::Trace& Runner::trace() {
 
 core::ScheduleResult Runner::schedule_cm(core::PowerMode mode) {
   ensure_base();
-  const trace::StallAwareTimeline estimate =
+  const trace::StallAwareTimeline& estimate =
       measured_timeline(config_.profile_noise);
   core::SchedulerOptions so;
   so.mode = mode;
@@ -90,23 +101,32 @@ core::ScheduleResult Runner::schedule_cm(core::PowerMode mode) {
                                     config_.disk, so);
 }
 
-trace::Trace Runner::generate_actual(const ir::Program& program) const {
+std::shared_ptr<const trace::Trace> Runner::generate_actual(
+    const ir::Program& program) const {
   trace::GeneratorOptions gen = config_.gen;
   gen.noise = config_.actual_noise;
-  trace::TraceGenerator generator(program, *layout_, gen);
-  return generator.generate();
+  return TraceCache::global().get_or_generate(program, *layout_, gen);
 }
 
 trace::Trace Runner::cm_trace(core::PowerMode mode,
                               std::int64_t* calls_inserted) {
   const core::ScheduleResult scheduled = schedule_cm(mode);
   if (calls_inserted != nullptr) *calls_inserted = scheduled.calls_inserted;
-  return generate_actual(scheduled.program);
+  return *generate_actual(scheduled.program);
 }
 
-trace::StallAwareTimeline Runner::measured_timeline(
+const trace::StallAwareTimeline& Runner::measured_timeline(
     const trace::CycleNoise& noise) const {
   SDPM_REQUIRE(base_.has_value(), "Base run required first");
+  const std::pair<std::uint64_t, std::uint64_t> key{
+      std::bit_cast<std::uint64_t>(noise.sigma), noise.seed};
+
+  std::lock_guard lock(timeline_mutex_);
+  const auto it = timelines_.find(key);
+  if (it != timelines_.end()) {
+    PerfCounters::global().add_timeline_cache_hit();
+    return *it->second;
+  }
   const trace::Timeline compute = trace::Timeline::with_noise(
       compiled_.program, noise, config_.gen.clock_hz);
   std::vector<std::int64_t> miss_iters;
@@ -114,8 +134,9 @@ trace::StallAwareTimeline Runner::measured_timeline(
   for (const trace::Request& r : trace_->requests) {
     miss_iters.push_back(r.global_iter);
   }
-  return trace::StallAwareTimeline(compute, std::move(miss_iters),
-                                   base_->responses);
+  auto timeline = std::make_unique<const trace::StallAwareTimeline>(
+      compute, std::move(miss_iters), base_->responses);
+  return *timelines_.emplace(key, std::move(timeline)).first->second;
 }
 
 SchemeResult Runner::run(Scheme scheme) {
@@ -169,17 +190,18 @@ SchemeResult Runner::run(Scheme scheme) {
                                        : core::PowerMode::kDrpm;
       const core::ScheduleResult scheduled = schedule_cm(mode);
       result.power_calls = scheduled.calls_inserted;
-      const trace::Trace cm = generate_actual(scheduled.program);
+      const std::shared_ptr<const trace::Trace> cm =
+          generate_actual(scheduled.program);
 
       policy::ProactivePolicy policy(scheme == Scheme::kCmtpm ? "CMTPM"
                                                               : "CMDRPM");
       const sim::SimReport report =
-          sim::simulate(cm, config_.disk, policy,
+          sim::simulate(*cm, config_.disk, policy,
                         sim::ReplayMode::kClosedLoop, config_.faults);
       result.energy_j = report.total_energy;
       result.execution_ms = report.execution_ms;
 
-      const trace::StallAwareTimeline actual =
+      const trace::StallAwareTimeline& actual =
           measured_timeline(config_.actual_noise);
       result.mispredict_pct =
           core::compare_with_oracle(scheduled.plans, actual, config_.disk,
@@ -195,8 +217,20 @@ SchemeResult Runner::run(Scheme scheme) {
 }
 
 std::vector<SchemeResult> Runner::run_all() {
-  std::vector<SchemeResult> results;
-  for (Scheme scheme : all_schemes()) results.push_back(run(scheme));
+  // Materialize the shared prerequisite once, then fan the seven schemes
+  // over a transient pool.  Each task writes its own slot, so the result
+  // order (and every value — all randomness is seed-keyed) matches the
+  // serial evaluation exactly.
+  ensure_base();
+  const std::vector<Scheme> schemes = all_schemes();
+  std::vector<SchemeResult> results(schemes.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    tasks.push_back(
+        [this, &results, &schemes, i] { results[i] = run(schemes[i]); });
+  }
+  run_parallel(std::move(tasks));
   return results;
 }
 

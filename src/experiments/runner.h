@@ -17,8 +17,12 @@
 // is what produces Table 3's mispredicted disk speeds.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/compiler.h"
@@ -70,9 +74,19 @@ struct SchemeResult {
 
 /// Evaluates one (benchmark, configuration) cell.  The Base run, the trace
 /// and the measured timelines are computed once and shared by all schemes.
+/// Traces come from the process-wide content-keyed TraceCache, so repeated
+/// cells with identical generation inputs reuse one generation.
+///
+/// Thread safety: after construction, run() may be called concurrently for
+/// different schemes — the lazy shared state (Base run, memoized measured
+/// timelines) is initialized under internal synchronization and is a pure
+/// function of the configuration, so results do not depend on interleaving.
 class Runner {
  public:
   Runner(const workloads::Benchmark& benchmark, ExperimentConfig config);
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
 
   /// The transformed program under evaluation.
   const ir::Program& program() const { return compiled_.program; }
@@ -89,33 +103,43 @@ class Runner {
   trace::Trace cm_trace(core::PowerMode mode,
                         std::int64_t* calls_inserted = nullptr);
 
-  /// Evaluate one scheme.
+  /// Evaluate one scheme.  Thread-safe: independent schemes may run
+  /// concurrently on pool workers.
   SchemeResult run(Scheme scheme);
 
-  /// Evaluate all seven schemes in order.
+  /// Evaluate all seven schemes, fanned over a thread pool (default_jobs()
+  /// workers) with results in presentation order — bit-identical to a
+  /// serial evaluation.
   std::vector<SchemeResult> run_all();
 
   const ExperimentConfig& config() const { return config_; }
 
  private:
   void ensure_base();
-  /// Build the stall-aware measured timeline for a given compute-noise
-  /// model: noisy compute plus the Base run's per-request stalls at their
-  /// exact iterations.
-  trace::StallAwareTimeline measured_timeline(
+  /// The stall-aware measured timeline for a given compute-noise model:
+  /// noisy compute plus the Base run's per-request stalls at their exact
+  /// iterations.  Memoized per (sigma, seed); the returned reference stays
+  /// valid for the Runner's lifetime.
+  const trace::StallAwareTimeline& measured_timeline(
       const trace::CycleNoise& noise) const;
   /// Run the compiler's power-call scheduler for `mode` against the
   /// profile-noise estimate.
   core::ScheduleResult schedule_cm(core::PowerMode mode);
-  /// Generate the production-run trace of `program` (actual noise).
-  trace::Trace generate_actual(const ir::Program& program) const;
+  /// The production-run trace of `program` (actual noise), via the cache.
+  std::shared_ptr<const trace::Trace> generate_actual(
+      const ir::Program& program) const;
 
   workloads::Benchmark benchmark_;
   ExperimentConfig config_;
   core::CompileOutput compiled_;
   std::optional<layout::LayoutTable> layout_;
-  std::optional<trace::Trace> trace_;  // without power calls
+  std::once_flag base_once_;
+  std::shared_ptr<const trace::Trace> trace_;  // without power calls
   std::optional<sim::SimReport> base_;
+  mutable std::mutex timeline_mutex_;
+  mutable std::map<std::pair<std::uint64_t, std::uint64_t>,
+                   std::unique_ptr<const trace::StallAwareTimeline>>
+      timelines_;  // measured timelines by noise (sigma bits, seed)
 };
 
 }  // namespace sdpm::experiments

@@ -1,0 +1,194 @@
+#include "experiments/trace_cache.h"
+
+#include <bit>
+
+#include "util/perf_counters.h"
+
+namespace sdpm::experiments {
+
+namespace {
+
+/// 128-bit streaming mixer: two SplitMix64-style lanes with different
+/// constants, each absorbing every word.  Not cryptographic — collision
+/// resistance at 2^-128 is ample for a 32-entry cache.
+class Fingerprint {
+ public:
+  void mix(std::uint64_t v) {
+    a_ = finalize((a_ ^ v) + 0x9e3779b97f4a7c15ULL);
+    b_ = finalize((b_ + v) ^ 0xc2b2ae3d27d4eb4fULL);
+  }
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+
+  TraceKey key() const { return TraceKey{a_, b_}; }
+
+ private:
+  static std::uint64_t finalize(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t a_ = 0x243f6a8885a308d3ULL;
+  std::uint64_t b_ = 0x13198a2e03707344ULL;
+};
+
+void mix_affine(Fingerprint& fp, const ir::AffineExpr& e) {
+  fp.mix(static_cast<std::uint64_t>(e.coefs.size()));
+  for (std::int64_t c : e.coefs) fp.mix(c);
+  fp.mix(e.constant);
+}
+
+void mix_program(Fingerprint& fp, const ir::Program& program) {
+  fp.mix(static_cast<std::uint64_t>(program.arrays.size()));
+  for (const ir::Array& a : program.arrays) {
+    fp.mix(static_cast<std::uint64_t>(a.extents.size()));
+    for (std::int64_t e : a.extents) fp.mix(e);
+    fp.mix(a.element_size);
+    fp.mix(static_cast<std::uint64_t>(a.layout));
+  }
+  fp.mix(static_cast<std::uint64_t>(program.nests.size()));
+  for (const ir::LoopNest& nest : program.nests) {
+    fp.mix(static_cast<std::uint64_t>(nest.loops.size()));
+    for (const ir::Loop& loop : nest.loops) {
+      fp.mix(loop.lower);
+      fp.mix(loop.upper);
+      fp.mix(loop.step);
+    }
+    fp.mix(static_cast<std::uint64_t>(nest.body.size()));
+    for (const ir::Statement& stmt : nest.body) {
+      fp.mix(static_cast<std::uint64_t>(stmt.refs.size()));
+      for (const ir::ArrayRef& ref : stmt.refs) {
+        fp.mix(ref.array);
+        fp.mix(static_cast<std::uint64_t>(ref.kind));
+        fp.mix(static_cast<std::uint64_t>(ref.subscripts.size()));
+        for (const ir::AffineExpr& sub : ref.subscripts) mix_affine(fp, sub);
+      }
+      fp.mix(stmt.cycles);
+    }
+    fp.mix(nest.loop_overhead_cycles);
+  }
+  fp.mix(static_cast<std::uint64_t>(program.directives.size()));
+  for (const ir::PlacedDirective& pd : program.directives) {
+    fp.mix(pd.point.nest_index);
+    fp.mix(pd.point.flat_iteration);
+    fp.mix(static_cast<std::uint64_t>(pd.directive.kind));
+    fp.mix(pd.directive.disk);
+    fp.mix(pd.directive.rpm_level);
+  }
+}
+
+void mix_layout(Fingerprint& fp, const layout::LayoutTable& layout) {
+  fp.mix(layout.total_disks());
+  fp.mix(static_cast<std::uint64_t>(layout.array_count()));
+  for (std::size_t a = 0; a < layout.array_count(); ++a) {
+    const layout::FileLayout& fl =
+        layout.layout_of(static_cast<ir::ArrayId>(a));
+    fp.mix(fl.striping().starting_disk);
+    fp.mix(fl.striping().stripe_factor);
+    fp.mix(fl.striping().stripe_size);
+    fp.mix(fl.file_size());
+  }
+}
+
+void mix_options(Fingerprint& fp, const trace::GeneratorOptions& options) {
+  fp.mix(options.block_size);
+  fp.mix(options.cache_bytes);
+  fp.mix(options.noise.sigma);
+  fp.mix(options.noise.seed);
+  fp.mix(options.clock_hz);
+  fp.mix(options.power_call_overhead_ms);
+  fp.mix(options.prefetch_lead_ms);
+}
+
+}  // namespace
+
+TraceKey trace_key_of(const ir::Program& program,
+                      const layout::LayoutTable& layout,
+                      const trace::GeneratorOptions& options) {
+  Fingerprint fp;
+  mix_program(fp, program);
+  mix_layout(fp, layout);
+  mix_options(fp, options);
+  return fp.key();
+}
+
+TraceCache::TraceCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TraceCache& TraceCache::global() {
+  static TraceCache cache;
+  return cache;
+}
+
+std::shared_ptr<const trace::Trace> TraceCache::get_or_generate(
+    const ir::Program& program, const layout::LayoutTable& layout,
+    const trace::GeneratorOptions& options) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!enabled_) {
+      // Fall through to uncached generation (outside the lock).
+    } else {
+      const TraceKey key = trace_key_of(program, layout, options);
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        PerfCounters::global().add_trace_cache_hit();
+        return it->second->trace;
+      }
+    }
+  }
+
+  // Generate outside the lock so concurrent cells generating *different*
+  // traces proceed in parallel.  Two cells racing on the same key may both
+  // generate; the second insert simply refreshes the entry — traces for
+  // equal keys are bit-identical, so either copy is correct.
+  auto trace = std::make_shared<const trace::Trace>(
+      trace::TraceGenerator(program, layout, options).generate());
+
+  std::lock_guard lock(mutex_);
+  if (!enabled_) return trace;
+  PerfCounters::global().add_trace_cache_miss();
+  const TraceKey key = trace_key_of(program, layout, options);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->trace = trace;
+    return trace;
+  }
+  lru_.push_front(Entry{key, trace});
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return trace;
+}
+
+void TraceCache::set_enabled(bool enabled) {
+  std::lock_guard lock(mutex_);
+  enabled_ = enabled;
+  if (!enabled) {
+    lru_.clear();
+    index_.clear();
+  }
+}
+
+bool TraceCache::enabled() const {
+  std::lock_guard lock(mutex_);
+  return enabled_;
+}
+
+void TraceCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t TraceCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace sdpm::experiments

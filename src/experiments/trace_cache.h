@@ -1,0 +1,92 @@
+// Content-keyed trace cache.
+//
+// Trace generation is the dominant cost of an experiment cell: Base, TPM
+// and DRPM all replay the *same* power-call-free trace, and bench sweeps
+// revisit identical (program, layout, options) combinations across
+// configurations.  The cache keys traces by a 128-bit fingerprint of
+// everything that determines the generated trace bit for bit — the
+// program's semantic structure (arrays, nests, references, directives),
+// the physical layout (per-array striping + total disks), and the full
+// GeneratorOptions including the noise sigma/seed — so a hit is guaranteed
+// to return the exact trace a fresh generation would produce.
+//
+// Entries are shared_ptr<const Trace>: concurrently running sweep cells
+// can hold the same trace while the LRU evicts it from the cache proper.
+// All operations are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "ir/program.h"
+#include "layout/layout_table.h"
+#include "trace/generator.h"
+#include "trace/request.h"
+
+namespace sdpm::experiments {
+
+/// 128-bit content fingerprint of a (program, layout, options) triple.
+struct TraceKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const TraceKey&, const TraceKey&) = default;
+};
+
+struct TraceKeyHash {
+  std::size_t operator()(const TraceKey& key) const noexcept {
+    return static_cast<std::size_t>(key.lo ^ (key.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Fingerprint the inputs of trace generation.  Two triples with equal keys
+/// generate bit-identical traces: the key covers every semantic field of
+/// the program (names are excluded — they do not affect the trace), the
+/// per-array striping and file sizes, and all generator options including
+/// the noise seed.
+TraceKey trace_key_of(const ir::Program& program,
+                      const layout::LayoutTable& layout,
+                      const trace::GeneratorOptions& options);
+
+/// Thread-safe LRU cache of generated traces, keyed by content.
+class TraceCache {
+ public:
+  explicit TraceCache(std::size_t capacity = 32);
+
+  /// The process-wide instance shared by all Runners.
+  static TraceCache& global();
+
+  /// Return the cached trace for the triple, generating (and inserting) it
+  /// on a miss.  When the cache is disabled every call generates afresh.
+  /// Hits and misses report into PerfCounters::global().
+  std::shared_ptr<const trace::Trace> get_or_generate(
+      const ir::Program& program, const layout::LayoutTable& layout,
+      const trace::GeneratorOptions& options);
+
+  /// Toggle caching (enabled by default).  Disabling also clears the cache
+  /// so benchmarks of the uncached path start cold.
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  void clear();
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    TraceKey key;
+    std::shared_ptr<const trace::Trace> trace;
+  };
+
+  mutable std::mutex mutex_;
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<TraceKey, std::list<Entry>::iterator, TraceKeyHash>
+      index_;
+};
+
+}  // namespace sdpm::experiments

@@ -89,8 +89,11 @@ void check_invariants(const SimReport& report,
                         report.execution_ms) <=
                    kAbsTolMs + kRelTol * report.execution_ms,
                "execution != compute + stalls");
-  SDPM_REQUIRE(static_cast<std::int64_t>(report.responses.size()) ==
-                   report.requests,
+  // The per-request vector is opt-in (SimOptions::capture_responses); when
+  // captured it must be exactly one response per request.
+  SDPM_REQUIRE(report.responses.empty() ||
+                   static_cast<std::int64_t>(report.responses.size()) ==
+                       report.requests,
                "one response per request required");
 
   Joules sum = 0;

@@ -1,18 +1,39 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 
 #include "util/error.h"
+#include "util/perf_counters.h"
 
 namespace sdpm::sim {
 
 Simulator::Simulator(const trace::Trace& trace,
                      const disk::DiskParameters& params, PowerPolicy& policy,
                      ReplayMode mode, FaultConfig faults)
-    : trace_(trace), params_(params), policy_(policy), mode_(mode),
-      faults_(faults) {
+    : trace_(&trace), params_(params), policy_(policy) {
+  options_.mode = mode;
+  options_.faults = faults;
   SDPM_REQUIRE(trace.total_disks >= 1, "trace must name at least one disk");
-  faults_.validate();
+  options_.faults.validate();
+}
+
+Simulator::Simulator(const trace::Trace& trace,
+                     const disk::DiskParameters& params, PowerPolicy& policy,
+                     const SimOptions& options)
+    : trace_(&trace), params_(params), policy_(policy), options_(options) {
+  SDPM_REQUIRE(trace.total_disks >= 1, "trace must name at least one disk");
+  options_.faults.validate();
+}
+
+Simulator::Simulator(trace::RequestSource& source,
+                     const disk::DiskParameters& params, PowerPolicy& policy,
+                     const SimOptions& options)
+    : source_(&source), params_(params), policy_(policy), options_(options) {
+  SDPM_REQUIRE(source.total_disks() >= 1,
+               "trace must name at least one disk");
+  options_.faults.validate();
 }
 
 SimReport Simulator::run() {
@@ -20,16 +41,35 @@ SimReport Simulator::run() {
                "Simulator::run may only be called once per instance; "
                "construct a fresh Simulator (and policy) to replay again");
   ran_ = true;
-  FaultModel model(faults_);
-  FaultModel* faults = faults_.enabled() ? &model : nullptr;
-  return mode_ == ReplayMode::kClosedLoop ? run_closed_loop(faults)
-                                          : run_open_loop(faults);
+  const auto started = std::chrono::steady_clock::now();
+  FaultModel model(options_.faults);
+  FaultModel* faults = options_.faults.enabled() ? &model : nullptr;
+
+  // The materialized path replays through a cursor over the trace — the
+  // cursor reproduces the historical merge of requests and power events
+  // exactly, so both paths share one replay loop.
+  std::optional<trace::TraceCursor> cursor;
+  trace::RequestSource* source = source_;
+  if (trace_ != nullptr) {
+    cursor.emplace(*trace_);
+    source = &*cursor;
+  }
+
+  SimReport report = options_.mode == ReplayMode::kClosedLoop
+                         ? run_closed_loop(*source, faults)
+                         : run_open_loop(*source, faults);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - started);
+  PerfCounters::global().add_simulation(report.requests, elapsed.count());
+  return report;
 }
 
-SimReport Simulator::run_closed_loop(FaultModel* faults) {
+SimReport Simulator::run_closed_loop(trace::RequestSource& source,
+                                     FaultModel* faults) {
+  const int total_disks = source.total_disks();
   std::vector<DiskUnit> units;
-  units.reserve(static_cast<std::size_t>(trace_.total_disks));
-  for (int d = 0; d < trace_.total_disks; ++d) {
+  units.reserve(static_cast<std::size_t>(total_disks));
+  for (int d = 0; d < total_disks; ++d) {
     units.emplace_back(params_, d, faults);
   }
   for (DiskUnit& unit : units) policy_.attach(unit);
@@ -37,17 +77,10 @@ SimReport Simulator::run_closed_loop(FaultModel* faults) {
   SimReport report;
   report.policy_name = policy_.name();
 
-  // Merge requests and power events by compute-timeline order.  Power
-  // events sit *before* the iteration they annotate, so they win ties.
-  std::size_t ri = 0;
-  std::size_t pi = 0;
-  const auto& requests = trace_.requests;
-  const auto& events = trace_.power_events;
-
+  const TimeMs compute_total = source.compute_total_ms();
   TimeMs compute_cursor = 0;  // compute-timeline position
   TimeMs app_clock = 0;       // real simulated time (compute + stalls)
-  std::vector<TimeMs> last_issue(
-      static_cast<std::size_t>(trace_.total_disks), 0.0);
+  std::vector<TimeMs> last_issue(static_cast<std::size_t>(total_disks), 0.0);
 
   const auto advance_app = [&](TimeMs compute_time) {
     SDPM_ASSERT(compute_time >= compute_cursor - 1e-9,
@@ -57,23 +90,23 @@ SimReport Simulator::run_closed_loop(FaultModel* faults) {
     app_clock += think;
   };
 
-  while (ri < requests.size() || pi < events.size()) {
-    const bool take_power =
-        pi < events.size() &&
-        (ri >= requests.size() ||
-         events[pi].app_time_ms <= requests[ri].arrival_ms);
-    if (take_power) {
-      const trace::PowerEvent& ev = events[pi++];
+  // The source delivers requests and power events merged by compute-
+  // timeline order; power events sit *before* the iteration they annotate,
+  // so they win ties.
+  trace::TraceItem item;
+  while (source.next(item)) {
+    if (item.kind == trace::TraceItem::Kind::kPowerEvent) {
+      const trace::PowerEvent& ev = item.power;
       advance_app(ev.app_time_ms);
       const int d = ev.directive.disk;
-      SDPM_REQUIRE(d >= 0 && d < trace_.total_disks,
+      SDPM_REQUIRE(d >= 0 && d < total_disks,
                    "power event targets unknown disk");
       policy_.on_power_event(units[static_cast<std::size_t>(d)], app_clock,
                              ev.directive);
     } else {
-      const trace::Request& req = requests[ri++];
+      const trace::Request& req = item.request;
       advance_app(req.arrival_ms);
-      SDPM_REQUIRE(req.disk >= 0 && req.disk < trace_.total_disks,
+      SDPM_REQUIRE(req.disk >= 0 && req.disk < total_disks,
                    "request targets unknown disk");
       DiskUnit& unit = units[static_cast<std::size_t>(req.disk)];
       // With a prefetch lead, the request was issued that much earlier and
@@ -94,7 +127,7 @@ SimReport Simulator::run_closed_loop(FaultModel* faults) {
           unit.serve(issue, req.start_sector, req.size_bytes, req.kind);
       const TimeMs stall = std::max(0.0, result.completion - app_clock);
       report.response_ms.add(stall);
-      report.responses.push_back(stall);
+      if (options_.capture_responses) report.responses.push_back(stall);
       policy_.after_service(unit, result.completion, stall);
       app_clock += stall;  // blocking only for the un-hidden remainder
       ++report.requests;
@@ -103,12 +136,12 @@ SimReport Simulator::run_closed_loop(FaultModel* faults) {
   }
 
   // Trailing compute after the last request / power call.
-  advance_app(trace_.compute_total_ms);
+  advance_app(compute_total);
   const TimeMs end = app_clock;
 
-  report.compute_ms = trace_.compute_total_ms;
+  report.compute_ms = compute_total;
   report.execution_ms = end;
-  report.io_stall_ms = end - trace_.compute_total_ms;
+  report.io_stall_ms = end - compute_total;
 
   report.disks.reserve(units.size());
   for (DiskUnit& unit : units) {
@@ -121,10 +154,12 @@ SimReport Simulator::run_closed_loop(FaultModel* faults) {
   return report;
 }
 
-SimReport Simulator::run_open_loop(FaultModel* faults) {
+SimReport Simulator::run_open_loop(trace::RequestSource& source,
+                                   FaultModel* faults) {
+  const int total_disks = source.total_disks();
   std::vector<DiskUnit> units;
-  units.reserve(static_cast<std::size_t>(trace_.total_disks));
-  for (int d = 0; d < trace_.total_disks; ++d) {
+  units.reserve(static_cast<std::size_t>(total_disks));
+  for (int d = 0; d < total_disks; ++d) {
     units.emplace_back(params_, d, faults);
   }
   for (DiskUnit& unit : units) policy_.attach(unit);
@@ -132,27 +167,22 @@ SimReport Simulator::run_open_loop(FaultModel* faults) {
   SimReport report;
   report.policy_name = policy_.name();
 
-  // Merge requests and power events by recorded timestamp; power events
-  // win ties (they precede the iteration they annotate).
-  std::size_t ri = 0;
-  std::size_t pi = 0;
-  TimeMs end = trace_.compute_total_ms;
-  while (ri < trace_.requests.size() || pi < trace_.power_events.size()) {
-    const bool take_power =
-        pi < trace_.power_events.size() &&
-        (ri >= trace_.requests.size() ||
-         trace_.power_events[pi].app_time_ms <=
-             trace_.requests[ri].arrival_ms);
-    if (take_power) {
-      const trace::PowerEvent& ev = trace_.power_events[pi++];
+  // Requests and power events arrive merged by recorded timestamp; power
+  // events win ties (they precede the iteration they annotate).
+  const TimeMs compute_total = source.compute_total_ms();
+  TimeMs end = compute_total;
+  trace::TraceItem item;
+  while (source.next(item)) {
+    if (item.kind == trace::TraceItem::Kind::kPowerEvent) {
+      const trace::PowerEvent& ev = item.power;
       const int d = ev.directive.disk;
-      SDPM_REQUIRE(d >= 0 && d < trace_.total_disks,
+      SDPM_REQUIRE(d >= 0 && d < total_disks,
                    "power event targets unknown disk");
       policy_.on_power_event(units[static_cast<std::size_t>(d)],
                              ev.app_time_ms, ev.directive);
     } else {
-      const trace::Request& req = trace_.requests[ri++];
-      SDPM_REQUIRE(req.disk >= 0 && req.disk < trace_.total_disks,
+      const trace::Request& req = item.request;
+      SDPM_REQUIRE(req.disk >= 0 && req.disk < total_disks,
                    "request targets unknown disk");
       DiskUnit& unit = units[static_cast<std::size_t>(req.disk)];
       policy_.before_service(unit, req.arrival_ms);
@@ -161,16 +191,16 @@ SimReport Simulator::run_open_loop(FaultModel* faults) {
                      req.kind);
       const TimeMs response = result.completion - req.arrival_ms;
       report.response_ms.add(response);
-      report.responses.push_back(response);
+      if (options_.capture_responses) report.responses.push_back(response);
       end = std::max(end, result.completion);
       ++report.requests;
       report.bytes_transferred += req.size_bytes;
     }
   }
 
-  report.compute_ms = trace_.compute_total_ms;
+  report.compute_ms = compute_total;
   report.execution_ms = end;
-  report.io_stall_ms = end - trace_.compute_total_ms;
+  report.io_stall_ms = end - compute_total;
 
   report.disks.reserve(units.size());
   for (DiskUnit& unit : units) {
@@ -187,6 +217,18 @@ SimReport simulate(const trace::Trace& trace,
                    const disk::DiskParameters& params, PowerPolicy& policy,
                    ReplayMode mode, FaultConfig faults) {
   return Simulator(trace, params, policy, mode, faults).run();
+}
+
+SimReport simulate(const trace::Trace& trace,
+                   const disk::DiskParameters& params, PowerPolicy& policy,
+                   const SimOptions& options) {
+  return Simulator(trace, params, policy, options).run();
+}
+
+SimReport simulate(trace::RequestSource& source,
+                   const disk::DiskParameters& params, PowerPolicy& policy,
+                   const SimOptions& options) {
+  return Simulator(source, params, policy, options).run();
 }
 
 }  // namespace sdpm::sim

@@ -1,6 +1,6 @@
 // Trace-driven, closed-loop disk-subsystem simulator.
 //
-// Replays a Trace against a bank of DiskUnits under a PowerPolicy.  The
+// Replays a trace against a bank of DiskUnits under a PowerPolicy.  The
 // application model matches the paper's benchmarks: a single thread that
 // computes (think time = the gap between consecutive compute-timeline
 // timestamps), issues one blocking I/O request at a time, and executes
@@ -9,6 +9,11 @@
 // queueing behind a transition, demand spin-up, slow service at reduced
 // RPM — pushes the application's completion time out, which is how power
 // management's performance cost (paper Fig. 4/6/8) arises.
+//
+// The replay engine consumes a trace::RequestSource — either a cursor over
+// a materialized trace::Trace or the streaming generator — so large traces
+// can be simulated with O(1) request memory.  Both delivery paths drive
+// the identical replay loop and produce bit-identical reports.
 #pragma once
 
 #include "disk/parameters.h"
@@ -16,6 +21,7 @@
 #include "sim/policy.h"
 #include "sim/report.h"
 #include "trace/request.h"
+#include "trace/source.h"
 
 namespace sdpm::sim {
 
@@ -31,29 +37,53 @@ enum class ReplayMode {
   kOpenLoop,
 };
 
+/// Replay configuration beyond the trace itself.
+struct SimOptions {
+  ReplayMode mode = ReplayMode::kClosedLoop;
+  /// Fault-injection configuration; the default FaultConfig::none()
+  /// reproduces the fault-free simulator bit for bit.
+  FaultConfig faults = FaultConfig::none();
+  /// Record the response time of every request in SimReport::responses
+  /// (index-aligned with the trace's request order).  Off by default: the
+  /// histogram statistics are always kept, but only consumers that need
+  /// the full vector — measured per-nest timelines, per-request asserts in
+  /// tests — should pay the O(requests) allocation.
+  bool capture_responses = false;
+};
+
 class Simulator {
  public:
-  /// `faults` selects the fault-injection configuration; the default
-  /// FaultConfig::none() reproduces the fault-free simulator bit for bit.
+  /// Replay a materialized trace.  `faults` selects the fault-injection
+  /// configuration; the default FaultConfig::none() reproduces the
+  /// fault-free simulator bit for bit.
   Simulator(const trace::Trace& trace, const disk::DiskParameters& params,
             PowerPolicy& policy, ReplayMode mode = ReplayMode::kClosedLoop,
             FaultConfig faults = FaultConfig::none());
 
+  /// Replay a materialized trace with full options.
+  Simulator(const trace::Trace& trace, const disk::DiskParameters& params,
+            PowerPolicy& policy, const SimOptions& options);
+
+  /// Replay from a streaming source (the trace is never materialized).
+  /// The source must outlive the simulator and is consumed by run().
+  Simulator(trace::RequestSource& source, const disk::DiskParameters& params,
+            PowerPolicy& policy, const SimOptions& options = {});
+
   /// Run the replay to completion and produce the report.  A Simulator is
-  /// single-shot: a second call throws sdpm::Error (the policy and fault
-  /// streams carry state from the first replay, so rerunning would silently
-  /// produce different results).
+  /// single-shot: a second call throws sdpm::Error (the policy, fault and
+  /// request streams carry state from the first replay, so rerunning would
+  /// silently produce different results).
   SimReport run();
 
  private:
-  SimReport run_closed_loop(FaultModel* faults);
-  SimReport run_open_loop(FaultModel* faults);
+  SimReport run_closed_loop(trace::RequestSource& source, FaultModel* faults);
+  SimReport run_open_loop(trace::RequestSource& source, FaultModel* faults);
 
-  const trace::Trace& trace_;
+  const trace::Trace* trace_ = nullptr;     // materialized path
+  trace::RequestSource* source_ = nullptr;  // streaming path
   const disk::DiskParameters& params_;
   PowerPolicy& policy_;
-  ReplayMode mode_;
-  FaultConfig faults_;
+  SimOptions options_;
   bool ran_ = false;
 };
 
@@ -62,5 +92,15 @@ SimReport simulate(const trace::Trace& trace,
                    const disk::DiskParameters& params, PowerPolicy& policy,
                    ReplayMode mode = ReplayMode::kClosedLoop,
                    FaultConfig faults = FaultConfig::none());
+
+/// Convenience with full options.
+SimReport simulate(const trace::Trace& trace,
+                   const disk::DiskParameters& params, PowerPolicy& policy,
+                   const SimOptions& options);
+
+/// Convenience: consume `source` under `policy` with `params`.
+SimReport simulate(trace::RequestSource& source,
+                   const disk::DiskParameters& params, PowerPolicy& policy,
+                   const SimOptions& options = {});
 
 }  // namespace sdpm::sim

@@ -13,11 +13,18 @@
 //       Emit the generated I/O request trace in the text format.
 //   sdpm_cli replay --in FILE [--policy Base|TPM|ATPM|DRPM] [--open-loop]
 //       Replay a (possibly external) text trace under a reactive policy.
+//   sdpm_cli bench [--benchmark NAME] [--json] [--no-cache] [--jobs N]
+//       Run the 7-scheme x 8-config sweep on the parallel sweep engine;
+//       --json emits the perf-counter snapshot CI archives per commit.
+//
+// --jobs N caps the worker count of every parallel phase (equivalent to
+// SDPM_JOBS in the environment).
 //
 // All simulating commands accept fault-injection flags (--fault-seed,
 // --fault-spinup, --fault-media, --fault-jitter, --fault-drop) and
 // inspect/replay accept --resilient to wrap the chosen policy in the
 // degrading ResilientPolicy.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -29,6 +36,8 @@
 #include "experiments/profile.h"
 #include "experiments/report.h"
 #include "experiments/runner.h"
+#include "experiments/sweep.h"
+#include "experiments/trace_cache.h"
 #include "layout/layout_table.h"
 #include "policy/adaptive_tpm.h"
 #include "policy/base.h"
@@ -40,8 +49,10 @@
 #include "trace/generator.h"
 #include "trace/text_io.h"
 #include "util/error.h"
+#include "util/perf_counters.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -59,8 +70,12 @@ using namespace sdpm;
       "  dap    --benchmark NAME [config]\n"
       "  trace  --benchmark NAME [--out FILE] [config]\n"
       "  replay --in FILE [--policy P] [--open-loop] [--per-disk]\n"
+      "  bench  [--benchmark NAME] [--json] [--no-cache] [config]\n"
+      "         sweep all 7 schemes x 8 configs on the parallel sweep\n"
+      "         engine; --json emits the perf-counter snapshot\n"
+      "         (BENCH_simulator.json schema) instead of the table\n"
       "config flags: --disks N --stripe BYTES --block BYTES --cache BYTES\n"
-      "              --noise SIGMA --no-preactivate --csv\n"
+      "              --noise SIGMA --no-preactivate --csv --jobs N\n"
       "fault flags:  --fault-seed N --fault-spinup P --fault-media P\n"
       "              --fault-jitter F --fault-drop P --fault-retries N\n"
       "              (inspect/replay also accept --resilient)\n";
@@ -322,7 +337,10 @@ int cmd_profile(const Args& args) {
   trace::TraceGenerator generator(bench.program, table, gen);
   const trace::Trace trace = generator.generate();
   policy::BasePolicy policy;
-  const sim::SimReport report = sim::simulate(trace, config.disk, policy);
+  sim::SimOptions options;
+  options.capture_responses = true;  // the per-nest profile needs them
+  const sim::SimReport report =
+      sim::simulate(trace, config.disk, policy, options);
   emit(experiments::per_nest_profile(bench.program, trace, report), args);
   emit(experiments::idle_gap_table(report, config.disk), args);
   return 0;
@@ -400,6 +418,68 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+int cmd_bench(const Args& args) {
+  const std::string bench_name = args.get("benchmark", "swim");
+  const workloads::Benchmark bench = workloads::make_benchmark(bench_name);
+  if (args.has("no-cache")) {
+    experiments::TraceCache::global().set_enabled(false);
+  }
+
+  // 8 configurations: 4 stripe sizes x 2 subsystem widths, each evaluated
+  // under all 7 schemes (the paper's Figs. 5-8 sensitivity grid).
+  const std::vector<Bytes> stripes = {kib(16), kib(32), kib(64), kib(128)};
+  const std::vector<int> widths = {4, 8};
+  std::vector<experiments::SweepCell> cells;
+  for (const int disks : widths) {
+    for (const Bytes stripe : stripes) {
+      experiments::ExperimentConfig config = config_from(args);
+      config.total_disks = disks;
+      config.striping.stripe_factor = disks;
+      config.striping.stripe_size = stripe;
+      experiments::SweepCell cell;
+      cell.label = bench_name + "/d" + std::to_string(disks) + "/s" +
+                   std::to_string(stripe / 1024) + "K";
+      cell.benchmark = bench;
+      cell.config = std::move(config);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  PerfCounters::global().reset();
+  const auto started = std::chrono::steady_clock::now();
+  experiments::SweepEngine engine;
+  const std::vector<experiments::SweepCellResult> results =
+      engine.run(cells);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+
+  if (args.has("json")) {
+    std::cout << perf_json(PerfCounters::global().snapshot(), wall_ms,
+                           engine.jobs())
+              << "\n";
+    return 0;
+  }
+
+  Table table(bench_name + " sweep (" + std::to_string(engine.jobs()) +
+              " jobs, " + fmt_double(wall_ms, 1) + " ms)");
+  std::vector<std::string> header = {"Cell", "Task ms"};
+  for (const experiments::Scheme s : experiments::all_schemes()) {
+    header.push_back(std::string(experiments::to_string(s)) + " E");
+  }
+  table.set_header(header);
+  for (const experiments::SweepCellResult& cell : results) {
+    std::vector<std::string> row = {cell.label, fmt_double(cell.wall_ms, 1)};
+    for (const experiments::SchemeResult& r : cell.results) {
+      row.push_back(fmt_double(r.normalized_energy, 3));
+    }
+    table.add_row(row);
+  }
+  emit(table, args);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -407,6 +487,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
+    if (args.has("jobs")) {
+      set_default_jobs(static_cast<unsigned>(args.get_int("jobs", 0)));
+    }
     if (command == "list") return cmd_list();
     if (command == "run") return cmd_run(args);
     if (command == "inspect") return cmd_inspect(args);
@@ -415,6 +498,7 @@ int main(int argc, char** argv) {
     if (command == "dap") return cmd_dap(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "bench") return cmd_bench(args);
     usage("unknown command '" + command + "'");
   } catch (const sdpm::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -2,11 +2,75 @@
 
 #include <algorithm>
 
-#include "trace/buffer_cache.h"
-#include "trace/walker.h"
 #include "util/error.h"
+#include "util/perf_counters.h"
 
 namespace sdpm::trace {
+
+namespace {
+
+/// Each directive executed before global iteration g shifts all later
+/// compute times by Tm.
+TimeMs overhead_before(const std::vector<std::int64_t>& directive_globals,
+                       TimeMs tm, std::int64_t g) {
+  const auto it = std::upper_bound(directive_globals.begin(),
+                                   directive_globals.end(), g);
+  return tm * static_cast<double>(it - directive_globals.begin());
+}
+
+/// Global coordinates of the program's power directives, in program order.
+std::vector<std::int64_t> directive_globals_of(const ir::Program& program,
+                                               const IterationSpace& space) {
+  std::vector<std::int64_t> globals;
+  globals.reserve(program.directives.size());
+  for (const ir::PlacedDirective& pd : program.directives) {
+    globals.push_back(space.global_of(pd.point));
+  }
+  SDPM_REQUIRE(std::is_sorted(globals.begin(), globals.end()),
+               "program directives must be sorted (call sort_directives)");
+  return globals;
+}
+
+/// A power event fires at its iteration's compute time plus the overhead
+/// of every directive executed before it (directives at the same point run
+/// in program order, each paying Tm).
+std::vector<PowerEvent> power_events_of(
+    const ir::Program& program, const Timeline& actual,
+    const std::vector<std::int64_t>& directive_globals, TimeMs tm) {
+  std::vector<PowerEvent> events;
+  events.reserve(program.directives.size());
+  for (std::size_t i = 0; i < program.directives.size(); ++i) {
+    PowerEvent ev;
+    ev.global_iter = directive_globals[i];
+    ev.app_time_ms =
+        actual.at_global(ev.global_iter) + tm * static_cast<double>(i);
+    ev.directive = program.directives[i].directive;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+/// Timestamp one miss exactly as the materialized generator does.
+Request request_from_miss(const MissRecord& miss, const Timeline& actual,
+                          const std::vector<std::int64_t>& directive_globals,
+                          const GeneratorOptions& options) {
+  Request r;
+  r.arrival_ms = actual.at_global(miss.global_iter) +
+                 overhead_before(directive_globals,
+                                 options.power_call_overhead_ms,
+                                 miss.global_iter);
+  r.disk = miss.disk;
+  r.start_sector = miss.start_sector;
+  r.size_bytes = miss.size_bytes;
+  r.kind = miss.kind;
+  r.global_iter = miss.global_iter;
+  if (miss.kind == ir::AccessKind::kRead) {
+    r.prefetch_lead_ms = options.prefetch_lead_ms;
+  }
+  return r;
+}
+
+}  // namespace
 
 Bytes block_size_for(const layout::LayoutTable& layout, ir::ArrayId array,
                      const GeneratorOptions& options) {
@@ -17,39 +81,49 @@ Bytes block_size_for(const layout::LayoutTable& layout, ir::ArrayId array,
   return options.block_size;
 }
 
+MissCursor::MissCursor(const ir::Program& program,
+                       const layout::LayoutTable& layout,
+                       const GeneratorOptions& options)
+    : layout_(&layout), options_(options), space_(program),
+      cache_(options.cache_bytes),
+      cursor_(program, [this](ir::ArrayId a) {
+        return block_size_for(*layout_, a, options_);
+      }) {
+  SDPM_REQUIRE(layout.array_count() == program.arrays.size(),
+               "layout table does not match program arrays");
+}
+
+bool MissCursor::next(MissRecord& out) {
+  BlockTouch touch;
+  while (cursor_.next(touch)) {
+    const Bytes bs = block_size_for(*layout_, touch.array, options_);
+    const Bytes file_size = layout_->layout_of(touch.array).file_size();
+    const Bytes begin = touch.block * bs;
+    const Bytes length = std::min(bs, file_size - begin);
+    if (cache_.access(touch.array, touch.block, length)) continue;
+
+    // A block never spans disks: block size divides the stripe size.
+    const layout::PhysicalLocation loc = layout_->locate(touch.array, begin);
+    out.global_iter =
+        space_.global_of(ir::IterationPoint{touch.nest, touch.flat_iter});
+    out.disk = loc.disk;
+    out.start_sector = loc.sector();
+    out.size_bytes = length;
+    out.kind = touch.kind;
+    out.array = touch.array;
+    out.block = touch.block;
+    return true;
+  }
+  return false;
+}
+
 std::vector<MissRecord> collect_misses(const ir::Program& program,
                                        const layout::LayoutTable& layout,
                                        const GeneratorOptions& options) {
-  SDPM_REQUIRE(layout.array_count() == program.arrays.size(),
-               "layout table does not match program arrays");
-  IterationSpace space(program);
-  BufferCache cache(options.cache_bytes);
+  MissCursor cursor(program, layout, options);
   std::vector<MissRecord> misses;
-
-  const BlockSizeFn block_size_of = [&](ir::ArrayId a) {
-    return block_size_for(layout, a, options);
-  };
-
-  walk_block_touches(program, block_size_of, [&](const BlockTouch& touch) {
-    const Bytes bs = block_size_for(layout, touch.array, options);
-    const Bytes file_size = layout.layout_of(touch.array).file_size();
-    const Bytes begin = touch.block * bs;
-    const Bytes length = std::min(bs, file_size - begin);
-    if (cache.access(touch.array, touch.block, length)) return;
-
-    // A block never spans disks: block size divides the stripe size.
-    const layout::PhysicalLocation loc = layout.locate(touch.array, begin);
-    MissRecord miss;
-    miss.global_iter =
-        space.global_of(ir::IterationPoint{touch.nest, touch.flat_iter});
-    miss.disk = loc.disk;
-    miss.start_sector = loc.sector();
-    miss.size_bytes = length;
-    miss.kind = touch.kind;
-    miss.array = touch.array;
-    miss.block = touch.block;
-    misses.push_back(miss);
-  });
+  MissRecord miss;
+  while (cursor.next(miss)) misses.push_back(miss);
   return misses;
 }
 
@@ -66,61 +140,73 @@ Trace TraceGenerator::generate() const {
   trace.total_disks = layout_.total_disks();
 
   const IterationSpace& space = actual_.space();
-
-  // Global coordinates of the program's power directives, in program order.
-  std::vector<std::int64_t> directive_globals;
-  directive_globals.reserve(program_.directives.size());
-  for (const ir::PlacedDirective& pd : program_.directives) {
-    directive_globals.push_back(space.global_of(pd.point));
-  }
-  SDPM_REQUIRE(std::is_sorted(directive_globals.begin(),
-                              directive_globals.end()),
-               "program directives must be sorted (call sort_directives)");
-
   const TimeMs tm = options_.power_call_overhead_ms;
 
-  // Each directive executed before global iteration g shifts all later
-  // compute times by Tm.
-  const auto overhead_before = [&](std::int64_t g) {
-    const auto it = std::upper_bound(directive_globals.begin(),
-                                     directive_globals.end(), g);
-    return tm * static_cast<double>(it - directive_globals.begin());
-  };
-
-  // A power event fires at its iteration's compute time plus the overhead
-  // of every directive executed before it (directives at the same point run
-  // in program order, each paying Tm).
-  for (std::size_t i = 0; i < program_.directives.size(); ++i) {
-    PowerEvent ev;
-    ev.global_iter = directive_globals[i];
-    ev.app_time_ms =
-        actual_.at_global(ev.global_iter) + tm * static_cast<double>(i);
-    ev.directive = program_.directives[i].directive;
-    trace.power_events.push_back(ev);
-  }
+  const std::vector<std::int64_t> directive_globals =
+      directive_globals_of(program_, space);
+  trace.power_events =
+      power_events_of(program_, actual_, directive_globals, tm);
 
   const std::vector<MissRecord> misses =
       collect_misses(program_, layout_, options_);
   trace.requests.reserve(misses.size());
   for (const MissRecord& miss : misses) {
-    Request r;
-    r.arrival_ms =
-        actual_.at_global(miss.global_iter) + overhead_before(miss.global_iter);
-    r.disk = miss.disk;
-    r.start_sector = miss.start_sector;
-    r.size_bytes = miss.size_bytes;
-    r.kind = miss.kind;
-    r.global_iter = miss.global_iter;
-    if (miss.kind == ir::AccessKind::kRead) {
-      r.prefetch_lead_ms = options_.prefetch_lead_ms;
-    }
-    trace.requests.push_back(r);
+    trace.requests.push_back(
+        request_from_miss(miss, actual_, directive_globals, options_));
     trace.bytes_transferred += miss.size_bytes;
   }
 
   trace.compute_total_ms =
       actual_.total() + tm * static_cast<double>(program_.directives.size());
+  PerfCounters::global().add_trace_generated();
   return trace;
+}
+
+StreamingTraceSource::StreamingTraceSource(const ir::Program& program,
+                                           const layout::LayoutTable& layout,
+                                           GeneratorOptions options)
+    : options_(options),
+      actual_(Timeline::with_noise(program, options.noise, options.clock_hz)),
+      misses_(program, layout, options) {
+  program.validate();
+  const TimeMs tm = options_.power_call_overhead_ms;
+  directive_globals_ = directive_globals_of(program, actual_.space());
+  events_ = power_events_of(program, actual_, directive_globals_, tm);
+  compute_total_ =
+      actual_.total() + tm * static_cast<double>(program.directives.size());
+  total_disks_ = layout.total_disks();
+}
+
+bool StreamingTraceSource::refill() {
+  MissRecord miss;
+  if (!misses_.next(miss)) return false;
+  pending_ = request_from_miss(miss, actual_, directive_globals_, options_);
+  return true;
+}
+
+bool StreamingTraceSource::next(TraceItem& item) {
+  if (!have_pending_) have_pending_ = refill();
+  const bool have_power = pi_ < events_.size();
+  if (!have_power && !have_pending_) {
+    if (!exhausted_reported_) {
+      exhausted_reported_ = true;
+      PerfCounters::global().add_requests_streamed(requests_streamed_);
+    }
+    return false;
+  }
+  const bool take_power =
+      have_power &&
+      (!have_pending_ || events_[pi_].app_time_ms <= pending_.arrival_ms);
+  if (take_power) {
+    item.kind = TraceItem::Kind::kPowerEvent;
+    item.power = events_[pi_++];
+  } else {
+    item.kind = TraceItem::Kind::kRequest;
+    item.request = pending_;
+    have_pending_ = false;
+    ++requests_streamed_;
+  }
+  return true;
 }
 
 }  // namespace sdpm::trace

@@ -6,6 +6,13 @@
 // Power directives inserted by the compiler ride along as timestamped
 // power events, each charging its call overhead (Tm) to the compute
 // timeline.
+//
+// The generator has two delivery modes sharing one access model:
+//   TraceGenerator::generate()  materializes the full Trace (requests +
+//                               power events) — the classic path, and
+//   StreamingTraceSource        feeds the simulator one item at a time with
+//                               O(1) request memory — the streaming path,
+//                               proven bit-identical by the property tests.
 #pragma once
 
 #include <cstdint>
@@ -13,8 +20,12 @@
 
 #include "ir/program.h"
 #include "layout/layout_table.h"
+#include "trace/buffer_cache.h"
+#include "trace/iteration_space.h"
 #include "trace/request.h"
+#include "trace/source.h"
 #include "trace/timeline.h"
+#include "trace/walker.h"
 
 namespace sdpm::trace {
 
@@ -54,6 +65,30 @@ struct MissRecord {
   std::int64_t block = 0;
 };
 
+/// Pull-based access walk + buffer cache: next() yields every miss in
+/// program order, one at a time, with memory independent of the trace
+/// length.  Shared by the materialized collect_misses and the streaming
+/// source, so the compiler's model and the "hardware" agree exactly.
+/// The program and layout must outlive the cursor.
+class MissCursor {
+ public:
+  MissCursor(const ir::Program& program, const layout::LayoutTable& layout,
+             const GeneratorOptions& options);
+
+  MissCursor(const MissCursor&) = delete;
+  MissCursor& operator=(const MissCursor&) = delete;
+
+  /// Advance to the next cache miss; false when the walk is complete.
+  bool next(MissRecord& out);
+
+ private:
+  const layout::LayoutTable* layout_;
+  GeneratorOptions options_;
+  IterationSpace space_;
+  BufferCache cache_;
+  TouchCursor cursor_;
+};
+
 /// Run the access walk + buffer cache and return every miss in program
 /// order.  Deterministic; shared by the trace generator and the DAP
 /// analysis so the compiler's model and the "hardware" agree exactly.
@@ -78,6 +113,44 @@ class TraceGenerator {
   const layout::LayoutTable& layout_;
   GeneratorOptions options_;
   Timeline actual_;
+};
+
+/// RequestSource that runs the generator incrementally: requests are
+/// produced on demand from the access walk, never materialized as a
+/// vector.  Power events (a handful per trace) are precomputed.  For the
+/// same (program, layout, options) the emitted stream is bit-identical to
+/// TraceCursor over TraceGenerator::generate()'s output.
+/// The program and layout must outlive the source.
+class StreamingTraceSource final : public RequestSource {
+ public:
+  StreamingTraceSource(const ir::Program& program,
+                       const layout::LayoutTable& layout,
+                       GeneratorOptions options = {});
+
+  bool next(TraceItem& item) override;
+  int total_disks() const override { return total_disks_; }
+  TimeMs compute_total_ms() const override { return compute_total_; }
+
+  /// Requests emitted so far (the full request count once exhausted).
+  std::int64_t requests_streamed() const { return requests_streamed_; }
+
+  const Timeline& actual_timeline() const { return actual_; }
+
+ private:
+  bool refill();
+
+  GeneratorOptions options_;
+  Timeline actual_;
+  std::vector<std::int64_t> directive_globals_;
+  std::vector<PowerEvent> events_;
+  std::size_t pi_ = 0;
+  MissCursor misses_;
+  Request pending_{};
+  bool have_pending_ = false;
+  bool exhausted_reported_ = false;
+  TimeMs compute_total_ = 0;
+  int total_disks_ = 0;
+  std::int64_t requests_streamed_ = 0;
 };
 
 /// Resolve the per-array block size implied by `options` and the layout.

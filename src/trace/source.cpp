@@ -1,0 +1,23 @@
+#include "trace/source.h"
+
+namespace sdpm::trace {
+
+bool TraceCursor::next(TraceItem& item) {
+  const auto& requests = trace_->requests;
+  const auto& events = trace_->power_events;
+  if (ri_ >= requests.size() && pi_ >= events.size()) return false;
+  const bool take_power =
+      pi_ < events.size() &&
+      (ri_ >= requests.size() ||
+       events[pi_].app_time_ms <= requests[ri_].arrival_ms);
+  if (take_power) {
+    item.kind = TraceItem::Kind::kPowerEvent;
+    item.power = events[pi_++];
+  } else {
+    item.kind = TraceItem::Kind::kRequest;
+    item.request = requests[ri_++];
+  }
+  return true;
+}
+
+}  // namespace sdpm::trace

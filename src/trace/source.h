@@ -1,0 +1,75 @@
+// Pull-based trace delivery: the streaming side of the trace pipeline.
+//
+// The simulator replays a totally ordered stream of trace items (I/O
+// requests and compiler-inserted power events, merged on the compute
+// timeline with power events winning ties — they sit immediately before
+// the iteration they annotate).  RequestSource abstracts where that stream
+// comes from:
+//
+//   TraceCursor            a view over a fully materialized trace::Trace
+//                          (the classic path; zero-copy, bit-identical to
+//                          indexing the vectors directly), and
+//   StreamingTraceSource   (trace/generator.h) the generator feeding the
+//                          simulator chunklessly, one request at a time,
+//                          without ever materializing the request vector.
+//
+// Both must present identical streams for the same inputs; the streaming
+// property tests pin that equivalence bit for bit.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/request.h"
+
+namespace sdpm::trace {
+
+/// One element of the replay stream: either an I/O request or a power
+/// event.  A tagged pair rather than a variant so the replay loop stays
+/// branch-cheap.
+struct TraceItem {
+  enum class Kind { kRequest, kPowerEvent };
+  Kind kind = Kind::kRequest;
+  Request request;    ///< valid when kind == kRequest
+  PowerEvent power;   ///< valid when kind == kPowerEvent
+};
+
+/// Ordered producer of trace items plus the whole-trace metadata the
+/// simulator needs up front.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Produce the next item in replay order; false at end of stream.
+  virtual bool next(TraceItem& item) = 0;
+
+  /// Number of disks the trace addresses (known before streaming starts).
+  virtual int total_disks() const = 0;
+
+  /// Pure-compute duration of the traced program, including power-call
+  /// overhead (the closed-loop replay's trailing think time).
+  virtual TimeMs compute_total_ms() const = 0;
+};
+
+/// RequestSource over a materialized Trace: merges `requests` and
+/// `power_events` with the canonical tie-break (power events first at equal
+/// timestamps).  The trace must outlive the cursor.
+class TraceCursor final : public RequestSource {
+ public:
+  explicit TraceCursor(const Trace& trace) : trace_(&trace) {}
+
+  bool next(TraceItem& item) override;
+  int total_disks() const override { return trace_->total_disks; }
+  TimeMs compute_total_ms() const override {
+    return trace_->compute_total_ms;
+  }
+
+  /// Restart the stream from the beginning.
+  void rewind() { ri_ = pi_ = 0; }
+
+ private:
+  const Trace* trace_;
+  std::size_t ri_ = 0;
+  std::size_t pi_ = 0;
+};
+
+}  // namespace sdpm::trace

@@ -86,70 +86,103 @@ struct HeapEntry {
   }
 };
 
-void walk_nest(const ir::Program& program, int nest_index,
-               const BlockSizeFn& block_size_of, const TouchCallback& fn) {
-  const ir::LoopNest& nest =
-      program.nests[static_cast<std::size_t>(nest_index)];
-  const int depth = nest.depth();
-  const ir::Loop& inner = nest.loops[static_cast<std::size_t>(depth - 1)];
-  const std::int64_t inner_trips = inner.trip_count();
+}  // namespace
 
-  // Build static reference descriptions.
+// The cursor holds exactly the per-nest state of the original recursive
+// walk — ref table, ref streams, the inner-sweep merge heap, and the outer
+// odometer — so next() replays the original loop structure one emission at
+// a time and yields the identical touch order.
+struct TouchCursor::Impl {
+  const ir::Program* program = nullptr;
+  BlockSizeFn block_size_of;
+
+  int nest = 0;  // current nest index; nest_count() when done
+
+  // Per-nest state (rebuilt by enter_nest):
   std::vector<RefInfo> refs;
-  for (int si = 0; si < static_cast<int>(nest.body.size()); ++si) {
-    const ir::Statement& stmt = nest.body[static_cast<std::size_t>(si)];
-    for (int ri = 0; ri < static_cast<int>(stmt.refs.size()); ++ri) {
-      const ir::ArrayRef& ref = stmt.refs[static_cast<std::size_t>(ri)];
-      const ir::Array& array = program.array(ref.array);
-      RefInfo info;
-      info.statement = si;
-      info.ref_index = ri;
-      info.array = ref.array;
-      info.kind = ref.kind;
-      info.file_size = array.size_bytes();
-      info.block_size = block_size_of(ref.array);
-      SDPM_REQUIRE(info.block_size > 0 &&
-                       info.block_size % array.element_size == 0,
-                   "block size must be a positive multiple of the element "
-                   "size of array '" + array.name + "'");
-      info.outer_coef.assign(static_cast<std::size_t>(depth), 0);
-      for (int d = 0; d < array.rank(); ++d) {
-        const ir::AffineExpr& sub =
-            ref.subscripts[static_cast<std::size_t>(d)];
-        const Bytes dim_bytes = array.dim_stride(d) * array.element_size;
-        info.const_bytes += sub.constant * dim_bytes;
-        for (int k = 0; k < depth; ++k) {
-          const std::int64_t c = sub.coef(static_cast<std::size_t>(k));
-          if (c == 0) continue;
-          info.outer_coef[static_cast<std::size_t>(k)] += c * dim_bytes;
+  std::vector<RefStream> streams;
+  std::vector<std::int64_t> trip;   // outer odometer trips
+  std::vector<std::int64_t> value;  // outer odometer iterator values
+  std::int64_t inner_trips = 0;
+  std::int64_t outer_total = 0;
+  std::int64_t o = 0;  // current outer sweep index
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+
+  int nest_count() const {
+    return static_cast<int>(program->nests.size());
+  }
+
+  void enter_nest() {
+    const ir::LoopNest& nest_ir =
+        program->nests[static_cast<std::size_t>(nest)];
+    const int depth = nest_ir.depth();
+    const ir::Loop& inner =
+        nest_ir.loops[static_cast<std::size_t>(depth - 1)];
+    inner_trips = inner.trip_count();
+
+    refs.clear();
+    for (int si = 0; si < static_cast<int>(nest_ir.body.size()); ++si) {
+      const ir::Statement& stmt =
+          nest_ir.body[static_cast<std::size_t>(si)];
+      for (int ri = 0; ri < static_cast<int>(stmt.refs.size()); ++ri) {
+        const ir::ArrayRef& ref = stmt.refs[static_cast<std::size_t>(ri)];
+        const ir::Array& array = program->array(ref.array);
+        RefInfo info;
+        info.statement = si;
+        info.ref_index = ri;
+        info.array = ref.array;
+        info.kind = ref.kind;
+        info.file_size = array.size_bytes();
+        info.block_size = block_size_of(ref.array);
+        SDPM_REQUIRE(info.block_size > 0 &&
+                         info.block_size % array.element_size == 0,
+                     "block size must be a positive multiple of the element "
+                     "size of array '" + array.name + "'");
+        info.outer_coef.assign(static_cast<std::size_t>(depth), 0);
+        for (int d = 0; d < array.rank(); ++d) {
+          const ir::AffineExpr& sub =
+              ref.subscripts[static_cast<std::size_t>(d)];
+          const Bytes dim_bytes = array.dim_stride(d) * array.element_size;
+          info.const_bytes += sub.constant * dim_bytes;
+          for (int k = 0; k < depth; ++k) {
+            const std::int64_t c = sub.coef(static_cast<std::size_t>(k));
+            if (c == 0) continue;
+            info.outer_coef[static_cast<std::size_t>(k)] += c * dim_bytes;
+          }
         }
+        // Fold the innermost loop's contribution into the stride; the
+        // remaining outer_coef entry for the innermost loop applies to its
+        // *lower bound* contribution via the iterator value at trip 0.
+        info.inner_stride =
+            info.outer_coef[static_cast<std::size_t>(depth - 1)] *
+            inner.step;
+        refs.push_back(std::move(info));
       }
-      // Fold the innermost loop's contribution into the stride; the
-      // remaining outer_coef entry for the innermost loop applies to its
-      // *lower bound* contribution via the iterator value at trip 0.
-      info.inner_stride =
-          info.outer_coef[static_cast<std::size_t>(depth - 1)] * inner.step;
-      refs.push_back(std::move(info));
     }
+
+    trip.assign(static_cast<std::size_t>(depth), 0);
+    value.resize(static_cast<std::size_t>(depth));
+    for (int k = 0; k < depth; ++k) {
+      value[static_cast<std::size_t>(k)] =
+          nest_ir.loops[static_cast<std::size_t>(k)].lower;
+    }
+
+    streams.assign(refs.size(), RefStream{});
+    for (std::size_t i = 0; i < refs.size(); ++i) streams[i].info = &refs[i];
+
+    outer_total = nest_ir.iteration_count() / inner_trips;
+    o = 0;
+    if (outer_total > 0) start_sweep();
   }
 
-  // Odometer over outer loops (all but innermost), tracking iterator values.
-  std::vector<std::int64_t> trip(static_cast<std::size_t>(depth), 0);
-  std::vector<std::int64_t> value(static_cast<std::size_t>(depth));
-  for (int k = 0; k < depth; ++k) {
-    value[static_cast<std::size_t>(k)] =
-        nest.loops[static_cast<std::size_t>(k)].lower;
-  }
-
-  std::vector<RefStream> streams(refs.size());
-  for (std::size_t i = 0; i < refs.size(); ++i) streams[i].info = &refs[i];
-
-  const std::int64_t outer_total = nest.iteration_count() / inner_trips;
-  for (std::int64_t o = 0; o < outer_total; ++o) {
+  void start_sweep() {
+    const ir::LoopNest& nest_ir =
+        program->nests[static_cast<std::size_t>(nest)];
+    const int depth = nest_ir.depth();
     // Base offset of every reference at innermost trip 0.
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<HeapEntry>>
-        heap;
+    heap = {};
     for (std::size_t i = 0; i < refs.size(); ++i) {
       const RefInfo& info = refs[i];
       Bytes a = info.const_bytes;
@@ -161,7 +194,7 @@ void walk_nest(const ir::Program& program, int nest_index,
       const Bytes last = a + info.inner_stride * (inner_trips - 1);
       SDPM_REQUIRE(a >= 0 && a < info.file_size && last >= 0 &&
                        last < info.file_size,
-                   "array reference out of bounds in nest '" + nest.name +
+                   "array reference out of bounds in nest '" + nest_ir.name +
                        "'");
       streams[i].start(a, inner_trips);
       if (!streams[i].exhausted) {
@@ -169,32 +202,16 @@ void walk_nest(const ir::Program& program, int nest_index,
                             info.ref_index, i});
       }
     }
+  }
 
-    const std::int64_t flat_base = o * inner_trips;
-    while (!heap.empty()) {
-      const HeapEntry top = heap.top();
-      heap.pop();
-      RefStream& stream = streams[top.stream];
-      const RefInfo& info = *stream.info;
-      BlockTouch touch;
-      touch.nest = nest_index;
-      touch.flat_iter = flat_base + stream.next_trip;
-      touch.array = info.array;
-      touch.block = stream.current_block;
-      touch.kind = info.kind;
-      touch.statement = info.statement;
-      fn(touch);
-      stream.advance();
-      if (!stream.exhausted) {
-        heap.push(HeapEntry{stream.next_trip, info.statement, info.ref_index,
-                            top.stream});
-      }
-    }
-
-    // Advance the outer odometer (innermost outer loop fastest).
+  /// Advance the outer odometer (innermost outer loop fastest).
+  void advance_outer() {
+    const ir::LoopNest& nest_ir =
+        program->nests[static_cast<std::size_t>(nest)];
+    const int depth = nest_ir.depth();
     for (int k = depth - 2; k >= 0; --k) {
       const auto idx = static_cast<std::size_t>(k);
-      const ir::Loop& loop = nest.loops[idx];
+      const ir::Loop& loop = nest_ir.loops[idx];
       if (++trip[idx] < loop.trip_count()) {
         value[idx] += loop.step;
         break;
@@ -203,16 +220,59 @@ void walk_nest(const ir::Program& program, int nest_index,
       value[idx] = loop.lower;
     }
   }
+
+  bool next(BlockTouch& out) {
+    for (;;) {
+      if (nest >= nest_count()) return false;
+      if (!heap.empty()) {
+        const HeapEntry top = heap.top();
+        heap.pop();
+        RefStream& stream = streams[top.stream];
+        const RefInfo& info = *stream.info;
+        out.nest = nest;
+        out.flat_iter = o * inner_trips + stream.next_trip;
+        out.array = info.array;
+        out.block = stream.current_block;
+        out.kind = info.kind;
+        out.statement = info.statement;
+        stream.advance();
+        if (!stream.exhausted) {
+          heap.push(HeapEntry{stream.next_trip, info.statement,
+                              info.ref_index, top.stream});
+        }
+        return true;
+      }
+      if (o + 1 < outer_total) {
+        advance_outer();
+        ++o;
+        start_sweep();
+        continue;
+      }
+      ++nest;
+      if (nest < nest_count()) enter_nest();
+    }
+  }
+};
+
+TouchCursor::TouchCursor(const ir::Program& program, BlockSizeFn block_size_of)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->program = &program;
+  impl_->block_size_of = std::move(block_size_of);
+  if (impl_->nest_count() > 0) impl_->enter_nest();
 }
 
-}  // namespace
+TouchCursor::~TouchCursor() = default;
+TouchCursor::TouchCursor(TouchCursor&&) noexcept = default;
+TouchCursor& TouchCursor::operator=(TouchCursor&&) noexcept = default;
+
+bool TouchCursor::next(BlockTouch& out) { return impl_->next(out); }
 
 void walk_block_touches(const ir::Program& program,
                         const BlockSizeFn& block_size_of,
                         const TouchCallback& fn) {
-  for (int n = 0; n < static_cast<int>(program.nests.size()); ++n) {
-    walk_nest(program, n, block_size_of, fn);
-  }
+  TouchCursor cursor(program, block_size_of);
+  BlockTouch touch;
+  while (cursor.next(touch)) fn(touch);
 }
 
 void walk_block_touches(const ir::Program& program, Bytes block_size,

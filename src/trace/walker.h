@@ -9,10 +9,18 @@
 // from different references of the same inner sweep are merged back into
 // iteration order with a small heap, so downstream consumers (buffer cache,
 // trace timestamps, DAP) observe the true program order.
+//
+// Two shapes of the same walk are offered: the callback-driven
+// walk_block_touches (push), and the pull-based TouchCursor that yields one
+// touch per next() call.  The push form is implemented on top of the
+// cursor, so both enumerate the identical sequence — the cursor is what
+// lets the streaming trace pipeline feed the simulator without ever
+// materializing the full touch (or request) list.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "ir/program.h"
 #include "util/units.h"
@@ -35,6 +43,26 @@ using TouchCallback = std::function<void(const BlockTouch&)>;
 /// Block size to use per array, in bytes.  Must divide into the array's
 /// element size evenly (block_size % element_size == 0).
 using BlockSizeFn = std::function<Bytes(ir::ArrayId)>;
+
+/// Pull-based walk over all nests of a program: next() yields block-entry
+/// events one at a time, in exactly the order walk_block_touches invokes
+/// its callback.  Holds O(refs-per-nest) state — independent of the trace
+/// length.  The program must outlive the cursor.
+class TouchCursor {
+ public:
+  TouchCursor(const ir::Program& program, BlockSizeFn block_size_of);
+  ~TouchCursor();
+
+  TouchCursor(TouchCursor&&) noexcept;
+  TouchCursor& operator=(TouchCursor&&) noexcept;
+
+  /// Advance to the next touch; returns false when the walk is complete.
+  bool next(BlockTouch& out);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Walk all nests of `program` in execution order, invoking `fn` for every
 /// block-entry event in iteration order.  `block_size_of` gives the cache

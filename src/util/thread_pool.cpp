@@ -1,13 +1,38 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 namespace sdpm {
 
+namespace {
+
+std::atomic<unsigned> g_default_jobs{0};
+
+unsigned jobs_from_env() {
+  const char* env = std::getenv("SDPM_JOBS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const long value = std::strtol(env, nullptr, 10);
+  return value > 0 ? static_cast<unsigned>(value) : 0;
+}
+
+}  // namespace
+
+unsigned default_jobs() {
+  const unsigned forced = g_default_jobs.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  const unsigned env = jobs_from_env();
+  if (env != 0) return env;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void set_default_jobs(unsigned jobs) {
+  g_default_jobs.store(jobs, std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  if (threads == 0) threads = default_jobs();
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -34,6 +59,12 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -48,7 +79,12 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

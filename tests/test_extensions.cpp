@@ -188,8 +188,10 @@ TEST(OpenLoop, OverlappingArrivalsQueuePerDisk) {
   t.requests.push_back(make_request(1.0, 0, 1'000'000, kib(64)));
   t.compute_total_ms = 2.0;
   policy::BasePolicy policy;
-  const sim::SimReport report =
-      sim::simulate(t, params(), policy, sim::ReplayMode::kOpenLoop);
+  const sim::SimReport report = sim::simulate(
+      t, params(), policy,
+      sim::SimOptions{.mode = sim::ReplayMode::kOpenLoop,
+                      .capture_responses = true});
   const TimeMs service = params().service_time(kib(64), 10, false);
   // Second request waits behind the first.
   EXPECT_NEAR(report.responses[1], (service - 1.0) + service, 1e-9);

@@ -181,10 +181,13 @@ TEST(SimulatorFaults, NoneIsBitIdenticalToFaultFree) {
   const trace::Trace t = gap_trace(4, 6, 45'000.0);
   policy::TpmPolicy a;
   policy::TpmPolicy b;
-  const SimReport plain = simulate(t, params(), a);
-  const SimReport with_none = simulate(t, params(), b,
-                                       ReplayMode::kClosedLoop,
-                                       FaultConfig::none());
+  const SimReport plain =
+      simulate(t, params(), a, SimOptions{.capture_responses = true});
+  const SimReport with_none =
+      simulate(t, params(), b,
+               SimOptions{.mode = ReplayMode::kClosedLoop,
+                          .faults = FaultConfig::none(),
+                          .capture_responses = true});
   EXPECT_EQ(plain.total_energy, with_none.total_energy);  // exact, not NEAR
   EXPECT_EQ(plain.execution_ms, with_none.execution_ms);
   ASSERT_EQ(plain.responses.size(), with_none.responses.size());

@@ -158,10 +158,13 @@ TEST_P(FuzzTest, FaultedRunsAreDeterministicAndInvariant) {
   // An aggressive threshold forces spin-downs, hence spin-up fault draws.
   policy::TpmPolicy first_policy(50.0);
   policy::TpmPolicy second_policy(50.0);
-  const sim::SimReport first = sim::simulate(
-      t, c.disk, first_policy, sim::ReplayMode::kClosedLoop, faults);
-  const sim::SimReport second = sim::simulate(
-      t, c.disk, second_policy, sim::ReplayMode::kClosedLoop, faults);
+  const sim::SimOptions options{.mode = sim::ReplayMode::kClosedLoop,
+                                .faults = faults,
+                                .capture_responses = true};
+  const sim::SimReport first =
+      sim::simulate(t, c.disk, first_policy, options);
+  const sim::SimReport second =
+      sim::simulate(t, c.disk, second_policy, options);
 
   sim::check_invariants(first, c.disk);
   EXPECT_EQ(first.total_energy, second.total_energy);

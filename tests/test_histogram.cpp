@@ -129,7 +129,9 @@ TEST(Profile, PerNestTableAccountsEverything) {
   trace::TraceGenerator generator(swim.program, table, gen);
   const trace::Trace trace = generator.generate();
   policy::BasePolicy policy;
-  const sim::SimReport report = sim::simulate(trace, config.disk, policy);
+  const sim::SimReport report = sim::simulate(
+      trace, config.disk, policy,
+      sim::SimOptions{.capture_responses = true});
 
   const Table profile =
       experiments::per_nest_profile(swim.program, trace, report);

@@ -41,7 +41,8 @@ TEST(TpmPolicy, NoSpinDownBelowThreshold) {
 TEST(TpmPolicy, SpinsDownAfterThresholdAndPaysDemandSpinUp) {
   const trace::Trace t = trace_with_gap(60'000.0);
   TpmPolicy policy;
-  const sim::SimReport report = sim::simulate(t, params(), policy);
+  const sim::SimReport report = sim::simulate(
+      t, params(), policy, sim::SimOptions{.capture_responses = true});
   EXPECT_EQ(report.disks[0].spin_downs, 1);
   EXPECT_EQ(report.disks[0].demand_spin_ups, 1);
   // The second request pays the full spin-up latency.

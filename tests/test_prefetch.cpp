@@ -31,7 +31,8 @@ TEST(Prefetch, FullLeadHidesTheStall) {
   t.requests.push_back(make_read(100.0, 50.0));  // service ~6.6 ms << 50 ms
   t.compute_total_ms = 200.0;
   policy::BasePolicy policy;
-  const sim::SimReport report = sim::simulate(t, params(), policy);
+  const sim::SimReport report = sim::simulate(
+      t, params(), policy, sim::SimOptions{.capture_responses = true});
   EXPECT_NEAR(report.execution_ms, 200.0, 1e-9);
   EXPECT_NEAR(report.responses[0], 0.0, 1e-9);
 }
@@ -42,7 +43,8 @@ TEST(Prefetch, PartialLeadLeavesResidualStall) {
   t.requests.push_back(make_read(100.0, 2.0));
   t.compute_total_ms = 200.0;
   policy::BasePolicy policy;
-  const sim::SimReport report = sim::simulate(t, params(), policy);
+  const sim::SimReport report = sim::simulate(
+      t, params(), policy, sim::SimOptions{.capture_responses = true});
   const TimeMs service =
       params().service_time(kib(64), params().max_level(), false);
   EXPECT_NEAR(report.responses[0], service - 2.0, 1e-9);
@@ -55,7 +57,8 @@ TEST(Prefetch, ZeroLeadMatchesSynchronousBehaviour) {
   t.requests.push_back(make_read(100.0, 0.0));
   t.compute_total_ms = 200.0;
   policy::BasePolicy policy;
-  const sim::SimReport report = sim::simulate(t, params(), policy);
+  const sim::SimReport report = sim::simulate(
+      t, params(), policy, sim::SimOptions{.capture_responses = true});
   const TimeMs service =
       params().service_time(kib(64), params().max_level(), false);
   EXPECT_NEAR(report.responses[0], service, 1e-9);
@@ -68,7 +71,8 @@ TEST(Prefetch, BackToBackPrefetchesKeepFifoOrder) {
   t.requests.push_back(make_read(101.0, 90.0));  // would issue before #1
   t.compute_total_ms = 200.0;
   policy::BasePolicy policy;
-  const sim::SimReport report = sim::simulate(t, params(), policy);
+  const sim::SimReport report = sim::simulate(
+      t, params(), policy, sim::SimOptions{.capture_responses = true});
   // The second issue is clamped to the first's issue time; both still
   // complete before their demand points.
   EXPECT_NEAR(report.responses[1], 0.0, 1.0);

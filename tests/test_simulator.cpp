@@ -44,7 +44,8 @@ TEST(Simulator, BlockingIoExtendsExecution) {
   trace::Trace t = empty_trace(1, 1'000.0);
   t.requests.push_back(make_request(500.0, 0, 0, kib(64)));
   policy::BasePolicy policy;
-  const SimReport report = simulate(t, params(), policy);
+  const SimReport report =
+      simulate(t, params(), policy, SimOptions{.capture_responses = true});
   const TimeMs service = params().service_time(kib(64), 10, false);
   EXPECT_NEAR(report.execution_ms, 1'000.0 + service, 1e-9);
   EXPECT_NEAR(report.io_stall_ms, service, 1e-9);

@@ -1,0 +1,201 @@
+// Streaming replay equivalence: StreamingTraceSource must feed the
+// simulator a stream bit-identical to the materialized
+// TraceGenerator::generate() + TraceCursor path — same energy, same
+// completion time, same per-request response times — across closed/open
+// loop, prefetch leads, compiler power events, and fault injection.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "layout/layout_table.h"
+#include "policy/base.h"
+#include "policy/proactive.h"
+#include "policy/tpm.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/source.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm {
+namespace {
+
+constexpr int kDisks = 8;
+
+layout::LayoutTable layout_for(const ir::Program& program) {
+  return layout::LayoutTable(program, layout::Striping{0, kDisks, kib(64)},
+                             kDisks);
+}
+
+const disk::DiskParameters& params() {
+  static const disk::DiskParameters p = disk::DiskParameters::ultrastar_36z15();
+  return p;
+}
+
+/// Every comparison is EXPECT_EQ, never NEAR: the two delivery paths must
+/// agree bit for bit, not approximately.
+void expect_bit_identical(const sim::SimReport& a, const sim::SimReport& b) {
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  EXPECT_EQ(a.execution_ms, b.execution_ms);
+  EXPECT_EQ(a.compute_ms, b.compute_ms);
+  EXPECT_EQ(a.io_stall_ms, b.io_stall_ms);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    ASSERT_EQ(a.responses[i], b.responses[i]) << "request " << i;
+  }
+  ASSERT_EQ(a.disks.size(), b.disks.size());
+  for (std::size_t d = 0; d < a.disks.size(); ++d) {
+    EXPECT_EQ(a.disks[d].breakdown.total_j(), b.disks[d].breakdown.total_j());
+    EXPECT_EQ(a.disks[d].services, b.disks[d].services);
+    EXPECT_EQ(a.disks[d].spin_downs, b.disks[d].spin_downs);
+    EXPECT_EQ(a.disks[d].demand_spin_ups, b.disks[d].demand_spin_ups);
+    EXPECT_EQ(a.disks[d].rpm_transitions, b.disks[d].rpm_transitions);
+    EXPECT_EQ(a.disks[d].spin_up_retries, b.disks[d].spin_up_retries);
+    EXPECT_EQ(a.disks[d].media_errors, b.disks[d].media_errors);
+    EXPECT_EQ(a.disks[d].dropped_directives, b.disks[d].dropped_directives);
+  }
+}
+
+/// Run the same (program, layout, options) through both delivery paths
+/// under fresh instances of `Policy` and compare the reports exactly.
+template <typename Policy>
+void check_equivalence(const ir::Program& program,
+                       const trace::GeneratorOptions& gen,
+                       const sim::SimOptions& sim_options,
+                       Policy make_policy) {
+  const layout::LayoutTable table = layout_for(program);
+
+  trace::TraceGenerator generator(program, table, gen);
+  const trace::Trace materialized = generator.generate();
+  auto policy_a = make_policy();
+  const sim::SimReport classic =
+      sim::simulate(materialized, params(), policy_a, sim_options);
+
+  trace::StreamingTraceSource source(program, table, gen);
+  auto policy_b = make_policy();
+  const sim::SimReport streamed =
+      sim::simulate(source, params(), policy_b, sim_options);
+
+  expect_bit_identical(classic, streamed);
+  EXPECT_EQ(source.requests_streamed(),
+            static_cast<std::int64_t>(materialized.requests.size()));
+}
+
+sim::SimOptions with_responses(sim::ReplayMode mode) {
+  sim::SimOptions o;
+  o.mode = mode;
+  o.capture_responses = true;
+  return o;
+}
+
+TEST(Streaming, ClosedLoopBitIdentical) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  trace::GeneratorOptions gen;
+  gen.cache_bytes = kib(512);
+  check_equivalence(bench.program, gen,
+                    with_responses(sim::ReplayMode::kClosedLoop),
+                    [] { return policy::TpmPolicy(1'000.0); });
+}
+
+TEST(Streaming, OpenLoopBitIdentical) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  trace::GeneratorOptions gen;
+  gen.cache_bytes = kib(512);
+  check_equivalence(bench.program, gen,
+                    with_responses(sim::ReplayMode::kOpenLoop),
+                    [] { return policy::BasePolicy(); });
+}
+
+TEST(Streaming, PrefetchLeadBitIdentical) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  for (const TimeMs lead : {0.5, 5.0, 50.0}) {
+    trace::GeneratorOptions gen;
+    gen.cache_bytes = kib(512);
+    gen.prefetch_lead_ms = lead;
+    check_equivalence(bench.program, gen,
+                      with_responses(sim::ReplayMode::kClosedLoop),
+                      [] { return policy::TpmPolicy(1'000.0); });
+  }
+}
+
+TEST(Streaming, NoiseBitIdentical) {
+  // The noisy actual timeline is keyed by an explicit seed; both paths
+  // must realize the identical per-nest factors.
+  const workloads::Benchmark bench = workloads::make_galgel();
+  trace::GeneratorOptions gen;
+  gen.cache_bytes = kib(512);
+  gen.noise = trace::CycleNoise{0.4, 0xfeedULL};
+  check_equivalence(bench.program, gen,
+                    with_responses(sim::ReplayMode::kClosedLoop),
+                    [] { return policy::TpmPolicy(1'000.0); });
+}
+
+TEST(Streaming, PowerEventsBitIdentical) {
+  // Manually placed compiler directives: the merged request/power-event
+  // stream (power events win timestamp ties) must interleave identically.
+  workloads::Benchmark bench = workloads::make_galgel();
+  ir::Program& p = bench.program;
+  const std::int64_t n0 = p.nests.front().iteration_count();
+  p.directives.push_back(
+      {ir::IterationPoint{0, 0},
+       ir::PowerDirective{ir::PowerDirective::Kind::kSpinDown, 2, 0}});
+  p.directives.push_back(
+      {ir::IterationPoint{0, n0 / 2},
+       ir::PowerDirective{ir::PowerDirective::Kind::kSpinUp, 2, 0}});
+  p.directives.push_back(
+      {ir::IterationPoint{0, n0},
+       ir::PowerDirective{ir::PowerDirective::Kind::kSpinDown, 5, 0}});
+  const int last = static_cast<int>(p.nests.size()) - 1;
+  p.directives.push_back(
+      {ir::IterationPoint{last, 0},
+       ir::PowerDirective{ir::PowerDirective::Kind::kSpinUp, 5, 0}});
+  p.sort_directives();
+  p.validate();
+
+  trace::GeneratorOptions gen;
+  gen.cache_bytes = kib(512);
+  check_equivalence(p, gen, with_responses(sim::ReplayMode::kClosedLoop),
+                    [] { return policy::ProactivePolicy("CMTPM"); });
+}
+
+TEST(Streaming, FaultsBitIdentical) {
+  // Fault draws are consumed in stream order, so any divergence between
+  // the two paths would desynchronize the RNG and show up immediately.
+  const workloads::Benchmark bench = workloads::make_galgel();
+  trace::GeneratorOptions gen;
+  gen.cache_bytes = kib(512);
+
+  sim::FaultConfig faults;
+  faults.seed = 77;
+  faults.spin_up_failure_prob = 0.4;
+  faults.media_error_prob = 0.05;
+  faults.service_jitter = 0.2;
+  faults.dropped_directive_prob = 0.2;
+
+  sim::SimOptions options;
+  options.mode = sim::ReplayMode::kClosedLoop;
+  options.faults = faults;
+  options.capture_responses = true;
+  check_equivalence(bench.program, gen, options,
+                    [] { return policy::TpmPolicy(1'000.0); });
+}
+
+TEST(Streaming, ResponsesAreOptIn) {
+  // Without capture_responses the vector stays empty on both paths while
+  // the aggregate statistics still agree.
+  const workloads::Benchmark bench = workloads::make_galgel();
+  trace::GeneratorOptions gen;
+  gen.cache_bytes = kib(512);
+  const layout::LayoutTable table = layout_for(bench.program);
+  const trace::Trace t =
+      trace::TraceGenerator(bench.program, table, gen).generate();
+  policy::BasePolicy policy;
+  const sim::SimReport report = sim::simulate(t, params(), policy);
+  EXPECT_TRUE(report.responses.empty());
+  EXPECT_GT(report.requests, 0);
+  EXPECT_GT(report.response_ms.count(), 0);
+}
+
+}  // namespace
+}  // namespace sdpm

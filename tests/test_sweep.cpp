@@ -1,0 +1,142 @@
+// SweepEngine: parallel sweeps must be bit-identical to serial Runner
+// evaluation, deterministic across repeats, and must surface cell failures
+// as exceptions.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "experiments/runner.h"
+#include "experiments/sweep.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm::experiments {
+namespace {
+
+ExperimentConfig fast_config(Bytes stripe = kib(64)) {
+  ExperimentConfig c;
+  c.total_disks = 4;
+  c.striping = layout::Striping{0, 4, stripe};
+  c.gen.cache_bytes = kib(512);
+  return c;
+}
+
+std::vector<SweepCell> two_cells() {
+  std::vector<SweepCell> cells;
+  for (const Bytes stripe : {kib(32), kib(64)}) {
+    SweepCell cell;
+    cell.label = "galgel/s" + std::to_string(stripe / 1024) + "K";
+    cell.benchmark = workloads::make_galgel();
+    cell.config = fast_config(stripe);
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+void expect_same_result(const SchemeResult& a, const SchemeResult& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.execution_ms, b.execution_ms);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.normalized_energy, b.normalized_energy);
+  EXPECT_EQ(a.normalized_time, b.normalized_time);
+  EXPECT_EQ(a.power_calls, b.power_calls);
+}
+
+TEST(SweepEngine, ParallelMatchesSerialRunnerExactly) {
+  const std::vector<SweepCell> cells = two_cells();
+  SweepEngine engine(4);
+  const std::vector<SweepCellResult> sweep = engine.run(cells);
+
+  ASSERT_EQ(sweep.size(), cells.size());
+  const std::vector<Scheme> schemes = all_schemes();
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    EXPECT_EQ(sweep[c].label, cells[c].label);
+    ASSERT_EQ(sweep[c].results.size(), schemes.size());
+    Runner serial(cells[c].benchmark, cells[c].config);
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      expect_same_result(sweep[c].results[s], serial.run(schemes[s]));
+    }
+    EXPECT_GE(sweep[c].wall_ms, 0.0);
+  }
+}
+
+TEST(SweepEngine, RepeatedRunsAreIdentical) {
+  const std::vector<SweepCell> cells = two_cells();
+  const auto first = SweepEngine(4).run(cells);
+  const auto second = SweepEngine(1).run(cells);  // serial engine, same cells
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t c = 0; c < first.size(); ++c) {
+    ASSERT_EQ(first[c].results.size(), second[c].results.size());
+    for (std::size_t s = 0; s < first[c].results.size(); ++s) {
+      expect_same_result(first[c].results[s], second[c].results[s]);
+    }
+  }
+}
+
+TEST(SweepEngine, ExplicitSchemeSubsetIsHonored) {
+  SweepCell cell;
+  cell.label = "subset";
+  cell.benchmark = workloads::make_galgel();
+  cell.config = fast_config();
+  cell.schemes = {Scheme::kBase, Scheme::kIdrpm};
+  const auto sweep = SweepEngine(2).run({cell});
+  ASSERT_EQ(sweep.size(), 1u);
+  ASSERT_EQ(sweep[0].results.size(), 2u);
+  EXPECT_EQ(sweep[0].results[0].scheme, Scheme::kBase);
+  EXPECT_EQ(sweep[0].results[1].scheme, Scheme::kIdrpm);
+  EXPECT_DOUBLE_EQ(sweep[0].results[0].normalized_energy, 1.0);
+}
+
+TEST(SweepEngine, RunAllMatchesSerialSchemes) {
+  // Runner::run_all fans over the pool internally; its results must be
+  // indistinguishable from a serial scheme loop on a fresh Runner.
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const ExperimentConfig config = fast_config();
+  Runner pooled(bench, config);
+  const std::vector<SchemeResult> all = pooled.run_all();
+
+  Runner serial(bench, config);
+  const std::vector<Scheme> schemes = all_schemes();
+  ASSERT_EQ(all.size(), schemes.size());
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    expect_same_result(all[s], serial.run(schemes[s]));
+  }
+}
+
+TEST(SweepEngine, CellsForBenchmarksCoversAllSchemes) {
+  const auto cells =
+      cells_for_benchmarks(workloads::all_benchmarks(), fast_config());
+  ASSERT_EQ(cells.size(), workloads::all_benchmarks().size());
+  for (const SweepCell& cell : cells) {
+    EXPECT_EQ(cell.label, cell.benchmark.name);
+    EXPECT_TRUE(cell.schemes.empty());  // empty means all seven
+  }
+}
+
+TEST(SweepEngine, CellFailurePropagatesFromRun) {
+  // A block size that does not divide the stripe size makes trace
+  // generation throw inside the pool task; run() must rethrow it.
+  SweepCell bad;
+  bad.label = "bad";
+  bad.benchmark = workloads::make_galgel();
+  bad.config = fast_config();
+  bad.config.gen.block_size = kib(64) + 512;  // does not divide 64 KB
+  SweepCell good;
+  good.label = "good";
+  good.benchmark = workloads::make_galgel();
+  good.config = fast_config();
+  good.schemes = {Scheme::kBase};
+  SweepEngine engine(2);
+  EXPECT_THROW(engine.run({bad, good}), Error);
+}
+
+TEST(SweepEngine, JobsAreConfigurable) {
+  EXPECT_EQ(SweepEngine(3).jobs(), 3u);
+  EXPECT_GE(SweepEngine().jobs(), 1u);  // 0 resolves to default_jobs()
+}
+
+}  // namespace
+}  // namespace sdpm::experiments

@@ -1,7 +1,9 @@
-// ThreadPool: completion, wait_idle semantics, and run_parallel.
+// ThreadPool: completion, wait_idle semantics, exception propagation, and
+// run_parallel.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
 #include "util/thread_pool.h"
 
@@ -62,6 +64,59 @@ TEST(ThreadPool, TasksSubmittedFromTasks) {
   });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ThrowingTaskRethrowsFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The other tasks still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, PoolRemainsUsableAfterException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("first batch"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();  // no stale exception left behind
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, RunParallelPropagatesTaskException) {
+  std::vector<std::function<void()>> tasks;
+  std::atomic<int> completed{0};
+  tasks.push_back([] { throw std::runtime_error("cell failed"); });
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(run_parallel(std::move(tasks), 2), std::runtime_error);
+  EXPECT_EQ(completed.load(), 5);
+}
+
+TEST(ThreadPool, SetDefaultJobsOverridesDetection) {
+  set_default_jobs(3);
+  EXPECT_EQ(default_jobs(), 3u);
+  ThreadPool pool;
+  EXPECT_EQ(pool.thread_count(), 3u);
+  set_default_jobs(0);  // restore automatic detection
+  EXPECT_GE(default_jobs(), 1u);
 }
 
 }  // namespace

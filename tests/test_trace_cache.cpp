@@ -1,0 +1,231 @@
+// Content-keyed trace cache: key construction must cover every input that
+// changes the generated trace (and nothing that doesn't), and the LRU
+// cache must hit/miss/evict accordingly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/tiling.h"
+#include "experiments/trace_cache.h"
+#include "layout/layout_table.h"
+#include "trace/generator.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm::experiments {
+namespace {
+
+constexpr int kDisks = 8;
+
+layout::Striping striping(Bytes stripe = kib(64)) {
+  return layout::Striping{0, kDisks, stripe};
+}
+
+trace::GeneratorOptions small_cache_options() {
+  trace::GeneratorOptions gen;
+  gen.cache_bytes = kib(512);
+  return gen;
+}
+
+TEST(TraceKey, IdenticalInputsProduceEqualKeys) {
+  const workloads::Benchmark a = workloads::make_galgel();
+  const workloads::Benchmark b = workloads::make_galgel();
+  const layout::LayoutTable la(a.program, striping(), kDisks);
+  const layout::LayoutTable lb(b.program, striping(), kDisks);
+  const trace::GeneratorOptions gen = small_cache_options();
+  EXPECT_EQ(trace_key_of(a.program, la, gen), trace_key_of(b.program, lb, gen));
+}
+
+TEST(TraceKey, NamesDoNotAffectTheKey) {
+  // Names are presentation-only: renaming the program or its arrays must
+  // not invalidate cached traces.
+  workloads::Benchmark bench = workloads::make_galgel();
+  const layout::LayoutTable table(bench.program, striping(), kDisks);
+  const trace::GeneratorOptions gen = small_cache_options();
+  const TraceKey before = trace_key_of(bench.program, table, gen);
+  bench.program.name = "renamed";
+  for (auto& array : bench.program.arrays) array.name += "_x";
+  const layout::LayoutTable renamed(bench.program, striping(), kDisks);
+  EXPECT_EQ(before, trace_key_of(bench.program, renamed, gen));
+}
+
+TEST(TraceKey, DiffersOnNoiseSeedAndSigma) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const layout::LayoutTable table(bench.program, striping(), kDisks);
+  trace::GeneratorOptions gen = small_cache_options();
+  gen.noise = trace::CycleNoise{0.2, 1};
+  const TraceKey base = trace_key_of(bench.program, table, gen);
+
+  trace::GeneratorOptions other_seed = gen;
+  other_seed.noise.seed = 2;
+  EXPECT_NE(base, trace_key_of(bench.program, table, other_seed));
+
+  trace::GeneratorOptions other_sigma = gen;
+  other_sigma.noise.sigma = 0.4;
+  EXPECT_NE(base, trace_key_of(bench.program, table, other_sigma));
+}
+
+TEST(TraceKey, DiffersOnGeneratorOptions) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const layout::LayoutTable table(bench.program, striping(), kDisks);
+  const trace::GeneratorOptions gen = small_cache_options();
+  const TraceKey base = trace_key_of(bench.program, table, gen);
+
+  trace::GeneratorOptions block = gen;
+  block.block_size = kib(32);
+  EXPECT_NE(base, trace_key_of(bench.program, table, block));
+
+  trace::GeneratorOptions cache = gen;
+  cache.cache_bytes = mib(1);
+  EXPECT_NE(base, trace_key_of(bench.program, table, cache));
+
+  trace::GeneratorOptions overhead = gen;
+  overhead.power_call_overhead_ms = 0.5;
+  EXPECT_NE(base, trace_key_of(bench.program, table, overhead));
+
+  trace::GeneratorOptions prefetch = gen;
+  prefetch.prefetch_lead_ms = 5.0;
+  EXPECT_NE(base, trace_key_of(bench.program, table, prefetch));
+}
+
+TEST(TraceKey, DiffersOnLayout) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const trace::GeneratorOptions gen = small_cache_options();
+  const layout::LayoutTable base_layout(bench.program, striping(), kDisks);
+  const TraceKey base = trace_key_of(bench.program, base_layout, gen);
+
+  const layout::LayoutTable wider_stripe(bench.program, striping(kib(128)),
+                                         kDisks);
+  EXPECT_NE(base, trace_key_of(bench.program, wider_stripe, gen));
+
+  const layout::LayoutTable fewer_disks(
+      bench.program, layout::Striping{0, 4, kib(64)}, 4);
+  EXPECT_NE(base, trace_key_of(bench.program, fewer_disks, gen));
+}
+
+TEST(TraceKey, DiffersOnTileSize) {
+  // Different tile sizes restructure the nests, so the transformed
+  // programs must fingerprint differently (a cache hit across tile sizes
+  // would replay the wrong trace).
+  const workloads::Benchmark bench = workloads::make_wupwise();
+  const trace::GeneratorOptions gen = small_cache_options();
+
+  core::TilingOptions small_tiles;
+  small_tiles.total_disks = kDisks;
+  small_tiles.base_striping = striping();
+  small_tiles.access = gen;
+  small_tiles.tile_bytes = kib(16);
+  core::TilingOptions big_tiles = small_tiles;
+  big_tiles.tile_bytes = mib(4);
+
+  const core::TilingResult a = core::apply_loop_tiling(bench.program,
+                                                       small_tiles);
+  const core::TilingResult b = core::apply_loop_tiling(bench.program,
+                                                       big_tiles);
+  // The premise: the two footprints pick different tile shapes.
+  ASSERT_NE(a.program.to_string(), b.program.to_string());
+  const layout::LayoutTable la(a.program, striping(), kDisks);
+  const layout::LayoutTable lb(b.program, striping(), kDisks);
+  EXPECT_NE(trace_key_of(a.program, la, gen),
+            trace_key_of(b.program, lb, gen));
+}
+
+TEST(TraceCacheTest, HitReturnsTheSameTrace) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const layout::LayoutTable table(bench.program, striping(), kDisks);
+  const trace::GeneratorOptions gen = small_cache_options();
+
+  TraceCache cache(4);
+  const auto first = cache.get_or_generate(bench.program, table, gen);
+  const auto second = cache.get_or_generate(bench.program, table, gen);
+  EXPECT_EQ(first.get(), second.get());  // the very same object
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TraceCacheTest, CachedTraceEqualsFreshGeneration) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const layout::LayoutTable table(bench.program, striping(), kDisks);
+  const trace::GeneratorOptions gen = small_cache_options();
+
+  TraceCache cache(4);
+  const auto cached = cache.get_or_generate(bench.program, table, gen);
+  const trace::Trace fresh =
+      trace::TraceGenerator(bench.program, table, gen).generate();
+  ASSERT_EQ(cached->requests.size(), fresh.requests.size());
+  EXPECT_EQ(cached->compute_total_ms, fresh.compute_total_ms);
+  EXPECT_EQ(cached->bytes_transferred, fresh.bytes_transferred);
+  for (std::size_t i = 0; i < fresh.requests.size(); ++i) {
+    ASSERT_EQ(cached->requests[i].arrival_ms, fresh.requests[i].arrival_ms);
+    ASSERT_EQ(cached->requests[i].disk, fresh.requests[i].disk);
+    ASSERT_EQ(cached->requests[i].start_sector,
+              fresh.requests[i].start_sector);
+    ASSERT_EQ(cached->requests[i].size_bytes, fresh.requests[i].size_bytes);
+  }
+}
+
+TEST(TraceCacheTest, DifferentSeedsOccupyDistinctEntries) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const layout::LayoutTable table(bench.program, striping(), kDisks);
+  trace::GeneratorOptions gen = small_cache_options();
+  gen.noise = trace::CycleNoise{0.2, 1};
+
+  TraceCache cache(4);
+  const auto first = cache.get_or_generate(bench.program, table, gen);
+  gen.noise.seed = 2;
+  const auto second = cache.get_or_generate(bench.program, table, gen);
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TraceCacheTest, EvictsLeastRecentlyUsed) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const layout::LayoutTable table(bench.program, striping(), kDisks);
+  trace::GeneratorOptions gen = small_cache_options();
+
+  TraceCache cache(2);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    gen.noise = trace::CycleNoise{0.2, seed};
+    cache.get_or_generate(bench.program, table, gen);
+  }
+  EXPECT_EQ(cache.size(), 2u);  // seed 1 was evicted
+}
+
+TEST(TraceCacheTest, SharedPtrOutlivesEviction) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const layout::LayoutTable table(bench.program, striping(), kDisks);
+  trace::GeneratorOptions gen = small_cache_options();
+
+  TraceCache cache(1);
+  gen.noise = trace::CycleNoise{0.2, 1};
+  const auto held = cache.get_or_generate(bench.program, table, gen);
+  const std::size_t n = held->requests.size();
+  gen.noise = trace::CycleNoise{0.2, 2};
+  cache.get_or_generate(bench.program, table, gen);  // evicts the first
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(held->requests.size(), n);  // still fully usable
+}
+
+TEST(TraceCacheTest, DisablingClearsAndBypasses) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  const layout::LayoutTable table(bench.program, striping(), kDisks);
+  const trace::GeneratorOptions gen = small_cache_options();
+
+  TraceCache cache(4);
+  cache.get_or_generate(bench.program, table, gen);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.set_enabled(false);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.size(), 0u);  // disabling clears
+  const auto a = cache.get_or_generate(bench.program, table, gen);
+  const auto b = cache.get_or_generate(bench.program, table, gen);
+  EXPECT_NE(a.get(), b.get());  // every call generates afresh
+  EXPECT_EQ(cache.size(), 0u);
+
+  cache.set_enabled(true);
+  EXPECT_TRUE(cache.enabled());
+  cache.get_or_generate(bench.program, table, gen);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sdpm::experiments
