@@ -12,6 +12,8 @@
 #include "experiments/sweep.h"
 #include "experiments/trace_cache.h"
 #include "layout/layout_table.h"
+#include "obs/sinks.h"
+#include "obs/tracer.h"
 #include "policy/base.h"
 #include "policy/drpm.h"
 #include "sim/simulator.h"
@@ -65,6 +67,53 @@ void BM_BaseSimulation(benchmark::State& state) {
                           static_cast<std::int64_t>(trace.requests.size()));
 }
 BENCHMARK(BM_BaseSimulation)->Unit(benchmark::kMillisecond);
+
+// The observability overhead contract (DESIGN.md §10): a sink-less tracer
+// collapses to the null fast path and must stay within ~2% of
+// BM_BaseSimulation; compare the three simulation cases in one run.
+void BM_NullTracerSimulation(benchmark::State& state) {
+  trace::TraceGenerator generator(swim().program, swim_layout());
+  const trace::Trace trace = generator.generate();
+  obs::EventTracer tracer;  // no sinks attached: resolves to nullptr
+  sim::SimOptions options;
+  options.tracer = &tracer;
+  for (auto _ : state) {
+    policy::BasePolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(), policy,
+                      options)
+            .total_energy);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_NullTracerSimulation)->Unit(benchmark::kMillisecond);
+
+// Tracing enabled: a CountingSink consumes every event.  Quantifies what a
+// live sink costs relative to the null fast path (not bound by the 2%
+// contract; attaching a sink is an explicit opt-in).
+void BM_TracedSimulation(benchmark::State& state) {
+  trace::TraceGenerator generator(swim().program, swim_layout());
+  const trace::Trace trace = generator.generate();
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    obs::CountingSink sink;
+    obs::EventTracer tracer;
+    tracer.add_sink(sink);
+    sim::SimOptions options;
+    options.tracer = &tracer;
+    policy::BasePolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(), policy,
+                      options)
+            .total_energy);
+    events = sink.total();
+  }
+  state.counters["events"] = static_cast<double>(events);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_TracedSimulation)->Unit(benchmark::kMillisecond);
 
 // Same replay fed by the streaming generator: no request vector is ever
 // materialized.  The result must be bit-identical to BM_BaseSimulation's.

@@ -73,6 +73,7 @@ void Runner::ensure_base() {
     // The measured per-nest timelines consume the Base run's per-request
     // stall vector; no other scheme's replay needs it.
     options.capture_responses = true;
+    options.tracer = tracer_for(Scheme::kBase);
     base_ = sim::simulate(*trace_, config_.disk, policy, options);
   });
 }
@@ -153,18 +154,22 @@ SchemeResult Runner::run(Scheme scheme) {
     }
     case Scheme::kTpm: {
       policy::TpmPolicy policy;
+      sim::SimOptions options;
+      options.faults = config_.faults;
+      options.tracer = tracer_for(scheme);
       const sim::SimReport report =
-          sim::simulate(*trace_, config_.disk, policy,
-                        sim::ReplayMode::kClosedLoop, config_.faults);
+          sim::simulate(*trace_, config_.disk, policy, options);
       result.energy_j = report.total_energy;
       result.execution_ms = report.execution_ms;
       break;
     }
     case Scheme::kDrpm: {
       policy::DrpmPolicy policy;
+      sim::SimOptions options;
+      options.faults = config_.faults;
+      options.tracer = tracer_for(scheme);
       const sim::SimReport report =
-          sim::simulate(*trace_, config_.disk, policy,
-                        sim::ReplayMode::kClosedLoop, config_.faults);
+          sim::simulate(*trace_, config_.disk, policy, options);
       result.energy_j = report.total_energy;
       result.execution_ms = report.execution_ms;
       break;
@@ -195,9 +200,11 @@ SchemeResult Runner::run(Scheme scheme) {
 
       policy::ProactivePolicy policy(scheme == Scheme::kCmtpm ? "CMTPM"
                                                               : "CMDRPM");
+      sim::SimOptions options;
+      options.faults = config_.faults;
+      options.tracer = tracer_for(scheme);
       const sim::SimReport report =
-          sim::simulate(*cm, config_.disk, policy,
-                        sim::ReplayMode::kClosedLoop, config_.faults);
+          sim::simulate(*cm, config_.disk, policy, options);
       result.energy_j = report.total_energy;
       result.execution_ms = report.execution_ms;
 

@@ -33,6 +33,10 @@
 #include "trace/stall_aware.h"
 #include "workloads/benchmarks.h"
 
+namespace sdpm::obs {
+class EventTracer;
+}
+
 namespace sdpm::experiments {
 
 enum class Scheme { kBase, kTpm, kItpm, kDrpm, kIdrpm, kCmtpm, kCmdrpm };
@@ -58,6 +62,12 @@ struct ExperimentConfig {
   /// Fault injection applied to every simulated scheme (Base included, so
   /// normalization stays against the same faulty machine).  Default: none.
   sim::FaultConfig faults;
+  /// Observability tracer (not owned).  Attached only to the replay of
+  /// `trace_scheme` so a multi-scheme evaluation exports one clean event
+  /// stream.  ITPM/IDRPM are analytic oracles with no replay and cannot be
+  /// traced.  Default nullptr: every replay stays untraced.
+  obs::EventTracer* tracer = nullptr;
+  Scheme trace_scheme = Scheme::kBase;
 };
 
 struct SchemeResult {
@@ -116,6 +126,10 @@ class Runner {
 
  private:
   void ensure_base();
+  /// config_.tracer when `scheme` is the one selected for tracing.
+  obs::EventTracer* tracer_for(Scheme scheme) const {
+    return config_.trace_scheme == scheme ? config_.tracer : nullptr;
+  }
   /// The stall-aware measured timeline for a given compute-noise model:
   /// noisy compute plus the Base run's per-request stalls at their exact
   /// iterations.  Memoized per (sigma, seed); the returned reference stays

@@ -48,15 +48,23 @@ class SweepEngine {
   /// `jobs == 0` uses default_jobs() (SDPM_JOBS / --jobs / hardware).
   explicit SweepEngine(unsigned jobs = 0);
 
+  /// Attach an observability tracer (not owned).  The engine emits a
+  /// kCellBegin/kCellEnd pair per (cell, scheme) task, timestamped in wall
+  /// milliseconds since run() started and tagged with a dense worker-lane
+  /// index — a utilization timeline of the pool, not a deterministic
+  /// artifact (unlike everything the simulator emits).
+  void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
+
   /// Evaluate every cell; results are ordered exactly as `cells`, with
   /// each cell's results in its scheme order.  Per-cell wall time also
-  /// reports into PerfCounters::global().
+  /// reports into PerfCounters::global() and the metrics registry.
   std::vector<SweepCellResult> run(const std::vector<SweepCell>& cells);
 
   unsigned jobs() const { return jobs_; }
 
  private:
   unsigned jobs_;
+  obs::EventTracer* tracer_ = nullptr;
 };
 
 /// Convenience: one cell per benchmark, all seven schemes, shared config.

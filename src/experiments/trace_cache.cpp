@@ -2,11 +2,24 @@
 
 #include <bit>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/perf_counters.h"
 
 namespace sdpm::experiments {
 
 namespace {
+
+void note_lookup(obs::EventTracer* tracer, bool hit) {
+  obs::MetricsRegistry::global().add(hit ? "trace_cache.hits"
+                                         : "trace_cache.misses");
+  if (tracer != nullptr) {
+    obs::Event ev;
+    ev.kind = hit ? obs::EventKind::kCacheHit : obs::EventKind::kCacheMiss;
+    ev.label = "trace_cache";
+    tracer->emit(ev);
+  }
+}
 
 /// 128-bit streaming mixer: two SplitMix64-style lanes with different
 /// constants, each absorbing every word.  Not cryptographic — collision
@@ -135,6 +148,7 @@ std::shared_ptr<const trace::Trace> TraceCache::get_or_generate(
       if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
         PerfCounters::global().add_trace_cache_hit();
+        note_lookup(tracer_, /*hit=*/true);
         return it->second->trace;
       }
     }
@@ -150,6 +164,7 @@ std::shared_ptr<const trace::Trace> TraceCache::get_or_generate(
   std::lock_guard lock(mutex_);
   if (!enabled_) return trace;
   PerfCounters::global().add_trace_cache_miss();
+  note_lookup(tracer_, /*hit=*/false);
   const TraceKey key = trace_key_of(program, layout, options);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -164,6 +179,11 @@ std::shared_ptr<const trace::Trace> TraceCache::get_or_generate(
     lru_.pop_back();
   }
   return trace;
+}
+
+void TraceCache::set_tracer(obs::EventTracer* tracer) {
+  std::lock_guard lock(mutex_);
+  tracer_ = obs::effective_tracer(tracer);
 }
 
 void TraceCache::set_enabled(bool enabled) {

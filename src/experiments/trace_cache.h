@@ -26,6 +26,10 @@
 #include "trace/generator.h"
 #include "trace/request.h"
 
+namespace sdpm::obs {
+class EventTracer;
+}
+
 namespace sdpm::experiments {
 
 /// 128-bit content fingerprint of a (program, layout, options) triple.
@@ -61,10 +65,15 @@ class TraceCache {
 
   /// Return the cached trace for the triple, generating (and inserting) it
   /// on a miss.  When the cache is disabled every call generates afresh.
-  /// Hits and misses report into PerfCounters::global().
+  /// Hits and misses report into PerfCounters::global() and the metrics
+  /// registry ("trace_cache.hits"/"trace_cache.misses").
   std::shared_ptr<const trace::Trace> get_or_generate(
       const ir::Program& program, const layout::LayoutTable& layout,
       const trace::GeneratorOptions& options);
+
+  /// Attach an observability tracer (not owned, nullptr detaches): lookups
+  /// then emit kCacheHit / kCacheMiss events labelled "trace_cache".
+  void set_tracer(obs::EventTracer* tracer);
 
   /// Toggle caching (enabled by default).  Disabling also clears the cache
   /// so benchmarks of the uncached path start cold.
@@ -82,6 +91,7 @@ class TraceCache {
   };
 
   mutable std::mutex mutex_;
+  obs::EventTracer* tracer_ = nullptr;
   bool enabled_ = true;
   std::size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used

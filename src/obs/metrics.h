@@ -1,0 +1,91 @@
+// Named-metric registry: the generalization of util::PerfCounters.
+//
+// PerfCounters is a fixed struct of process-wide atomics; every new
+// subsystem that wanted a number had to grow it.  MetricsRegistry instead
+// registers metrics by name at first use:
+//
+//   counters   monotonically increasing int64 (atomic; hot sites cache the
+//              returned reference, so steady-state increments are one
+//              relaxed fetch_add with no lock),
+//   gauges     last-write-wins doubles (peak RSS, last run's energy), and
+//   histograms util::Histogram distributions (idle-period lengths,
+//              service-latency stalls), guarded by the registry mutex —
+//              producers record aggregates once per run, never per request.
+//
+// The simulator, trace cache, sweep engine and event tracer all report
+// into global(); `sdpm_cli ... --metrics-out` snapshots it as JSON with
+// deterministically sorted keys.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace sdpm::obs {
+
+class MetricsRegistry {
+ public:
+  using Counter = std::atomic<std::int64_t>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry.
+  static MetricsRegistry& global();
+
+  /// Get-or-create the counter `name`.  The reference stays valid for the
+  /// registry's lifetime (including across reset_for_testing, which zeroes
+  /// values but never removes metrics), so call sites may cache it.
+  Counter& counter(const std::string& name);
+
+  /// Increment convenience for call sites too cold to cache the handle.
+  void add(const std::string& name, std::int64_t delta = 1) {
+    counter(name).fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Set gauge `name` (last write wins).
+  void set_gauge(const std::string& name, double value);
+
+  /// Record one sample into histogram `name` (created on first use).
+  void observe(const std::string& name, double sample);
+
+  /// Immutable copy of everything, keys sorted.
+  struct HistogramStats {
+    std::int64_t count = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double max = 0;
+  };
+  struct Snapshot {
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramStats> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Render a snapshot as one deterministic JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}.
+  std::string to_json() const;
+
+  /// Zero every counter, gauge and histogram (names survive, handles stay
+  /// valid).  Test-only: production code asserts deltas via snapshots.
+  void reset_for_testing();
+
+ private:
+  mutable std::mutex mutex_;
+  // unique_ptr gives counters a stable address across map growth.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sdpm::obs

@@ -1,0 +1,87 @@
+// Pre-activation accounting: the derived report that explains the paper's
+// proactive-vs-reactive gap per event, not per aggregate.
+//
+// The compiler pre-activates a disk (a kSpinUp directive, paper Eq. 1's
+// "insert the spin-up p iterations early") so the spindle is back at full
+// speed exactly when the next request lands.  This accountant replays the
+// event stream and classifies every commanded spin-up:
+//
+//   hit     the next request found the disk spinning; early-by = how long
+//           the disk idled at full power waiting (0 = perfect timing),
+//   late    the request arrived while the spin-up was still in flight;
+//           late-by = the residual transition the application stalled on,
+//   wasted  the disk was spun down again (or the run ended) before any
+//           request arrived — pure transition energy wasted.
+//
+// It also rebuilds the per-disk energy-per-power-state matrix from the
+// state-segment stream, which must reconcile exactly with the simulator's
+// EnergyBreakdown (pinned by test_obs.cpp) — the timeline is trustworthy
+// ground truth, not a parallel bookkeeping that can drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+#include "util/histogram.h"
+
+namespace sdpm::obs {
+
+/// Per-disk pre-activation outcomes.
+struct PreactivationDiskStats {
+  std::int64_t issued = 0;  ///< commanded spin-ups that actually started
+  std::int64_t hits = 0;
+  std::int64_t late = 0;
+  std::int64_t wasted = 0;
+  std::int64_t demand_spin_ups = 0;  ///< reactive wakes (no pre-activation)
+  std::int64_t dropped_directives = 0;
+};
+
+struct PreactivationReport {
+  std::vector<PreactivationDiskStats> disks;
+  Histogram early_by_ms;  ///< hit slack: request arrival - spin-up ready
+  Histogram late_by_ms;   ///< residual transition the application stalled on
+  /// Time and energy per power state per disk, rebuilt from the event
+  /// stream (same layout as disk::EnergyBreakdown, as a 6-state table).
+  struct StateEnergy {
+    TimeMs ms[6] = {0, 0, 0, 0, 0, 0};
+    Joules j[6] = {0, 0, 0, 0, 0, 0};
+  };
+  std::vector<StateEnergy> energy;
+
+  std::int64_t issued() const;
+  std::int64_t hits() const;
+  std::int64_t late() const;
+  std::int64_t wasted() const;
+  std::int64_t demand_spin_ups() const;
+
+  /// Human-readable multi-line summary.
+  std::string to_string() const;
+};
+
+/// EventSink that derives a PreactivationReport from the stream.  Attach
+/// alongside any other sink; read report() after EventTracer::close().
+class PreactivationAccountant final : public EventSink {
+ public:
+  void on_event(const Event& event) override;
+  void close() override;
+
+  const PreactivationReport& report() const { return report_; }
+
+ private:
+  struct DiskState {
+    bool pending = false;      ///< a commanded spin-up awaits its request
+    bool demand_since = false; ///< a demand wake occurred while pending
+    TimeMs ready_t = 0;        ///< end of the most recent spin-up segment
+  };
+
+  DiskState& state_of(int disk);
+  PreactivationDiskStats& stats_of(int disk);
+
+  std::vector<DiskState> state_;
+  PreactivationReport report_;
+  bool closed_ = false;
+};
+
+}  // namespace sdpm::obs

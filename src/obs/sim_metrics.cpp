@@ -1,0 +1,29 @@
+#include "obs/sim_metrics.h"
+
+namespace sdpm::obs {
+
+void record_report_metrics(MetricsRegistry& registry,
+                           const sim::SimReport& report) {
+  registry.add("sim.reports_recorded");
+  registry.add("sim.report_requests", report.requests);
+  registry.add("sim.spin_up_retries", report.spin_up_retries());
+  registry.add("sim.media_errors", report.media_errors());
+  registry.add("sim.remapped_sectors", report.remapped_sectors());
+  registry.add("sim.dropped_directives", report.dropped_directives());
+  registry.set_gauge("sim.last_energy_j", report.total_energy);
+  registry.set_gauge("sim.last_execution_ms", report.execution_ms);
+  registry.set_gauge("sim.last_io_stall_ms", report.io_stall_ms);
+
+  for (const sim::DiskReport& d : report.disks) {
+    for (std::size_t i = 1; i < d.busy_periods.size(); ++i) {
+      const TimeMs gap =
+          d.busy_periods[i].start - d.busy_periods[i - 1].completion;
+      if (gap > 0) registry.observe("sim.idle_gap_ms", gap);
+    }
+  }
+  for (const TimeMs response : report.responses) {
+    registry.observe("sim.response_ms", response);
+  }
+}
+
+}  // namespace sdpm::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
 #include "util/error.h"
 
 namespace sdpm::policy {
@@ -31,6 +32,17 @@ void AdaptiveTpmPolicy::maybe_spin_down(sim::DiskUnit& disk, TimeMs now) {
   TimeMs& threshold = threshold_[disk.id()];
   const TimeMs idle_start = disk.last_completion();
   const TimeMs gap = now - idle_start;
+  if (tracer_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kBreakEven;
+    ev.disk = disk.id();
+    ev.t0 = now;
+    ev.t1 = now;
+    ev.value = gap;
+    ev.value2 = threshold;
+    ev.label = gap > threshold ? "spin_down" : "hold";
+    tracer_->emit(ev);
+  }
   if (gap <= threshold) return;
 
   disk.spin_down(idle_start + threshold);

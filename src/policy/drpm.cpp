@@ -1,5 +1,7 @@
 #include "policy/drpm.h"
 
+#include "obs/tracer.h"
+
 namespace sdpm::policy {
 
 void DrpmPolicy::attach(sim::DiskUnit& disk) {
@@ -49,10 +51,24 @@ void DrpmPolicy::after_service(sim::DiskUnit& disk, TimeMs completion,
   st.prev_mean = mean;
   const auto& params = disk.params();
   const int level = disk.target_level();
-  if (delta > params.drpm.upper_tolerance) {
+  const bool raise = delta > params.drpm.upper_tolerance;
+  const bool lower =
+      !raise && delta < params.drpm.lower_tolerance && level > 0;
+  if (tracer_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kRpmWindow;
+    ev.disk = disk.id();
+    ev.t0 = completion;
+    ev.t1 = completion;
+    ev.value = delta;
+    ev.level = raise ? params.max_level() : (lower ? level - 1 : level);
+    ev.label = raise ? "raise" : (lower ? "lower" : "hold");
+    tracer_->emit(ev);
+  }
+  if (raise) {
     // Response times degraded beyond tolerance: restore full speed.
     disk.set_rpm_level(completion, params.max_level());
-  } else if (delta < params.drpm.lower_tolerance && level > 0) {
+  } else if (lower) {
     // Load is light; drop one RPM step.
     disk.set_rpm_level(completion, level - 1);
   }

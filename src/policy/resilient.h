@@ -55,6 +55,12 @@ class ResilientPolicy final : public sim::PowerPolicy {
   explicit ResilientPolicy(sim::PowerPolicy& inner,
                            ResilientOptions options = {});
 
+  void set_tracer(obs::EventTracer* tracer) override {
+    sim::PowerPolicy::set_tracer(tracer);
+    inner_.set_tracer(tracer);
+    fallback_.set_tracer(tracer);
+  }
+
   void attach(sim::DiskUnit& disk) override;
   void before_service(sim::DiskUnit& disk, TimeMs now) override;
   void after_service(sim::DiskUnit& disk, TimeMs completion,

@@ -1,5 +1,7 @@
 #include "policy/tpm.h"
 
+#include "obs/tracer.h"
+
 namespace sdpm::policy {
 
 TimeMs TpmPolicy::effective_threshold(const sim::DiskUnit& disk) const {
@@ -7,11 +9,23 @@ TimeMs TpmPolicy::effective_threshold(const sim::DiskUnit& disk) const {
                             : disk.params().break_even_time();
 }
 
-void TpmPolicy::maybe_spin_down(sim::DiskUnit& disk, TimeMs now) const {
+void TpmPolicy::maybe_spin_down(sim::DiskUnit& disk, TimeMs now) {
   if (disk.heading_to_standby()) return;
   const TimeMs idle_start = disk.last_completion();
   const TimeMs threshold = effective_threshold(disk);
-  if (now - idle_start > threshold) {
+  const bool fire = now - idle_start > threshold;
+  if (tracer_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kBreakEven;
+    ev.disk = disk.id();
+    ev.t0 = now;
+    ev.t1 = now;
+    ev.value = now - idle_start;
+    ev.value2 = threshold;
+    ev.label = fire ? "spin_down" : "hold";
+    tracer_->emit(ev);
+  }
+  if (fire) {
     // The timeout fired during the idle gap; apply it retroactively at the
     // exact timeout instant.
     disk.spin_down(idle_start + threshold);

@@ -24,7 +24,9 @@ class TpmPolicy final : public sim::PowerPolicy {
 
  private:
   TimeMs effective_threshold(const sim::DiskUnit& disk) const;
-  void maybe_spin_down(sim::DiskUnit& disk, TimeMs now) const;
+  // Non-const: examining the gap emits a kBreakEven decision event when a
+  // tracer is attached.
+  void maybe_spin_down(sim::DiskUnit& disk, TimeMs now);
 
   TimeMs threshold_ms_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "layout/striping.h"
+#include "obs/tracer.h"
 #include "util/error.h"
 
 namespace sdpm::sim {
@@ -22,21 +23,35 @@ DiskUnit::DiskUnit(const disk::DiskParameters& params, int id,
 
 void DiskUnit::accumulate(TimeMs dt) {
   if (dt <= 0) return;
+  disk::PowerState bucket = disk::PowerState::kIdle;
+  Joules energy = 0;
   switch (mode_) {
     case Mode::kSpinning:
-      breakdown_.add(disk::PowerState::kIdle, dt,
-                     joules_from_watt_ms(params_->idle_power_at_level(level_),
-                                         dt));
+      bucket = disk::PowerState::kIdle;
+      energy = joules_from_watt_ms(params_->idle_power_at_level(level_), dt);
       level_residency_[static_cast<std::size_t>(level_)] += dt;
       break;
     case Mode::kStandby:
-      breakdown_.add(disk::PowerState::kStandby, dt,
-                     joules_from_watt_ms(params_->standby_power(), dt));
+      bucket = disk::PowerState::kStandby;
+      energy = joules_from_watt_ms(params_->standby_power(), dt);
       break;
     case Mode::kTransition:
-      breakdown_.add(trans_bucket_, dt,
-                     joules_from_watt_ms(trans_power_, dt));
+      bucket = trans_bucket_;
+      energy = joules_from_watt_ms(trans_power_, dt);
       break;
+  }
+  breakdown_.add(bucket, dt, energy);
+  if (tracer_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kStateSegment;
+    ev.disk = id_;
+    ev.t0 = clock_;
+    ev.t1 = clock_ + dt;
+    ev.state = bucket;
+    ev.level = level_;
+    ev.energy_j = energy;
+    ev.value = dt;
+    tracer_->emit(ev);
   }
 }
 
@@ -67,6 +82,19 @@ void DiskUnit::begin_transition(disk::PowerState bucket, TimeMs duration,
     mode_ = after;
     level_ = level_after;
     breakdown_.add(bucket, 0, energy);
+    if (tracer_ != nullptr && energy > 0) {
+      // Instant transitions still pay their energy; report a zero-width
+      // segment so timeline consumers reconcile exactly with the breakdown.
+      obs::Event ev;
+      ev.kind = obs::EventKind::kStateSegment;
+      ev.disk = id_;
+      ev.t0 = clock_;
+      ev.t1 = clock_;
+      ev.state = bucket;
+      ev.level = level_after;
+      ev.energy_j = energy;
+      tracer_->emit(ev);
+    }
     return;
   }
   mode_ = Mode::kTransition;
@@ -107,10 +135,20 @@ void DiskUnit::begin_spin_up() {
     // spindle.
     while (attempt < fc.max_spin_up_retries && faults_->spin_up_fails(id_)) {
       ++spin_up_retries_;
+      const TimeMs backoff = faults_->backoff_ms(attempt);
+      if (tracer_ != nullptr) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::kSpinUpRetry;
+        ev.disk = id_;
+        ev.t0 = clock_;
+        ev.t1 = clock_;
+        ev.value = backoff;
+        tracer_->emit(ev);
+      }
       begin_transition(disk::PowerState::kSpinningUp, attempt_ms, attempt_j,
                        Mode::kStandby, level_);
       settle();
-      advance_to(clock_ + faults_->backoff_ms(attempt));
+      advance_to(clock_ + backoff);
       ++attempt;
     }
   }
@@ -123,12 +161,30 @@ void DiskUnit::spin_down(TimeMs t) {
   if (heading_to_standby()) return;
   if (faults_ != nullptr && faults_->drops_directive(id_)) {
     ++dropped_directives_;
+    if (tracer_ != nullptr) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::kDirectiveDropped;
+      ev.disk = id_;
+      ev.t0 = t;
+      ev.t1 = t;
+      ev.label = "spin_down";
+      tracer_->emit(ev);
+    }
     return;
   }
   advance_to(std::max(t, clock_));
   settle();
   if (mode_ == Mode::kStandby) return;
   ++spin_downs_;
+  if (tracer_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kDirective;
+    ev.disk = id_;
+    ev.t0 = clock_;
+    ev.t1 = clock_;
+    ev.label = "spin_down";
+    tracer_->emit(ev);
+  }
   begin_transition(disk::PowerState::kSpinningDown, params_->tpm.spin_down_time,
                    params_->tpm.spin_down_energy, Mode::kStandby, level_);
 }
@@ -139,6 +195,15 @@ void DiskUnit::spin_up(TimeMs t) {
   advance_to(std::max(t, clock_));
   settle();
   if (mode_ == Mode::kSpinning) return;
+  if (tracer_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kDirective;
+    ev.disk = id_;
+    ev.t0 = clock_;
+    ev.t1 = clock_;
+    ev.label = "spin_up";
+    tracer_->emit(ev);
+  }
   begin_spin_up();
 }
 
@@ -150,12 +215,32 @@ void DiskUnit::set_rpm_level(TimeMs t, int level) {
   if (target_level() == level) return;
   if (faults_ != nullptr && faults_->drops_directive(id_)) {
     ++dropped_directives_;
+    if (tracer_ != nullptr) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::kDirectiveDropped;
+      ev.disk = id_;
+      ev.t0 = t;
+      ev.t1 = t;
+      ev.level = level;
+      ev.label = "set_rpm";
+      tracer_->emit(ev);
+    }
     return;
   }
   advance_to(std::max(t, clock_));
   settle();
   if (level_ == level) return;
   ++rpm_transitions_;
+  if (tracer_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kDirective;
+    ev.disk = id_;
+    ev.t0 = clock_;
+    ev.t1 = clock_;
+    ev.level = level;
+    ev.label = "set_rpm";
+    tracer_->emit(ev);
+  }
   begin_transition(disk::PowerState::kRpmShift,
                    params_->rpm_transition_time(level_, level),
                    params_->rpm_transition_energy(level_, level),
@@ -174,6 +259,14 @@ DiskUnit::ServeResult DiskUnit::serve(TimeMs arrival, BlockNo sector,
   if (mode_ == Mode::kStandby) {
     result.demand_spin_up = true;
     ++demand_spin_ups_;
+    if (tracer_ != nullptr) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::kDemandSpinUp;
+      ev.disk = id_;
+      ev.t0 = clock_;
+      ev.t1 = clock_;
+      tracer_->emit(ev);
+    }
     begin_spin_up();
     settle();
   }
@@ -192,6 +285,15 @@ DiskUnit::ServeResult DiskUnit::serve(TimeMs arrival, BlockNo sector,
     if (media.error) {
       ++media_errors_;
       if (media.new_remap) ++remapped_sectors_;
+      if (tracer_ != nullptr) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::kMediaError;
+        ev.disk = id_;
+        ev.t0 = clock_;
+        ev.t1 = clock_;
+        ev.value = media.new_remap ? 1 : 0;
+        tracer_->emit(ev);
+      }
       // Retry the transfer from the (re)mapped location: a full
       // non-sequential re-read at the current level.
       service += params_->service_time(size_bytes, level_, false);
@@ -200,9 +302,21 @@ DiskUnit::ServeResult DiskUnit::serve(TimeMs arrival, BlockNo sector,
   }
   result.start = clock_;
   result.completion = clock_ + service;
-  breakdown_.add(disk::PowerState::kActive, service,
-                 joules_from_watt_ms(params_->active_power_at_level(level_),
-                                     service));
+  const Joules active_j =
+      joules_from_watt_ms(params_->active_power_at_level(level_), service);
+  breakdown_.add(disk::PowerState::kActive, service, active_j);
+  if (tracer_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kStateSegment;
+    ev.disk = id_;
+    ev.t0 = result.start;
+    ev.t1 = result.completion;
+    ev.state = disk::PowerState::kActive;
+    ev.level = level_;
+    ev.energy_j = active_j;
+    ev.value = service;
+    tracer_->emit(ev);
+  }
   level_residency_[static_cast<std::size_t>(level_)] += service;
   clock_ = result.completion;
   last_completion_ = clock_;

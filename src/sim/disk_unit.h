@@ -24,6 +24,10 @@
 #include "sim/faults.h"
 #include "util/units.h"
 
+namespace sdpm::obs {
+class EventTracer;
+}
+
 namespace sdpm::sim {
 
 /// One serviced request interval (for oracle post-processing and
@@ -43,6 +47,13 @@ class DiskUnit {
 
   int id() const { return id_; }
   const disk::DiskParameters& params() const { return *params_; }
+
+  /// Attach the observability tracer (nullptr = untraced, the default).
+  /// The unit then emits power-state segments, directive outcomes and
+  /// fault events as it integrates — observation only, the simulated
+  /// behavior is bit-identical either way.  The simulator resolves the
+  /// tracer once per run; each emission site costs one null-pointer test.
+  void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
 
   // ---- power commands ----------------------------------------------------
 
@@ -145,6 +156,7 @@ class DiskUnit {
   const disk::DiskParameters* params_;
   int id_;
   FaultModel* faults_;
+  obs::EventTracer* tracer_ = nullptr;
 
   TimeMs clock_ = 0;
   Mode mode_ = Mode::kSpinning;

@@ -10,11 +10,23 @@
 #include "sim/disk_unit.h"
 #include "util/units.h"
 
+namespace sdpm::obs {
+class EventTracer;
+}
+
 namespace sdpm::sim {
 
 class PowerPolicy {
  public:
   virtual ~PowerPolicy() = default;
+
+  /// Attach the observability tracer for the coming replay (nullptr =
+  /// untraced).  Called by the simulator before attach(); policies emit
+  /// decision events (break-even examinations, RPM-window verdicts) when
+  /// `tracer_` is set.  Wrapper policies must forward to their inner
+  /// policies.  Observation only — a policy's decisions must be identical
+  /// with tracing on or off.
+  virtual void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
 
   /// Called once per disk before the replay starts.
   virtual void attach(DiskUnit& disk) { (void)disk; }
@@ -51,6 +63,9 @@ class PowerPolicy {
   }
 
   virtual const char* name() const = 0;
+
+ protected:
+  obs::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace sdpm::sim

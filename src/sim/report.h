@@ -74,6 +74,11 @@ struct SimReport {
     for (const DiskReport& d : disks) n += d.media_errors;
     return n;
   }
+  std::int64_t remapped_sectors() const {
+    std::int64_t n = 0;
+    for (const DiskReport& d : disks) n += d.remapped_sectors;
+    return n;
+  }
   std::int64_t dropped_directives() const {
     std::int64_t n = 0;
     for (const DiskReport& d : disks) n += d.dropped_directives;

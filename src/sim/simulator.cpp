@@ -4,6 +4,8 @@
 #include <chrono>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/error.h"
 #include "util/perf_counters.h"
 
@@ -55,27 +57,38 @@ SimReport Simulator::run() {
     source = &*cursor;
   }
 
+  // Resolve the tracer exactly once per run: nullptr when absent or
+  // sink-less, so every emission site below is one predictable null test.
+  obs::EventTracer* tracer = obs::effective_tracer(options_.tracer);
+
   SimReport report = options_.mode == ReplayMode::kClosedLoop
-                         ? run_closed_loop(*source, faults)
-                         : run_open_loop(*source, faults);
+                         ? run_closed_loop(*source, faults, tracer)
+                         : run_open_loop(*source, faults, tracer);
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - started);
   PerfCounters::global().add_simulation(report.requests, elapsed.count());
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.add("sim.simulations");
+  metrics.add("sim.requests", report.requests);
   return report;
 }
 
 SimReport Simulator::run_closed_loop(trace::RequestSource& source,
-                                     FaultModel* faults) {
+                                     FaultModel* faults,
+                                     obs::EventTracer* tracer) {
   const int total_disks = source.total_disks();
   std::vector<DiskUnit> units;
   units.reserve(static_cast<std::size_t>(total_disks));
   for (int d = 0; d < total_disks; ++d) {
     units.emplace_back(params_, d, faults);
+    units.back().set_tracer(tracer);
   }
+  policy_.set_tracer(tracer);
   for (DiskUnit& unit : units) policy_.attach(unit);
 
   SimReport report;
   report.policy_name = policy_.name();
+  obs::Span run_span(tracer, policy_.name(), 0);
 
   const TimeMs compute_total = source.compute_total_ms();
   TimeMs compute_cursor = 0;  // compute-timeline position
@@ -128,6 +141,16 @@ SimReport Simulator::run_closed_loop(trace::RequestSource& source,
       const TimeMs stall = std::max(0.0, result.completion - app_clock);
       report.response_ms.add(stall);
       if (options_.capture_responses) report.responses.push_back(stall);
+      if (tracer != nullptr) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::kService;
+        ev.disk = req.disk;
+        ev.t0 = issue;
+        ev.t1 = result.completion;
+        ev.value = stall;
+        ev.value2 = static_cast<double>(req.size_bytes);
+        tracer->emit(ev);
+      }
       policy_.after_service(unit, result.completion, stall);
       app_clock += stall;  // blocking only for the un-hidden remainder
       ++report.requests;
@@ -151,21 +174,26 @@ SimReport Simulator::run_closed_loop(trace::RequestSource& source,
     report.total_energy += dr.breakdown.total_j();
     report.disks.push_back(std::move(dr));
   }
+  run_span.end(end);
   return report;
 }
 
 SimReport Simulator::run_open_loop(trace::RequestSource& source,
-                                   FaultModel* faults) {
+                                   FaultModel* faults,
+                                   obs::EventTracer* tracer) {
   const int total_disks = source.total_disks();
   std::vector<DiskUnit> units;
   units.reserve(static_cast<std::size_t>(total_disks));
   for (int d = 0; d < total_disks; ++d) {
     units.emplace_back(params_, d, faults);
+    units.back().set_tracer(tracer);
   }
+  policy_.set_tracer(tracer);
   for (DiskUnit& unit : units) policy_.attach(unit);
 
   SimReport report;
   report.policy_name = policy_.name();
+  obs::Span run_span(tracer, policy_.name(), 0);
 
   // Requests and power events arrive merged by recorded timestamp; power
   // events win ties (they precede the iteration they annotate).
@@ -192,6 +220,16 @@ SimReport Simulator::run_open_loop(trace::RequestSource& source,
       const TimeMs response = result.completion - req.arrival_ms;
       report.response_ms.add(response);
       if (options_.capture_responses) report.responses.push_back(response);
+      if (tracer != nullptr) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::kService;
+        ev.disk = req.disk;
+        ev.t0 = req.arrival_ms;
+        ev.t1 = result.completion;
+        ev.value = response;
+        ev.value2 = static_cast<double>(req.size_bytes);
+        tracer->emit(ev);
+      }
       end = std::max(end, result.completion);
       ++report.requests;
       report.bytes_transferred += req.size_bytes;
@@ -210,6 +248,7 @@ SimReport Simulator::run_open_loop(trace::RequestSource& source,
     report.total_energy += dr.breakdown.total_j();
     report.disks.push_back(std::move(dr));
   }
+  run_span.end(end);
   return report;
 }
 

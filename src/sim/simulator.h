@@ -23,6 +23,10 @@
 #include "trace/request.h"
 #include "trace/source.h"
 
+namespace sdpm::obs {
+class EventTracer;
+}
+
 namespace sdpm::sim {
 
 /// Replay discipline.
@@ -49,6 +53,11 @@ struct SimOptions {
   /// the full vector — measured per-nest timelines, per-request asserts in
   /// tests — should pay the O(requests) allocation.
   bool capture_responses = false;
+  /// Observability tracer (not owned, may be nullptr or sink-less).  run()
+  /// resolves it once via obs::effective_tracer(), so the untraced replay
+  /// pays nothing beyond one null test per emission site and produces
+  /// bit-identical results either way.
+  obs::EventTracer* tracer = nullptr;
 };
 
 class Simulator {
@@ -76,8 +85,10 @@ class Simulator {
   SimReport run();
 
  private:
-  SimReport run_closed_loop(trace::RequestSource& source, FaultModel* faults);
-  SimReport run_open_loop(trace::RequestSource& source, FaultModel* faults);
+  SimReport run_closed_loop(trace::RequestSource& source, FaultModel* faults,
+                            obs::EventTracer* tracer);
+  SimReport run_open_loop(trace::RequestSource& source, FaultModel* faults,
+                          obs::EventTracer* tracer);
 
   const trace::Trace* trace_ = nullptr;     // materialized path
   trace::RequestSource* source_ = nullptr;  // streaming path

@@ -6,7 +6,15 @@
 //                 CMTPM|CMDRPM] [--transform none|LF|TL|LF+DL|TL+DL]
 //                 [--disks N] [--stripe BYTES] [--block BYTES]
 //                 [--cache BYTES] [--noise SIGMA] [--no-preactivate] [--csv]
-//       Evaluate scheme(s) on a benchmark under a configuration.
+//                 [--trace-out FILE --trace-format chrome|jsonl|csv]
+//                 [--preact-report] [--metrics-out FILE]
+//       Evaluate scheme(s) on a benchmark under a configuration.  With
+//       --trace-out (single non-oracle --scheme required) the replay's
+//       event stream is exported: "chrome" is Perfetto-loadable trace JSON
+//       timestamped in simulated time, "jsonl" a structured log, "csv" the
+//       per-disk power-state timeline.  --preact-report prints the
+//       pre-activation accounting (hit / late / wasted spin-ups);
+//       --metrics-out dumps the metrics registry as JSON.
 //   sdpm_cli dap --benchmark NAME [--disks N] [--stripe BYTES]
 //       Print the compiler's Disk Access Pattern for a benchmark.
 //   sdpm_cli trace --benchmark NAME [--out FILE] [config flags]
@@ -24,11 +32,15 @@
 // --fault-spinup, --fault-media, --fault-jitter, --fault-drop) and
 // inspect/replay accept --resilient to wrap the chosen policy in the
 // degrading ResilientPolicy.
+//
+// Exit codes: 0 success, 1 runtime error (sdpm::Error), 2 usage error
+// (unknown command / flag / malformed value, reported with the usage text).
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +51,11 @@
 #include "experiments/sweep.h"
 #include "experiments/trace_cache.h"
 #include "layout/layout_table.h"
+#include "obs/metrics.h"
+#include "obs/preactivation.h"
+#include "obs/sim_metrics.h"
+#include "obs/sinks.h"
+#include "obs/tracer.h"
 #include "policy/adaptive_tpm.h"
 #include "policy/base.h"
 #include "policy/drpm.h"
@@ -54,31 +71,44 @@
 #include "util/table.h"
 #include "util/thread_pool.h"
 
+#include "sdpm_version.h"
+
 namespace {
 
 using namespace sdpm;
 
-[[noreturn]] void usage(const std::string& message = "") {
-  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
-  std::cerr <<
+const char* usage_text() {
+  return
       "usage: sdpm_cli <command> [flags]\n"
       "  list                       show benchmarks / schemes / transforms\n"
       "  run    --benchmark NAME [--scheme S] [--transform T] [config]\n"
+      "         [--trace-out FILE] [--trace-format chrome|jsonl|csv]\n"
+      "         [--preact-report] [--metrics-out FILE]\n"
+      "         tracing flags need a single non-oracle --scheme; chrome\n"
+      "         traces load in Perfetto (simulated-time tracks per disk)\n"
       "  inspect --benchmark NAME [--policy P] [--per-disk] [config]\n"
       "  codegen --benchmark NAME [--mode CMTPM|CMDRPM] [--transform T]\n"
       "  profile --benchmark NAME [config]\n"
       "  dap    --benchmark NAME [config]\n"
       "  trace  --benchmark NAME [--out FILE] [config]\n"
       "  replay --in FILE [--policy P] [--open-loop] [--per-disk]\n"
-      "  bench  [--benchmark NAME] [--json] [--no-cache] [config]\n"
+      "  bench  [--benchmark NAME] [--json] [--no-cache]\n"
+      "         [--metrics-out FILE] [config]\n"
       "         sweep all 7 schemes x 8 configs on the parallel sweep\n"
       "         engine; --json emits the perf-counter snapshot\n"
       "         (BENCH_simulator.json schema) instead of the table\n"
+      "  --help / --version         print this help / the build version\n"
       "config flags: --disks N --stripe BYTES --block BYTES --cache BYTES\n"
       "              --noise SIGMA --no-preactivate --csv --jobs N\n"
       "fault flags:  --fault-seed N --fault-spinup P --fault-media P\n"
       "              --fault-jitter F --fault-drop P --fault-retries N\n"
-      "              (inspect/replay also accept --resilient)\n";
+      "              (inspect/replay also accept --resilient)\n"
+      "exit codes:   0 ok, 1 runtime error, 2 usage error\n";
+}
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr << usage_text();
   std::exit(2);
 }
 
@@ -138,9 +168,42 @@ class Args {
     return value;
   }
 
+  /// All parsed flags (for per-command validation).
+  const std::map<std::string, std::string>& values() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// The flags every command's config_from / fault_config_from may read.
+const std::set<std::string>& common_flags() {
+  static const std::set<std::string> flags = {
+      "disks",      "stripe",        "block",        "cache",
+      "noise",      "no-preactivate", "transform",   "csv",
+      "jobs",       "fault-seed",    "fault-spinup", "fault-media",
+      "fault-jitter", "fault-drop",  "fault-retries"};
+  return flags;
+}
+
+/// Reject flags the command does not understand (distinct from a runtime
+/// error: a typo'd flag exits 2 with the usage text, before any work).
+void require_known_flags(const std::string& command, const Args& args,
+                         std::initializer_list<const char*> extra) {
+  std::set<std::string> allowed = common_flags();
+  for (const char* flag : extra) allowed.insert(flag);
+  for (const auto& [key, value] : args.values()) {
+    if (allowed.count(key) == 0) {
+      usage("unknown flag '--" + key + "' for command '" + command + "'");
+    }
+  }
+}
+
+/// Write the process-wide metrics registry as JSON to `path`.
+void write_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) usage("cannot open '" + path + "'");
+  out << obs::MetricsRegistry::global().to_json() << "\n";
+}
 
 sim::FaultConfig fault_config_from(const Args& args) {
   sim::FaultConfig faults;
@@ -222,20 +285,70 @@ int cmd_list() {
 }
 
 int cmd_run(const Args& args) {
+  require_known_flags("run", args,
+                      {"benchmark", "scheme", "trace-out", "trace-format",
+                       "preact-report", "metrics-out"});
   if (!args.has("benchmark")) usage("run requires --benchmark");
   workloads::Benchmark bench =
       workloads::make_benchmark(args.get("benchmark"));
-  experiments::Runner runner(bench, config_from(args));
+  experiments::ExperimentConfig config = config_from(args);
 
-  std::vector<experiments::SchemeResult> results;
   const std::string scheme_name = args.get("scheme", "all");
+  const std::optional<experiments::Scheme> single = scheme_from(scheme_name);
+  if (scheme_name != "all" && !single) {
+    usage("unknown scheme '" + scheme_name + "'");
+  }
+
+  // Observability: sinks are stack-owned and must outlive tracer.close().
+  const bool want_trace = args.has("trace-out");
+  const bool want_preact = args.has("preact-report");
+  if (args.has("trace-format") && !want_trace) {
+    usage("--trace-format requires --trace-out");
+  }
+  obs::EventTracer tracer;
+  std::ofstream trace_file;
+  std::optional<obs::JsonlSink> jsonl;
+  std::optional<obs::ChromeTraceSink> chrome;
+  std::optional<obs::TimelineCsvSink> timeline;
+  obs::PreactivationAccountant accountant;
+  if (want_trace || want_preact) {
+    if (!single) {
+      usage("--trace-out / --preact-report need a single --scheme "
+            "(a multi-scheme run would interleave unrelated replays)");
+    }
+    if (*single == experiments::Scheme::kItpm ||
+        *single == experiments::Scheme::kIdrpm) {
+      usage(std::string(experiments::to_string(*single)) +
+            " is an analytic oracle with no replay to trace");
+    }
+    if (want_trace) {
+      trace_file.open(args.get("trace-out"));
+      if (!trace_file) usage("cannot open '" + args.get("trace-out") + "'");
+      const std::string format = args.get("trace-format", "chrome");
+      if (format == "chrome") {
+        tracer.add_sink(chrome.emplace(trace_file));
+      } else if (format == "jsonl") {
+        tracer.add_sink(jsonl.emplace(trace_file));
+      } else if (format == "csv") {
+        tracer.add_sink(timeline.emplace(trace_file));
+      } else {
+        usage("unknown --trace-format '" + format +
+              "' (chrome, jsonl or csv)");
+      }
+    }
+    if (want_preact) tracer.add_sink(accountant);
+    config.tracer = &tracer;
+    config.trace_scheme = *single;
+  }
+
+  experiments::Runner runner(bench, config);
+  std::vector<experiments::SchemeResult> results;
   if (scheme_name == "all") {
     results = runner.run_all();
   } else {
-    const auto scheme = scheme_from(scheme_name);
-    if (!scheme) usage("unknown scheme '" + scheme_name + "'");
-    results.push_back(runner.run(*scheme));
+    results.push_back(runner.run(*single));
   }
+  tracer.close();
 
   Table table(bench.name + " (" +
               std::string(core::to_string(runner.config().transform)) + ")");
@@ -254,6 +367,14 @@ int cmd_run(const Args& args) {
     });
   }
   emit(table, args);
+  if (want_preact) std::cout << accountant.report().to_string();
+  if (args.has("metrics-out")) {
+    // Fold the shared Base report's distributions (idle gaps, responses)
+    // in before dumping; the replay counters are already in the registry.
+    obs::record_report_metrics(obs::MetricsRegistry::global(),
+                               runner.base_report());
+    write_metrics_json(args.get("metrics-out"));
+  }
   return 0;
 }
 
@@ -270,6 +391,8 @@ sim::PowerPolicy* pick_policy(const std::string& name,
 }
 
 int cmd_inspect(const Args& args) {
+  require_known_flags("inspect", args,
+                      {"benchmark", "policy", "per-disk", "resilient"});
   if (!args.has("benchmark")) usage("inspect requires --benchmark");
   const workloads::Benchmark bench =
       workloads::make_benchmark(args.get("benchmark"));
@@ -300,6 +423,7 @@ int cmd_inspect(const Args& args) {
 }
 
 int cmd_codegen(const Args& args) {
+  require_known_flags("codegen", args, {"benchmark", "mode"});
   if (!args.has("benchmark")) usage("codegen requires --benchmark");
   const workloads::Benchmark bench =
       workloads::make_benchmark(args.get("benchmark"));
@@ -326,6 +450,7 @@ int cmd_codegen(const Args& args) {
 }
 
 int cmd_profile(const Args& args) {
+  require_known_flags("profile", args, {"benchmark"});
   if (!args.has("benchmark")) usage("profile requires --benchmark");
   const workloads::Benchmark bench =
       workloads::make_benchmark(args.get("benchmark"));
@@ -347,6 +472,7 @@ int cmd_profile(const Args& args) {
 }
 
 int cmd_dap(const Args& args) {
+  require_known_flags("dap", args, {"benchmark"});
   if (!args.has("benchmark")) usage("dap requires --benchmark");
   const workloads::Benchmark bench =
       workloads::make_benchmark(args.get("benchmark"));
@@ -360,6 +486,7 @@ int cmd_dap(const Args& args) {
 }
 
 int cmd_trace(const Args& args) {
+  require_known_flags("trace", args, {"benchmark", "out"});
   if (!args.has("benchmark")) usage("trace requires --benchmark");
   const workloads::Benchmark bench =
       workloads::make_benchmark(args.get("benchmark"));
@@ -381,6 +508,8 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_replay(const Args& args) {
+  require_known_flags("replay", args,
+                      {"in", "policy", "open-loop", "per-disk", "resilient"});
   if (!args.has("in")) usage("replay requires --in");
   std::ifstream in(args.get("in"));
   if (!in) usage("cannot open '" + args.get("in") + "'");
@@ -419,6 +548,8 @@ int cmd_replay(const Args& args) {
 }
 
 int cmd_bench(const Args& args) {
+  require_known_flags("bench", args,
+                      {"benchmark", "json", "no-cache", "metrics-out"});
   const std::string bench_name = args.get("benchmark", "swim");
   const workloads::Benchmark bench = workloads::make_benchmark(bench_name);
   if (args.has("no-cache")) {
@@ -445,7 +576,10 @@ int cmd_bench(const Args& args) {
     }
   }
 
-  PerfCounters::global().reset();
+  // Bracket the sweep with two snapshots instead of resetting the global
+  // counters: the diff isolates this sweep without destroying the
+  // process-wide perf trajectory.
+  const PerfSnapshot before = PerfCounters::global().snapshot();
   const auto started = std::chrono::steady_clock::now();
   experiments::SweepEngine engine;
   const std::vector<experiments::SweepCellResult> results =
@@ -454,11 +588,11 @@ int cmd_bench(const Args& args) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - started)
           .count();
+  const PerfSnapshot sweep_delta = PerfCounters::global().snapshot() - before;
 
+  if (args.has("metrics-out")) write_metrics_json(args.get("metrics-out"));
   if (args.has("json")) {
-    std::cout << perf_json(PerfCounters::global().snapshot(), wall_ms,
-                           engine.jobs())
-              << "\n";
+    std::cout << perf_json(sweep_delta, wall_ms, engine.jobs()) << "\n";
     return 0;
   }
 
@@ -485,12 +619,24 @@ int cmd_bench(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::cout << usage_text();
+    return 0;
+  }
+  if (command == "--version" || command == "-V" || command == "version") {
+    std::cout << "sdpm_cli " << SDPM_VERSION << " (" << SDPM_BUILD_TYPE
+              << ")\n";
+    return 0;
+  }
   try {
     const Args args(argc, argv, 2);
     if (args.has("jobs")) {
       set_default_jobs(static_cast<unsigned>(args.get_int("jobs", 0)));
     }
-    if (command == "list") return cmd_list();
+    if (command == "list") {
+      require_known_flags("list", args, {});
+      return cmd_list();
+    }
     if (command == "run") return cmd_run(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "codegen") return cmd_codegen(args);

@@ -74,7 +74,7 @@ PerfSnapshot PerfCounters::snapshot() const {
   return s;
 }
 
-void PerfCounters::reset() {
+void PerfCounters::reset_for_testing() {
   simulations_.store(0, kRelaxed);
   requests_simulated_.store(0, kRelaxed);
   sim_wall_us_.store(0, kRelaxed);

@@ -42,6 +42,13 @@ struct PerfSnapshot {
   PerfSnapshot since(const PerfSnapshot& earlier) const;
 };
 
+/// Counter-by-counter difference; `after - before` reads naturally at call
+/// sites that bracket a region of interest with two snapshots.
+inline PerfSnapshot operator-(const PerfSnapshot& after,
+                              const PerfSnapshot& before) {
+  return after.since(before);
+}
+
 class PerfCounters {
  public:
   static PerfCounters& global();
@@ -57,7 +64,12 @@ class PerfCounters {
   void add_cell(std::int64_t wall_us);
 
   PerfSnapshot snapshot() const;
-  void reset();
+
+  /// Zero every counter.  Test-only: production consumers (the CLI, the
+  /// sweep engine) must bracket their region with two snapshot() calls and
+  /// diff them — a global reset would race with concurrent producers and
+  /// destroy the process-wide perf trajectory.
+  void reset_for_testing();
 
  private:
   static constexpr auto kRelaxed = std::memory_order_relaxed;

@@ -8,7 +8,10 @@
 
 #include "experiments/runner.h"
 #include "experiments/sweep.h"
+#include "obs/sinks.h"
+#include "obs/tracer.h"
 #include "util/error.h"
+#include "util/perf_counters.h"
 #include "util/units.h"
 #include "workloads/benchmarks.h"
 
@@ -136,6 +139,48 @@ TEST(SweepEngine, CellFailurePropagatesFromRun) {
 TEST(SweepEngine, JobsAreConfigurable) {
   EXPECT_EQ(SweepEngine(3).jobs(), 3u);
   EXPECT_GE(SweepEngine().jobs(), 1u);  // 0 resolves to default_jobs()
+}
+
+TEST(SweepEngine, PerfCountersAdvanceBySnapshotDiff) {
+  // The global counters are process-wide and other tests contribute to
+  // them, so assertions go against the bracketed diff, never absolutes.
+  const std::vector<SweepCell> cells = two_cells();
+  const PerfSnapshot before = PerfCounters::global().snapshot();
+  SweepEngine(2).run(cells);
+  const PerfSnapshot delta = PerfCounters::global().snapshot() - before;
+  EXPECT_EQ(delta.cells_completed, static_cast<std::int64_t>(cells.size()));
+  EXPECT_GT(delta.simulations, 0);
+  EXPECT_GT(delta.requests_simulated, 0);
+  EXPECT_GE(delta.cell_wall_us, 0);
+  EXPECT_GT(delta.trace_cache_hits + delta.trace_cache_misses, 0);
+}
+
+TEST(SweepEngine, TracerSeesEveryCellLifecycle) {
+  const std::vector<SweepCell> cells = two_cells();
+  obs::CountingSink sink;
+  obs::EventTracer tracer;
+  tracer.add_sink(sink);
+  SweepEngine engine(2);
+  engine.set_tracer(&tracer);
+
+  const auto traced = engine.run(cells);
+  tracer.close();
+  // One begin/end pair per (cell, scheme) task; empty cell.schemes means
+  // all seven schemes.
+  const auto expected_tasks =
+      static_cast<std::int64_t>(cells.size() * all_schemes().size());
+  EXPECT_EQ(sink.count(obs::EventKind::kCellBegin), expected_tasks);
+  EXPECT_EQ(sink.count(obs::EventKind::kCellEnd), expected_tasks);
+
+  // Tracing must not perturb the sweep's numeric results.
+  const auto untraced = SweepEngine(2).run(cells);
+  ASSERT_EQ(traced.size(), untraced.size());
+  for (std::size_t c = 0; c < traced.size(); ++c) {
+    ASSERT_EQ(traced[c].results.size(), untraced[c].results.size());
+    for (std::size_t s = 0; s < traced[c].results.size(); ++s) {
+      expect_same_result(traced[c].results[s], untraced[c].results[s]);
+    }
+  }
 }
 
 }  // namespace
