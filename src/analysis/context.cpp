@@ -1,0 +1,109 @@
+#include "analysis/pass.h"
+
+#include <algorithm>
+#include <exception>
+#include <tuple>
+
+namespace sdpm::analysis {
+
+AnalysisContext::AnalysisContext(const core::ScheduleResult& result,
+                                 const layout::LayoutTable& layout,
+                                 const disk::DiskParameters& params,
+                                 AnalyzeOptions options)
+    : result_(&result),
+      layout_(&layout),
+      params_(&params),
+      options_(options),
+      space_(result.program),
+      nominal_(result.program, options.access.clock_hz) {
+  const int disks = layout.total_disks();
+  directives_by_disk_.resize(static_cast<std::size_t>(disks));
+  for (int i = 0; i < static_cast<int>(result.program.directives.size());
+       ++i) {
+    const ir::PlacedDirective& pd =
+        result.program.directives[static_cast<std::size_t>(i)];
+    const int disk = pd.directive.disk;
+    if (disk < 0 || disk >= disks) continue;  // wellformed pass reports it
+    directives_by_disk_[static_cast<std::size_t>(disk)].push_back(
+        {space_.global_of(pd.point), i});
+  }
+  for (auto& dirs : directives_by_disk_) {
+    std::stable_sort(dirs.begin(), dirs.end(),
+                     [](const DirRef& a, const DirRef& b) {
+                       return std::tie(a.global, a.index) <
+                              std::tie(b.global, b.index);
+                     });
+  }
+
+  plans_by_disk_.resize(static_cast<std::size_t>(disks));
+  for (const core::GapPlan& plan : result.plans) {
+    if (plan.disk < 0 || plan.disk >= disks) continue;
+    plans_by_disk_[static_cast<std::size_t>(plan.disk)].push_back(&plan);
+  }
+  for (auto& plans : plans_by_disk_) {
+    std::stable_sort(plans.begin(), plans.end(),
+                     [](const core::GapPlan* a, const core::GapPlan* b) {
+                       return a->begin_iter < b->begin_iter;
+                     });
+  }
+}
+
+TimeMs AnalysisContext::at(std::int64_t g) const {
+  const std::int64_t clamped = std::clamp<std::int64_t>(g, 0, space_.total());
+  if (options_.estimate != nullptr) {
+    return options_.estimate->at_global(clamped);
+  }
+  return nominal_.at_global(clamped);
+}
+
+TimeMs AnalysisContext::iter_ms(std::int64_t g) const {
+  if (g < 0 || g >= space_.total()) return 0;
+  return at(g + 1) - at(g);
+}
+
+const trace::DiskAccessPattern* AnalysisContext::dap() {
+  if (!dap_attempted_) {
+    dap_attempted_ = true;
+    try {
+      dap_ = trace::DiskAccessPattern::analyze(result_->program, *layout_,
+                                               options_.access);
+    } catch (const std::exception& e) {
+      dap_error_ = e.what();
+    }
+  }
+  return dap_.has_value() ? &*dap_ : nullptr;
+}
+
+const std::vector<AnalysisContext::DirRef>& AnalysisContext::directives_of(
+    int disk) const {
+  return directives_by_disk_[static_cast<std::size_t>(disk)];
+}
+
+const std::vector<const core::GapPlan*>& AnalysisContext::plans_of(
+    int disk) const {
+  return plans_by_disk_[static_cast<std::size_t>(disk)];
+}
+
+std::optional<core::PowerMode> AnalysisContext::inferred_mode() const {
+  for (const ir::PlacedDirective& pd : result_->program.directives) {
+    if (pd.directive.kind == ir::PowerDirective::Kind::kSetRpm) {
+      return core::PowerMode::kDrpm;
+    }
+    return core::PowerMode::kTpm;
+  }
+  return std::nullopt;
+}
+
+DiagLocation AnalysisContext::loc_at(std::int64_t g, int disk,
+                                     int directive) const {
+  const ir::IterationPoint point =
+      space_.point_of(std::clamp<std::int64_t>(g, 0, space_.total()));
+  DiagLocation loc;
+  loc.disk = disk;
+  loc.nest = point.nest_index;
+  loc.iteration = point.flat_iteration;
+  loc.directive = directive;
+  return loc;
+}
+
+}  // namespace sdpm::analysis

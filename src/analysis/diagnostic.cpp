@@ -1,0 +1,248 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <istream>
+#include <tuple>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::analysis {
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_printf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+auto sort_key(const Diagnostic& d) {
+  return std::tuple(d.loc.nest, d.loc.iteration, d.loc.disk, d.loc.directive,
+                    d.rule, d.message);
+}
+
+}  // namespace
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+Severity severity_of_rule(std::string_view rule_id) {
+  // "SDPM-X###": the letter after the dash selects the severity.
+  const std::size_t dash = rule_id.find('-');
+  const char letter =
+      dash != std::string_view::npos && dash + 1 < rule_id.size()
+          ? rule_id[dash + 1]
+          : 'E';
+  switch (letter) {
+    case 'N':
+      return Severity::kNote;
+    case 'W':
+      return Severity::kWarning;
+    default:
+      return Severity::kError;
+  }
+}
+
+std::string Diagnostic::fingerprint() const {
+  return rule + "|d" + std::to_string(loc.disk) + "|n" +
+         std::to_string(loc.nest) + "|i" + std::to_string(loc.iteration);
+}
+
+Diagnostic make_diagnostic(std::string rule, std::string pass,
+                           DiagLocation loc, std::string message) {
+  Diagnostic d;
+  d.severity = severity_of_rule(rule);
+  d.rule = std::move(rule);
+  d.pass = std::move(pass);
+  d.loc = loc;
+  d.message = std::move(message);
+  return d;
+}
+
+int AnalysisReport::count(Severity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool AnalysisReport::has(std::string_view rule) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+std::optional<Severity> AnalysisReport::worst() const {
+  std::optional<Severity> w;
+  for (const Diagnostic& d : diagnostics) {
+    if (!w || static_cast<int>(d.severity) > static_cast<int>(*w)) {
+      w = d.severity;
+    }
+  }
+  return w;
+}
+
+void AnalysisReport::sort() {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return sort_key(a) < sort_key(b);
+                   });
+}
+
+namespace {
+
+std::string location_text(const DiagLocation& loc) {
+  std::string out;
+  if (loc.disk >= 0) out += " disk " + std::to_string(loc.disk);
+  if (loc.nest >= 0) out += " nest " + std::to_string(loc.nest);
+  if (loc.iteration >= 0) out += " iter " + std::to_string(loc.iteration);
+  if (loc.directive >= 0) {
+    out += " directive " + std::to_string(loc.directive);
+  }
+  return out.empty() ? std::string(" <program>") : out;
+}
+
+}  // namespace
+
+std::string render_text(const AnalysisReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += d.rule;
+    out += " ";
+    out += to_string(d.severity);
+    out += " [" + d.pass + "]";
+    out += location_text(d.loc);
+    out += ": " + d.message + "\n";
+  }
+  out += str_printf(
+      "analyze: %d error(s), %d warning(s), %d note(s); %lld directive(s) "
+      "checked; %d suppressed\n",
+      report.errors(), report.warnings(), report.notes(),
+      static_cast<long long>(report.directives_checked), report.suppressed);
+  return out;
+}
+
+std::string render_json(const AnalysisReport& report) {
+  std::string out = "{\"version\":1,\"tool\":\"sdpm-analyze\",";
+  out += str_printf(
+      "\"summary\":{\"directives\":%lld,\"errors\":%d,\"warnings\":%d,"
+      "\"notes\":%d,\"suppressed\":%d},",
+      static_cast<long long>(report.directives_checked), report.errors(),
+      report.warnings(), report.notes(), report.suppressed);
+  out += "\"passes\":[";
+  for (std::size_t i = 0; i < report.passes_run.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(report.passes_run[i]) + "\"";
+  }
+  out += "],\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i > 0) out += ",";
+    out += "\n ";
+    out += "{\"rule\":\"" + json_escape(d.rule) + "\",";
+    out += std::string("\"severity\":\"") + to_string(d.severity) + "\",";
+    out += "\"pass\":\"" + json_escape(d.pass) + "\",";
+    out += str_printf(
+        "\"disk\":%d,\"nest\":%d,\"iteration\":%lld,\"directive\":%d,",
+        d.loc.disk, d.loc.nest, static_cast<long long>(d.loc.iteration),
+        d.loc.directive);
+    out += "\"message\":\"" + json_escape(d.message) + "\"}";
+  }
+  out += report.diagnostics.empty() ? "]}" : "\n]}";
+  out += "\n";
+  return out;
+}
+
+Baseline Baseline::parse(std::istream& in) {
+  Baseline baseline;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim trailing CR and surrounding whitespace.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
+    std::size_t start = 0;
+    while (start < line.size() &&
+           (line[start] == ' ' || line[start] == '\t')) {
+      ++start;
+    }
+    line = line.substr(start);
+    if (line.empty() || line[0] == '#') continue;
+    baseline.fingerprints_.push_back(line);
+  }
+  std::sort(baseline.fingerprints_.begin(), baseline.fingerprints_.end());
+  baseline.fingerprints_.erase(
+      std::unique(baseline.fingerprints_.begin(),
+                  baseline.fingerprints_.end()),
+      baseline.fingerprints_.end());
+  return baseline;
+}
+
+bool Baseline::contains(const std::string& fingerprint) const {
+  return std::binary_search(fingerprints_.begin(), fingerprints_.end(),
+                            fingerprint);
+}
+
+void apply_baseline(AnalysisReport& report, const Baseline& baseline) {
+  std::vector<Diagnostic> kept;
+  kept.reserve(report.diagnostics.size());
+  for (Diagnostic& d : report.diagnostics) {
+    if (baseline.contains(d.fingerprint())) {
+      ++report.suppressed;
+    } else {
+      kept.push_back(std::move(d));
+    }
+  }
+  report.diagnostics = std::move(kept);
+}
+
+std::string to_baseline(const AnalysisReport& report) {
+  std::string out = "# sdpm-analyze baseline: one fingerprint per line\n";
+  std::vector<std::string> prints;
+  prints.reserve(report.diagnostics.size());
+  for (const Diagnostic& d : report.diagnostics) {
+    prints.push_back(d.fingerprint());
+  }
+  std::sort(prints.begin(), prints.end());
+  prints.erase(std::unique(prints.begin(), prints.end()), prints.end());
+  for (const std::string& p : prints) out += p + "\n";
+  return out;
+}
+
+}  // namespace sdpm::analysis

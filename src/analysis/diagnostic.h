@@ -1,0 +1,104 @@
+// Structured diagnostics for the static schedule analyzer.
+//
+// Every finding carries a stable rule id ("SDPM-E030"), a severity derived
+// from the id's letter (E = error, W = warning, N = note), a location in
+// (disk, nest, iteration, directive) coordinates, and a deterministic
+// message.  Reports render to plain text or byte-stable JSON, and known
+// findings can be suppressed through a baseline file of fingerprints —
+// the same workflow as clang-tidy's warning baseline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdpm::analysis {
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* to_string(Severity severity);
+
+/// Severity encoded in a rule id's letter ("SDPM-E030" -> error).
+Severity severity_of_rule(std::string_view rule_id);
+
+/// Where a finding points.  Unset components are -1: a whole-program
+/// finding (e.g. overlapping fission disk sets) has every field unset; a
+/// directive finding carries all four.
+struct DiagLocation {
+  int disk = -1;
+  int nest = -1;                  ///< nest index within the program
+  std::int64_t iteration = -1;    ///< flat iteration within the nest
+  int directive = -1;             ///< index into Program::directives
+
+  friend bool operator==(const DiagLocation&, const DiagLocation&) = default;
+};
+
+struct Diagnostic {
+  std::string rule;      ///< stable id, e.g. "SDPM-E030"
+  Severity severity = Severity::kError;
+  DiagLocation loc;
+  std::string message;   ///< deterministic, human-readable
+  std::string pass;      ///< name of the pass that produced it
+
+  /// Stable identity for baseline suppression: rule + location (the
+  /// directive index is excluded so unrelated insertions don't invalidate
+  /// a baseline).
+  std::string fingerprint() const;
+};
+
+/// Construct a diagnostic, deriving the severity from the rule id.
+Diagnostic make_diagnostic(std::string rule, std::string pass,
+                           DiagLocation loc, std::string message);
+
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<std::string> passes_run;
+  std::int64_t directives_checked = 0;
+  int suppressed = 0;  ///< findings removed by the baseline
+
+  int count(Severity severity) const;
+  int errors() const { return count(Severity::kError); }
+  int warnings() const { return count(Severity::kWarning); }
+  int notes() const { return count(Severity::kNote); }
+
+  /// True when any diagnostic carries `rule`.
+  bool has(std::string_view rule) const;
+
+  /// Highest severity present; empty when the report is clean.
+  std::optional<Severity> worst() const;
+
+  /// Sort diagnostics into the canonical deterministic order (program
+  /// position, then disk, then rule).  Renderers expect sorted input.
+  void sort();
+};
+
+/// One line per diagnostic plus a summary trailer.
+std::string render_text(const AnalysisReport& report);
+
+/// Byte-stable JSON: fixed key order, sorted diagnostics, no floating
+/// point in the envelope.  Safe to diff across runs.
+std::string render_json(const AnalysisReport& report);
+
+/// A set of suppressed fingerprints, one per line ('#' comments allowed).
+class Baseline {
+ public:
+  static Baseline parse(std::istream& in);
+
+  bool contains(const std::string& fingerprint) const;
+  std::size_t size() const { return fingerprints_.size(); }
+
+ private:
+  std::vector<std::string> fingerprints_;  // sorted, unique
+};
+
+/// Drop baselined diagnostics from `report`, counting them in
+/// `report.suppressed`.
+void apply_baseline(AnalysisReport& report, const Baseline& baseline);
+
+/// Serialize the report's findings as a baseline file body.
+std::string to_baseline(const AnalysisReport& report);
+
+}  // namespace sdpm::analysis

@@ -1,0 +1,45 @@
+// Seeded schedule mutations for validating the analyzer.
+//
+// Each mutation injects one class of bug the static passes must catch; the
+// tests (and the `sdpm_cli analyze --mutate` flag) run the analyzer over
+// the mutated schedule and assert the corresponding rule fires:
+//
+//   kLatePreactivation  move every restore call to one iteration before
+//                       its gap's end, so the wake-up cannot complete in
+//                       time (SDPM-E040)
+//   kShortGapSpinDown   spin a disk down inside a gap shorter than the
+//                       break-even time (SDPM-E030)
+//   kOverlappingFission collapse the layout-aware fission's disk
+//                       partition so two array groups share disks
+//                       (SDPM-E060)
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/schedule.h"
+#include "layout/striping.h"
+
+namespace sdpm::analysis {
+
+enum class Mutation {
+  kLatePreactivation,
+  kShortGapSpinDown,
+  kOverlappingFission,
+};
+
+const char* to_string(Mutation mutation);
+
+/// Parse "late-preact" / "short-gap" / "overlap-fission"; empty otherwise.
+std::optional<Mutation> mutation_from_name(std::string_view name);
+
+/// Apply `mutation` in place.  `striping` is the per-array striping the
+/// caller will rebuild its LayoutTable from (only kOverlappingFission
+/// modifies it).  Throws sdpm::Error when the schedule offers no site for
+/// the mutation (e.g. no restores to delay).
+void apply_mutation(Mutation mutation, core::ScheduleResult& result,
+                    std::vector<layout::Striping>& striping,
+                    const disk::DiskParameters& params);
+
+}  // namespace sdpm::analysis

@@ -1,0 +1,126 @@
+// Analysis pass interface and the shared per-run context.
+//
+// The analyzer consumes exactly what the compiler produced — a
+// (ScheduleResult, LayoutTable, DiskParameters) triple — and never
+// simulates.  The context lazily derives the views every pass walks: the
+// global iteration space, the compiler's time estimate, per-disk directive
+// and gap-plan indexes, and (guarded, because a malformed program can make
+// the access model throw) the Disk Access Pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/compiler.h"
+#include "core/schedule.h"
+#include "disk/parameters.h"
+#include "layout/layout_table.h"
+#include "trace/dap.h"
+#include "trace/generator.h"
+#include "trace/iteration_space.h"
+#include "trace/timeline.h"
+
+namespace sdpm::analysis {
+
+struct AnalyzeOptions {
+  /// Access-model options.  Must match the scheduler's, or the recomputed
+  /// DAP will disagree with the plans (SDPM-E009).
+  trace::GeneratorOptions access;
+  /// The time estimate the schedule was planned against.  Non-owning; when
+  /// null the nominal compute timeline is used — the same fallback as
+  /// core::schedule_power_calls.
+  const trace::TimeEstimate* estimate = nullptr;
+  /// Mirrors SchedulerOptions::safety_margin for decision replication.
+  double safety_margin = 0.25;
+  /// The transformation that produced the program; selects the severity of
+  /// the dependence-legality findings (error for tiled code).
+  core::Transformation transform = core::Transformation::kNone;
+};
+
+/// Shared state of one analyzer run over one schedule.
+class AnalysisContext {
+ public:
+  AnalysisContext(const core::ScheduleResult& result,
+                  const layout::LayoutTable& layout,
+                  const disk::DiskParameters& params,
+                  AnalyzeOptions options);
+
+  AnalysisContext(const AnalysisContext&) = delete;
+  AnalysisContext& operator=(const AnalysisContext&) = delete;
+
+  const core::ScheduleResult& result() const { return *result_; }
+  const ir::Program& program() const { return result_->program; }
+  const layout::LayoutTable& layout() const { return *layout_; }
+  const disk::DiskParameters& params() const { return *params_; }
+  const AnalyzeOptions& options() const { return options_; }
+
+  int total_disks() const { return layout_->total_disks(); }
+  int top_level() const { return params_->max_level(); }
+
+  /// Per-call overhead Tm (paper Eq. 1).
+  TimeMs tm() const { return options_.access.power_call_overhead_ms; }
+
+  const trace::IterationSpace& space() const { return space_; }
+
+  /// Estimated start time of global iteration `g` (clamped to the
+  /// program).
+  TimeMs at(std::int64_t g) const;
+
+  /// Estimated duration of global iteration `g`.
+  TimeMs iter_ms(std::int64_t g) const;
+
+  /// The recomputed Disk Access Pattern, or nullptr when the access model
+  /// rejected the program (see dap_error(); the registry reports it as
+  /// SDPM-E090).
+  const trace::DiskAccessPattern* dap();
+
+  bool dap_attempted() const { return dap_attempted_; }
+  const std::string& dap_error() const { return dap_error_; }
+
+  /// One directive of one disk, in program order.
+  struct DirRef {
+    std::int64_t global = 0;  ///< global iteration of the placement point
+    int index = 0;            ///< index into Program::directives
+  };
+
+  /// Directives targeting `disk`, sorted by (global, index).
+  const std::vector<DirRef>& directives_of(int disk) const;
+
+  /// Gap plans of `disk`, sorted by begin_iter.
+  const std::vector<const core::GapPlan*>& plans_of(int disk) const;
+
+  /// Power mode implied by the directive kinds; empty when the program
+  /// carries no directives.
+  std::optional<core::PowerMode> inferred_mode() const;
+
+  /// Location helper: resolve a global iteration to (nest, iteration).
+  DiagLocation loc_at(std::int64_t g, int disk, int directive = -1) const;
+
+ private:
+  const core::ScheduleResult* result_;
+  const layout::LayoutTable* layout_;
+  const disk::DiskParameters* params_;
+  AnalyzeOptions options_;
+  trace::IterationSpace space_;
+  trace::Timeline nominal_;
+  std::vector<std::vector<DirRef>> directives_by_disk_;
+  std::vector<std::vector<const core::GapPlan*>> plans_by_disk_;
+  std::optional<trace::DiskAccessPattern> dap_;
+  bool dap_attempted_ = false;
+  std::string dap_error_;
+};
+
+/// One analysis pass: appends diagnostics, never throws for program-level
+/// problems (only for analyzer-internal bugs).
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  virtual const char* name() const = 0;
+  virtual void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) = 0;
+};
+
+}  // namespace sdpm::analysis

@@ -1,0 +1,107 @@
+// Break-even pass (paper §2/§3 economics).
+//
+//   SDPM-E030  a spin_down whose remaining gap (after the call site) is
+//              shorter than the disk's break-even time — the transition
+//              energy cannot be recovered, the call wastes energy
+//   SDPM-W031  an idle period the scheduler's own profitability rule says
+//              is exploitable, but no directive acts on it
+//
+// The remaining gap is derived from the plan's *estimated* length scaled
+// by the time fraction after the directive, so the check replicates the
+// scheduler's decision basis rather than second-guessing its estimator.
+#include <cstdint>
+#include <vector>
+
+#include "analysis/pass.h"
+#include "analysis/registry.h"
+#include "policy/oracle.h"
+#include "util/strings.h"
+
+namespace sdpm::analysis {
+
+namespace {
+
+class BreakEvenPass final : public Pass {
+ public:
+  const char* name() const override { return "break-even"; }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    const ir::Program& program = ctx.program();
+    const disk::DiskParameters& params = ctx.params();
+    const TimeMs break_even = params.break_even_time();
+    const std::optional<core::PowerMode> mode = ctx.inferred_mode();
+
+    for (int disk = 0; disk < ctx.total_disks(); ++disk) {
+      for (const core::GapPlan* plan : ctx.plans_of(disk)) {
+        // E030: every spin_down inside this gap must leave at least the
+        // break-even time before the gap's next access.
+        for (const auto& ref : ctx.directives_of(disk)) {
+          if (ref.global < plan->begin_iter || ref.global > plan->end_iter) {
+            continue;
+          }
+          const ir::PowerDirective& d =
+              program.directives[static_cast<std::size_t>(ref.index)]
+                  .directive;
+          if (d.kind != ir::PowerDirective::Kind::kSpinDown) continue;
+          const TimeMs remaining = remaining_estimate(ctx, *plan, ref.global);
+          if (remaining + 1e-9 < break_even) {
+            out.push_back(make_diagnostic(
+                "SDPM-E030", name(), ctx.loc_at(ref.global, disk, ref.index),
+                str_printf("spin_down on disk %d leaves %s of the gap, "
+                           "below the %s break-even time",
+                           disk, fmt_time_ms(remaining).c_str(),
+                           fmt_time_ms(break_even).c_str())));
+          }
+        }
+
+        // W031: the scheduler's own profitability rule, un-acted.
+        if (plan->acted || !mode.has_value()) continue;
+        if (plan->end_iter <= plan->begin_iter) continue;
+        const TimeMs discounted =
+            plan->estimated_ms * (1.0 - ctx.options().safety_margin);
+        if (*mode == core::PowerMode::kTpm) {
+          if (policy::tpm_gap_beneficial(discounted, params)) {
+            out.push_back(make_diagnostic(
+                "SDPM-W031", name(), ctx.loc_at(plan->begin_iter, disk),
+                str_printf("idle period of disk %d (estimated %s) exceeds "
+                           "the break-even time but no spin_down acts on it",
+                           disk, fmt_time_ms(plan->estimated_ms).c_str())));
+          }
+        } else {
+          const int best =
+              policy::optimal_rpm_level(plan->estimated_ms, params);
+          if (best < ctx.top_level()) {
+            out.push_back(make_diagnostic(
+                "SDPM-W031", name(), ctx.loc_at(plan->begin_iter, disk),
+                str_printf("idle period of disk %d (estimated %s) profits "
+                           "from RPM level %d but no set_RPM acts on it",
+                           disk, fmt_time_ms(plan->estimated_ms).c_str(),
+                           best)));
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  /// Estimated idle time left after a directive at `g`: the plan estimate
+  /// scaled by the timeline fraction of the gap after `g`.
+  static TimeMs remaining_estimate(const AnalysisContext& ctx,
+                                   const core::GapPlan& plan,
+                                   std::int64_t g) {
+    if (g <= plan.begin_iter) return plan.estimated_ms;
+    if (g >= plan.end_iter) return 0;
+    const TimeMs whole = ctx.at(plan.end_iter) - ctx.at(plan.begin_iter);
+    if (whole <= 0) return plan.estimated_ms;
+    const TimeMs after = ctx.at(plan.end_iter) - ctx.at(g);
+    return plan.estimated_ms * (after / whole);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_break_even_pass() {
+  return std::make_unique<BreakEvenPass>();
+}
+
+}  // namespace sdpm::analysis

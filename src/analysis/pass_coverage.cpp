@@ -1,0 +1,110 @@
+// Layout-coverage pass.
+//
+//   SDPM-E080  a subscript whose affine range can address an index outside
+//              the array extent — the access model would fault or, worse,
+//              silently touch another array's disk region
+//   SDPM-W081  a disk that holds allocated data but is never accessed by
+//              the program: its regions were laid out for nothing and it
+//              idles at full power unless a directive parks it
+#include <cstdint>
+#include <vector>
+
+#include "analysis/pass.h"
+#include "analysis/registry.h"
+#include "util/strings.h"
+
+namespace sdpm::analysis {
+
+namespace {
+
+/// Minimum and maximum of an affine expression over the nest's iterator
+/// ranges (each loop contributes its extreme value per coefficient sign).
+struct ValueRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+ValueRange subscript_range(const ir::AffineExpr& expr,
+                           const ir::LoopNest& nest) {
+  ValueRange range{expr.constant, expr.constant};
+  for (int k = 0; k < nest.depth(); ++k) {
+    const std::int64_t c = expr.coef(static_cast<std::size_t>(k));
+    if (c == 0) continue;
+    const ir::Loop& loop = nest.loops[static_cast<std::size_t>(k)];
+    if (loop.trip_count() <= 0) continue;
+    const std::int64_t first = loop.value_at(0);
+    const std::int64_t last = loop.value_at(loop.trip_count() - 1);
+    const std::int64_t a = c * first;
+    const std::int64_t b = c * last;
+    range.lo += a < b ? a : b;
+    range.hi += a < b ? b : a;
+  }
+  return range;
+}
+
+class CoveragePass final : public Pass {
+ public:
+  const char* name() const override { return "coverage"; }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    const ir::Program& program = ctx.program();
+
+    for (int n = 0; n < static_cast<int>(program.nests.size()); ++n) {
+      const ir::LoopNest& nest = program.nests[static_cast<std::size_t>(n)];
+      for (const ir::Statement& stmt : nest.body) {
+        for (const ir::ArrayRef& ref : stmt.refs) {
+          if (ref.array < 0 ||
+              ref.array >= static_cast<ir::ArrayId>(program.arrays.size())) {
+            continue;  // Program::validate reports dangling references
+          }
+          const ir::Array& array = program.array(ref.array);
+          const int dims =
+              static_cast<int>(ref.subscripts.size()) < array.rank()
+                  ? static_cast<int>(ref.subscripts.size())
+                  : array.rank();
+          for (int d = 0; d < dims; ++d) {
+            const ValueRange range =
+                subscript_range(ref.subscripts[static_cast<std::size_t>(d)],
+                                nest);
+            const std::int64_t extent =
+                array.extents[static_cast<std::size_t>(d)];
+            if (range.lo < 0 || range.hi >= extent) {
+              DiagLocation loc;
+              loc.nest = n;
+              out.push_back(make_diagnostic(
+                  "SDPM-E080", name(), loc,
+                  str_printf("nest %d subscript %d of array %d spans "
+                             "[%lld, %lld] outside extent [0, %lld)",
+                             n, d, ref.array,
+                             static_cast<long long>(range.lo),
+                             static_cast<long long>(range.hi),
+                             static_cast<long long>(extent))));
+            }
+          }
+        }
+      }
+    }
+
+    const trace::DiskAccessPattern* dap = ctx.dap();
+    if (dap == nullptr) return;  // registry reports SDPM-E090
+    for (int disk = 0; disk < ctx.total_disks(); ++disk) {
+      if (dap->never_accessed(disk) && ctx.layout().bytes_on_disk(disk) > 0) {
+        DiagLocation loc;
+        loc.disk = disk;
+        out.push_back(make_diagnostic(
+            "SDPM-W081", name(), loc,
+            str_printf("disk %d holds %s of data but is never accessed",
+                       disk,
+                       fmt_bytes(ctx.layout().bytes_on_disk(disk)).c_str())));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_coverage_pass() {
+  return std::make_unique<CoveragePass>();
+}
+
+}  // namespace sdpm::analysis

@@ -1,0 +1,97 @@
+// Transformation-legality pass (dependence directions).
+//
+//   SDPM-E070  a tiled/interchanged program (TL or TL+DL) whose nest
+//              carries a permutation-unsafe dependence — the transformed
+//              iteration order can run a sink before its source
+//   SDPM-N071  the same condition on an untransformed program: harmless
+//              now, but tiling this nest later would be illegal
+//   SDPM-N072  reference pairs whose subscripts are not uniformly
+//              generated: legality is unproven, not disproven
+//
+// Built on the constant-distance dependence solver in ir/dependence.h.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/pass.h"
+#include "analysis/registry.h"
+#include "ir/dependence.h"
+#include "util/strings.h"
+
+namespace sdpm::analysis {
+
+namespace {
+
+std::string distance_text(const ir::Dependence& dep) {
+  std::string text = "(";
+  for (std::size_t k = 0; k < dep.distance.size(); ++k) {
+    if (k > 0) text += ",";
+    if (dep.free_loop[k]) {
+      text += "*";
+    } else {
+      text += std::to_string(dep.distance[k]);
+    }
+  }
+  text += ")";
+  return text;
+}
+
+class DependencePass final : public Pass {
+ public:
+  const char* name() const override { return "dependence"; }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    const ir::Program& program = ctx.program();
+    const core::Transformation transform = ctx.options().transform;
+    const bool tiled = transform == core::Transformation::kTL ||
+                       transform == core::Transformation::kTLDL;
+
+    for (int n = 0; n < static_cast<int>(program.nests.size()); ++n) {
+      const ir::LoopNest& nest = program.nests[static_cast<std::size_t>(n)];
+      const ir::DependenceSummary summary =
+          ir::uniform_dependences(nest, program.arrays);
+
+      int unsafe = 0;
+      const ir::Dependence* first = nullptr;
+      for (const ir::Dependence& dep : summary.dependences) {
+        if (!ir::permits_permutation(dep)) {
+          if (first == nullptr) first = &dep;
+          ++unsafe;
+        }
+      }
+      DiagLocation loc;
+      loc.nest = n;
+      if (unsafe > 0) {
+        const std::string detail = str_printf(
+            "nest %d carries %d permutation-unsafe dependence(s); first: "
+            "array %d, statements %d->%d, distance %s",
+            n, unsafe, first->array, first->stmt_a, first->stmt_b,
+            distance_text(*first).c_str());
+        if (tiled) {
+          out.push_back(make_diagnostic(
+              "SDPM-E070", name(), loc,
+              detail + " — the applied tiling reorders across it"));
+        } else {
+          out.push_back(make_diagnostic(
+              "SDPM-N071", name(), loc,
+              detail + " — tiling or interchanging this nest is illegal"));
+        }
+      }
+      if (summary.unanalyzed_pairs > 0) {
+        out.push_back(make_diagnostic(
+            "SDPM-N072", name(), loc,
+            str_printf("nest %d has %d reference pair(s) with non-uniform "
+                       "subscripts: transformation legality unproven",
+                       n, summary.unanalyzed_pairs)));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dependence_pass() {
+  return std::make_unique<DependencePass>();
+}
+
+}  // namespace sdpm::analysis

@@ -1,0 +1,69 @@
+// Fission disk-set pass (paper Figure 11).
+//
+//   SDPM-E060  two array groups of a layout-aware fissioned program map to
+//              overlapping disk sets.  The entire point of LF+DL is that
+//              while one group's loop runs, the other groups' disks idle;
+//              a shared disk never idles and the transformation's energy
+//              claim silently evaporates.
+//
+// Only checked for Transformation::kLFDL — layout-oblivious fission keeps
+// every array on the full disk set by design, so overlap is expected there.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "analysis/pass.h"
+#include "analysis/registry.h"
+#include "core/fission.h"
+#include "util/strings.h"
+
+namespace sdpm::analysis {
+
+namespace {
+
+class FissionPass final : public Pass {
+ public:
+  const char* name() const override { return "fission"; }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    if (ctx.options().transform != core::Transformation::kLFDL) return;
+    const std::vector<std::vector<ir::ArrayId>> groups =
+        core::array_groups(ctx.program());
+    if (groups.size() < 2) return;
+
+    std::vector<std::set<int>> disk_sets;
+    disk_sets.reserve(groups.size());
+    for (const std::vector<ir::ArrayId>& group : groups) {
+      std::set<int> disks;
+      for (const ir::ArrayId array : group) {
+        const std::vector<int> used = ctx.layout().disks_of(array);
+        disks.insert(used.begin(), used.end());
+      }
+      disk_sets.push_back(std::move(disks));
+    }
+
+    for (std::size_t i = 0; i < disk_sets.size(); ++i) {
+      for (std::size_t j = i + 1; j < disk_sets.size(); ++j) {
+        std::vector<int> shared;
+        std::set_intersection(disk_sets[i].begin(), disk_sets[i].end(),
+                              disk_sets[j].begin(), disk_sets[j].end(),
+                              std::back_inserter(shared));
+        if (shared.empty()) continue;
+        out.push_back(make_diagnostic(
+            "SDPM-E060", name(), DiagLocation{},
+            str_printf("array groups %zu and %zu of the layout-aware "
+                       "fission share %zu disk(s), first disk %d: their "
+                       "loops can never idle each other's disks",
+                       i, j, shared.size(), shared.front())));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_fission_pass() {
+  return std::make_unique<FissionPass>();
+}
+
+}  // namespace sdpm::analysis

@@ -1,0 +1,174 @@
+// Pre-activation pass (paper Eq. 1 economics, statically).
+//
+// Walks each disk's directives against the access points implied by the
+// gap plans, tracking the in-flight wake-up transition the way the
+// simulator's PreactivationAccountant classifies the real execution:
+//
+//   SDPM-E040  the pre-activation completes after the next access starts
+//              (late: the application stalls on the wake-up)
+//   SDPM-W041  the disk is still in standby when the next access arrives
+//              and no wake-up is in flight (predicted demand spin-up)
+//   SDPM-W042  a pre-activation whose disk is degraded again, re-awakened,
+//              or never used before the program ends (wasted call)
+//   SDPM-N043  the pre-activation completes earlier than one whole
+//              transition before the access (overly conservative lead)
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/pass.h"
+#include "analysis/registry.h"
+#include "util/strings.h"
+
+namespace sdpm::analysis {
+
+namespace {
+
+class PreactivationPass final : public Pass {
+ public:
+  const char* name() const override { return "preactivation"; }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    for (int disk = 0; disk < ctx.total_disks(); ++disk) {
+      walk_disk(ctx, disk, out);
+    }
+  }
+
+ private:
+  struct Pending {
+    int directive = -1;
+    std::int64_t global = 0;
+    TimeMs ready = 0;     ///< when the transition completes
+    TimeMs duration = 0;  ///< transition time (Tsu or RPM swing)
+  };
+
+  void walk_disk(AnalysisContext& ctx, int disk,
+                 std::vector<Diagnostic>& out) {
+    const ir::Program& program = ctx.program();
+    const disk::DiskParameters& params = ctx.params();
+    const int top = ctx.top_level();
+    const std::int64_t total = ctx.space().total();
+
+    std::vector<std::int64_t> active_starts;
+    for (const core::GapPlan* plan : ctx.plans_of(disk)) {
+      if (plan->end_iter < total) active_starts.push_back(plan->end_iter);
+    }
+    std::sort(active_starts.begin(), active_starts.end());
+
+    bool standby = false;
+    int level = top;
+    std::optional<Pending> pending;
+    std::size_t next_active = 0;
+
+    auto handle_access = [&](std::int64_t a) {
+      const TimeMs t0 = ctx.at(a);
+      if (pending.has_value()) {
+        const TimeMs slack = ctx.iter_ms(a) + 1e-6;
+        if (pending->ready > t0 + slack) {
+          out.push_back(make_diagnostic(
+              "SDPM-E040", name(),
+              ctx.loc_at(pending->global, disk, pending->directive),
+              str_printf("pre-activation of disk %d completes %s after "
+                         "its next access (global iteration %lld)",
+                         disk,
+                         fmt_time_ms(pending->ready - t0).c_str(),
+                         static_cast<long long>(a))));
+        } else if (t0 - pending->ready > pending->duration) {
+          out.push_back(make_diagnostic(
+              "SDPM-N043", name(),
+              ctx.loc_at(pending->global, disk, pending->directive),
+              str_printf("pre-activation of disk %d completes %s before "
+                         "its next access; the lead exceeds a whole "
+                         "transition",
+                         disk,
+                         fmt_time_ms(t0 - pending->ready).c_str())));
+        }
+        pending.reset();
+        standby = false;
+      } else if (standby) {
+        out.push_back(make_diagnostic(
+            "SDPM-W041", name(), ctx.loc_at(a, disk),
+            str_printf("disk %d is in standby at its next access (global "
+                       "iteration %lld): demand spin-up predicted",
+                       disk, static_cast<long long>(a))));
+        standby = false;
+        level = top;
+      }
+    };
+
+    auto waste = [&](const char* why) {
+      out.push_back(make_diagnostic(
+          "SDPM-W042", name(),
+          ctx.loc_at(pending->global, disk, pending->directive),
+          str_printf("pre-activation of disk %d is wasted: %s", disk, why)));
+      pending.reset();
+    };
+
+    for (const auto& ref : ctx.directives_of(disk)) {
+      while (next_active < active_starts.size() &&
+             active_starts[next_active] < ref.global) {
+        handle_access(active_starts[next_active]);
+        ++next_active;
+      }
+      const ir::PowerDirective& d =
+          program.directives[static_cast<std::size_t>(ref.index)].directive;
+      const TimeMs issue = ctx.at(ref.global) + ctx.tm();
+      switch (d.kind) {
+        case ir::PowerDirective::Kind::kSpinDown:
+          if (pending.has_value()) {
+            waste("the disk is degraded again before its next use");
+          }
+          standby = true;
+          break;
+        case ir::PowerDirective::Kind::kSpinUp:
+          if (pending.has_value()) {
+            waste("a second wake-up replaces it before any use");
+          }
+          if (standby) {
+            pending = Pending{ref.index, ref.global,
+                              issue + params.tpm.spin_up_time,
+                              params.tpm.spin_up_time};
+            standby = false;
+            level = top;
+          }
+          break;
+        case ir::PowerDirective::Kind::kSetRpm: {
+          const int target = d.rpm_level;
+          if (standby || target < 0 || target > top) break;  // wellformed
+          if (target < level) {
+            if (pending.has_value()) {
+              waste("the disk is degraded again before its next use");
+            }
+            level = target;
+          } else if (target > level) {
+            if (pending.has_value()) {
+              waste("a second wake-up replaces it before any use");
+            }
+            const TimeMs duration =
+                params.rpm_transition_time(level, target);
+            pending = Pending{ref.index, ref.global, issue + duration,
+                              duration};
+            level = target;
+          }
+          break;
+        }
+      }
+    }
+    while (next_active < active_starts.size()) {
+      handle_access(active_starts[next_active]);
+      ++next_active;
+    }
+    if (pending.has_value()) {
+      waste("the program ends before the disk is used");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_preactivation_pass() {
+  return std::make_unique<PreactivationPass>();
+}
+
+}  // namespace sdpm::analysis

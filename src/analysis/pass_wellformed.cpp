@@ -1,0 +1,53 @@
+// Well-formedness pass: the check_schedule core (SDPM-E001..E008) plus the
+// layout-aware containment check SDPM-E009 — every planned idle period must
+// lie inside a DAP idle period of its disk, i.e. the plans and the access
+// pattern must describe the same program.
+#include <iterator>
+
+#include "analysis/pass.h"
+#include "analysis/registry.h"
+#include "analysis/verify_schedule.h"
+#include "util/strings.h"
+
+namespace sdpm::analysis {
+
+namespace {
+
+class WellformedPass final : public Pass {
+ public:
+  const char* name() const override { return "wellformed"; }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    std::vector<Diagnostic> core = check_schedule(
+        ctx.result(), ctx.total_disks(), ctx.params());
+    out.insert(out.end(), std::make_move_iterator(core.begin()),
+               std::make_move_iterator(core.end()));
+
+    const trace::DiskAccessPattern* dap = ctx.dap();
+    if (dap == nullptr) return;  // registry reports SDPM-E090
+    for (const core::GapPlan& plan : ctx.result().plans) {
+      if (plan.disk < 0 || plan.disk >= ctx.total_disks()) continue;
+      if (plan.end_iter <= plan.begin_iter) continue;
+      const IntervalSet overlap =
+          dap->active_iterations(plan.disk)
+              .clipped(plan.begin_iter, plan.end_iter);
+      if (!overlap.empty()) {
+        out.push_back(make_diagnostic(
+            "SDPM-E009", name(), ctx.loc_at(plan.begin_iter, plan.disk),
+            str_printf("planned idle period [%lld, %lld) of disk %d "
+                       "overlaps %lld accessed iteration(s)",
+                       static_cast<long long>(plan.begin_iter),
+                       static_cast<long long>(plan.end_iter), plan.disk,
+                       static_cast<long long>(overlap.total_length()))));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_wellformed_pass() {
+  return std::make_unique<WellformedPass>();
+}
+
+}  // namespace sdpm::analysis

@@ -1,0 +1,202 @@
+#include "analysis/verify_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "trace/iteration_space.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::analysis {
+
+namespace {
+
+constexpr const char* kPass = "wellformed";
+
+DiagLocation loc_of(const trace::IterationSpace& space, std::int64_t g,
+                    int disk, int directive) {
+  const ir::IterationPoint point =
+      space.point_of(std::clamp<std::int64_t>(g, 0, space.total()));
+  DiagLocation loc;
+  loc.disk = disk;
+  loc.nest = point.nest_index;
+  loc.iteration = point.flat_iteration;
+  loc.directive = directive;
+  return loc;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_schedule(const core::ScheduleResult& result,
+                                       int total_disks,
+                                       const disk::DiskParameters& params) {
+  std::vector<Diagnostic> out;
+  const trace::IterationSpace space(result.program);
+  const std::int64_t total = space.total();
+  const int top = params.max_level();
+
+  std::map<int, std::vector<const core::GapPlan*>> plans_by_disk;
+  for (const core::GapPlan& plan : result.plans) {
+    plans_by_disk[plan.disk].push_back(&plan);
+  }
+
+  // SDPM-E001 / E002: program order and disk range, in directive order.
+  struct DirEvent {
+    std::int64_t global;
+    int index;
+  };
+  std::map<int, std::vector<DirEvent>> dirs_by_disk;
+  std::int64_t prev_global = -1;
+  for (int i = 0; i < static_cast<int>(result.program.directives.size());
+       ++i) {
+    const ir::PlacedDirective& pd =
+        result.program.directives[static_cast<std::size_t>(i)];
+    const std::int64_t g = space.global_of(pd.point);
+    if (g < prev_global) {
+      out.push_back(make_diagnostic(
+          "SDPM-E001", kPass, loc_of(space, g, pd.directive.disk, i),
+          str_printf("directive %d at global iteration %lld is out of "
+                     "program order",
+                     i, static_cast<long long>(g))));
+    }
+    prev_global = std::max(prev_global, g);
+
+    const int d = pd.directive.disk;
+    if (d < 0 || d >= total_disks) {
+      out.push_back(make_diagnostic(
+          "SDPM-E002", kPass, loc_of(space, g, d, i),
+          str_printf("directive targets disk %d of %d", d, total_disks)));
+      continue;  // no per-disk walk for a disk outside the layout
+    }
+    dirs_by_disk[d].push_back({g, i});
+  }
+
+  // Per-disk walk: directives merged with the active-interval starts
+  // implied by the gap plans (a plan's end_iter < total is the next
+  // access, where the simulator demand-wakes a standby disk).
+  for (auto& [d, dirs] : dirs_by_disk) {
+    std::stable_sort(dirs.begin(), dirs.end(),
+                     [](const DirEvent& a, const DirEvent& b) {
+                       return std::tie(a.global, a.index) <
+                              std::tie(b.global, b.index);
+                     });
+    std::vector<std::int64_t> active_starts;
+    for (const core::GapPlan* plan : plans_by_disk[d]) {
+      if (plan->end_iter < total) active_starts.push_back(plan->end_iter);
+    }
+    std::sort(active_starts.begin(), active_starts.end());
+
+    bool standby = false;
+    int level = top;
+    std::size_t next_active = 0;
+    for (const DirEvent& ev : dirs) {
+      // Demand wake at every access point strictly before the directive.
+      while (next_active < active_starts.size() &&
+             active_starts[next_active] < ev.global) {
+        standby = false;
+        level = top;
+        ++next_active;
+      }
+      const ir::PlacedDirective& pd =
+          result.program.directives[static_cast<std::size_t>(ev.index)];
+
+      bool contained = false;
+      for (const core::GapPlan* plan : plans_by_disk[d]) {
+        if (ev.global >= plan->begin_iter && ev.global <= plan->end_iter) {
+          contained = true;
+          break;
+        }
+      }
+      if (!contained) {
+        out.push_back(make_diagnostic(
+            "SDPM-E003", kPass, loc_of(space, ev.global, d, ev.index),
+            str_printf("directive at global iteration %lld outside every "
+                       "planned idle period of disk %d",
+                       static_cast<long long>(ev.global), d)));
+      }
+
+      switch (pd.directive.kind) {
+        case ir::PowerDirective::Kind::kSpinDown:
+          if (standby) {
+            out.push_back(make_diagnostic(
+                "SDPM-E004", kPass, loc_of(space, ev.global, d, ev.index),
+                str_printf("spin_down on disk %d already in standby", d)));
+          }
+          standby = true;
+          break;
+        case ir::PowerDirective::Kind::kSpinUp:
+          if (!standby) {
+            out.push_back(make_diagnostic(
+                "SDPM-E005", kPass, loc_of(space, ev.global, d, ev.index),
+                str_printf("spin_up on disk %d that is not in standby", d)));
+          }
+          standby = false;
+          break;
+        case ir::PowerDirective::Kind::kSetRpm:
+          if (standby) {
+            out.push_back(make_diagnostic(
+                "SDPM-E006", kPass, loc_of(space, ev.global, d, ev.index),
+                str_printf("set_RPM on standby disk %d", d)));
+          }
+          if (pd.directive.rpm_level < 0 || pd.directive.rpm_level > top) {
+            out.push_back(make_diagnostic(
+                "SDPM-E007", kPass, loc_of(space, ev.global, d, ev.index),
+                str_printf("set_RPM level %d outside [0, %d] on disk %d",
+                           pd.directive.rpm_level, top, d)));
+          } else {
+            level = pd.directive.rpm_level;
+          }
+          break;
+      }
+    }
+
+    // Demand wake only clears degraded state where an access follows; a
+    // disk left degraded after its last access point is legal only when
+    // its final planned gap runs to the end of the program.
+    while (next_active < active_starts.size()) {
+      standby = false;
+      level = top;
+      ++next_active;
+    }
+    if (standby || level != top) {
+      bool trailing_gap = false;
+      for (const core::GapPlan* plan : plans_by_disk[d]) {
+        if (plan->end_iter >= total) trailing_gap = true;
+      }
+      if (!trailing_gap) {
+        DiagLocation loc;
+        loc.disk = d;
+        out.push_back(make_diagnostic(
+            "SDPM-E008", kPass, loc,
+            str_printf("disk %d left %s but is used again later", d,
+                       standby ? "in standby" : "below full speed")));
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t verify_schedule(const core::ScheduleResult& result,
+                             int total_disks,
+                             const disk::DiskParameters& params) {
+  const std::vector<Diagnostic> diags =
+      check_schedule(result, total_disks, params);
+  int errors = 0;
+  const Diagnostic* first = nullptr;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) {
+      if (first == nullptr) first = &d;
+      ++errors;
+    }
+  }
+  if (first != nullptr) {
+    std::string message = first->rule + ": " + first->message;
+    if (errors > 1) message += str_printf(" (+%d more)", errors - 1);
+    throw Error(message);
+  }
+  return static_cast<std::int64_t>(result.program.directives.size());
+}
+
+}  // namespace sdpm::analysis

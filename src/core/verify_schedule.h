@@ -1,26 +1,13 @@
-// Static well-formedness verification of a power-call schedule.
-//
-// Run after schedule_power_calls (and by its tests) to certify that the
-// inserted directives form a sane program, independent of any simulation:
-//   - per disk, spin_down/spin_up strictly alternate (TPM mode) and a
-//     set_RPM(max) pre-activation follows every set_RPM(lower) that has a
-//     later use (DRPM mode);
-//   - every directive lands inside one of the scheduler's planned idle
-//     periods for its disk;
-//   - no directive targets a disk outside the layout;
-//   - directives are sorted in program order.
-// Violations throw sdpm::Error naming the offending directive.
+// Compatibility shim: schedule verification now lives in the static
+// analysis layer (src/analysis/), where it is the first registered pass
+// and collects *all* violations instead of stopping at the first.  This
+// header keeps the historical core::verify_schedule spelling working.
 #pragma once
 
-#include <vector>
-
-#include "core/schedule.h"
+#include "analysis/verify_schedule.h"
 
 namespace sdpm::core {
 
-/// Verify `result` (the scheduler's output) against the disk count and its
-/// own gap plans.  Returns the number of directives checked.
-std::int64_t verify_schedule(const ScheduleResult& result, int total_disks,
-                             const disk::DiskParameters& params);
+using analysis::verify_schedule;
 
 }  // namespace sdpm::core

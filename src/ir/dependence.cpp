@@ -1,0 +1,234 @@
+#include "ir/dependence.h"
+
+#include <cstdlib>
+#include <optional>
+
+namespace sdpm::ir {
+
+namespace {
+
+/// One linear constraint sum_k coef[k] * delta[k] = rhs over the per-loop
+/// iterator-value distances.
+struct Constraint {
+  std::vector<std::int64_t> coefs;  // per loop
+  std::int64_t rhs = 0;
+};
+
+/// Solve the constraint system by repeated single-unknown elimination.
+/// Returns the per-loop distances (in iterator-value units) for loops that
+/// appear in some constraint, nullopt+solvable=false when a constraint with
+/// several unknowns survives (not uniformly solvable), and nullopt+
+/// solvable=true when the system is inconsistent (no dependence).
+struct Solution {
+  std::vector<std::optional<std::int64_t>> delta;  // nullopt = free loop
+  bool exists = false;
+  bool solvable = true;
+};
+
+Solution solve(std::vector<Constraint> constraints, int depth) {
+  Solution sol;
+  sol.delta.assign(static_cast<std::size_t>(depth), std::nullopt);
+  std::vector<bool> done(constraints.size(), false);
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      if (done[c]) continue;
+      Constraint& eq = constraints[c];
+      int unknowns = 0;
+      int last = -1;
+      for (int k = 0; k < depth; ++k) {
+        if (eq.coefs[static_cast<std::size_t>(k)] == 0) continue;
+        if (sol.delta[static_cast<std::size_t>(k)].has_value()) {
+          eq.rhs -= eq.coefs[static_cast<std::size_t>(k)] *
+                    *sol.delta[static_cast<std::size_t>(k)];
+          eq.coefs[static_cast<std::size_t>(k)] = 0;
+        } else {
+          ++unknowns;
+          last = k;
+        }
+      }
+      if (unknowns == 0) {
+        if (eq.rhs != 0) return sol;  // inconsistent: no dependence
+        done[c] = true;
+        progress = true;
+      } else if (unknowns == 1) {
+        const std::int64_t coef = eq.coefs[static_cast<std::size_t>(last)];
+        if (eq.rhs % coef != 0) return sol;  // non-integral: no dependence
+        sol.delta[static_cast<std::size_t>(last)] = eq.rhs / coef;
+        done[c] = true;
+        progress = true;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    if (!done[c]) {
+      sol.solvable = false;  // coupled unknowns: not uniformly solvable
+      return sol;
+    }
+  }
+  sol.exists = true;
+  return sol;
+}
+
+/// Pad an affine expression's coefficient for loop `k` (missing = 0).
+std::int64_t coef_of(const AffineExpr& e, int k) {
+  return e.coef(static_cast<std::size_t>(k));
+}
+
+/// True when the two references have identical iterator coefficients in
+/// every dimension (uniformly generated pair).
+bool uniform_pair(const ArrayRef& a, const ArrayRef& b, int depth) {
+  if (a.subscripts.size() != b.subscripts.size()) return false;
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+    for (int k = 0; k < depth; ++k) {
+      if (coef_of(a.subscripts[d], k) != coef_of(b.subscripts[d], k)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Dependence::loop_independent() const {
+  for (std::size_t k = 0; k < distance.size(); ++k) {
+    if (!free_loop[k] && distance[k] != 0) return false;
+  }
+  return true;
+}
+
+DependenceSummary uniform_dependences(const LoopNest& nest,
+                                      std::span<const Array> arrays) {
+  DependenceSummary summary;
+  const int depth = nest.depth();
+
+  struct RefSite {
+    int stmt;
+    int ref;
+    const ArrayRef* site;
+  };
+  std::vector<RefSite> sites;
+  for (int s = 0; s < static_cast<int>(nest.body.size()); ++s) {
+    const Statement& stmt = nest.body[static_cast<std::size_t>(s)];
+    for (int r = 0; r < static_cast<int>(stmt.refs.size()); ++r) {
+      sites.push_back({s, r, &stmt.refs[static_cast<std::size_t>(r)]});
+    }
+  }
+
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      const ArrayRef& a = *sites[i].site;
+      const ArrayRef& b = *sites[j].site;
+      if (a.array != b.array) continue;
+      if (a.kind != AccessKind::kWrite && b.kind != AccessKind::kWrite) {
+        continue;  // read-read: no dependence
+      }
+      if (a.array < 0 || a.array >= static_cast<ArrayId>(arrays.size())) {
+        continue;  // malformed reference; program validation reports it
+      }
+      if (!uniform_pair(a, b, depth)) {
+        ++summary.unanalyzed_pairs;
+        continue;
+      }
+
+      // One constraint per dimension: c . delta = const_a - const_b.
+      std::vector<Constraint> constraints;
+      for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+        Constraint eq;
+        eq.coefs.resize(static_cast<std::size_t>(depth), 0);
+        bool any = false;
+        for (int k = 0; k < depth; ++k) {
+          eq.coefs[static_cast<std::size_t>(k)] = coef_of(a.subscripts[d], k);
+          any |= eq.coefs[static_cast<std::size_t>(k)] != 0;
+        }
+        eq.rhs = a.subscripts[d].constant - b.subscripts[d].constant;
+        if (!any && eq.rhs != 0) {
+          constraints.clear();
+          constraints.push_back(eq);  // constant mismatch: unsatisfiable
+          break;
+        }
+        if (any || eq.rhs != 0) constraints.push_back(eq);
+      }
+
+      const Solution sol = solve(std::move(constraints), depth);
+      if (!sol.solvable) {
+        ++summary.unanalyzed_pairs;
+        continue;
+      }
+      if (!sol.exists) continue;  // provably no dependence
+
+      Dependence dep;
+      dep.stmt_a = sites[i].stmt;
+      dep.ref_a = sites[i].ref;
+      dep.stmt_b = sites[j].stmt;
+      dep.ref_b = sites[j].ref;
+      dep.array = a.array;
+      dep.distance.assign(static_cast<std::size_t>(depth), 0);
+      dep.free_loop.assign(static_cast<std::size_t>(depth), false);
+      bool in_bounds = true;
+      for (int k = 0; k < depth; ++k) {
+        const Loop& loop = nest.loops[static_cast<std::size_t>(k)];
+        if (!sol.delta[static_cast<std::size_t>(k)].has_value()) {
+          dep.free_loop[static_cast<std::size_t>(k)] = true;
+          continue;
+        }
+        const std::int64_t value_delta = *sol.delta[static_cast<std::size_t>(k)];
+        if (value_delta % loop.step != 0) {
+          in_bounds = false;  // distance not realizable on the step grid
+          break;
+        }
+        const std::int64_t trips = value_delta / loop.step;
+        if (std::llabs(trips) >= loop.trip_count()) {
+          in_bounds = false;  // distance exceeds the loop extent
+          break;
+        }
+        dep.distance[static_cast<std::size_t>(k)] = trips;
+      }
+      if (!in_bounds) continue;
+
+      // Canonicalize: leading constrained nonzero positive (source first).
+      for (int k = 0; k < depth; ++k) {
+        if (dep.free_loop[static_cast<std::size_t>(k)] ||
+            dep.distance[static_cast<std::size_t>(k)] == 0) {
+          continue;
+        }
+        if (dep.distance[static_cast<std::size_t>(k)] < 0) {
+          for (auto& v : dep.distance) v = -v;
+        }
+        break;
+      }
+      summary.dependences.push_back(std::move(dep));
+    }
+  }
+  return summary;
+}
+
+bool permits_permutation(const Dependence& dep) {
+  // Unsafe direction vectors are those with a realizable '>' component in
+  // some lexicographically-positive expansion: any constrained negative
+  // entry, two or more '*' loops, or a '*' loop after a constrained '<'.
+  int stars = 0;
+  int first_star = -1;
+  int first_positive = -1;
+  for (std::size_t k = 0; k < dep.distance.size(); ++k) {
+    if (dep.free_loop[k]) {
+      ++stars;
+      if (first_star < 0) first_star = static_cast<int>(k);
+      continue;
+    }
+    if (dep.distance[k] < 0) return false;
+    if (dep.distance[k] > 0 && first_positive < 0) {
+      first_positive = static_cast<int>(k);
+    }
+  }
+  if (stars >= 2) return false;
+  if (stars == 1 && first_positive >= 0 && first_positive < first_star) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sdpm::ir

@@ -53,6 +53,17 @@ bool tpm_gap_beneficial(TimeMs gap_ms, const disk::DiskParameters& params) {
   return gap_ms >= fit && gap_ms > params.break_even_time();
 }
 
+int min_serviceable_level(Bytes request_bytes, TimeMs interarrival_ms,
+                          const disk::DiskParameters& params) {
+  const int top = params.max_level();
+  for (int level = 0; level < top; ++level) {
+    if (params.service_time(request_bytes, level, true) <= interarrival_ms) {
+      return level;
+    }
+  }
+  return top;
+}
+
 Joules tpm_gap_energy(TimeMs gap_ms, const disk::DiskParameters& params) {
   const Joules stay =
       joules_from_watt_ms(params.tpm.idle_power, gap_ms);

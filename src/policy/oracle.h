@@ -45,6 +45,13 @@ int optimal_rpm_level(TimeMs gap_ms, const disk::DiskParameters& params);
 /// Energy of an idle gap under an optimal spin-down decision (TPM).
 Joules tpm_gap_energy(TimeMs gap_ms, const disk::DiskParameters& params);
 
+/// Smallest RPM level at which a sequential request of `request_bytes`
+/// completes within the request interarrival time (sustained service
+/// without queue growth); the top level when even full speed cannot keep
+/// up.  Used by the static analyzer's DRPM-misfit check.
+int min_serviceable_level(Bytes request_bytes, TimeMs interarrival_ms,
+                          const disk::DiskParameters& params);
+
 /// True when spinning down for this gap saves energy versus idling.
 bool tpm_gap_beneficial(TimeMs gap_ms, const disk::DiskParameters& params);
 

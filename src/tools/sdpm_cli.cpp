@@ -24,6 +24,18 @@
 //   sdpm_cli bench [--benchmark NAME] [--json] [--no-cache] [--jobs N]
 //       Run the 7-scheme x 8-config sweep on the parallel sweep engine;
 //       --json emits the perf-counter snapshot CI archives per commit.
+//   sdpm_cli analyze --benchmark NAME [--mode CMTPM|CMDRPM]
+//                 [--format text|json] [--fail-on error|warning|note]
+//                 [--baseline FILE] [--write-baseline FILE]
+//                 [--mutate late-preact|short-gap|overlap-fission]
+//                 [--list-rules] [config flags]
+//       Statically lint the compiled power-call schedule (no simulation):
+//       break-even violations, late/missing pre-activations, redundant or
+//       conflicting directives, DRPM misfits, fission disk-set overlap,
+//       transformation legality, layout coverage.  --mutate seeds a known
+//       bug class first (for validating the analyzer).  Exits 3 when any
+//       diagnostic at or above the --fail-on severity survives the
+//       baseline.
 //
 // --jobs N caps the worker count of every parallel phase (equivalent to
 // SDPM_JOBS in the environment).
@@ -34,7 +46,8 @@
 // degrading ResilientPolicy.
 //
 // Exit codes: 0 success, 1 runtime error (sdpm::Error), 2 usage error
-// (unknown command / flag / malformed value, reported with the usage text).
+// (unknown command / flag / malformed value, reported with the usage
+// text), 3 analyze found diagnostics at or above the --fail-on severity.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -44,7 +57,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/mutate.h"
+#include "analysis/registry.h"
 #include "core/codegen.h"
+#include "core/compiler.h"
 #include "experiments/profile.h"
 #include "experiments/report.h"
 #include "experiments/runner.h"
@@ -97,13 +113,22 @@ const char* usage_text() {
       "         sweep all 7 schemes x 8 configs on the parallel sweep\n"
       "         engine; --json emits the perf-counter snapshot\n"
       "         (BENCH_simulator.json schema) instead of the table\n"
+      "  analyze --benchmark NAME [--mode CMTPM|CMDRPM]\n"
+      "         [--format text|json] [--fail-on error|warning|note]\n"
+      "         [--baseline FILE] [--write-baseline FILE]\n"
+      "         [--mutate late-preact|short-gap|overlap-fission]\n"
+      "         [--list-rules] [config]\n"
+      "         static energy-safety lint of the compiled schedule;\n"
+      "         exits 3 when a diagnostic at or above the --fail-on\n"
+      "         severity survives the baseline\n"
       "  --help / --version         print this help / the build version\n"
       "config flags: --disks N --stripe BYTES --block BYTES --cache BYTES\n"
       "              --noise SIGMA --no-preactivate --csv --jobs N\n"
       "fault flags:  --fault-seed N --fault-spinup P --fault-media P\n"
       "              --fault-jitter F --fault-drop P --fault-retries N\n"
       "              (inspect/replay also accept --resilient)\n"
-      "exit codes:   0 ok, 1 runtime error, 2 usage error\n";
+      "exit codes:   0 ok, 1 runtime error, 2 usage error, 3 analyze "
+      "findings\n";
 }
 
 [[noreturn]] void usage(const std::string& message = "") {
@@ -614,6 +639,98 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+int cmd_analyze(const Args& args) {
+  require_known_flags("analyze", args,
+                      {"benchmark", "mode", "format", "fail-on", "baseline",
+                       "write-baseline", "mutate", "list-rules"});
+  if (args.has("list-rules")) {
+    for (const analysis::RuleInfo& rule : analysis::rule_catalog()) {
+      std::cout << rule.id << "  " << analysis::to_string(rule.severity)
+                << "\t[" << rule.pass << "]\t" << rule.summary << "\n";
+    }
+    return 0;
+  }
+  if (!args.has("benchmark")) usage("analyze requires --benchmark");
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(args.get("benchmark"));
+  const experiments::ExperimentConfig config = config_from(args);
+
+  const std::string mode_name = args.get("mode", "CMDRPM");
+  core::PowerMode mode;
+  if (mode_name == "CMTPM") {
+    mode = core::PowerMode::kTpm;
+  } else if (mode_name == "CMDRPM") {
+    mode = core::PowerMode::kDrpm;
+  } else {
+    usage("unknown analyze mode '" + mode_name + "'");
+  }
+
+  const std::string format = args.get("format", "text");
+  if (format != "text" && format != "json") {
+    usage("unknown --format '" + format + "' (text or json)");
+  }
+  const std::string fail_on = args.get("fail-on", "error");
+  analysis::Severity threshold;
+  if (fail_on == "error") {
+    threshold = analysis::Severity::kError;
+  } else if (fail_on == "warning") {
+    threshold = analysis::Severity::kWarning;
+  } else if (fail_on == "note") {
+    threshold = analysis::Severity::kNote;
+  } else {
+    usage("unknown --fail-on '" + fail_on + "' (error, warning or note)");
+  }
+
+  // Reproduce the compiler pipeline, then analyze its exact output.
+  core::CompilerOptions co;
+  co.total_disks = config.total_disks;
+  co.base_striping = config.striping;
+  co.disk_params = config.disk;
+  co.access = config.gen;
+  co.call_site_granularity = config.call_site_granularity;
+  co.preactivate = config.preactivate;
+  co.tile_bytes = config.tile_bytes;
+  const core::CompileOutput out =
+      core::compile(bench.program, config.transform, mode, co);
+  core::ScheduleResult result{out.program, out.plans, out.calls_inserted};
+  std::vector<layout::Striping> striping = out.striping;
+
+  if (args.has("mutate")) {
+    const std::optional<analysis::Mutation> mutation =
+        analysis::mutation_from_name(args.get("mutate"));
+    if (!mutation) usage("unknown --mutate '" + args.get("mutate") + "'");
+    analysis::apply_mutation(*mutation, result, striping, config.disk);
+  }
+
+  const layout::LayoutTable table(result.program, striping,
+                                  config.total_disks);
+  analysis::AnalyzeOptions opts;
+  opts.access = config.gen;
+  opts.transform = config.transform;
+  analysis::AnalysisReport report =
+      analysis::analyze(result, table, config.disk, opts);
+
+  if (args.has("baseline")) {
+    std::ifstream in(args.get("baseline"));
+    if (!in) usage("cannot open '" + args.get("baseline") + "'");
+    analysis::apply_baseline(report, analysis::Baseline::parse(in));
+  }
+  if (args.has("write-baseline")) {
+    std::ofstream outfile(args.get("write-baseline"));
+    if (!outfile) usage("cannot open '" + args.get("write-baseline") + "'");
+    outfile << analysis::to_baseline(report);
+  }
+
+  std::cout << (format == "json" ? analysis::render_json(report)
+                                 : analysis::render_text(report));
+  const std::optional<analysis::Severity> worst = report.worst();
+  if (worst.has_value() &&
+      static_cast<int>(*worst) >= static_cast<int>(threshold)) {
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -645,6 +762,7 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "bench") return cmd_bench(args);
+    if (command == "analyze") return cmd_analyze(args);
     usage("unknown command '" + command + "'");
   } catch (const sdpm::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

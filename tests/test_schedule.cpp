@@ -302,6 +302,26 @@ TEST(VerifySchedule, RejectsForeignDisk) {
   EXPECT_THROW(verify_schedule(result, 2, params()), sdpm::Error);
 }
 
+TEST(VerifySchedule, ReportsEveryViolationNotJustTheFirst) {
+  const TwoPhase tp;
+  const layout::LayoutTable table(tp.program, tp.striping, 2);
+  ScheduleResult result =
+      schedule_power_calls(tp.program, table, params(), tpm_options());
+  // Two independent corruptions: the thrown message names the first rule
+  // and carries the count of the rest instead of stopping at one.
+  ASSERT_GE(result.program.directives.size(), 2u);
+  result.program.directives[0].directive.disk = 7;
+  result.program.directives[1].directive.disk = 8;
+  try {
+    verify_schedule(result, 2, params());
+    FAIL() << "corrupt schedule accepted";
+  } catch (const sdpm::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SDPM-E002"), std::string::npos) << what;
+    EXPECT_NE(what.find("more)"), std::string::npos) << what;
+  }
+}
+
 TEST(VerifySchedule, RejectsDirectiveOutsideIdlePeriod) {
   const TwoPhase tp;
   const layout::LayoutTable table(tp.program, tp.striping, 2);

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Determinism lint: byte-stable output is a project invariant (traces,
+# sweep tables, analyzer reports are diffed in CI), so src/ must not read
+# wall clocks, use unseeded randomness, or iterate unordered containers on
+# any path that feeds an emitter.  Each check carries an explicit allowlist
+# of the files where the construct is known not to reach program output;
+# extending it is a reviewed change to this script, not a silent drift.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+
+# Wall-clock reads are allowed only for perf self-timing that is reported
+# as wall time on purpose (bench output, sweep progress, CLI timing).
+WALL_ALLOW='src/sim/simulator\.cpp|src/experiments/sweep\.cpp|src/tools/sdpm_cli\.cpp'
+wall=$(grep -rn -E 'steady_clock|system_clock|high_resolution_clock|gettimeofday|time\(NULL\)|time\(nullptr\)' src/ \
+  | grep -Ev "^($WALL_ALLOW):" || true)
+if [ -n "$wall" ]; then
+  echo "determinism-lint: wall-clock read outside the allowlist:" >&2
+  echo "$wall" >&2
+  status=1
+fi
+
+# Unseeded randomness is never acceptable: every stochastic component
+# (noise models, fault injection) flows through the seeded util/rng.
+rand=$(grep -rn -E '[^_[:alnum:]](s?rand|drand48)\(|std::random_device' src/ || true)
+if [ -n "$rand" ]; then
+  echo "determinism-lint: unseeded randomness in src/:" >&2
+  echo "$rand" >&2
+  status=1
+fi
+
+# Unordered containers are fine as lookup tables but their iteration order
+# is libc++/libstdc++-specific; any file holding one must be on the
+# allowlist, which asserts its iteration never reaches an emitter.
+UNORDERED_ALLOW='src/trace/buffer_cache\.h|src/policy/adaptive_tpm\.h|src/policy/drpm\.h|src/policy/resilient\.h|src/sim/faults\.h|src/experiments/trace_cache\.h'
+unordered=$(grep -rln -E 'std::unordered_(map|set|multimap|multiset)' src/ \
+  | grep -Ev "^($UNORDERED_ALLOW)$" || true)
+if [ -n "$unordered" ]; then
+  echo "determinism-lint: unordered container outside the allowlist" >&2
+  echo "(verify its iteration order cannot reach an emitter, then extend" >&2
+  echo "the allowlist in tools/lint_determinism.sh):" >&2
+  echo "$unordered" >&2
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "determinism-lint: OK"
+fi
+exit "$status"
