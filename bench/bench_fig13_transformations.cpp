@@ -5,68 +5,61 @@
 // below the untransformed CMTPM/CMDRPM column shows the additional benefit
 // contributed by the transformation.
 //
-// The (benchmark x transformation) grid fans out over the sweep engine:
-// one cell per pair, the untransformed cell also carrying the Base scheme
-// that anchors the benchmark's normalization.
+// The (benchmark x transformation) grid goes through the api::Session
+// facade as one batch: one job per pair, the untransformed job also
+// carrying the Base scheme that anchors the benchmark's normalization.
 #include <iostream>
 
+#include "api/session.h"
 #include "bench/bench_common.h"
-#include "experiments/sweep.h"
+#include "core/compiler.h"
 #include "util/strings.h"
+#include "workloads/benchmarks.h"
 
 int main() {
   using namespace sdpm;
-  using core::Transformation;
-  using experiments::Scheme;
 
-  const std::vector<Transformation> transforms = {
-      Transformation::kNone, Transformation::kLF, Transformation::kTL,
-      Transformation::kLFDL, Transformation::kTLDL};
-  const std::vector<Scheme> schemes = {Scheme::kCmtpm, Scheme::kCmdrpm};
+  const std::vector<std::string> transforms = {"none", "LF", "TL", "LF+DL",
+                                               "TL+DL"};
+  const std::vector<std::string> schemes = {"CMTPM", "CMDRPM"};
 
   Table table("Figure 13: normalized energy with code transformations");
   std::vector<std::string> header = {"Benchmark"};
-  for (Transformation t : transforms) {
-    for (Scheme s : schemes) {
-      header.push_back(std::string(core::to_string(t)) + "/" +
-                       experiments::to_string(s));
+  for (const std::string& t : transforms) {
+    for (const std::string& s : schemes) {
+      header.push_back(t + "/" + s);
     }
   }
   table.set_header(header);
 
-  const std::vector<workloads::Benchmark> benchmarks =
-      workloads::all_benchmarks();
-  std::vector<experiments::SweepCell> cells;
-  for (const workloads::Benchmark& b : benchmarks) {
-    for (Transformation t : transforms) {
-      experiments::SweepCell cell;
-      cell.label = b.name + "/" + core::to_string(t);
-      cell.benchmark = b;
-      cell.config.transform = t;
-      cell.schemes = schemes;
-      // The untransformed cell also anchors the normalization.
-      if (t == Transformation::kNone) {
-        cell.schemes.insert(cell.schemes.begin(), Scheme::kBase);
-      }
-      cells.push_back(std::move(cell));
+  const std::vector<std::string> benchmarks = workloads::benchmark_names();
+  std::vector<api::JobSpec> specs;
+  for (const std::string& b : benchmarks) {
+    for (const std::string& t : transforms) {
+      api::JobSpecBuilder builder(b);
+      builder.transform(t);
+      // The untransformed job also anchors the normalization.
+      if (t == "none") builder.scheme("Base");
+      for (const std::string& s : schemes) builder.scheme(s);
+      specs.push_back(builder.build());
     }
   }
 
-  const std::vector<experiments::SweepCellResult> sweep =
-      experiments::SweepEngine().run(cells);
+  api::Session session;
+  const std::vector<api::JobResult> sweep = session.run_batch(specs);
 
   std::vector<double> sums(transforms.size() * schemes.size(), 0.0);
   std::size_t cell_index = 0;
-  for (const workloads::Benchmark& b : benchmarks) {
-    // cells are laid out benchmark-major, kNone first.
-    const Joules base_energy = sweep[cell_index].results[0].energy_j;
-    std::vector<std::string> row = {b.name};
+  for (const std::string& b : benchmarks) {
+    // jobs are laid out benchmark-major, "none" first.
+    const Joules base_energy = sweep[cell_index].schemes[0].energy_j;
+    std::vector<std::string> row = {b};
     std::size_t col = 0;
     for (std::size_t t = 0; t < transforms.size(); ++t) {
-      const experiments::SweepCellResult& cell = sweep[cell_index++];
+      const api::JobResult& cell = sweep[cell_index++];
       const std::size_t first = t == 0 ? 1 : 0;  // skip the Base anchor
-      for (std::size_t s = first; s < cell.results.size(); ++s) {
-        const double normalized = cell.results[s].energy_j / base_energy;
+      for (std::size_t s = first; s < cell.schemes.size(); ++s) {
+        const double normalized = cell.schemes[s].energy_j / base_energy;
         row.push_back(fmt_double(normalized, 3));
         sums[col++] += normalized;
       }

@@ -1,13 +1,16 @@
 // Regenerates paper Figure 3: normalized disk energy consumption of every
 // benchmark under Base/TPM/ITPM/DRPM/IDRPM/CMTPM/CMDRPM with the default
 // configuration.  Values are normalized against the Base scheme (1.00).
-// The six benchmark cells fan out over the sweep engine (--jobs/SDPM_JOBS
-// controls the worker count); results are identical to the serial run.
+// The six benchmark jobs go through the api::Session facade as one batch
+// (--jobs/SDPM_JOBS controls the worker count); results are identical to
+// the serial run.
 #include <iostream>
 
+#include "api/session.h"
 #include "bench/bench_common.h"
-#include "experiments/sweep.h"
+#include "experiments/runner.h"
 #include "util/strings.h"
+#include "workloads/benchmarks.h"
 
 int main() {
   using namespace sdpm;
@@ -19,18 +22,19 @@ int main() {
   }
   table.set_header(header);
 
-  const std::vector<experiments::SweepCell> cells =
-      experiments::cells_for_benchmarks(workloads::all_benchmarks(),
-                                        experiments::ExperimentConfig{});
-  const std::vector<experiments::SweepCellResult> sweep =
-      experiments::SweepEngine().run(cells);
+  std::vector<api::JobSpec> specs;
+  for (const std::string& name : workloads::benchmark_names()) {
+    specs.push_back(api::JobSpecBuilder(name).label(name).build());
+  }
+  api::Session session;
+  const std::vector<api::JobResult> sweep = session.run_batch(specs);
 
   std::vector<double> sums(experiments::all_schemes().size(), 0.0);
-  for (const experiments::SweepCellResult& cell : sweep) {
+  for (const api::JobResult& cell : sweep) {
     std::vector<std::string> row = {cell.label};
-    for (std::size_t i = 0; i < cell.results.size(); ++i) {
-      row.push_back(fmt_double(cell.results[i].normalized_energy, 3));
-      sums[i] += cell.results[i].normalized_energy;
+    for (std::size_t i = 0; i < cell.schemes.size(); ++i) {
+      row.push_back(fmt_double(cell.schemes[i].normalized_energy, 3));
+      sums[i] += cell.schemes[i].normalized_energy;
     }
     table.add_row(row);
   }

@@ -6,7 +6,6 @@
 #include <tuple>
 
 #include "trace/iteration_space.h"
-#include "util/error.h"
 #include "util/strings.h"
 
 namespace sdpm::analysis {
@@ -176,27 +175,6 @@ std::vector<Diagnostic> check_schedule(const core::ScheduleResult& result,
     }
   }
   return out;
-}
-
-std::int64_t verify_schedule(const core::ScheduleResult& result,
-                             int total_disks,
-                             const disk::DiskParameters& params) {
-  const std::vector<Diagnostic> diags =
-      check_schedule(result, total_disks, params);
-  int errors = 0;
-  const Diagnostic* first = nullptr;
-  for (const Diagnostic& d : diags) {
-    if (d.severity == Severity::kError) {
-      if (first == nullptr) first = &d;
-      ++errors;
-    }
-  }
-  if (first != nullptr) {
-    std::string message = first->rule + ": " + first->message;
-    if (errors > 1) message += str_printf(" (+%d more)", errors - 1);
-    throw Error(message);
-  }
-  return static_cast<std::int64_t>(result.program.directives.size());
 }
 
 }  // namespace sdpm::analysis

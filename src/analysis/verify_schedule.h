@@ -3,13 +3,11 @@
 // check_schedule() collects every violation as a structured diagnostic
 // (rules SDPM-E001..E008), modelling the simulator's demand wake: an
 // active interval (a planned gap's end) clears standby, so ablation
-// schedules without pre-activation still verify.  verify_schedule() is the
-// historical throwing interface: it runs the same checks, throws
-// sdpm::Error summarizing *all* errors (not just the first), and returns
-// the number of directives checked.
+// schedules without pre-activation still verify.  The historical throwing
+// interface survives only as the deprecated core::verify_schedule shim in
+// core/verify_schedule.h, scheduled for removal one release out.
 #pragma once
 
-#include <cstdint>
 #include <vector>
 
 #include "analysis/diagnostic.h"
@@ -22,12 +20,5 @@ namespace sdpm::analysis {
 std::vector<Diagnostic> check_schedule(const core::ScheduleResult& result,
                                        int total_disks,
                                        const disk::DiskParameters& params);
-
-/// Throwing wrapper: runs check_schedule and throws sdpm::Error listing
-/// the first error (with a "+N more" suffix when several were found).
-/// Returns the number of directives checked.
-std::int64_t verify_schedule(const core::ScheduleResult& result,
-                             int total_disks,
-                             const disk::DiskParameters& params);
 
 }  // namespace sdpm::analysis

@@ -1,0 +1,55 @@
+// sdpm::api::JobResult — the stable result record of one JobSpec.
+//
+// Mirrors experiments::SchemeResult scheme by scheme but carries only
+// stable, serializable values: the same JSON shape travels over the
+// service protocol, lands in CLI --format json output, and round-trips
+// through from_json for clients that store results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiments/runner.h"
+#include "util/json.h"
+
+namespace sdpm::api {
+
+/// One scheme's outcome within a job (paper Figs. 3/4 columns).
+struct SchemeOutcome {
+  std::string scheme;
+  double energy_j = 0;
+  double execution_ms = 0;
+  std::int64_t requests = 0;
+  double normalized_energy = 1.0;  ///< vs Base under the same config
+  double normalized_time = 1.0;
+  std::optional<double> mispredict_pct;  ///< CM schemes only (Table 3)
+  std::int64_t power_calls = 0;
+
+  friend bool operator==(const SchemeOutcome&,
+                         const SchemeOutcome&) = default;
+};
+
+struct JobResult {
+  std::string label;      ///< the spec's display label
+  std::string benchmark;
+  std::string transform;
+  std::vector<SchemeOutcome> schemes;  ///< in the spec's scheme order
+  /// Wall time this job's evaluation consumed (sum over its scheme tasks);
+  /// a measurement, not a simulated quantity — excluded from equality.
+  double wall_ms = 0;
+
+  friend bool operator==(const JobResult& a, const JobResult& b) {
+    return a.label == b.label && a.benchmark == b.benchmark &&
+           a.transform == b.transform && a.schemes == b.schemes;
+  }
+
+  Json to_json() const;
+  static JobResult from_json(const Json& json);
+};
+
+/// Lift one internal scheme result into the stable record.
+SchemeOutcome outcome_from(const experiments::SchemeResult& result);
+
+}  // namespace sdpm::api

@@ -1,0 +1,152 @@
+#include "api/session.h"
+
+#include <chrono>
+
+#include "experiments/sweep.h"
+#include "experiments/trace_cache.h"
+#include "obs/metrics.h"
+#include "obs/sim_metrics.h"
+#include "util/error.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm::api {
+namespace {
+
+JobResult result_shell(const JobSpec& spec) {
+  JobResult result;
+  result.label = spec.display_label();
+  result.benchmark = spec.benchmark;
+  result.transform = spec.transform;
+  return result;
+}
+
+bool is_oracle(experiments::Scheme scheme) {
+  return scheme == experiments::Scheme::kItpm ||
+         scheme == experiments::Scheme::kIdrpm;
+}
+
+}  // namespace
+
+Session::Session(SessionOptions options) : options_(options) {
+  if (!options_.use_cache) {
+    experiments::TraceCache::global().set_enabled(false);
+  }
+}
+
+JobResult Session::run(const JobSpec& spec, const RunHooks& hooks) {
+  experiments::ExperimentConfig config = spec.to_config();
+  const std::vector<experiments::Scheme> schemes = spec.resolved_schemes();
+
+  if (hooks.replay_tracer != nullptr) {
+    experiments::Scheme traced;
+    if (hooks.trace_scheme.has_value()) {
+      traced = *hooks.trace_scheme;
+    } else {
+      SDPM_REQUIRE(schemes.size() == 1,
+                   "a replay tracer needs a single scheme (a multi-scheme "
+                   "run would interleave unrelated replays)");
+      traced = schemes.front();
+    }
+    SDPM_REQUIRE(!is_oracle(traced),
+                 std::string(experiments::to_string(traced)) +
+                     " is an analytic oracle with no replay to trace");
+    config.tracer = hooks.replay_tracer;
+    config.trace_scheme = traced;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(spec.benchmark);
+  experiments::Runner runner(bench, config);
+  JobResult result = result_shell(spec);
+  if (spec.schemes.empty()) {
+    // All seven: fan over the pool exactly like a sweep cell would.
+    for (const experiments::SchemeResult& r : runner.run_all()) {
+      result.schemes.push_back(outcome_from(r));
+    }
+  } else {
+    for (const experiments::Scheme scheme : schemes) {
+      result.schemes.push_back(outcome_from(runner.run(scheme)));
+    }
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+  if (hooks.record_base_metrics) {
+    obs::record_report_metrics(obs::MetricsRegistry::global(),
+                               runner.base_report());
+  }
+  obs::MetricsRegistry::global().add("api.jobs");
+  return result;
+}
+
+std::vector<JobResult> Session::run_batch(const std::vector<JobSpec>& specs) {
+  std::vector<experiments::SweepCell> cells;
+  cells.reserve(specs.size());
+  for (const JobSpec& spec : specs) {
+    experiments::SweepCell cell;
+    cell.label = spec.display_label();
+    cell.benchmark = workloads::make_benchmark(spec.benchmark);
+    cell.config = spec.to_config();
+    // An empty scheme list means "all seven" in both vocabularies, so the
+    // resolved list only needs spelling out when explicit.
+    for (const std::string& name : spec.schemes) {
+      cell.schemes.push_back(*scheme_from_name(name));
+    }
+    cells.push_back(std::move(cell));
+  }
+
+  experiments::SweepEngine engine(options_.jobs);
+  engine.set_tracer(options_.sweep_tracer);
+  const std::vector<experiments::SweepCellResult> sweep = engine.run(cells);
+
+  std::vector<JobResult> results;
+  results.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    JobResult result = result_shell(specs[i]);
+    for (const experiments::SchemeResult& r : sweep[i].results) {
+      result.schemes.push_back(outcome_from(r));
+    }
+    result.wall_ms = sweep[i].wall_ms;
+    results.push_back(std::move(result));
+  }
+  obs::MetricsRegistry::global().add("api.jobs",
+                                     static_cast<std::int64_t>(specs.size()));
+  obs::MetricsRegistry::global().add("api.batches");
+  return results;
+}
+
+analysis::AnalysisReport Session::analyze(
+    const JobSpec& spec, core::PowerMode mode,
+    const std::optional<analysis::Mutation>& mutation) const {
+  const experiments::ExperimentConfig config = spec.to_config();
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(spec.benchmark);
+
+  // Reproduce the compiler pipeline, then analyze its exact output.
+  core::CompilerOptions co;
+  co.total_disks = config.total_disks;
+  co.base_striping = config.striping;
+  co.disk_params = config.disk;
+  co.access = config.gen;
+  co.call_site_granularity = config.call_site_granularity;
+  co.preactivate = config.preactivate;
+  co.tile_bytes = config.tile_bytes;
+  const core::CompileOutput out =
+      core::compile(bench.program, config.transform, mode, co);
+  core::ScheduleResult result{out.program, out.plans, out.calls_inserted};
+  std::vector<layout::Striping> striping = out.striping;
+
+  if (mutation.has_value()) {
+    analysis::apply_mutation(*mutation, result, striping, config.disk);
+  }
+
+  const layout::LayoutTable table(result.program, striping,
+                                  config.total_disks);
+  analysis::AnalyzeOptions opts;
+  opts.access = config.gen;
+  opts.transform = config.transform;
+  return analysis::analyze(result, table, config.disk, opts);
+}
+
+}  // namespace sdpm::api

@@ -1,0 +1,83 @@
+// sdpm::api::Session — the single public entry point to the simulation
+// stack.
+//
+// A Session owns the execution resources a caller needs to evaluate
+// JobSpecs: the worker count, the process-wide TraceCache policy, and the
+// optional observability hooks.  Every tool in the repo — sdpm_cli
+// run/bench/analyze, the figure benches, and the sdpm_serviced daemon —
+// goes through this facade; Runner, SweepEngine, SimOptions and friends
+// are implementation details behind it.
+//
+// Determinism contract: run(), run_batch() and a serial per-scheme Runner
+// evaluation all produce bit-identical JobResults for the same spec —
+// randomness is keyed by the seeds carried in the spec, and parallel
+// evaluation writes into position-indexed slots (see SweepEngine).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/mutate.h"
+#include "analysis/registry.h"
+#include "api/job_result.h"
+#include "api/job_spec.h"
+
+namespace sdpm::obs {
+class EventTracer;
+}
+
+namespace sdpm::api {
+
+struct SessionOptions {
+  /// Worker threads for batched evaluation; 0 = default_jobs()
+  /// (SDPM_JOBS / --jobs / hardware concurrency).
+  unsigned jobs = 0;
+  /// When false, disables the process-wide TraceCache at construction
+  /// (never re-enables it: the cache is process state, and a Session only
+  /// opts out, it does not override another component's opt-out).
+  bool use_cache = true;
+  /// Cell-lifecycle tracer for batched runs (not owned; see
+  /// SweepEngine::set_tracer).
+  obs::EventTracer* sweep_tracer = nullptr;
+};
+
+/// Per-run observability hooks for run(): attach `replay_tracer` to the
+/// replay of `trace_scheme` (required to be a single non-oracle scheme by
+/// the same rule the CLI enforces; validation throws otherwise).
+struct RunHooks {
+  obs::EventTracer* replay_tracer = nullptr;
+  std::optional<experiments::Scheme> trace_scheme;
+  /// Fold the shared Base report's distributions (idle gaps, response
+  /// times) into the global metrics registry after the run — what
+  /// `sdpm_cli run --format metrics` snapshots.
+  bool record_base_metrics = false;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+
+  /// Evaluate one job: every resolved scheme, in the spec's order.
+  JobResult run(const JobSpec& spec) { return run(spec, RunHooks{}); }
+  JobResult run(const JobSpec& spec, const RunHooks& hooks);
+
+  /// Evaluate a batch as ONE sweep dispatch: all (job, scheme) tasks fan
+  /// out over one thread pool, so a slow job cannot serialize the tail and
+  /// repeated (program, layout, options) cells hit the shared TraceCache.
+  /// Results are ordered exactly as `specs`.
+  std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs);
+
+  /// Statically analyze the compiled power-call schedule of `spec` for
+  /// `mode` (no simulation).  `mutation` seeds a known bug class first —
+  /// the analyzer-validation path of `sdpm_cli analyze --mutate`.
+  analysis::AnalysisReport analyze(
+      const JobSpec& spec, core::PowerMode mode,
+      const std::optional<analysis::Mutation>& mutation = std::nullopt) const;
+
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  SessionOptions options_;
+};
+
+}  // namespace sdpm::api

@@ -1,13 +1,55 @@
-// Compatibility shim: schedule verification now lives in the static
-// analysis layer (src/analysis/), where it is the first registered pass
-// and collects *all* violations instead of stopping at the first.  This
-// header keeps the historical core::verify_schedule spelling working.
+// DEPRECATED compatibility shim — scheduled for removal one release out.
+//
+// Schedule verification lives in the static analysis layer
+// (analysis/verify_schedule.h), where analysis::check_schedule collects
+// *every* violation as a structured Diagnostic instead of throwing at the
+// first.  Migrate callers:
+//
+//   // old                                   // new
+//   core::verify_schedule(result, n, p);     for (const auto& d :
+//                                                analysis::check_schedule(
+//                                                    result, n, p))
+//                                              handle(d);
+//
+// This header keeps the historical throwing spelling compiling for one
+// release; every use emits a deprecation warning.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "analysis/verify_schedule.h"
+#include "util/error.h"
+#include "util/strings.h"
 
 namespace sdpm::core {
 
-using analysis::verify_schedule;
+/// Throwing wrapper over analysis::check_schedule: throws sdpm::Error
+/// naming the first error's rule and message (with a "(+N more)" suffix
+/// when several were found); returns the directive count on success.
+[[deprecated(
+    "core::verify_schedule is a compatibility shim; use "
+    "analysis::check_schedule and inspect the diagnostics")]]
+inline std::int64_t verify_schedule(const core::ScheduleResult& result,
+                                    int total_disks,
+                                    const disk::DiskParameters& params) {
+  const std::vector<analysis::Diagnostic> diags =
+      analysis::check_schedule(result, total_disks, params);
+  int errors = 0;
+  const analysis::Diagnostic* first = nullptr;
+  for (const analysis::Diagnostic& d : diags) {
+    if (d.severity == analysis::Severity::kError) {
+      if (first == nullptr) first = &d;
+      ++errors;
+    }
+  }
+  if (first != nullptr) {
+    std::string message = first->rule + ": " + first->message;
+    if (errors > 1) message += str_printf(" (+%d more)", errors - 1);
+    throw Error(message);
+  }
+  return static_cast<std::int64_t>(result.program.directives.size());
+}
 
 }  // namespace sdpm::core

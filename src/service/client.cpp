@@ -1,0 +1,140 @@
+#include "service/client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::service {
+
+Client::Client(const std::string& socket_path) : socket_path_(socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    throw Error(str_printf("socket path too long: %s", socket_path_.c_str()));
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw Error(str_printf("socket() failed: %s", std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(str_printf("cannot connect to sdpm_serviced at %s: %s",
+                           socket_path_.c_str(), std::strerror(err)));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Json Client::request(const Json& message) {
+  write_message(fd_, message);
+  Json response;
+  if (!read_message(fd_, response)) {
+    throw Error("daemon closed the connection before responding");
+  }
+  return response;
+}
+
+Json Client::expect_ok(Json response) const {
+  if (!response.contains("ok") || !response.at("ok").as_bool()) {
+    const std::string error = response.contains("error")
+                                  ? response.at("error").as_string()
+                                  : std::string("unspecified daemon error");
+    throw Error(str_printf("daemon error: %s", error.c_str()));
+  }
+  return response;
+}
+
+Json Client::ping() {
+  Json message = Json::object();
+  message.set("op", "ping");
+  return expect_ok(request(message));
+}
+
+std::int64_t Client::try_submit(const api::JobSpec& spec, std::string& error,
+                                bool& retryable) {
+  Json message = Json::object();
+  message.set("op", "submit").set("spec", spec.to_json());
+  const Json response = request(message);
+  if (response.contains("ok") && response.at("ok").as_bool()) {
+    error.clear();
+    retryable = false;
+    return response.at("id").as_int();
+  }
+  error = response.contains("error") ? response.at("error").as_string()
+                                     : std::string("unspecified daemon error");
+  retryable =
+      response.contains("retryable") && response.at("retryable").as_bool();
+  return 0;
+}
+
+std::int64_t Client::submit(const api::JobSpec& spec, int max_attempts) {
+  std::string error;
+  bool retryable = false;
+  auto backoff = std::chrono::milliseconds(5);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const std::int64_t id = try_submit(spec, error, retryable);
+    if (id > 0) return id;
+    if (!retryable) {
+      throw Error(str_printf("submit rejected: %s", error.c_str()));
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+  }
+  throw Error(str_printf("submit still rejected after %d attempts: %s",
+                         max_attempts, error.c_str()));
+}
+
+Json Client::status(std::int64_t id) {
+  Json message = Json::object();
+  message.set("op", "status").set("id", id);
+  return expect_ok(request(message)).at("job");
+}
+
+Json Client::result(std::int64_t id, bool wait) {
+  Json message = Json::object();
+  message.set("op", "result").set("id", id).set("wait", wait);
+  return expect_ok(request(message)).at("job");
+}
+
+void Client::cancel(std::int64_t id) {
+  Json message = Json::object();
+  message.set("op", "cancel").set("id", id);
+  expect_ok(request(message));
+}
+
+Json Client::stats() {
+  Json message = Json::object();
+  message.set("op", "stats");
+  return expect_ok(request(message));
+}
+
+void Client::drain() {
+  Json message = Json::object();
+  message.set("op", "drain");
+  expect_ok(request(message));
+}
+
+void Client::shutdown() {
+  Json message = Json::object();
+  message.set("op", "shutdown");
+  expect_ok(request(message));
+}
+
+}  // namespace sdpm::service

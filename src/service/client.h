@@ -1,0 +1,62 @@
+// Blocking client for sdpm_serviced: one connection, one request frame in
+// flight at a time (the protocol is strict request/response, so a client
+// that wants concurrency opens more connections).
+//
+// The JSON-level request() escape hatch is public on purpose: the typed
+// helpers cover the CLI's needs, tests poke edge cases through raw frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/job_spec.h"
+#include "util/json.h"
+
+namespace sdpm::service {
+
+class Client {
+ public:
+  /// Connect to the daemon at `socket_path`; throws sdpm::Error when the
+  /// daemon is not listening.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response round trip.  Throws on socket errors; protocol
+  /// errors come back as {"ok":false,...} responses, not exceptions.
+  Json request(const Json& message);
+
+  /// Typed helpers.  All throw sdpm::Error on an {"ok":false} response
+  /// except try_submit, which surfaces the rejection to the caller.
+  Json ping();
+
+  /// Submit; returns the job id, or 0 with `error`/`retryable` set.
+  std::int64_t try_submit(const api::JobSpec& spec, std::string& error,
+                          bool& retryable);
+
+  /// Submit with bounded exponential backoff on backpressure (retryable
+  /// rejections).  Throws after `max_attempts` rejections or on any
+  /// non-retryable error.
+  std::int64_t submit(const api::JobSpec& spec, int max_attempts = 8);
+
+  /// Job snapshot as the daemon rendered it ({"id","state","label",...}).
+  Json status(std::int64_t id);
+
+  /// Snapshot; with wait=true blocks until the job is terminal.
+  Json result(std::int64_t id, bool wait);
+
+  void cancel(std::int64_t id);
+  Json stats();
+  void drain();
+  void shutdown();
+
+ private:
+  Json expect_ok(Json response) const;
+
+  std::string socket_path_;
+  int fd_ = -1;
+};
+
+}  // namespace sdpm::service

@@ -1,0 +1,365 @@
+#include "service/daemon.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "experiments/trace_cache.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "service/protocol.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::service {
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Json snapshot_json(const JobSnapshot& snap) {
+  Json job = Json::object();
+  job.set("id", snap.id)
+      .set("label", snap.label)
+      .set("state", std::string(to_string(snap.state)));
+  if (snap.state == JobState::kFailed) job.set("error", snap.error);
+  if (is_terminal(snap.state)) job.set("wall_ms", snap.wall_ms);
+  if (snap.result.has_value()) job.set("result", snap.result->to_json());
+  return job;
+}
+
+std::int64_t require_id(const Json& request) {
+  if (!request.contains("id")) {
+    throw Error("request is missing the \"id\" field");
+  }
+  return request.at("id").as_int();
+}
+
+}  // namespace
+
+ServiceDaemon::ServiceDaemon(DaemonOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      session_(api::SessionOptions{.jobs = options_.jobs}),
+      start_ns_(steady_ns()) {
+  SDPM_REQUIRE(!options_.socket_path.empty(),
+               "ServiceDaemon needs a socket path");
+  SDPM_REQUIRE(options_.max_batch > 0, "max_batch must be positive");
+}
+
+ServiceDaemon::~ServiceDaemon() {
+  queue_.stop();  // wakes the dispatcher and every blocked waiter
+  shutdown_requested_.store(true, std::memory_order_release);
+  wait();
+}
+
+double ServiceDaemon::wall_ms_now() const {
+  return static_cast<double>(steady_ns() - start_ns_) / 1e6;
+}
+
+void ServiceDaemon::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw Error(str_printf("socket path too long (%zu bytes, limit %zu): %s",
+                           options_.socket_path.size(),
+                           sizeof(addr.sun_path) - 1,
+                           options_.socket_path.c_str()));
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error(str_printf("socket() failed: %s", std::strerror(errno)));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a prior run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(str_printf("bind(%s) failed: %s",
+                           options_.socket_path.c_str(), std::strerror(err)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(str_printf("listen(%s) failed: %s",
+                           options_.socket_path.c_str(), std::strerror(err)));
+  }
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+}
+
+void ServiceDaemon::close_listener() {
+  std::lock_guard lock(conn_mutex_);
+  accepting_ = false;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept(2)
+  }
+}
+
+void ServiceDaemon::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or fatal: either way, stop accepting)
+    }
+    std::uint64_t session_id = 0;
+    {
+      std::lock_guard lock(conn_mutex_);
+      if (!accepting_) {
+        ::close(fd);
+        return;
+      }
+      session_id = next_session_++;
+      conn_fds_.emplace(session_id, fd);
+      conn_threads_.emplace_back(
+          [this, fd, session_id] { handle_connection(fd, session_id); });
+    }
+    obs::MetricsRegistry::global().add("service.connections");
+  }
+}
+
+void ServiceDaemon::handle_connection(int fd, std::uint64_t session_id) {
+  try {
+    std::string payload;
+    while (read_frame(fd, payload)) {
+      obs::MetricsRegistry::global().add("service.requests");
+      Json response;
+      try {
+        response = handle_request(Json::parse(payload), session_id);
+      } catch (const std::exception& e) {
+        response = error_response(e.what());
+      }
+      write_message(fd, response);
+    }
+  } catch (const std::exception&) {
+    // Torn frame or socket error: drop the connection.  The daemon's
+    // state is already consistent — per-request effects are applied
+    // before the response is written.
+  }
+  {
+    std::lock_guard lock(conn_mutex_);
+    conn_fds_.erase(session_id);
+  }
+  ::close(fd);
+}
+
+Json ServiceDaemon::handle_request(const Json& request,
+                                   std::uint64_t session_id) {
+  const std::string op = request.contains("op")
+                             ? request.at("op").as_string()
+                             : throw Error("request is missing \"op\"");
+
+  if (op == "ping") {
+    return ok_response().set("protocol", kProtocolVersion);
+  }
+
+  if (op == "submit") {
+    if (!request.contains("spec")) {
+      return error_response("submit is missing the \"spec\" field");
+    }
+    api::JobSpec spec;
+    try {
+      spec = api::JobSpec::from_json(request.at("spec"));
+      spec.validate();
+    } catch (const std::exception& e) {
+      return error_response(e.what());
+    }
+    std::string error;
+    bool retryable = false;
+    const std::int64_t id =
+        queue_.submit(session_id, std::move(spec), error, retryable);
+    if (id == 0) {
+      obs::MetricsRegistry::global().add("service.jobs_rejected");
+      return error_response(error, retryable);
+    }
+    obs::MetricsRegistry::global().add("service.jobs_submitted");
+    return ok_response().set("id", id);
+  }
+
+  if (op == "status") {
+    const auto snap = queue_.snapshot(require_id(request));
+    if (!snap) return error_response("no such job");
+    return ok_response().set("job", snapshot_json(*snap));
+  }
+
+  if (op == "result") {
+    const std::int64_t id = require_id(request);
+    const bool wait =
+        request.contains("wait") && request.at("wait").as_bool();
+    const auto snap = wait ? queue_.wait_terminal(id) : queue_.snapshot(id);
+    if (!snap) return error_response("no such job");
+    return ok_response().set("job", snapshot_json(*snap));
+  }
+
+  if (op == "cancel") {
+    std::string error;
+    if (!queue_.cancel(require_id(request), error)) {
+      return error_response(error);
+    }
+    obs::MetricsRegistry::global().add("service.jobs_cancelled");
+    return ok_response();
+  }
+
+  if (op == "stats") {
+    const QueueStats stats = queue_.stats();
+    Json queue = Json::object();
+    queue.set("depth", static_cast<std::int64_t>(stats.depth))
+        .set("running", static_cast<std::int64_t>(stats.running))
+        .set("capacity", static_cast<std::int64_t>(stats.capacity))
+        .set("submitted", stats.submitted)
+        .set("completed", stats.completed)
+        .set("failed", stats.failed)
+        .set("cancelled", stats.cancelled)
+        .set("rejected", stats.rejected)
+        .set("draining", stats.draining);
+    Json counters = Json::object();
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    for (const auto& [name, value] : snapshot.counters) {
+      counters.set(name, value);
+    }
+    Json cache = Json::object();
+    auto& trace_cache = experiments::TraceCache::global();
+    cache.set("size", static_cast<std::int64_t>(trace_cache.size()))
+        .set("enabled", trace_cache.enabled());
+    return ok_response()
+        .set("protocol", kProtocolVersion)
+        .set("queue", queue)
+        .set("counters", counters)
+        .set("trace_cache", cache);
+  }
+
+  if (op == "drain") {
+    request_drain();
+    return ok_response().set("draining", true);
+  }
+
+  if (op == "shutdown") {
+    request_shutdown();
+    return ok_response().set("shutting_down", true);
+  }
+
+  return error_response(str_printf("unknown op \"%s\"", op.c_str()));
+}
+
+void ServiceDaemon::dispatch_loop() {
+  while (true) {
+    const auto batch = queue_.pop_batch(options_.max_batch);
+    if (batch.empty()) return;  // stopped, or draining with nothing left
+    run_batch_jobs(batch);
+  }
+}
+
+void ServiceDaemon::run_batch_jobs(
+    const std::vector<std::shared_ptr<Job>>& batch) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.observe("service.batch_size", static_cast<double>(batch.size()));
+  obs::EventTracer* tracer = obs::effective_tracer(options_.tracer);
+
+  const double t0 = wall_ms_now();
+  std::vector<std::unique_ptr<obs::Span>> spans;
+  if (tracer != nullptr) {
+    spans.reserve(batch.size());
+    for (const auto& job : batch) {
+      spans.push_back(
+          std::make_unique<obs::Span>(tracer, job->label.c_str(), t0));
+    }
+  }
+
+  bool batched_ok = true;
+  try {
+    std::vector<api::JobSpec> specs;
+    specs.reserve(batch.size());
+    for (const auto& job : batch) specs.push_back(job->spec);
+    std::vector<api::JobResult> results = session_.run_batch(specs);
+    const double wall = wall_ms_now() - t0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      queue_.complete(batch[i], std::move(results[i]), wall);
+      metrics.add("service.jobs_completed");
+      metrics.observe("service.job_wall_ms", wall);
+    }
+  } catch (const std::exception&) {
+    batched_ok = false;
+  }
+
+  if (!batched_ok) {
+    // The sweep failed as a whole; re-run per job so the error lands on
+    // the job that caused it and the rest of the batch still completes.
+    for (const auto& job : batch) {
+      const double job_t0 = wall_ms_now();
+      try {
+        api::JobResult result = session_.run(job->spec);
+        const double wall = wall_ms_now() - job_t0;
+        queue_.complete(job, std::move(result), wall);
+        metrics.add("service.jobs_completed");
+        metrics.observe("service.job_wall_ms", wall);
+      } catch (const std::exception& e) {
+        queue_.fail(job, e.what(), wall_ms_now() - job_t0);
+        metrics.add("service.jobs_failed");
+      }
+    }
+  }
+
+  const double t1 = wall_ms_now();
+  for (auto& span : spans) span->end(t1);
+}
+
+void ServiceDaemon::request_drain() { queue_.begin_drain(); }
+
+void ServiceDaemon::request_shutdown() {
+  queue_.begin_drain();
+  shutdown_requested_.store(true, std::memory_order_release);
+  // wait() polls shutdown_requested_; no other thread blocks on it.
+}
+
+void ServiceDaemon::wait() {
+  // Phase 1: wait for a shutdown request, then for the queue to drain
+  // (instant when the queue was stop()ed — drained-or-stopped is the
+  // wait_drained predicate).
+  while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  queue_.wait_drained();
+
+  // Phase 2: tear down I/O.  Closing the listener unblocks accept();
+  // shutting the read side of each connection unblocks its handler's
+  // read without tearing a response write that is still in flight.
+  close_listener();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  queue_.stop();  // release any handler still blocked in wait_terminal
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lock(conn_mutex_);
+    handlers.swap(conn_threads_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  done_.store(true, std::memory_order_release);
+}
+
+}  // namespace sdpm::service

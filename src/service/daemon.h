@@ -1,0 +1,115 @@
+// ServiceDaemon: the long-running core of sdpm_serviced.
+//
+// Thread structure:
+//   accept thread      blocks in accept(2) on the Unix socket, spawns one
+//                      handler thread per connection.
+//   handler threads    one per connection; read one request frame, execute
+//                      the op, write one response frame, in order.  Blocking
+//                      ops (result with wait) only block their own
+//                      connection.
+//   dispatcher thread  pops admission-queue batches and evaluates each
+//                      batch as ONE api::Session::run_batch sweep dispatch,
+//                      so compatible cells share the process-wide TraceCache
+//                      and the thread pool.  When a batch throws, the
+//                      dispatcher falls back to per-job Session::run so the
+//                      failure is attributed to the job that caused it and
+//                      the rest of the batch still completes.
+//
+// Shutdown: request_drain() closes admission but keeps serving queries;
+// request_shutdown() additionally ends the daemon once the queue is
+// drained — wait() then returns with every admitted job in a terminal
+// state (the lossless-drain guarantee the SIGTERM path relies on).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "service/queue.h"
+
+namespace sdpm::obs {
+class EventTracer;
+}
+
+namespace sdpm::service {
+
+struct DaemonOptions {
+  std::string socket_path;
+  /// Admission-queue capacity (queued jobs; running jobs do not count).
+  std::size_t queue_capacity = 256;
+  /// Maximum jobs evaluated per sweep dispatch.
+  std::size_t max_batch = 16;
+  /// Worker threads for the shared Session; 0 = default_jobs().
+  unsigned jobs = 0;
+  /// Per-job span tracer (not owned).  Spans are timestamped in wall
+  /// milliseconds since the daemon started.
+  obs::EventTracer* tracer = nullptr;
+};
+
+class ServiceDaemon {
+ public:
+  explicit ServiceDaemon(DaemonOptions options);
+  ~ServiceDaemon();
+
+  ServiceDaemon(const ServiceDaemon&) = delete;
+  ServiceDaemon& operator=(const ServiceDaemon&) = delete;
+
+  /// Bind the socket and start the accept + dispatcher threads.  Throws
+  /// sdpm::Error when the socket cannot be bound.
+  void start();
+
+  /// Close admission; everything already admitted still runs.
+  void request_drain();
+
+  /// Drain, then end the daemon once no queued or running job remains.
+  void request_shutdown();
+
+  /// Block until request_shutdown() (local or via the "shutdown" op) has
+  /// completed: queue drained, dispatcher exited, connections closed.
+  void wait();
+
+  /// True once wait() would return immediately.
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+  /// True once request_shutdown() was called (locally or via the
+  /// "shutdown" op); the main thread polls this before calling wait().
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  AdmissionQueue& queue() { return queue_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd, std::uint64_t session_id);
+  void dispatch_loop();
+  void run_batch_jobs(const std::vector<std::shared_ptr<Job>>& batch);
+  Json handle_request(const Json& request, std::uint64_t session_id);
+  double wall_ms_now() const;
+  void close_listener();
+
+  DaemonOptions options_;
+  AdmissionQueue queue_;
+  api::Session session_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> done_{false};
+  std::int64_t start_ns_ = 0;  ///< steady-clock epoch for span timestamps
+
+  std::mutex conn_mutex_;
+  std::uint64_t next_session_ = 1;
+  std::map<std::uint64_t, int> conn_fds_;           ///< open connections
+  std::vector<std::thread> conn_threads_;           ///< joined in wait()
+  bool accepting_ = true;                           ///< guarded by conn_mutex_
+};
+
+}  // namespace sdpm::service

@@ -1,0 +1,112 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::service {
+namespace {
+
+/// Read exactly `n` bytes.  Returns the byte count actually read: `n` on
+/// success, 0 on EOF before the first byte, and throws on a short read in
+/// the middle (a torn frame is corruption, not a clean close).
+std::size_t read_exact(int fd, char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw Error(str_printf("service: read failed: %s",
+                             std::strerror(errno)));
+    }
+    if (r == 0) {
+      if (got == 0) return 0;
+      throw Error("service: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+void write_exact(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a SIGPIPE that
+    // would kill the whole daemon.
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw Error(str_printf("service: write failed: %s",
+                             std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  unsigned char prefix[4];
+  if (read_exact(fd, reinterpret_cast<char*>(prefix), 4) == 0) return false;
+  const std::uint32_t length = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                               (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                               (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                               static_cast<std::uint32_t>(prefix[3]);
+  if (length > kMaxFrameBytes) {
+    throw Error(str_printf("service: frame of %u bytes exceeds the %u-byte "
+                           "limit",
+                           length, kMaxFrameBytes));
+  }
+  payload.resize(length);
+  if (length > 0 && read_exact(fd, payload.data(), length) == 0) {
+    throw Error("service: connection closed mid-frame");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw Error(str_printf("service: refusing to send a %zu-byte frame "
+                           "(limit %u)",
+                           payload.size(), kMaxFrameBytes));
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(length >> 24),
+      static_cast<unsigned char>(length >> 16),
+      static_cast<unsigned char>(length >> 8),
+      static_cast<unsigned char>(length),
+  };
+  write_exact(fd, reinterpret_cast<const char*>(prefix), 4);
+  write_exact(fd, payload.data(), payload.size());
+}
+
+bool read_message(int fd, Json& message) {
+  std::string payload;
+  if (!read_frame(fd, payload)) return false;
+  message = Json::parse(payload);
+  return true;
+}
+
+void write_message(int fd, const Json& message) {
+  write_frame(fd, message.dump());
+}
+
+Json ok_response() {
+  Json response = Json::object();
+  response.set("ok", true);
+  return response;
+}
+
+Json error_response(const std::string& message, bool retryable) {
+  Json response = Json::object();
+  response.set("ok", false).set("error", message).set("retryable", retryable);
+  return response;
+}
+
+}  // namespace sdpm::service

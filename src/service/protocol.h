@@ -1,0 +1,64 @@
+// Wire protocol of sdpm_serviced: length-prefixed JSON frames over a Unix
+// domain stream socket.
+//
+// FRAME SPEC (version 1):
+//   +----------------+---------------------+
+//   | 4 bytes        | N bytes             |
+//   | N, big-endian  | UTF-8 JSON document |
+//   +----------------+---------------------+
+// N is the payload length in bytes, unsigned, big-endian, and must be
+// <= kMaxFrameBytes (a malformed or hostile prefix tears the connection
+// down instead of allocating gigabytes).  One request frame yields exactly
+// one response frame; requests on one connection are processed in order.
+//
+// REQUESTS are JSON objects with an "op" field:
+//   {"op":"ping"}
+//   {"op":"submit","spec":{...JobSpec...}}
+//   {"op":"status","id":7}
+//   {"op":"result","id":7,"wait":true}      wait: block until terminal
+//   {"op":"cancel","id":7}
+//   {"op":"stats"}
+//   {"op":"drain"}                          stop admitting, finish queued
+//   {"op":"shutdown"}                       drain, then exit the daemon
+//
+// RESPONSES always carry "ok":
+//   {"ok":true, ...op-specific fields...}
+//   {"ok":false,"error":"message","retryable":true|false}
+// "retryable":true marks backpressure (admission queue full): the job was
+// NOT admitted and the client should resubmit after a backoff.  Every
+// other error is permanent for that request.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace sdpm::service {
+
+inline constexpr int kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload; larger prefixes are a protocol
+/// error.  16 MB fits any result batch the daemon produces by orders of
+/// magnitude.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Read one frame into `payload`.  Returns false on clean EOF at a frame
+/// boundary; throws sdpm::Error on a truncated frame, oversized prefix, or
+/// socket error.
+bool read_frame(int fd, std::string& payload);
+
+/// Write one frame; throws sdpm::Error on a socket error (EPIPE included:
+/// callers treat a vanished peer as a dropped connection, not a crash).
+void write_frame(int fd, std::string_view payload);
+
+/// Convenience: frame + parse / dump + frame for JSON documents.
+bool read_message(int fd, Json& message);
+void write_message(int fd, const Json& message);
+
+/// Response envelope helpers.
+Json ok_response();
+Json error_response(const std::string& message, bool retryable = false);
+
+}  // namespace sdpm::service

@@ -1,0 +1,228 @@
+#include "service/queue.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::service {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  SDPM_REQUIRE(capacity_ > 0, "admission queue capacity must be positive");
+}
+
+std::int64_t AdmissionQueue::submit(std::uint64_t session, api::JobSpec spec,
+                                    std::string& error, bool& retryable) {
+  std::lock_guard lock(mutex_);
+  if (draining_ || stopped_) {
+    error = "daemon is draining; admission is closed";
+    retryable = false;
+    ++rejected_;
+    return 0;
+  }
+  if (queued_ >= capacity_) {
+    error = str_printf("admission queue full (%zu jobs); retry later",
+                       capacity_);
+    retryable = true;
+    ++rejected_;
+    return 0;
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_id_++;
+  job->session = session;
+  job->spec = std::move(spec);
+  job->label = job->spec.display_label();
+  jobs_.emplace(job->id, job);
+  pending_[session].push_back(job);
+  ++queued_;
+  ++submitted_;
+  work_cv_.notify_all();
+  return job->id;
+}
+
+std::vector<std::shared_ptr<Job>> AdmissionQueue::pop_batch(std::size_t max) {
+  std::unique_lock lock(mutex_);
+  work_cv_.wait(lock, [this] {
+    if (stopped_) return true;
+    if (paused_) return false;
+    if (queued_ > 0) return true;
+    return draining_;  // nothing queued while draining: dispatcher exits
+  });
+  std::vector<std::shared_ptr<Job>> batch;
+  if (stopped_ || queued_ == 0) return batch;
+
+  // Round-robin: walk sessions in id order starting strictly after the
+  // session the previous rotation ended at, taking one job per session per
+  // rotation until `max` jobs are in hand or the queue is empty.
+  while (batch.size() < max && queued_ > 0) {
+    auto it = pending_.upper_bound(rr_cursor_);
+    if (it == pending_.end()) it = pending_.begin();
+    rr_cursor_ = it->first;
+    std::deque<std::shared_ptr<Job>>& line = it->second;
+    std::shared_ptr<Job> job = line.front();
+    line.pop_front();
+    if (line.empty()) pending_.erase(it);
+    --queued_;
+    ++running_;
+    job->state = JobState::kRunning;
+    job->dispatch_seq = next_dispatch_seq_++;
+    ++job->runs;
+    batch.push_back(std::move(job));
+  }
+  return batch;
+}
+
+void AdmissionQueue::complete(const std::shared_ptr<Job>& job,
+                              api::JobResult result, double wall_ms) {
+  std::lock_guard lock(mutex_);
+  SDPM_REQUIRE(job->state == JobState::kRunning,
+               "complete() on a job that is not running");
+  job->state = JobState::kDone;
+  job->result = std::move(result);
+  job->wall_ms = wall_ms;
+  --running_;
+  ++completed_;
+  done_cv_.notify_all();
+  work_cv_.notify_all();  // drained_locked() may have become true
+}
+
+void AdmissionQueue::fail(const std::shared_ptr<Job>& job, std::string error,
+                          double wall_ms) {
+  std::lock_guard lock(mutex_);
+  SDPM_REQUIRE(job->state == JobState::kRunning,
+               "fail() on a job that is not running");
+  job->state = JobState::kFailed;
+  job->error = std::move(error);
+  job->wall_ms = wall_ms;
+  --running_;
+  ++failed_;
+  done_cv_.notify_all();
+  work_cv_.notify_all();
+}
+
+bool AdmissionQueue::cancel(std::int64_t id, std::string& error) {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    error = str_printf("no such job %lld", static_cast<long long>(id));
+    return false;
+  }
+  Job& job = *it->second;
+  if (job.state != JobState::kQueued) {
+    error = str_printf("job %lld is %s; only queued jobs can be cancelled",
+                       static_cast<long long>(id), to_string(job.state));
+    return false;
+  }
+  auto line = pending_.find(job.session);
+  if (line != pending_.end()) {
+    auto& deque = line->second;
+    for (auto jt = deque.begin(); jt != deque.end(); ++jt) {
+      if ((*jt)->id == id) {
+        deque.erase(jt);
+        break;
+      }
+    }
+    if (deque.empty()) pending_.erase(line);
+  }
+  job.state = JobState::kCancelled;
+  --queued_;
+  ++cancelled_;
+  done_cv_.notify_all();
+  work_cv_.notify_all();
+  return true;
+}
+
+JobSnapshot AdmissionQueue::snapshot_locked(const Job& job) const {
+  JobSnapshot snap;
+  snap.id = job.id;
+  snap.session = job.session;
+  snap.label = job.label;
+  snap.state = job.state;
+  snap.error = job.error;
+  snap.result = job.result;
+  snap.dispatch_seq = job.dispatch_seq;
+  snap.wall_ms = job.wall_ms;
+  return snap;
+}
+
+std::optional<JobSnapshot> AdmissionQueue::snapshot(std::int64_t id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshot_locked(*it->second);
+}
+
+std::optional<JobSnapshot> AdmissionQueue::wait_terminal(std::int64_t id) {
+  std::unique_lock lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const std::shared_ptr<Job>& job = it->second;
+  done_cv_.wait(lock,
+                [this, &job] { return stopped_ || is_terminal(job->state); });
+  return snapshot_locked(*job);
+}
+
+void AdmissionQueue::begin_drain() {
+  std::lock_guard lock(mutex_);
+  draining_ = true;
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+bool AdmissionQueue::draining() const {
+  std::lock_guard lock(mutex_);
+  return draining_;
+}
+
+bool AdmissionQueue::drained_locked() const {
+  return draining_ && queued_ == 0 && running_ == 0;
+}
+
+void AdmissionQueue::wait_drained() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return stopped_ || drained_locked(); });
+}
+
+void AdmissionQueue::stop() {
+  std::lock_guard lock(mutex_);
+  stopped_ = true;
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+void AdmissionQueue::pause(bool paused) {
+  std::lock_guard lock(mutex_);
+  paused_ = paused;
+  if (!paused_) work_cv_.notify_all();
+}
+
+QueueStats AdmissionQueue::stats() const {
+  std::lock_guard lock(mutex_);
+  QueueStats stats;
+  stats.depth = queued_;
+  stats.running = running_;
+  stats.capacity = capacity_;
+  stats.submitted = submitted_;
+  stats.completed = completed_;
+  stats.failed = failed_;
+  stats.cancelled = cancelled_;
+  stats.rejected = rejected_;
+  stats.draining = draining_;
+  return stats;
+}
+
+}  // namespace sdpm::service

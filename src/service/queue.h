@@ -1,0 +1,162 @@
+// Bounded admission queue with per-client fairness and a job table.
+//
+// The daemon admits jobs into this queue and a single dispatcher pops them
+// in batches.  Three properties the service tests pin down:
+//
+//   BACKPRESSURE   the queue holds at most `capacity` queued jobs; a
+//                  submit against a full queue is rejected with a
+//                  retryable error and the job is never recorded — the
+//                  client owns the retry, the daemon's memory stays
+//                  bounded.
+//   FAIRNESS       queued jobs are popped round-robin across client
+//                  sessions: each rotation takes at most one job from
+//                  each session with pending work, so a client that dumps
+//                  100 jobs cannot starve one that submits a single job.
+//                  Within a session, jobs run in submission order.
+//   LIFECYCLE      every admitted job is exactly-once: it moves through
+//                  queued -> running -> done|failed, or queued ->
+//                  cancelled, and is handed to the dispatcher at most
+//                  once.  Terminal jobs stay queryable by id for the
+//                  daemon's lifetime.
+//
+// Draining (the SIGTERM path) closes admission — further submits are
+// rejected as non-retryable "draining" — while everything already
+// admitted still runs to a terminal state; wait_drained() returns only
+// when no queued or running job remains, which is what makes the drain
+// lossless.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/job_result.h"
+#include "api/job_spec.h"
+
+namespace sdpm::service {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* to_string(JobState state);
+bool is_terminal(JobState state);
+
+/// One admitted job.  Mutable fields are guarded by the queue's mutex;
+/// snapshots for rendering are taken via AdmissionQueue::snapshot().
+struct Job {
+  std::int64_t id = 0;
+  std::uint64_t session = 0;
+  api::JobSpec spec;
+  std::string label;  ///< stable copy of spec.display_label()
+  JobState state = JobState::kQueued;
+  std::string error;                    ///< kFailed only
+  std::optional<api::JobResult> result; ///< kDone only
+  std::int64_t dispatch_seq = -1;  ///< order handed to the dispatcher
+  std::int64_t runs = 0;           ///< times dispatched; invariant: <= 1
+  double wall_ms = 0;
+};
+
+/// Copyable view of one job for responses (no locking hazards).
+struct JobSnapshot {
+  std::int64_t id = 0;
+  std::uint64_t session = 0;
+  std::string label;
+  JobState state = JobState::kQueued;
+  std::string error;
+  std::optional<api::JobResult> result;
+  std::int64_t dispatch_seq = -1;
+  double wall_ms = 0;
+};
+
+struct QueueStats {
+  std::size_t depth = 0;     ///< currently queued
+  std::size_t running = 0;   ///< popped, not yet terminal
+  std::size_t capacity = 0;
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t rejected = 0;  ///< backpressure + draining rejections
+  bool draining = false;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admit a job for `session`.  Returns the job id (> 0), or 0 with
+  /// `error`/`retryable` set: retryable=true is backpressure (queue full),
+  /// retryable=false means admission is closed (draining).
+  std::int64_t submit(std::uint64_t session, api::JobSpec spec,
+                      std::string& error, bool& retryable);
+
+  /// Pop up to `max` jobs (state -> kRunning) in round-robin session
+  /// order.  Blocks until work is available; returns an empty vector when
+  /// the queue is stopped, or when draining and nothing is left to pop.
+  std::vector<std::shared_ptr<Job>> pop_batch(std::size_t max);
+
+  /// Mark a popped job terminal.  Notifies result waiters.
+  void complete(const std::shared_ptr<Job>& job, api::JobResult result,
+                double wall_ms);
+  void fail(const std::shared_ptr<Job>& job, std::string error,
+            double wall_ms);
+
+  /// Cancel a queued job.  Fails (returning false with `error` set) when
+  /// the job is unknown, already running, or terminal.
+  bool cancel(std::int64_t id, std::string& error);
+
+  /// Snapshot a job; empty optional for unknown ids.
+  std::optional<JobSnapshot> snapshot(std::int64_t id) const;
+
+  /// Block until `id` reaches a terminal state (or the queue stops, in
+  /// which case the job is returned in whatever state it is in).  Empty
+  /// optional for unknown ids.
+  std::optional<JobSnapshot> wait_terminal(std::int64_t id);
+
+  /// Close admission; already-admitted jobs still run.
+  void begin_drain();
+  bool draining() const;
+
+  /// Block until draining and no queued or running jobs remain.
+  void wait_drained();
+
+  /// Wake every blocked caller; pop_batch returns empty from now on.
+  void stop();
+
+  /// Test hook: while paused, pop_batch blocks even with work available
+  /// (deterministic backpressure / cancellation / fairness tests).
+  void pause(bool paused);
+
+  QueueStats stats() const;
+
+ private:
+  JobSnapshot snapshot_locked(const Job& job) const;
+  bool drained_locked() const;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< dispatcher side
+  std::condition_variable done_cv_;   ///< waiters: results, drain
+  std::map<std::int64_t, std::shared_ptr<Job>> jobs_;  ///< all ever admitted
+  std::map<std::uint64_t, std::deque<std::shared_ptr<Job>>> pending_;
+  std::uint64_t rr_cursor_ = 0;  ///< session id the last pop ended at
+  std::int64_t next_id_ = 1;
+  std::int64_t next_dispatch_seq_ = 0;
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  std::int64_t submitted_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t failed_ = 0;
+  std::int64_t cancelled_ = 0;
+  std::int64_t rejected_ = 0;
+  bool draining_ = false;
+  bool stopped_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace sdpm::service

@@ -6,24 +6,36 @@
 //                 CMTPM|CMDRPM] [--transform none|LF|TL|LF+DL|TL+DL]
 //                 [--disks N] [--stripe BYTES] [--block BYTES]
 //                 [--cache BYTES] [--noise SIGMA] [--no-preactivate] [--csv]
-//                 [--trace-out FILE --trace-format chrome|jsonl|csv]
-//                 [--preact-report] [--metrics-out FILE]
-//       Evaluate scheme(s) on a benchmark under a configuration.  With
-//       --trace-out (single non-oracle --scheme required) the replay's
-//       event stream is exported: "chrome" is Perfetto-loadable trace JSON
+//                 [--out FILE --format chrome|jsonl|csv|metrics]
+//                 [--preact-report]
+//       Evaluate scheme(s) on a benchmark under a configuration, through
+//       the sdpm::api::Session facade.  With a trace --format (single
+//       non-oracle --scheme required) the replay's event stream is
+//       exported to --out: "chrome" is Perfetto-loadable trace JSON
 //       timestamped in simulated time, "jsonl" a structured log, "csv" the
-//       per-disk power-state timeline.  --preact-report prints the
-//       pre-activation accounting (hit / late / wasted spin-ups);
-//       --metrics-out dumps the metrics registry as JSON.
+//       per-disk power-state timeline; "metrics" dumps the metrics
+//       registry as JSON.  --preact-report prints the pre-activation
+//       accounting (hit / late / wasted spin-ups).  The pre-unification
+//       spellings --trace-out FILE / --trace-format F / --metrics-out FILE
+//       still work as deprecated aliases (a note goes to stderr).
 //   sdpm_cli dap --benchmark NAME [--disks N] [--stripe BYTES]
 //       Print the compiler's Disk Access Pattern for a benchmark.
 //   sdpm_cli trace --benchmark NAME [--out FILE] [config flags]
 //       Emit the generated I/O request trace in the text format.
 //   sdpm_cli replay --in FILE [--policy Base|TPM|ATPM|DRPM] [--open-loop]
 //       Replay a (possibly external) text trace under a reactive policy.
-//   sdpm_cli bench [--benchmark NAME] [--json] [--no-cache] [--jobs N]
-//       Run the 7-scheme x 8-config sweep on the parallel sweep engine;
-//       --json emits the perf-counter snapshot CI archives per commit.
+//   sdpm_cli bench [--benchmark NAME] [--out FILE]
+//                 [--format table|csv|json|metrics] [--no-cache] [--jobs N]
+//       Run the 7-scheme x 8-config sweep through the facade's batched
+//       entry point; --format json emits the perf-counter snapshot CI
+//       archives per commit.  --json / --metrics-out FILE remain as
+//       deprecated aliases.
+//   sdpm_cli client --socket PATH --op ping|submit|run|status|result|
+//                 cancel|stats|drain|shutdown [--id N] [--wait] [job flags]
+//       Talk to a running sdpm_serviced daemon.  "submit" admits a job
+//       built from the usual run flags and prints its id; "run" submits,
+//       waits for the terminal state and prints the job JSON; "result
+//       --wait" blocks until an existing job is terminal.
 //   sdpm_cli analyze --benchmark NAME [--mode CMTPM|CMDRPM]
 //                 [--format text|json] [--fail-on error|warning|note]
 //                 [--baseline FILE] [--write-baseline FILE]
@@ -59,6 +71,9 @@
 
 #include "analysis/mutate.h"
 #include "analysis/registry.h"
+#include "api/job_result.h"
+#include "api/job_spec.h"
+#include "api/session.h"
 #include "core/codegen.h"
 #include "core/compiler.h"
 #include "experiments/profile.h"
@@ -77,6 +92,7 @@
 #include "policy/drpm.h"
 #include "policy/resilient.h"
 #include "policy/tpm.h"
+#include "service/client.h"
 #include "sim/simulator.h"
 #include "trace/dap.h"
 #include "trace/generator.h"
@@ -98,9 +114,9 @@ const char* usage_text() {
       "usage: sdpm_cli <command> [flags]\n"
       "  list                       show benchmarks / schemes / transforms\n"
       "  run    --benchmark NAME [--scheme S] [--transform T] [config]\n"
-      "         [--trace-out FILE] [--trace-format chrome|jsonl|csv]\n"
-      "         [--preact-report] [--metrics-out FILE]\n"
-      "         tracing flags need a single non-oracle --scheme; chrome\n"
+      "         [--out FILE] [--format chrome|jsonl|csv|metrics]\n"
+      "         [--preact-report]\n"
+      "         trace formats need a single non-oracle --scheme; chrome\n"
       "         traces load in Perfetto (simulated-time tracks per disk)\n"
       "  inspect --benchmark NAME [--policy P] [--per-disk] [config]\n"
       "  codegen --benchmark NAME [--mode CMTPM|CMDRPM] [--transform T]\n"
@@ -108,11 +124,14 @@ const char* usage_text() {
       "  dap    --benchmark NAME [config]\n"
       "  trace  --benchmark NAME [--out FILE] [config]\n"
       "  replay --in FILE [--policy P] [--open-loop] [--per-disk]\n"
-      "  bench  [--benchmark NAME] [--json] [--no-cache]\n"
-      "         [--metrics-out FILE] [config]\n"
-      "         sweep all 7 schemes x 8 configs on the parallel sweep\n"
-      "         engine; --json emits the perf-counter snapshot\n"
+      "  bench  [--benchmark NAME] [--out FILE]\n"
+      "         [--format table|csv|json|metrics] [--no-cache] [config]\n"
+      "         sweep all 7 schemes x 8 configs through the batched facade\n"
+      "         entry point; --format json emits the perf-counter snapshot\n"
       "         (BENCH_simulator.json schema) instead of the table\n"
+      "  client --socket PATH --op ping|submit|run|status|result|cancel|\n"
+      "         stats|drain|shutdown [--id N] [--wait] [job flags]\n"
+      "         talk to a running sdpm_serviced daemon\n"
       "  analyze --benchmark NAME [--mode CMTPM|CMDRPM]\n"
       "         [--format text|json] [--fail-on error|warning|note]\n"
       "         [--baseline FILE] [--write-baseline FILE]\n"
@@ -127,6 +146,9 @@ const char* usage_text() {
       "fault flags:  --fault-seed N --fault-spinup P --fault-media P\n"
       "              --fault-jitter F --fault-drop P --fault-retries N\n"
       "              (inspect/replay also accept --resilient)\n"
+      "deprecated:   --trace-out/--trace-format/--metrics-out (run) and\n"
+      "              --json/--metrics-out (bench) are aliases for\n"
+      "              --out/--format and print a note to stderr\n"
       "exit codes:   0 ok, 1 runtime error, 2 usage error, 3 analyze "
       "findings\n";
 }
@@ -286,6 +308,49 @@ std::optional<experiments::Scheme> scheme_from(const std::string& name) {
   return std::nullopt;
 }
 
+/// One stderr note per deprecated alias; the alias keeps working.
+void deprecation_note(const std::string& old_flag,
+                      const std::string& replacement) {
+  std::cerr << "note: --" << old_flag << " is deprecated; use " << replacement
+            << "\n";
+}
+
+/// Build the unified api::JobSpec from the common config + fault flags
+/// (the facade-era replacement of config_from for run/bench/analyze).
+api::JobSpec job_spec_from(const Args& args) {
+  api::JobSpec spec;
+  spec.benchmark = args.get("benchmark", spec.benchmark);
+  spec.disks = static_cast<int>(args.get_int("disks", spec.disks));
+  spec.stripe_size = args.get_int("stripe", spec.stripe_size);
+  spec.block_size = args.get_int("block", spec.block_size);
+  spec.cache_bytes = args.get_int("cache", spec.cache_bytes);
+  if (args.has("noise")) {
+    const double sigma = args.get_double("noise", spec.noise_sigma);
+    spec.noise_sigma = sigma;
+    spec.profile_sigma = sigma;
+  }
+  spec.preactivate = !args.has("no-preactivate");
+  spec.transform = args.get("transform", spec.transform);
+  spec.fault_spinup = args.get_double("fault-spinup", 0.0);
+  spec.fault_media = args.get_double("fault-media", 0.0);
+  spec.fault_jitter = args.get_double("fault-jitter", 0.0);
+  spec.fault_drop = args.get_double("fault-drop", 0.0);
+  spec.fault_retries =
+      static_cast<int>(args.get_int("fault-retries", spec.fault_retries));
+  if (args.has("fault-seed")) spec.fault_seed = args.get_int("fault-seed", 0);
+  const std::string scheme_name = args.get("scheme", "all");
+  if (scheme_name != "all") {
+    if (!scheme_from(scheme_name)) usage("unknown scheme '" + scheme_name + "'");
+    spec.schemes = {scheme_name};
+  }
+  try {
+    spec.validate();
+  } catch (const Error& e) {
+    usage(e.what());
+  }
+  return spec;
+}
+
 void emit(const Table& table, const Args& args) {
   if (args.has("csv")) {
     table.print_csv(std::cout);
@@ -311,77 +376,98 @@ int cmd_list() {
 
 int cmd_run(const Args& args) {
   require_known_flags("run", args,
-                      {"benchmark", "scheme", "trace-out", "trace-format",
-                       "preact-report", "metrics-out"});
+                      {"benchmark", "scheme", "out", "format", "trace-out",
+                       "trace-format", "preact-report", "metrics-out"});
   if (!args.has("benchmark")) usage("run requires --benchmark");
-  workloads::Benchmark bench =
-      workloads::make_benchmark(args.get("benchmark"));
-  experiments::ExperimentConfig config = config_from(args);
+  const api::JobSpec spec = job_spec_from(args);
+  const bool single_scheme = spec.schemes.size() == 1;
+  // validate() has vetted the names, so the lookup cannot miss.
+  const experiments::Scheme single =
+      single_scheme ? scheme_from(spec.schemes.front())
+                          .value_or(experiments::Scheme::kBase)
+                    : experiments::Scheme::kBase;
 
-  const std::string scheme_name = args.get("scheme", "all");
-  const std::optional<experiments::Scheme> single = scheme_from(scheme_name);
-  if (scheme_name != "all" && !single) {
-    usage("unknown scheme '" + scheme_name + "'");
+  // Unified output: --out PATH + --format; the pre-unification flags are
+  // deprecated aliases.
+  std::string out_path = args.get("out");
+  std::string format = args.get("format");
+  if (args.has("trace-out")) {
+    deprecation_note("trace-out", "--out FILE --format chrome|jsonl|csv");
+    out_path = args.get("trace-out");
+    if (format.empty()) format = args.get("trace-format", "chrome");
+  }
+  if (args.has("trace-format")) {
+    if (!args.has("trace-out")) usage("--trace-format requires --trace-out");
+    deprecation_note("trace-format", "--format");
+  }
+  std::string metrics_path;  // separate alias channel: may coexist with a
+                             // trace export in one legacy invocation
+  bool want_metrics = false;
+  if (args.has("metrics-out")) {
+    deprecation_note("metrics-out", "--out FILE --format metrics");
+    metrics_path = args.get("metrics-out");
+    want_metrics = true;
+  }
+  if (format == "metrics") {
+    want_metrics = true;
+    if (metrics_path.empty()) metrics_path = out_path;
+  }
+  const bool want_trace =
+      format == "chrome" || format == "jsonl" || format == "csv";
+  if (!format.empty() && !want_trace && format != "metrics") {
+    usage("unknown --format '" + format +
+          "' for run (chrome, jsonl, csv or metrics)");
+  }
+  if (want_trace && out_path.empty()) {
+    usage("--format " + format + " requires --out FILE");
   }
 
   // Observability: sinks are stack-owned and must outlive tracer.close().
-  const bool want_trace = args.has("trace-out");
   const bool want_preact = args.has("preact-report");
-  if (args.has("trace-format") && !want_trace) {
-    usage("--trace-format requires --trace-out");
-  }
   obs::EventTracer tracer;
   std::ofstream trace_file;
   std::optional<obs::JsonlSink> jsonl;
   std::optional<obs::ChromeTraceSink> chrome;
   std::optional<obs::TimelineCsvSink> timeline;
   obs::PreactivationAccountant accountant;
+  api::RunHooks hooks;
   if (want_trace || want_preact) {
-    if (!single) {
-      usage("--trace-out / --preact-report need a single --scheme "
+    if (!single_scheme) {
+      usage("trace export / --preact-report need a single --scheme "
             "(a multi-scheme run would interleave unrelated replays)");
     }
-    if (*single == experiments::Scheme::kItpm ||
-        *single == experiments::Scheme::kIdrpm) {
-      usage(std::string(experiments::to_string(*single)) +
+    if (single == experiments::Scheme::kItpm ||
+        single == experiments::Scheme::kIdrpm) {
+      usage(std::string(experiments::to_string(single)) +
             " is an analytic oracle with no replay to trace");
     }
     if (want_trace) {
-      trace_file.open(args.get("trace-out"));
-      if (!trace_file) usage("cannot open '" + args.get("trace-out") + "'");
-      const std::string format = args.get("trace-format", "chrome");
+      trace_file.open(out_path);
+      if (!trace_file) usage("cannot open '" + out_path + "'");
       if (format == "chrome") {
         tracer.add_sink(chrome.emplace(trace_file));
       } else if (format == "jsonl") {
         tracer.add_sink(jsonl.emplace(trace_file));
-      } else if (format == "csv") {
-        tracer.add_sink(timeline.emplace(trace_file));
       } else {
-        usage("unknown --trace-format '" + format +
-              "' (chrome, jsonl or csv)");
+        tracer.add_sink(timeline.emplace(trace_file));
       }
     }
     if (want_preact) tracer.add_sink(accountant);
-    config.tracer = &tracer;
-    config.trace_scheme = *single;
+    hooks.replay_tracer = &tracer;
+    hooks.trace_scheme = single;
   }
+  hooks.record_base_metrics = want_metrics;
 
-  experiments::Runner runner(bench, config);
-  std::vector<experiments::SchemeResult> results;
-  if (scheme_name == "all") {
-    results = runner.run_all();
-  } else {
-    results.push_back(runner.run(*single));
-  }
+  api::Session session;
+  const api::JobResult result = session.run(spec, hooks);
   tracer.close();
 
-  Table table(bench.name + " (" +
-              std::string(core::to_string(runner.config().transform)) + ")");
+  Table table(spec.benchmark + " (" + spec.transform + ")");
   table.set_header({"Scheme", "Energy (J)", "Norm. energy", "Exec (ms)",
                     "Norm. time", "Requests", "Calls", "Mispredict %"});
-  for (const auto& r : results) {
+  for (const api::SchemeOutcome& r : result.schemes) {
     table.add_row({
-        experiments::to_string(r.scheme),
+        r.scheme,
         fmt_double(r.energy_j, 2),
         fmt_double(r.normalized_energy, 3),
         fmt_double(r.execution_ms, 2),
@@ -393,12 +479,14 @@ int cmd_run(const Args& args) {
   }
   emit(table, args);
   if (want_preact) std::cout << accountant.report().to_string();
-  if (args.has("metrics-out")) {
-    // Fold the shared Base report's distributions (idle gaps, responses)
-    // in before dumping; the replay counters are already in the registry.
-    obs::record_report_metrics(obs::MetricsRegistry::global(),
-                               runner.base_report());
-    write_metrics_json(args.get("metrics-out"));
+  if (want_metrics) {
+    // The Base report's distributions were folded in by the session
+    // (RunHooks::record_base_metrics).
+    if (metrics_path.empty()) {
+      std::cout << obs::MetricsRegistry::global().to_json() << "\n";
+    } else {
+      write_metrics_json(metrics_path);
+    }
   }
   return 0;
 }
@@ -573,31 +661,48 @@ int cmd_replay(const Args& args) {
 }
 
 int cmd_bench(const Args& args) {
-  require_known_flags("bench", args,
-                      {"benchmark", "json", "no-cache", "metrics-out"});
+  require_known_flags("bench", args, {"benchmark", "out", "format", "json",
+                                      "no-cache", "metrics-out"});
   const std::string bench_name = args.get("benchmark", "swim");
-  const workloads::Benchmark bench = workloads::make_benchmark(bench_name);
-  if (args.has("no-cache")) {
-    experiments::TraceCache::global().set_enabled(false);
+
+  // Unified output: --out PATH + --format; --json and --metrics-out are
+  // deprecated aliases.
+  std::string format = args.get("format", args.has("csv") ? "csv" : "table");
+  if (args.has("json")) {
+    deprecation_note("json", "--format json");
+    if (!args.has("format")) format = "json";
+  }
+  std::string metrics_path;
+  if (args.has("metrics-out")) {
+    deprecation_note("metrics-out", "--out FILE --format metrics");
+    metrics_path = args.get("metrics-out");
+  }
+  if (format != "table" && format != "csv" && format != "json" &&
+      format != "metrics") {
+    usage("unknown --format '" + format +
+          "' for bench (table, csv, json or metrics)");
   }
 
+  api::SessionOptions session_options;
+  session_options.use_cache = !args.has("no-cache");
+  api::Session session(session_options);
+
   // 8 configurations: 4 stripe sizes x 2 subsystem widths, each evaluated
-  // under all 7 schemes (the paper's Figs. 5-8 sensitivity grid).
+  // under all 7 schemes (the paper's Figs. 5-8 sensitivity grid), batched
+  // into one sweep dispatch through the facade.
   const std::vector<Bytes> stripes = {kib(16), kib(32), kib(64), kib(128)};
   const std::vector<int> widths = {4, 8};
-  std::vector<experiments::SweepCell> cells;
+  std::vector<api::JobSpec> specs;
   for (const int disks : widths) {
     for (const Bytes stripe : stripes) {
-      experiments::ExperimentConfig config = config_from(args);
-      config.total_disks = disks;
-      config.striping.stripe_factor = disks;
-      config.striping.stripe_size = stripe;
-      experiments::SweepCell cell;
-      cell.label = bench_name + "/d" + std::to_string(disks) + "/s" +
+      api::JobSpec spec = job_spec_from(args);
+      spec.benchmark = bench_name;
+      spec.disks = disks;
+      spec.stripe_factor = 0;  // whole-subsystem striping at each width
+      spec.stripe_size = stripe;
+      spec.label = bench_name + "/d" + std::to_string(disks) + "/s" +
                    std::to_string(stripe / 1024) + "K";
-      cell.benchmark = bench;
-      cell.config = std::move(config);
-      cells.push_back(std::move(cell));
+      specs.push_back(std::move(spec));
     }
   }
 
@@ -606,36 +711,51 @@ int cmd_bench(const Args& args) {
   // process-wide perf trajectory.
   const PerfSnapshot before = PerfCounters::global().snapshot();
   const auto started = std::chrono::steady_clock::now();
-  experiments::SweepEngine engine;
-  const std::vector<experiments::SweepCellResult> results =
-      engine.run(cells);
+  const std::vector<api::JobResult> results = session.run_batch(specs);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - started)
           .count();
   const PerfSnapshot sweep_delta = PerfCounters::global().snapshot() - before;
+  const unsigned jobs = default_jobs();
 
-  if (args.has("metrics-out")) write_metrics_json(args.get("metrics-out"));
-  if (args.has("json")) {
-    std::cout << perf_json(sweep_delta, wall_ms, engine.jobs()) << "\n";
+  // Primary output stream: --out or stdout.
+  std::ofstream out_file;
+  if (args.has("out")) {
+    out_file.open(args.get("out"));
+    if (!out_file) usage("cannot open '" + args.get("out") + "'");
+  }
+  std::ostream& out = args.has("out") ? out_file : std::cout;
+
+  if (!metrics_path.empty()) write_metrics_json(metrics_path);
+  if (format == "metrics") {
+    out << obs::MetricsRegistry::global().to_json() << "\n";
+    return 0;
+  }
+  if (format == "json") {
+    out << perf_json(sweep_delta, wall_ms, jobs) << "\n";
     return 0;
   }
 
-  Table table(bench_name + " sweep (" + std::to_string(engine.jobs()) +
-              " jobs, " + fmt_double(wall_ms, 1) + " ms)");
+  Table table(bench_name + " sweep (" + std::to_string(jobs) + " jobs, " +
+              fmt_double(wall_ms, 1) + " ms)");
   std::vector<std::string> header = {"Cell", "Task ms"};
   for (const experiments::Scheme s : experiments::all_schemes()) {
     header.push_back(std::string(experiments::to_string(s)) + " E");
   }
   table.set_header(header);
-  for (const experiments::SweepCellResult& cell : results) {
+  for (const api::JobResult& cell : results) {
     std::vector<std::string> row = {cell.label, fmt_double(cell.wall_ms, 1)};
-    for (const experiments::SchemeResult& r : cell.results) {
+    for (const api::SchemeOutcome& r : cell.schemes) {
       row.push_back(fmt_double(r.normalized_energy, 3));
     }
     table.add_row(row);
   }
-  emit(table, args);
+  if (format == "csv") {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+  }
   return 0;
 }
 
@@ -651,9 +771,7 @@ int cmd_analyze(const Args& args) {
     return 0;
   }
   if (!args.has("benchmark")) usage("analyze requires --benchmark");
-  const workloads::Benchmark bench =
-      workloads::make_benchmark(args.get("benchmark"));
-  const experiments::ExperimentConfig config = config_from(args);
+  const api::JobSpec spec = job_spec_from(args);
 
   const std::string mode_name = args.get("mode", "CMDRPM");
   core::PowerMode mode;
@@ -681,34 +799,15 @@ int cmd_analyze(const Args& args) {
     usage("unknown --fail-on '" + fail_on + "' (error, warning or note)");
   }
 
-  // Reproduce the compiler pipeline, then analyze its exact output.
-  core::CompilerOptions co;
-  co.total_disks = config.total_disks;
-  co.base_striping = config.striping;
-  co.disk_params = config.disk;
-  co.access = config.gen;
-  co.call_site_granularity = config.call_site_granularity;
-  co.preactivate = config.preactivate;
-  co.tile_bytes = config.tile_bytes;
-  const core::CompileOutput out =
-      core::compile(bench.program, config.transform, mode, co);
-  core::ScheduleResult result{out.program, out.plans, out.calls_inserted};
-  std::vector<layout::Striping> striping = out.striping;
-
+  // The facade reproduces the compiler pipeline and analyzes its exact
+  // output (optionally seeding a known bug class first).
+  std::optional<analysis::Mutation> mutation;
   if (args.has("mutate")) {
-    const std::optional<analysis::Mutation> mutation =
-        analysis::mutation_from_name(args.get("mutate"));
+    mutation = analysis::mutation_from_name(args.get("mutate"));
     if (!mutation) usage("unknown --mutate '" + args.get("mutate") + "'");
-    analysis::apply_mutation(*mutation, result, striping, config.disk);
   }
-
-  const layout::LayoutTable table(result.program, striping,
-                                  config.total_disks);
-  analysis::AnalyzeOptions opts;
-  opts.access = config.gen;
-  opts.transform = config.transform;
-  analysis::AnalysisReport report =
-      analysis::analyze(result, table, config.disk, opts);
+  const api::Session session;
+  analysis::AnalysisReport report = session.analyze(spec, mode, mutation);
 
   if (args.has("baseline")) {
     std::ifstream in(args.get("baseline"));
@@ -729,6 +828,63 @@ int cmd_analyze(const Args& args) {
     return 3;
   }
   return 0;
+}
+
+int cmd_client(const Args& args) {
+  require_known_flags("client", args,
+                      {"socket", "op", "id", "wait", "benchmark", "scheme"});
+  if (!args.has("socket")) usage("client requires --socket PATH");
+  const std::string op = args.get("op", "ping");
+  service::Client client(args.get("socket"));
+
+  if (op == "ping") {
+    std::cout << client.ping().dump() << "\n";
+    return 0;
+  }
+  if (op == "submit" || op == "run") {
+    if (!args.has("benchmark")) {
+      usage("client --op " + op + " requires --benchmark");
+    }
+    const api::JobSpec spec = job_spec_from(args);
+    const std::int64_t id = client.submit(spec);
+    if (op == "submit") {
+      Json line = Json::object();
+      line.set("id", id);
+      std::cout << line.dump() << "\n";
+      return 0;
+    }
+    const Json job = client.result(id, /*wait=*/true);
+    std::cout << job.dump() << "\n";
+    return job.at("state").as_string() == "done" ? 0 : 1;
+  }
+  if (op == "status" || op == "result" || op == "cancel") {
+    if (!args.has("id")) usage("client --op " + op + " requires --id N");
+    const std::int64_t id = args.get_int("id", 0);
+    if (op == "cancel") {
+      client.cancel(id);
+      std::cout << "{\"cancelled\":true}\n";
+      return 0;
+    }
+    const Json job = op == "status" ? client.status(id)
+                                    : client.result(id, args.has("wait"));
+    std::cout << job.dump() << "\n";
+    return 0;
+  }
+  if (op == "stats") {
+    std::cout << client.stats().dump() << "\n";
+    return 0;
+  }
+  if (op == "drain") {
+    client.drain();
+    std::cout << "{\"draining\":true}\n";
+    return 0;
+  }
+  if (op == "shutdown") {
+    client.shutdown();
+    std::cout << "{\"shutting_down\":true}\n";
+    return 0;
+  }
+  usage("unknown client --op '" + op + "'");
 }
 
 }  // namespace
@@ -763,6 +919,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(args);
     if (command == "bench") return cmd_bench(args);
     if (command == "analyze") return cmd_analyze(args);
+    if (command == "client") return cmd_client(args);
     usage("unknown command '" + command + "'");
   } catch (const sdpm::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,121 @@
+// sdpm_serviced — the long-running simulation service.
+//
+//   sdpm_serviced --socket PATH [--capacity N] [--batch N] [--jobs N]
+//                 [--trace-out FILE]
+//
+// Listens on a Unix domain socket for length-prefixed JSON requests (see
+// src/service/protocol.h), admits jobs into a bounded queue with
+// per-client round-robin fairness, and evaluates them in batches on a
+// shared sweep engine so repeated (program, layout, options) cells hit the
+// process-wide trace cache.  `sdpm_cli client --socket PATH ...` is the
+// matching client.
+//
+// Prints "listening on PATH" to stdout once ready (scripts wait for it).
+// SIGTERM / SIGINT drain gracefully: admission closes, every job already
+// admitted reaches a terminal state, then the daemon exits 0.  A client's
+// "shutdown" op does the same.  --trace-out streams per-batch job spans
+// and sweep-cell lifecycle events as JSONL.
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "obs/sinks.h"
+#include "obs/tracer.h"
+#include "service/daemon.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sdpm;
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n";
+  std::cerr << "usage: sdpm_serviced --socket PATH [--capacity N] "
+               "[--batch N] [--jobs N] [--trace-out FILE]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("unexpected argument '" + key + "'");
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "";
+    }
+  }
+  for (const auto& [key, value] : flags) {
+    if (key != "socket" && key != "capacity" && key != "batch" &&
+        key != "jobs" && key != "trace-out") {
+      usage("unknown flag '--" + key + "'");
+    }
+  }
+  if (flags.count("socket") == 0 || flags["socket"].empty()) {
+    usage("--socket PATH is required");
+  }
+
+  service::DaemonOptions options;
+  options.socket_path = flags["socket"];
+  if (flags.count("capacity") != 0) {
+    options.queue_capacity =
+        static_cast<std::size_t>(std::atoll(flags["capacity"].c_str()));
+  }
+  if (flags.count("batch") != 0) {
+    options.max_batch =
+        static_cast<std::size_t>(std::atoll(flags["batch"].c_str()));
+  }
+  if (flags.count("jobs") != 0) {
+    options.jobs = static_cast<unsigned>(std::atoi(flags["jobs"].c_str()));
+  }
+
+  // Observability: job spans stream as JSONL when requested.
+  obs::EventTracer tracer;
+  std::ofstream trace_file;
+  std::optional<obs::JsonlSink> jsonl;
+  if (flags.count("trace-out") != 0) {
+    trace_file.open(flags["trace-out"]);
+    if (!trace_file) usage("cannot open '" + flags["trace-out"] + "'");
+    tracer.add_sink(jsonl.emplace(trace_file));
+    options.tracer = &tracer;
+  }
+
+  // Block the termination signals before any thread exists so every
+  // daemon thread inherits the mask and only this loop sees them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  try {
+    service::ServiceDaemon daemon(options);
+    daemon.start();
+    std::cout << "listening on " << options.socket_path << std::endl;
+
+    const timespec poll_interval{0, 100'000'000};  // 100 ms
+    while (!daemon.shutdown_requested()) {
+      const int sig = sigtimedwait(&sigs, nullptr, &poll_interval);
+      if (sig == SIGTERM || sig == SIGINT) {
+        std::cerr << "sdpm_serviced: draining on signal " << sig << "\n";
+        daemon.request_shutdown();
+        break;
+      }
+    }
+    daemon.wait();
+    tracer.close();
+    std::cerr << "sdpm_serviced: drained, exiting\n";
+    return 0;
+  } catch (const sdpm::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,168 @@
+// sdpm::api facade: JobSpec defaulting/round-trip, Session determinism.
+#include <gtest/gtest.h>
+
+#include "api/job_result.h"
+#include "api/job_spec.h"
+#include "api/session.h"
+#include "experiments/runner.h"
+#include "obs/tracer.h"
+#include "util/error.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm::api {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JobSpec: the versioned record and its defaulting rules
+
+TEST(JobSpec, DefaultIsThePaperConfiguration) {
+  const JobSpec spec;
+  EXPECT_EQ(spec.version, kJobSpecSchemaVersion);
+  EXPECT_EQ(spec.benchmark, "swim");
+  EXPECT_TRUE(spec.schemes.empty());
+  EXPECT_EQ(spec.transform, "none");
+  EXPECT_EQ(spec.disks, 8);
+  EXPECT_EQ(spec.stripe_size, kib(64));
+  EXPECT_EQ(spec.stripe_factor, 0);
+  EXPECT_EQ(spec.cache_bytes, mib(6));
+  EXPECT_NO_THROW(spec.validate());
+  // Empty scheme list resolves to all seven, in presentation order.
+  EXPECT_EQ(spec.resolved_schemes().size(), 7u);
+  EXPECT_EQ(spec.resolved_schemes().front(), experiments::Scheme::kBase);
+}
+
+TEST(JobSpec, DisplayLabelDerivesFromBenchmarkAndTransform) {
+  JobSpec spec;
+  spec.benchmark = "mgrid";
+  spec.transform = "LF+DL";
+  EXPECT_EQ(spec.display_label(), "mgrid/LF+DL");
+  spec.label = "custom";
+  EXPECT_EQ(spec.display_label(), "custom");
+}
+
+TEST(JobSpec, JsonRoundTripIsExact) {
+  const JobSpec spec = JobSpecBuilder("applu")
+                           .label("rt")
+                           .scheme("CMTPM")
+                           .scheme("CMDRPM")
+                           .transform("TL")
+                           .disks(4)
+                           .stripe_size(kib(32))
+                           .noise(0.1)
+                           .fault_spinup(0.05)
+                           .build();
+  const JobSpec back = JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(spec, back);
+  EXPECT_EQ(spec.canonical_json(), back.canonical_json());
+}
+
+TEST(JobSpec, MissingFieldsTakeDefaults) {
+  Json doc = Json::object();
+  doc.set("benchmark", std::string("mesa"));
+  const JobSpec spec = JobSpec::from_json(doc);
+  EXPECT_EQ(spec.benchmark, "mesa");
+  EXPECT_EQ(spec.disks, 8);             // default
+  EXPECT_EQ(spec.transform, "none");    // default
+  EXPECT_EQ(spec, JobSpecBuilder("mesa").build());
+}
+
+TEST(JobSpec, UnknownFieldsAreRejected) {
+  Json doc = Json::object();
+  doc.set("benchmark", std::string("swim"));
+  doc.set("discs", 4);  // typo'd key must fail loudly, not mean "default"
+  EXPECT_THROW(JobSpec::from_json(doc), sdpm::Error);
+}
+
+TEST(JobSpec, NewerSchemaVersionsAreRejected) {
+  Json doc = Json::object();
+  doc.set("version", kJobSpecSchemaVersion + 1);
+  EXPECT_THROW(JobSpec::from_json(doc), sdpm::Error);
+}
+
+TEST(JobSpec, ValidateNamesTheOffendingField) {
+  EXPECT_THROW(JobSpecBuilder("no-such-benchmark").build(), sdpm::Error);
+  EXPECT_THROW(JobSpecBuilder("swim").scheme("WarpDrive").build(),
+               sdpm::Error);
+  EXPECT_THROW(JobSpecBuilder("swim").transform("UV").build(), sdpm::Error);
+  EXPECT_THROW(JobSpecBuilder("swim").disks(0).build(), sdpm::Error);
+}
+
+TEST(JobSpec, CanonicalJsonIsTheJobIdentity) {
+  const JobSpec a = JobSpecBuilder("swim").scheme("Base").build();
+  JobSpec b = a;
+  EXPECT_EQ(a.canonical_json(), b.canonical_json());
+  b.disks = 4;
+  EXPECT_NE(a.canonical_json(), b.canonical_json());
+}
+
+// ---------------------------------------------------------------------------
+// Session: the determinism contract across all three evaluation paths
+
+TEST(Session, RunMatchesDirectRunnerBitForBit) {
+  const JobSpec spec =
+      JobSpecBuilder("galgel").scheme("Base").scheme("CMDRPM").build();
+
+  Session session;
+  const JobResult via_facade = session.run(spec);
+
+  // The historical path: a Runner driven scheme by scheme.
+  workloads::Benchmark bench = workloads::make_benchmark(spec.benchmark);
+  experiments::Runner runner(bench, spec.to_config());
+  ASSERT_EQ(via_facade.schemes.size(), 2u);
+  const SchemeOutcome base =
+      outcome_from(runner.run(experiments::Scheme::kBase));
+  const SchemeOutcome cmdrpm =
+      outcome_from(runner.run(experiments::Scheme::kCmdrpm));
+  EXPECT_EQ(via_facade.schemes[0], base);
+  EXPECT_EQ(via_facade.schemes[1], cmdrpm);
+}
+
+TEST(Session, BatchMatchesSerialRuns) {
+  std::vector<JobSpec> specs;
+  specs.push_back(JobSpecBuilder("galgel").scheme("CMTPM").build());
+  specs.push_back(
+      JobSpecBuilder("galgel").scheme("CMTPM").transform("TL").build());
+  specs.push_back(JobSpecBuilder("mesa").scheme("Base").disks(4).build());
+
+  Session session;
+  const std::vector<JobResult> batch = session.run_batch(specs);
+  ASSERT_EQ(batch.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(batch[i], session.run(specs[i])) << specs[i].display_label();
+  }
+}
+
+TEST(Session, ResultJsonRoundTrips) {
+  Session session;
+  const JobResult result =
+      session.run(JobSpecBuilder("galgel").scheme("TPM").build());
+  const JobResult back = JobResult::from_json(result.to_json());
+  EXPECT_EQ(result, back);
+}
+
+TEST(Session, RunHooksRejectOracleTraces) {
+  Session session;
+  obs::EventTracer tracer;
+  RunHooks hooks;
+  hooks.replay_tracer = &tracer;
+  hooks.trace_scheme = experiments::Scheme::kItpm;
+  EXPECT_THROW(
+      session.run(JobSpecBuilder("galgel").scheme("ITPM").build(), hooks),
+      sdpm::Error);
+}
+
+TEST(Session, AnalyzeIsCleanOnSchedulerOutputAndDirtyOnMutation) {
+  const Session session;
+  const JobSpec spec = JobSpecBuilder("swim").build();
+  const analysis::AnalysisReport clean =
+      session.analyze(spec, core::PowerMode::kDrpm);
+  EXPECT_EQ(clean.errors(), 0) << render_text(clean);
+
+  const analysis::AnalysisReport dirty = session.analyze(
+      spec, core::PowerMode::kDrpm, analysis::Mutation::kLatePreactivation);
+  EXPECT_GT(dirty.errors(), 0);
+  EXPECT_TRUE(dirty.has("SDPM-E040")) << render_text(dirty);
+}
+
+}  // namespace
+}  // namespace sdpm::api

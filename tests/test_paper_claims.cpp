@@ -6,8 +6,8 @@
 // the paper's argument.
 #include <gtest/gtest.h>
 
+#include "analysis/verify_schedule.h"
 #include "core/schedule.h"
-#include "core/verify_schedule.h"
 #include "experiments/runner.h"
 #include "trace/dap.h"
 
@@ -37,7 +37,10 @@ TEST(PaperClaims, CompilerExtractsDapAndSchedulesBothModes) {
       so.access = config.gen;
       const core::ScheduleResult result =
           core::schedule_power_calls(b.program, table, config.disk, so);
-      core::verify_schedule(result, config.total_disks, config.disk);
+      EXPECT_TRUE(analysis::check_schedule(result, config.total_disks,
+                                           config.disk)
+                      .empty())
+          << name;
     }
   }
 }

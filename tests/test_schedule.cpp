@@ -1,8 +1,8 @@
 // Power-call scheduler: Eq. 1, gap planning, pre-activation placement.
 #include <gtest/gtest.h>
 
+#include "analysis/verify_schedule.h"
 #include "core/mispredict.h"
-#include "core/verify_schedule.h"
 #include "core/schedule.h"
 #include "ir/builder.h"
 #include "trace/stall_aware.h"
@@ -263,6 +263,19 @@ TEST(Schedule, RejectsBadOptions) {
                sdpm::Error);
 }
 
+// Errors reported by the collect-all well-formedness pass.
+std::vector<analysis::Diagnostic> schedule_errors(const ScheduleResult& result,
+                                                  int total_disks) {
+  std::vector<analysis::Diagnostic> errors;
+  for (analysis::Diagnostic& d :
+       analysis::check_schedule(result, total_disks, params())) {
+    if (d.severity == analysis::Severity::kError) {
+      errors.push_back(std::move(d));
+    }
+  }
+  return errors;
+}
+
 TEST(VerifySchedule, AcceptsSchedulerOutput) {
   const TwoPhase tp;
   const layout::LayoutTable table(tp.program, tp.striping, 2);
@@ -271,7 +284,8 @@ TEST(VerifySchedule, AcceptsSchedulerOutput) {
     o.mode = mode;
     const ScheduleResult result =
         schedule_power_calls(tp.program, table, params(), o);
-    EXPECT_EQ(verify_schedule(result, 2, params()),
+    EXPECT_TRUE(schedule_errors(result, 2).empty());
+    EXPECT_EQ(static_cast<std::int64_t>(result.program.directives.size()),
               result.calls_inserted);
   }
 }
@@ -289,7 +303,9 @@ TEST(VerifySchedule, RejectsDoubleSpinDown) {
     }
   }
   result.program.sort_directives();
-  EXPECT_THROW(verify_schedule(result, 2, params()), sdpm::Error);
+  const auto errors = schedule_errors(result, 2);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_EQ(errors[0].rule, "SDPM-E004");
 }
 
 TEST(VerifySchedule, RejectsForeignDisk) {
@@ -299,7 +315,9 @@ TEST(VerifySchedule, RejectsForeignDisk) {
       schedule_power_calls(tp.program, table, params(), tpm_options());
   ASSERT_FALSE(result.program.directives.empty());
   result.program.directives[0].directive.disk = 7;
-  EXPECT_THROW(verify_schedule(result, 2, params()), sdpm::Error);
+  const auto errors = schedule_errors(result, 2);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_EQ(errors[0].rule, "SDPM-E002");
 }
 
 TEST(VerifySchedule, ReportsEveryViolationNotJustTheFirst) {
@@ -307,19 +325,17 @@ TEST(VerifySchedule, ReportsEveryViolationNotJustTheFirst) {
   const layout::LayoutTable table(tp.program, tp.striping, 2);
   ScheduleResult result =
       schedule_power_calls(tp.program, table, params(), tpm_options());
-  // Two independent corruptions: the thrown message names the first rule
-  // and carries the count of the rest instead of stopping at one.
+  // Two independent corruptions: both appear in the diagnostics instead of
+  // the pass stopping at the first.
   ASSERT_GE(result.program.directives.size(), 2u);
   result.program.directives[0].directive.disk = 7;
   result.program.directives[1].directive.disk = 8;
-  try {
-    verify_schedule(result, 2, params());
-    FAIL() << "corrupt schedule accepted";
-  } catch (const sdpm::Error& e) {
-    const std::string what = e.what();
-    EXPECT_NE(what.find("SDPM-E002"), std::string::npos) << what;
-    EXPECT_NE(what.find("more)"), std::string::npos) << what;
+  const auto errors = schedule_errors(result, 2);
+  int e002 = 0;
+  for (const analysis::Diagnostic& d : errors) {
+    if (d.rule == "SDPM-E002") ++e002;
   }
+  EXPECT_GE(e002, 2);
 }
 
 TEST(VerifySchedule, RejectsDirectiveOutsideIdlePeriod) {
@@ -333,7 +349,11 @@ TEST(VerifySchedule, RejectsDirectiveOutsideIdlePeriod) {
     plan.begin_iter = 0;
     plan.end_iter = 0;
   }
-  EXPECT_THROW(verify_schedule(result, 2, params()), sdpm::Error);
+  bool outside = false;
+  for (const auto& d : schedule_errors(result, 2)) {
+    if (d.rule == "SDPM-E003") outside = true;
+  }
+  EXPECT_TRUE(outside);
 }
 
 }  // namespace

@@ -1,0 +1,285 @@
+// sdpm_serviced core: admission-queue semantics (backpressure, fairness,
+// lifecycle, lossless drain) and a live daemon/client round trip over a
+// Unix socket.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/job_spec.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/queue.h"
+#include "util/error.h"
+
+namespace sdpm::service {
+namespace {
+
+api::JobSpec cheap_spec(const std::string& label) {
+  api::JobSpec spec = api::JobSpecBuilder("galgel").scheme("Base").build();
+  spec.label = label;
+  return spec;
+}
+
+api::JobResult dummy_result(const api::JobSpec& spec) {
+  api::JobResult result;
+  result.label = spec.display_label();
+  result.benchmark = spec.benchmark;
+  result.transform = spec.transform;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// BACKPRESSURE: a full queue rejects retryably and records nothing
+
+TEST(AdmissionQueue, BackpressureRejectsRetryably) {
+  AdmissionQueue queue(2);
+  std::string error;
+  bool retryable = false;
+  EXPECT_GT(queue.submit(1, cheap_spec("a"), error, retryable), 0);
+  EXPECT_GT(queue.submit(1, cheap_spec("b"), error, retryable), 0);
+  EXPECT_EQ(queue.submit(1, cheap_spec("c"), error, retryable), 0);
+  EXPECT_TRUE(retryable);
+  EXPECT_FALSE(error.empty());
+
+  const QueueStats stats = queue.stats();
+  EXPECT_EQ(stats.depth, 2u);
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.rejected, 1);
+
+  // Popping frees capacity: the retry succeeds.
+  const auto batch = queue.pop_batch(1);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_GT(queue.submit(1, cheap_spec("c"), error, retryable), 0);
+  queue.stop();
+}
+
+// ---------------------------------------------------------------------------
+// FAIRNESS: round-robin across sessions, FIFO within a session
+
+TEST(AdmissionQueue, PopsRoundRobinAcrossSessions) {
+  AdmissionQueue queue(16);
+  std::string error;
+  bool retryable = false;
+  // Session 1 dumps three jobs before session 2 submits one.
+  const std::int64_t a1 = queue.submit(1, cheap_spec("a1"), error, retryable);
+  const std::int64_t a2 = queue.submit(1, cheap_spec("a2"), error, retryable);
+  const std::int64_t a3 = queue.submit(1, cheap_spec("a3"), error, retryable);
+  const std::int64_t b1 = queue.submit(2, cheap_spec("b1"), error, retryable);
+
+  const auto batch = queue.pop_batch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  // One job per session per rotation: b1 runs second, not last.
+  EXPECT_EQ(batch[0]->id, a1);
+  EXPECT_EQ(batch[1]->id, b1);
+  EXPECT_EQ(batch[2]->id, a2);
+  EXPECT_EQ(batch[3]->id, a3);
+  for (const auto& job : batch) EXPECT_EQ(job->state, JobState::kRunning);
+  queue.stop();
+}
+
+// ---------------------------------------------------------------------------
+// LIFECYCLE: exactly-once dispatch, terminal states stay queryable
+
+TEST(AdmissionQueue, LifecycleIsExactlyOnce) {
+  AdmissionQueue queue(8);
+  std::string error;
+  bool retryable = false;
+  const std::int64_t id = queue.submit(1, cheap_spec("x"), error, retryable);
+
+  auto batch = queue.pop_batch(4);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0]->runs, 1);
+  queue.complete(batch[0], dummy_result(batch[0]->spec), 1.5);
+
+  const auto snap = queue.snapshot(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kDone);
+  ASSERT_TRUE(snap->result.has_value());
+  EXPECT_DOUBLE_EQ(snap->wall_ms, 1.5);
+
+  // wait_terminal on an already-terminal job returns immediately.
+  const auto waited = queue.wait_terminal(id);
+  ASSERT_TRUE(waited.has_value());
+  EXPECT_EQ(waited->state, JobState::kDone);
+
+  EXPECT_FALSE(queue.snapshot(9999).has_value());
+  queue.stop();
+}
+
+TEST(AdmissionQueue, CancelOnlyTouchesQueuedJobs) {
+  AdmissionQueue queue(8);
+  std::string error;
+  bool retryable = false;
+  const std::int64_t queued =
+      queue.submit(1, cheap_spec("q"), error, retryable);
+  const std::int64_t running =
+      queue.submit(2, cheap_spec("r"), error, retryable);
+
+  // Pop session 2's job only (rotation starts after session 1... pop both
+  // and re-submit is simpler: pop everything, then cancel must fail).
+  auto batch = queue.pop_batch(1);
+  ASSERT_EQ(batch.size(), 1u);
+  const std::int64_t popped = batch[0]->id;
+  const std::int64_t still_queued = popped == queued ? running : queued;
+
+  EXPECT_TRUE(queue.cancel(still_queued, error));
+  EXPECT_EQ(queue.snapshot(still_queued)->state, JobState::kCancelled);
+  EXPECT_FALSE(queue.cancel(popped, error));    // running
+  EXPECT_FALSE(queue.cancel(still_queued, error));  // already terminal
+  EXPECT_FALSE(queue.cancel(4242, error));      // unknown
+  queue.stop();
+}
+
+// ---------------------------------------------------------------------------
+// DRAIN: admission closes, nothing admitted is lost or double-run
+
+TEST(AdmissionQueue, DrainIsLossless) {
+  AdmissionQueue queue(64);
+  queue.pause(true);  // hold the dispatcher back deterministically
+
+  std::string error;
+  bool retryable = true;
+  std::vector<std::int64_t> admitted;
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t session = 1 + static_cast<std::uint64_t>(i % 3);
+    const std::int64_t id = queue.submit(
+        session, cheap_spec("j" + std::to_string(i)), error, retryable);
+    ASSERT_GT(id, 0);
+    admitted.push_back(id);
+  }
+
+  // A dispatcher draining the queue concurrently with the SIGTERM path.
+  std::atomic<int> dispatched{0};
+  std::thread dispatcher([&] {
+    while (true) {
+      auto batch = queue.pop_batch(3);
+      if (batch.empty()) return;
+      for (const auto& job : batch) {
+        EXPECT_EQ(job->runs, 1);
+        dispatched.fetch_add(1);
+        queue.complete(job, dummy_result(job->spec), 0.1);
+      }
+    }
+  });
+
+  queue.begin_drain();
+  EXPECT_TRUE(queue.draining());
+  // Post-drain submits are rejected NON-retryably: the client must not
+  // spin against a closing daemon.
+  EXPECT_EQ(queue.submit(1, cheap_spec("late"), error, retryable), 0);
+  EXPECT_FALSE(retryable);
+
+  queue.pause(false);
+  queue.wait_drained();
+  dispatcher.join();
+
+  // Every admitted job reached a terminal state exactly once.
+  EXPECT_EQ(dispatched.load(), 10);
+  for (const std::int64_t id : admitted) {
+    const auto snap = queue.snapshot(id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, JobState::kDone);
+  }
+  const QueueStats stats = queue.stats();
+  EXPECT_EQ(stats.completed, 10);
+  EXPECT_EQ(stats.depth, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  queue.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Daemon + client over a real socket
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/sdpm_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServiceDaemon, EndToEndSubmitAndDrain) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("e2e");
+  options.queue_capacity = 32;
+  options.max_batch = 4;
+  options.jobs = 2;
+  ServiceDaemon daemon(options);
+  daemon.start();
+
+  std::thread waiter([&] { daemon.wait(); });
+
+  {
+    Client client(options.socket_path);
+    const Json pong = client.ping();
+    EXPECT_EQ(pong.at("protocol").as_int(), 1);
+
+    // Two identical jobs: the second must ride the shared TraceCache.
+    const std::int64_t first = client.submit(cheap_spec("one"));
+    const std::int64_t second = client.submit(cheap_spec("two"));
+    EXPECT_GT(first, 0);
+    EXPECT_NE(first, second);
+
+    const Json done = client.result(first, /*wait=*/true);
+    EXPECT_EQ(done.at("state").as_string(), "done");
+    ASSERT_TRUE(done.contains("result"));
+    EXPECT_EQ(done.at("result").at("benchmark").as_string(), "galgel");
+
+    client.result(second, /*wait=*/true);
+    const Json stats = client.stats();
+    EXPECT_EQ(stats.at("queue").at("completed").as_int(), 2);
+
+    // A bad spec is rejected at the protocol level, not a crash.
+    Json bad = Json::object();
+    bad.set("op", std::string("submit"));
+    Json spec_json = Json::object();
+    spec_json.set("benchmark", std::string("not-a-benchmark"));
+    bad.set("spec", spec_json);
+    const Json rejected = client.request(bad);
+    EXPECT_FALSE(rejected.at("ok").as_bool());
+
+    client.shutdown();
+  }
+
+  waiter.join();
+  EXPECT_TRUE(daemon.done());
+  // The daemon unlinked its socket on the way out.
+  Client* late = nullptr;
+  EXPECT_THROW(late = new Client(options.socket_path), sdpm::Error);
+  delete late;
+}
+
+TEST(ServiceDaemon, DrainRejectsNewWorkButFinishesAdmitted) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("drain");
+  options.queue_capacity = 8;
+  options.jobs = 2;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+
+  std::int64_t admitted = 0;
+  {
+    Client client(options.socket_path);
+    admitted = client.submit(cheap_spec("before-drain"));
+    client.drain();
+
+    std::string error;
+    bool retryable = true;
+    EXPECT_EQ(client.try_submit(cheap_spec("after-drain"), error, retryable),
+              0);
+    EXPECT_FALSE(retryable);
+
+    // The admitted job still runs to completion during the drain.
+    const Json done = client.result(admitted, /*wait=*/true);
+    EXPECT_EQ(done.at("state").as_string(), "done");
+    client.shutdown();
+  }
+  waiter.join();
+  EXPECT_TRUE(daemon.done());
+}
+
+}  // namespace
+}  // namespace sdpm::service

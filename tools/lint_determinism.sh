@@ -11,8 +11,9 @@ cd "$(dirname "$0")/.."
 status=0
 
 # Wall-clock reads are allowed only for perf self-timing that is reported
-# as wall time on purpose (bench output, sweep progress, CLI timing).
-WALL_ALLOW='src/sim/simulator\.cpp|src/experiments/sweep\.cpp|src/tools/sdpm_cli\.cpp'
+# as wall time on purpose (bench output, sweep progress, CLI timing, the
+# facade's JobResult.wall_ms, and the daemon's span timestamps/uptime).
+WALL_ALLOW='src/sim/simulator\.cpp|src/experiments/sweep\.cpp|src/tools/sdpm_cli\.cpp|src/api/session\.cpp|src/service/daemon\.cpp'
 wall=$(grep -rn -E 'steady_clock|system_clock|high_resolution_clock|gettimeofday|time\(NULL\)|time\(nullptr\)' src/ \
   | grep -Ev "^($WALL_ALLOW):" || true)
 if [ -n "$wall" ]; then
