@@ -4,6 +4,29 @@
 
 namespace sdpm::api {
 
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "";
+    case ErrorCode::kExecError: return "EXEC_ERROR";
+    case ErrorCode::kJobTimeout: return "JOB_TIMEOUT";
+    case ErrorCode::kQuarantined: return "QUARANTINED";
+    case ErrorCode::kResultTooLarge: return "RESULT_TOO_LARGE";
+    case ErrorCode::kFrameTooLarge: return "FRAME_TOO_LARGE";
+    case ErrorCode::kCancelled: return "CANCELLED";
+  }
+  return "";
+}
+
+std::optional<ErrorCode> error_code_from(const std::string& text) {
+  for (const ErrorCode code :
+       {ErrorCode::kNone, ErrorCode::kExecError, ErrorCode::kJobTimeout,
+        ErrorCode::kQuarantined, ErrorCode::kResultTooLarge,
+        ErrorCode::kFrameTooLarge, ErrorCode::kCancelled}) {
+    if (text == to_string(code)) return code;
+  }
+  return std::nullopt;
+}
+
 SchemeOutcome outcome_from(const experiments::SchemeResult& result) {
   SchemeOutcome out;
   out.scheme = experiments::to_string(result.scheme);

@@ -16,6 +16,27 @@
 
 namespace sdpm::api {
 
+/// Stable failure codes for jobs that end in a terminal error.  The string
+/// form travels in job snapshots ("error_code") and protocol error frames
+/// ("code"); clients branch on the code, never on the human-readable
+/// message.  Codes are append-only: a value is never renamed or reused.
+enum class ErrorCode {
+  kNone,            ///< no failure
+  kExecError,       ///< evaluation threw (bad spec interaction, sim error)
+  kJobTimeout,      ///< exceeded the per-job wall-clock deadline
+  kQuarantined,     ///< poison job: crashed/overran the daemon too often
+  kResultTooLarge,  ///< result exceeds the response frame cap
+  kFrameTooLarge,   ///< request frame exceeds the frame cap
+  kCancelled,       ///< cancelled by a client before dispatch
+};
+
+/// Stable wire string of a code ("EXEC_ERROR", "JOB_TIMEOUT", ...).
+const char* to_string(ErrorCode code);
+
+/// Parse a wire string; empty optional for unknown codes (forward
+/// compatibility: clients treat unknown codes as a generic failure).
+std::optional<ErrorCode> error_code_from(const std::string& text);
+
 /// One scheme's outcome within a job (paper Figs. 3/4 columns).
 struct SchemeOutcome {
   std::string scheme;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <thread>
 
@@ -15,8 +16,23 @@
 #include "util/strings.h"
 
 namespace sdpm::service {
+namespace {
 
-Client::Client(const std::string& socket_path) : socket_path_(socket_path) {
+bool connect_retryable(int err) {
+  // The daemon is down or still replaying its journal: the socket file is
+  // missing or nobody is listening yet.  Anything else (permissions, path
+  // too long surfaced as EINVAL, ...) is permanent.
+  return err == ECONNREFUSED || err == ENOENT;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path, ClientOptions options)
+    : socket_path_(socket_path),
+      options_(options),
+      jitter_(options.jitter_seed) {
+  SDPM_REQUIRE(options_.connect_attempts > 0,
+               "connect_attempts must be positive");
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path_.size() >= sizeof(addr.sun_path)) {
@@ -24,22 +40,42 @@ Client::Client(const std::string& socket_path) : socket_path_(socket_path) {
   }
   std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
 
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw Error(str_printf("socket() failed: %s", std::strerror(errno)));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
+  int err = 0;
+  for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms(attempt - 1)));
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw Error(str_printf("socket() failed: %s", std::strerror(errno)));
+    }
+    int rc;
+    do {
+      rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) return;
+    err = errno;
     ::close(fd_);
     fd_ = -1;
-    throw Error(str_printf("cannot connect to sdpm_serviced at %s: %s",
-                           socket_path_.c_str(), std::strerror(err)));
+    if (!connect_retryable(err)) break;
   }
+  throw Error(str_printf("cannot connect to sdpm_serviced at %s: %s",
+                         socket_path_.c_str(), std::strerror(err)));
 }
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+double Client::backoff_ms(int attempt) {
+  const double base =
+      std::min(options_.backoff_base_ms * std::pow(2.0, attempt),
+               options_.backoff_cap_ms);
+  // Up to +50% decorrelation jitter, from a seeded stream — a fleet of
+  // retrying clients spreads out without any wall-clock entropy.
+  return base * (1.0 + 0.5 * jitter_.next_double());
 }
 
 Json Client::request(const Json& message) {
@@ -56,6 +92,11 @@ Json Client::expect_ok(Json response) const {
     const std::string error = response.contains("error")
                                   ? response.at("error").as_string()
                                   : std::string("unspecified daemon error");
+    if (response.contains("code")) {
+      throw Error(str_printf("daemon error [%s]: %s",
+                             response.at("code").as_string().c_str(),
+                             error.c_str()));
+    }
     throw Error(str_printf("daemon error: %s", error.c_str()));
   }
   return response;
@@ -87,15 +128,14 @@ std::int64_t Client::try_submit(const api::JobSpec& spec, std::string& error,
 std::int64_t Client::submit(const api::JobSpec& spec, int max_attempts) {
   std::string error;
   bool retryable = false;
-  auto backoff = std::chrono::milliseconds(5);
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     const std::int64_t id = try_submit(spec, error, retryable);
     if (id > 0) return id;
     if (!retryable) {
       throw Error(str_printf("submit rejected: %s", error.c_str()));
     }
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms(attempt)));
   }
   throw Error(str_printf("submit still rejected after %d attempts: %s",
                          max_attempts, error.c_str()));

@@ -2,6 +2,12 @@
 // flight at a time (the protocol is strict request/response, so a client
 // that wants concurrency opens more connections).
 //
+// Retry discipline: transient failures — a daemon that has not bound its
+// socket yet (connect_attempts > 1) and backpressure rejections (submit)
+// — are retried with exponential backoff plus deterministic, seeded
+// jitter.  Jitter decorrelates a fleet of clients hammering a restarting
+// daemon; seeding it keeps the retry schedule reproducible under test.
+//
 // The JSON-level request() escape hatch is public on purpose: the typed
 // helpers cover the CLI's needs, tests poke edge cases through raw frames.
 #pragma once
@@ -11,14 +17,27 @@
 
 #include "api/job_spec.h"
 #include "util/json.h"
+#include "util/rng.h"
 
 namespace sdpm::service {
+
+struct ClientOptions {
+  /// Connect attempts before giving up.  1 = fail fast (the historical
+  /// behavior); larger values ride out a daemon that is restarting and
+  /// replaying its journal.
+  int connect_attempts = 1;
+  double backoff_base_ms = 5;
+  double backoff_cap_ms = 500;
+  /// Seed of the jitter stream (SplitMix64); never a wall clock.
+  std::uint64_t jitter_seed = 0x5d9f2e3b4c1a7081ull;
+};
 
 class Client {
  public:
   /// Connect to the daemon at `socket_path`; throws sdpm::Error when the
-  /// daemon is not listening.
-  explicit Client(const std::string& socket_path);
+  /// daemon is not listening (after options.connect_attempts tries).
+  explicit Client(const std::string& socket_path,
+                  ClientOptions options = ClientOptions{});
   ~Client();
 
   Client(const Client&) = delete;
@@ -36,9 +55,9 @@ class Client {
   std::int64_t try_submit(const api::JobSpec& spec, std::string& error,
                           bool& retryable);
 
-  /// Submit with bounded exponential backoff on backpressure (retryable
-  /// rejections).  Throws after `max_attempts` rejections or on any
-  /// non-retryable error.
+  /// Submit with bounded exponential backoff + jitter on backpressure
+  /// (retryable rejections).  Throws after `max_attempts` rejections or
+  /// on any non-retryable error.
   std::int64_t submit(const api::JobSpec& spec, int max_attempts = 8);
 
   /// Job snapshot as the daemon rendered it ({"id","state","label",...}).
@@ -54,8 +73,12 @@ class Client {
 
  private:
   Json expect_ok(Json response) const;
+  /// backoff_base_ms * 2^attempt (capped), plus up to 50% seeded jitter.
+  double backoff_ms(int attempt);
 
   std::string socket_path_;
+  ClientOptions options_;
+  SplitMix64 jitter_;
   int fd_ = -1;
 };
 

@@ -30,7 +30,10 @@ Json snapshot_json(const JobSnapshot& snap) {
   job.set("id", snap.id)
       .set("label", snap.label)
       .set("state", std::string(to_string(snap.state)));
-  if (snap.state == JobState::kFailed) job.set("error", snap.error);
+  if (snap.state == JobState::kFailed) {
+    job.set("error", snap.error);
+    if (!snap.error_code.empty()) job.set("code", snap.error_code);
+  }
   if (is_terminal(snap.state)) job.set("wall_ms", snap.wall_ms);
   if (snap.result.has_value()) job.set("result", snap.result->to_json());
   return job;
@@ -65,7 +68,80 @@ double ServiceDaemon::wall_ms_now() const {
   return static_cast<double>(steady_ns() - start_ns_) / 1e6;
 }
 
+void ServiceDaemon::open_state() {
+  if (options_.state_dir.empty()) return;
+  store_ = std::make_unique<PersistentStore>(StoreOptions{
+      .directory = options_.state_dir + "/store",
+      .max_bytes = options_.store_max_bytes,
+  });
+  journal_ = std::make_unique<Journal>(JournalOptions{
+      .path = options_.state_dir + "/journal.bin",
+      .fsync_each = options_.fsync_journal,
+  });
+  const JournalReplay replay = journal_->open();
+  auto& metrics = obs::MetricsRegistry::global();
+
+  for (const ReplayedJob& replayed : replay.jobs) {
+    api::JobSpec spec;
+    try {
+      spec = api::JobSpec::from_json(Json::parse(replayed.spec_json));
+      spec.validate();
+    } catch (const std::exception&) {
+      continue;  // CRC-valid but unparseable spec: nothing to re-run
+    }
+
+    // A job with a done record whose result still resolves in the store
+    // is restored terminal; if the store entry was evicted or quarantined
+    // the job is simply recomputed (results are deterministic).
+    if (replayed.outcome == ReplayedJob::Outcome::kDone) {
+      std::optional<std::string> blob;
+      if (const auto key = StoreKey::from_hex(replayed.store_key)) {
+        blob = store_->get(*key);
+      }
+      std::optional<api::JobResult> result;
+      if (blob.has_value()) {
+        try {
+          result = api::JobResult::from_json(Json::parse(*blob));
+        } catch (const std::exception&) {
+          // CRC-valid but unparseable payload: recompute below
+        }
+      }
+      if (result.has_value()) {
+        queue_.restore_done(replayed.id, replayed.session, std::move(spec),
+                            std::move(*result));
+        continue;
+      }
+    } else if (replayed.outcome == ReplayedJob::Outcome::kFailed) {
+      queue_.restore_failed(replayed.id, replayed.session, std::move(spec),
+                            replayed.error, replayed.error_code);
+      continue;
+    } else if (replayed.outcome == ReplayedJob::Outcome::kCancelled) {
+      queue_.restore_cancelled(replayed.id, replayed.session, std::move(spec));
+      continue;
+    }
+
+    // Admitted but incomplete: re-queue exactly once — unless the journal
+    // shows the job was dispatched max_attempts times without ever
+    // completing, i.e. it keeps taking the daemon down.  Quarantine it
+    // with a structured failure instead of crash-looping.
+    if (replayed.dispatches >= options_.max_attempts) {
+      const std::string error = str_printf(
+          "job quarantined after %lld dispatch attempts without completion",
+          static_cast<long long>(replayed.dispatches));
+      queue_.restore_failed(replayed.id, replayed.session, std::move(spec),
+                            error, "QUARANTINED");
+      journal_->complete_failed(replayed.id, "QUARANTINED", error);
+      metrics.add("service.jobs_quarantined");
+      continue;
+    }
+    queue_.restore_queued(replayed.id, replayed.session, std::move(spec),
+                          replayed.dispatches);
+    metrics.add("service.jobs_recovered");
+  }
+}
+
 void ServiceDaemon::start() {
+  open_state();
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
@@ -100,6 +176,9 @@ void ServiceDaemon::start() {
 
   accept_thread_ = std::thread([this] { accept_loop(); });
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  if (options_.job_timeout_ms > 0) {
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 void ServiceDaemon::close_listener() {
@@ -134,17 +213,48 @@ void ServiceDaemon::accept_loop() {
 }
 
 void ServiceDaemon::handle_connection(int fd, std::uint64_t session_id) {
+  auto& metrics = obs::MetricsRegistry::global();
   try {
     std::string payload;
-    while (read_frame(fd, payload)) {
-      obs::MetricsRegistry::global().add("service.requests");
+    while (true) {
+      const FrameRead frame =
+          read_frame_limited(fd, payload, options_.max_frame_bytes);
+      if (frame.status == FrameRead::Status::kEof) break;
+      if (frame.status == FrameRead::Status::kTooLarge) {
+        // A structured error frame instead of a dropped connection: the
+        // client learns WHY.  When the oversized payload could not be
+        // discarded the stream is out of alignment and must close.
+        metrics.add("service.frames_rejected");
+        write_message(fd, error_response(
+                              str_printf("request frame of %u bytes exceeds "
+                                         "the %u-byte limit",
+                                         frame.length,
+                                         options_.max_frame_bytes),
+                              false, "FRAME_TOO_LARGE"));
+        if (!frame.resynced) break;
+        continue;
+      }
+      metrics.add("service.requests");
       Json response;
       try {
         response = handle_request(Json::parse(payload), session_id);
       } catch (const std::exception& e) {
         response = error_response(e.what());
       }
-      write_message(fd, response);
+      // A response that cannot fit one frame (a huge JobResult) must not
+      // be truncated or silently dropped — substitute a structured
+      // RESULT_TOO_LARGE error so the client fails loudly.
+      std::string dump = response.dump();
+      if (dump.size() > options_.max_frame_bytes) {
+        metrics.add("service.results_too_large");
+        response = error_response(
+            str_printf("response of %zu bytes exceeds the %u-byte frame "
+                       "limit",
+                       dump.size(), options_.max_frame_bytes),
+            false, "RESULT_TOO_LARGE");
+        dump = response.dump();
+      }
+      write_frame(fd, dump);
     }
   } catch (const std::exception&) {
     // Torn frame or socket error: drop the connection.  The daemon's
@@ -179,6 +289,10 @@ Json ServiceDaemon::handle_request(const Json& request,
     } catch (const std::exception& e) {
       return error_response(e.what());
     }
+    // The ADMIT record needs the canonical document; capture it before the
+    // spec is moved into the queue.
+    const std::string spec_json =
+        journal_ != nullptr ? spec.canonical_json() : std::string();
     std::string error;
     bool retryable = false;
     const std::int64_t id =
@@ -187,6 +301,7 @@ Json ServiceDaemon::handle_request(const Json& request,
       obs::MetricsRegistry::global().add("service.jobs_rejected");
       return error_response(error, retryable);
     }
+    if (journal_ != nullptr) journal_->admit(id, session_id, spec_json);
     obs::MetricsRegistry::global().add("service.jobs_submitted");
     return ok_response().set("id", id);
   }
@@ -207,10 +322,12 @@ Json ServiceDaemon::handle_request(const Json& request,
   }
 
   if (op == "cancel") {
+    const std::int64_t id = require_id(request);
     std::string error;
-    if (!queue_.cancel(require_id(request), error)) {
+    if (!queue_.cancel(id, error)) {
       return error_response(error);
     }
+    if (journal_ != nullptr) journal_->cancel(id);
     obs::MetricsRegistry::global().add("service.jobs_cancelled");
     return ok_response();
   }
@@ -226,6 +343,8 @@ Json ServiceDaemon::handle_request(const Json& request,
         .set("failed", stats.failed)
         .set("cancelled", stats.cancelled)
         .set("rejected", stats.rejected)
+        .set("recovered", stats.recovered)
+        .set("timed_out", stats.timed_out)
         .set("draining", stats.draining);
     Json counters = Json::object();
     const auto snapshot = obs::MetricsRegistry::global().snapshot();
@@ -236,11 +355,23 @@ Json ServiceDaemon::handle_request(const Json& request,
     auto& trace_cache = experiments::TraceCache::global();
     cache.set("size", static_cast<std::int64_t>(trace_cache.size()))
         .set("enabled", trace_cache.enabled());
-    return ok_response()
-        .set("protocol", kProtocolVersion)
-        .set("queue", queue)
-        .set("counters", counters)
-        .set("trace_cache", cache);
+    Json response = ok_response()
+                        .set("protocol", kProtocolVersion)
+                        .set("queue", queue)
+                        .set("counters", counters)
+                        .set("trace_cache", cache);
+    if (store_ != nullptr) {
+      const StoreStats store_stats = store_->stats();
+      Json store = Json::object();
+      store.set("entries", static_cast<std::int64_t>(store_stats.entries))
+          .set("bytes", store_stats.bytes)
+          .set("hits", store_stats.hits)
+          .set("misses", store_stats.misses)
+          .set("evictions", store_stats.evictions)
+          .set("corrupt_evictions", store_stats.corrupt_evictions);
+      response.set("store", store);
+    }
+    return response;
   }
 
   if (op == "drain") {
@@ -258,10 +389,59 @@ Json ServiceDaemon::handle_request(const Json& request,
 
 void ServiceDaemon::dispatch_loop() {
   while (true) {
-    const auto batch = queue_.pop_batch(options_.max_batch);
+    const auto batch = queue_.pop_batch(options_.max_batch, wall_ms_now());
     if (batch.empty()) return;  // stopped, or draining with nothing left
+    // DISPATCH is journaled before the work runs: a job that takes the
+    // daemon down mid-evaluation accumulates dispatch records, which is
+    // exactly the signal the poison-job quarantine counts at recovery.
+    if (journal_ != nullptr) {
+      for (const auto& job : batch) journal_->dispatch(job->id);
+    }
     run_batch_jobs(batch);
   }
+}
+
+void ServiceDaemon::watchdog_loop() {
+  auto& metrics = obs::MetricsRegistry::global();
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto expired =
+        queue_.expire_overdue(wall_ms_now(), options_.job_timeout_ms);
+    for (const auto& job : expired) {
+      if (journal_ != nullptr) {
+        journal_->complete_failed(job->id, "JOB_TIMEOUT", job->error);
+      }
+      metrics.add("service.jobs_failed");
+      metrics.add("service.jobs_timed_out");
+    }
+  }
+}
+
+void ServiceDaemon::finish_job(const std::shared_ptr<Job>& job,
+                               api::JobResult result, double wall_ms) {
+  auto& metrics = obs::MetricsRegistry::global();
+  // The store is written before the journal's COMPLETE record so the
+  // record's key always resolves after a crash between the two.
+  std::string store_key_hex;
+  if (store_ != nullptr) {
+    const StoreKey key = fingerprint_bytes(job->spec.canonical_json());
+    store_->put(key, result.to_json().dump());
+    store_key_hex = key.hex();
+  }
+  if (!queue_.complete(job, std::move(result), wall_ms)) {
+    return;  // the watchdog timed this job out first; drop the late result
+  }
+  if (journal_ != nullptr) journal_->complete_done(job->id, store_key_hex);
+  metrics.add("service.jobs_completed");
+  metrics.observe("service.job_wall_ms", wall_ms);
+}
+
+void ServiceDaemon::finish_job_failed(const std::shared_ptr<Job>& job,
+                                      std::string error, double wall_ms,
+                                      const char* code) {
+  if (!queue_.fail(job, error, wall_ms, code)) return;
+  if (journal_ != nullptr) journal_->complete_failed(job->id, code, error);
+  obs::MetricsRegistry::global().add("service.jobs_failed");
 }
 
 void ServiceDaemon::run_batch_jobs(
@@ -280,36 +460,65 @@ void ServiceDaemon::run_batch_jobs(
     }
   }
 
-  bool batched_ok = true;
-  try {
-    std::vector<api::JobSpec> specs;
-    specs.reserve(batch.size());
-    for (const auto& job : batch) specs.push_back(job->spec);
-    std::vector<api::JobResult> results = session_.run_batch(specs);
-    const double wall = wall_ms_now() - t0;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      queue_.complete(batch[i], std::move(results[i]), wall);
-      metrics.add("service.jobs_completed");
-      metrics.observe("service.job_wall_ms", wall);
+  // Persistent-store fast path: a job whose result survives from a prior
+  // daemon life (or an identical earlier job) completes without touching
+  // the simulator.  Only the misses go to the batch sweep.
+  std::vector<std::shared_ptr<Job>> misses;
+  misses.reserve(batch.size());
+  for (const auto& job : batch) {
+    std::optional<api::JobResult> cached;
+    if (store_ != nullptr) {
+      const StoreKey key = fingerprint_bytes(job->spec.canonical_json());
+      if (const auto blob = store_->get(key)) {
+        try {
+          cached = api::JobResult::from_json(Json::parse(*blob));
+        } catch (const std::exception&) {
+          // CRC-valid but unparseable: recompute.
+        }
+      }
     }
-  } catch (const std::exception&) {
-    batched_ok = false;
+    if (cached.has_value()) {
+      const double wall = wall_ms_now() - t0;
+      if (queue_.complete(job, std::move(*cached), wall)) {
+        if (journal_ != nullptr) {
+          journal_->complete_done(
+              job->id, fingerprint_bytes(job->spec.canonical_json()).hex());
+        }
+        metrics.add("service.jobs_completed");
+        metrics.observe("service.job_wall_ms", wall);
+      }
+    } else {
+      misses.push_back(job);
+    }
+  }
+
+  bool batched_ok = true;
+  if (!misses.empty()) {
+    try {
+      std::vector<api::JobSpec> specs;
+      specs.reserve(misses.size());
+      for (const auto& job : misses) specs.push_back(job->spec);
+      std::vector<api::JobResult> results = session_.run_batch(specs);
+      const double wall = wall_ms_now() - t0;
+      for (std::size_t i = 0; i < misses.size(); ++i) {
+        finish_job(misses[i], std::move(results[i]), wall);
+      }
+    } catch (const std::exception&) {
+      batched_ok = false;
+    }
   }
 
   if (!batched_ok) {
     // The sweep failed as a whole; re-run per job so the error lands on
     // the job that caused it and the rest of the batch still completes.
-    for (const auto& job : batch) {
+    for (const auto& job : misses) {
       const double job_t0 = wall_ms_now();
       try {
         api::JobResult result = session_.run(job->spec);
-        const double wall = wall_ms_now() - job_t0;
-        queue_.complete(job, std::move(result), wall);
-        metrics.add("service.jobs_completed");
-        metrics.observe("service.job_wall_ms", wall);
+        finish_job(job, std::move(result), wall_ms_now() - job_t0);
       } catch (const std::exception& e) {
-        queue_.fail(job, e.what(), wall_ms_now() - job_t0);
-        metrics.add("service.jobs_failed");
+        finish_job_failed(job, e.what(), wall_ms_now() - job_t0,
+                          "EXEC_ERROR");
       }
     }
   }
@@ -354,6 +563,9 @@ void ServiceDaemon::wait() {
     if (t.joinable()) t.join();
   }
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  if (journal_ != nullptr) journal_->close();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

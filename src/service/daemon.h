@@ -31,7 +31,10 @@
 #include <vector>
 
 #include "api/session.h"
+#include "service/journal.h"
+#include "service/protocol.h"
 #include "service/queue.h"
+#include "service/store.h"
 
 namespace sdpm::obs {
 class EventTracer;
@@ -50,6 +53,26 @@ struct DaemonOptions {
   /// Per-job span tracer (not owned).  Spans are timestamped in wall
   /// milliseconds since the daemon started.
   obs::EventTracer* tracer = nullptr;
+  /// Durability root.  When non-empty, start() opens
+  /// `<state_dir>/journal.bin` (write-ahead job journal) and
+  /// `<state_dir>/store` (persistent result store), replays the journal,
+  /// and re-queues every admitted-but-incomplete job exactly once.  Empty
+  /// = fully in-memory (the pre-durability behavior).
+  std::string state_dir;
+  /// Per-job wall-clock deadline in ms; 0 disables the watchdog.  A
+  /// running job that overruns is failed with JOB_TIMEOUT.
+  double job_timeout_ms = 0;
+  /// A recovered job whose journal shows this many dispatches without a
+  /// completion is quarantined (failed with QUARANTINED) instead of
+  /// re-queued — a poison job cannot crash-loop the daemon forever.
+  int max_attempts = 3;
+  /// Payload-byte budget of the persistent store.
+  std::int64_t store_max_bytes = 256ll << 20;
+  /// Per-connection frame cap (request and response).  Tests shrink it to
+  /// exercise FRAME_TOO_LARGE / RESULT_TOO_LARGE without 16 MB payloads.
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// fsync the journal after every append (power-cut durability).
+  bool fsync_journal = false;
 };
 
 class ServiceDaemon {
@@ -85,22 +108,34 @@ class ServiceDaemon {
 
   const std::string& socket_path() const { return options_.socket_path; }
   AdmissionQueue& queue() { return queue_; }
+  /// The persistent store, or nullptr when state_dir is empty.
+  PersistentStore* store() { return store_.get(); }
 
  private:
   void accept_loop();
   void handle_connection(int fd, std::uint64_t session_id);
   void dispatch_loop();
+  void watchdog_loop();
   void run_batch_jobs(const std::vector<std::shared_ptr<Job>>& batch);
   Json handle_request(const Json& request, std::uint64_t session_id);
   double wall_ms_now() const;
   void close_listener();
+  void open_state();  ///< open store + journal, replay, restore the queue
+  void finish_job(const std::shared_ptr<Job>& job, api::JobResult result,
+                  double wall_ms);
+  void finish_job_failed(const std::shared_ptr<Job>& job, std::string error,
+                         double wall_ms, const char* code);
 
   DaemonOptions options_;
   AdmissionQueue queue_;
   api::Session session_;
+  std::unique_ptr<PersistentStore> store_;
+  std::unique_ptr<Journal> journal_;
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::thread dispatch_thread_;
+  std::thread watchdog_thread_;
+  std::atomic<bool> watchdog_stop_{false};
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> done_{false};
   std::int64_t start_ns_ = 0;  ///< steady-clock epoch for span timestamps

@@ -50,21 +50,49 @@ void write_exact(int fd, const char* data, std::size_t n) {
 
 }  // namespace
 
-bool read_frame(int fd, std::string& payload) {
+FrameRead read_frame_limited(int fd, std::string& payload,
+                             std::uint32_t max_bytes) {
   unsigned char prefix[4];
-  if (read_exact(fd, reinterpret_cast<char*>(prefix), 4) == 0) return false;
+  if (read_exact(fd, reinterpret_cast<char*>(prefix), 4) == 0) {
+    return FrameRead{FrameRead::Status::kEof, 0, false};
+  }
   const std::uint32_t length = (static_cast<std::uint32_t>(prefix[0]) << 24) |
                                (static_cast<std::uint32_t>(prefix[1]) << 16) |
                                (static_cast<std::uint32_t>(prefix[2]) << 8) |
                                static_cast<std::uint32_t>(prefix[3]);
-  if (length > kMaxFrameBytes) {
-    throw Error(str_printf("service: frame of %u bytes exceeds the %u-byte "
-                           "limit",
-                           length, kMaxFrameBytes));
+  if (length > max_bytes) {
+    FrameRead result{FrameRead::Status::kTooLarge, length, false};
+    // A prefix with the high bit set is a "negative" length from a signed
+    // writer — certainly garbage, never worth streaming through.
+    if (length <= kMaxDiscardBytes && (length & 0x80000000u) == 0) {
+      char sink[1 << 16];
+      std::uint32_t remaining = length;
+      while (remaining > 0) {
+        const std::size_t chunk =
+            remaining < sizeof(sink) ? remaining : sizeof(sink);
+        if (read_exact(fd, sink, chunk) == 0) {
+          throw Error("service: connection closed mid-frame");
+        }
+        remaining -= static_cast<std::uint32_t>(chunk);
+      }
+      result.resynced = true;
+    }
+    return result;
   }
   payload.resize(length);
   if (length > 0 && read_exact(fd, payload.data(), length) == 0) {
     throw Error("service: connection closed mid-frame");
+  }
+  return FrameRead{FrameRead::Status::kFrame, length, true};
+}
+
+bool read_frame(int fd, std::string& payload) {
+  const FrameRead read = read_frame_limited(fd, payload, kMaxFrameBytes);
+  if (read.status == FrameRead::Status::kEof) return false;
+  if (read.status == FrameRead::Status::kTooLarge) {
+    throw Error(str_printf("service: frame of %u bytes exceeds the %u-byte "
+                           "limit",
+                           read.length, kMaxFrameBytes));
   }
   return true;
 }
@@ -103,9 +131,11 @@ Json ok_response() {
   return response;
 }
 
-Json error_response(const std::string& message, bool retryable) {
+Json error_response(const std::string& message, bool retryable,
+                    const std::string& code) {
   Json response = Json::object();
   response.set("ok", false).set("error", message).set("retryable", retryable);
+  if (!code.empty()) response.set("code", code);
   return response;
 }
 

@@ -7,9 +7,12 @@
 //   | N, big-endian  | UTF-8 JSON document |
 //   +----------------+---------------------+
 // N is the payload length in bytes, unsigned, big-endian, and must be
-// <= kMaxFrameBytes (a malformed or hostile prefix tears the connection
-// down instead of allocating gigabytes).  One request frame yields exactly
-// one response frame; requests on one connection are processed in order.
+// <= kMaxFrameBytes.  The daemon answers an oversized prefix with a
+// structured {"ok":false,"code":"FRAME_TOO_LARGE"} frame — discarding the
+// payload to stay aligned when that is affordable, closing the connection
+// when it is not (see read_frame_limited); it never allocates gigabytes
+// for a hostile prefix.  One request frame yields exactly one response
+// frame; requests on one connection are processed in order.
 //
 // REQUESTS are JSON objects with an "op" field:
 //   {"op":"ping"}
@@ -44,9 +47,38 @@ inline constexpr int kProtocolVersion = 1;
 /// magnitude.
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 
+/// Oversized frames up to this many bytes are read and DISCARDED so the
+/// stream stays aligned and the connection can carry a structured error
+/// frame and keep serving.  Beyond it (including "negative" prefixes with
+/// the high bit set) the stream cannot be resynchronized at an acceptable
+/// cost: the caller sends the error frame and closes.
+inline constexpr std::uint32_t kMaxDiscardBytes = 64u << 20;
+
+/// Outcome of a bounded frame read.
+struct FrameRead {
+  enum class Status {
+    kFrame,     ///< payload holds one complete frame
+    kEof,       ///< clean close at a frame boundary
+    kTooLarge,  ///< prefix exceeded `max_bytes`; payload untouched
+  };
+  Status status = Status::kFrame;
+  std::uint32_t length = 0;  ///< the announced length (kTooLarge)
+  /// kTooLarge only: the oversized payload was consumed and the stream is
+  /// aligned at the next frame; false means the connection must close.
+  bool resynced = false;
+};
+
+/// Read one frame of at most `max_bytes` payload into `payload`.  Never
+/// throws for oversized prefixes — those come back as kTooLarge so the
+/// daemon can answer with a structured error frame instead of tearing the
+/// connection down.  Still throws sdpm::Error on a truncated frame or
+/// socket error (there is nothing left to answer on).
+FrameRead read_frame_limited(int fd, std::string& payload,
+                             std::uint32_t max_bytes);
+
 /// Read one frame into `payload`.  Returns false on clean EOF at a frame
 /// boundary; throws sdpm::Error on a truncated frame, oversized prefix, or
-/// socket error.
+/// socket error.  (The strict client-side flavor of read_frame_limited.)
 bool read_frame(int fd, std::string& payload);
 
 /// Write one frame; throws sdpm::Error on a socket error (EPIPE included:
@@ -57,8 +89,11 @@ void write_frame(int fd, std::string_view payload);
 bool read_message(int fd, Json& message);
 void write_message(int fd, const Json& message);
 
-/// Response envelope helpers.
+/// Response envelope helpers.  `code` (when non-empty) is a stable
+/// machine-readable failure code (api::ErrorCode wire string) carried as
+/// the "code" field next to the human-readable "error".
 Json ok_response();
-Json error_response(const std::string& message, bool retryable = false);
+Json error_response(const std::string& message, bool retryable = false,
+                    const std::string& code = "");
 
 }  // namespace sdpm::service

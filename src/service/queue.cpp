@@ -54,7 +54,8 @@ std::int64_t AdmissionQueue::submit(std::uint64_t session, api::JobSpec spec,
   return job->id;
 }
 
-std::vector<std::shared_ptr<Job>> AdmissionQueue::pop_batch(std::size_t max) {
+std::vector<std::shared_ptr<Job>> AdmissionQueue::pop_batch(std::size_t max,
+                                                            double now_ms) {
   std::unique_lock lock(mutex_);
   work_cv_.wait(lock, [this] {
     if (stopped_) return true;
@@ -80,17 +81,21 @@ std::vector<std::shared_ptr<Job>> AdmissionQueue::pop_batch(std::size_t max) {
     ++running_;
     job->state = JobState::kRunning;
     job->dispatch_seq = next_dispatch_seq_++;
+    job->started_ms = now_ms;
     ++job->runs;
     batch.push_back(std::move(job));
   }
   return batch;
 }
 
-void AdmissionQueue::complete(const std::shared_ptr<Job>& job,
+bool AdmissionQueue::complete(const std::shared_ptr<Job>& job,
                               api::JobResult result, double wall_ms) {
   std::lock_guard lock(mutex_);
-  SDPM_REQUIRE(job->state == JobState::kRunning,
-               "complete() on a job that is not running");
+  SDPM_REQUIRE(job->state != JobState::kQueued,
+               "complete() on a job that was never dispatched");
+  // The watchdog (or a concurrent cancel during recovery) may have beaten
+  // a slow worker to the terminal transition; the late result is dropped.
+  if (is_terminal(job->state)) return false;
   job->state = JobState::kDone;
   job->result = std::move(result);
   job->wall_ms = wall_ms;
@@ -98,20 +103,109 @@ void AdmissionQueue::complete(const std::shared_ptr<Job>& job,
   ++completed_;
   done_cv_.notify_all();
   work_cv_.notify_all();  // drained_locked() may have become true
+  return true;
 }
 
-void AdmissionQueue::fail(const std::shared_ptr<Job>& job, std::string error,
-                          double wall_ms) {
+bool AdmissionQueue::fail(const std::shared_ptr<Job>& job, std::string error,
+                          double wall_ms, std::string error_code) {
   std::lock_guard lock(mutex_);
-  SDPM_REQUIRE(job->state == JobState::kRunning,
-               "fail() on a job that is not running");
+  SDPM_REQUIRE(job->state != JobState::kQueued,
+               "fail() on a job that was never dispatched");
+  if (is_terminal(job->state)) return false;
   job->state = JobState::kFailed;
   job->error = std::move(error);
+  job->error_code = std::move(error_code);
   job->wall_ms = wall_ms;
   --running_;
   ++failed_;
   done_cv_.notify_all();
   work_cv_.notify_all();
+  return true;
+}
+
+std::vector<std::shared_ptr<Job>> AdmissionQueue::expire_overdue(
+    double now_ms, double timeout_ms) {
+  std::lock_guard lock(mutex_);
+  std::vector<std::shared_ptr<Job>> expired;
+  for (auto& [id, job] : jobs_) {
+    if (job->state != JobState::kRunning) continue;
+    if (job->started_ms < 0) continue;  // dispatcher opted out of deadlines
+    const double elapsed = now_ms - job->started_ms;
+    if (elapsed <= timeout_ms) continue;
+    job->state = JobState::kFailed;
+    job->error = str_printf("job exceeded its %.0f ms deadline (ran %.0f ms)",
+                            timeout_ms, elapsed);
+    job->error_code = "JOB_TIMEOUT";
+    job->wall_ms = elapsed;
+    --running_;
+    ++failed_;
+    ++timed_out_;
+    expired.push_back(job);
+  }
+  if (!expired.empty()) {
+    done_cv_.notify_all();
+    work_cv_.notify_all();
+  }
+  return expired;
+}
+
+std::shared_ptr<Job> AdmissionQueue::restore_locked(std::int64_t id,
+                                                    std::uint64_t session,
+                                                    api::JobSpec spec) {
+  SDPM_REQUIRE(id > 0, "restored job ids must be positive");
+  SDPM_REQUIRE(jobs_.find(id) == jobs_.end(),
+               "restore of a job id that already exists");
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->session = session;
+  job->spec = std::move(spec);
+  job->label = job->spec.display_label();
+  jobs_.emplace(id, job);
+  if (next_id_ <= id) next_id_ = id + 1;
+  ++submitted_;
+  return job;
+}
+
+std::int64_t AdmissionQueue::restore_queued(std::int64_t id,
+                                            std::uint64_t session,
+                                            api::JobSpec spec,
+                                            std::int64_t prior_runs) {
+  std::lock_guard lock(mutex_);
+  auto job = restore_locked(id, session, std::move(spec));
+  job->runs = prior_runs;
+  pending_[session].push_back(job);
+  ++queued_;
+  ++recovered_;
+  work_cv_.notify_all();
+  return job->id;
+}
+
+void AdmissionQueue::restore_done(std::int64_t id, std::uint64_t session,
+                                  api::JobSpec spec, api::JobResult result) {
+  std::lock_guard lock(mutex_);
+  auto job = restore_locked(id, session, std::move(spec));
+  job->state = JobState::kDone;
+  job->result = std::move(result);
+  ++completed_;
+}
+
+void AdmissionQueue::restore_failed(std::int64_t id, std::uint64_t session,
+                                    api::JobSpec spec, std::string error,
+                                    std::string error_code) {
+  std::lock_guard lock(mutex_);
+  auto job = restore_locked(id, session, std::move(spec));
+  job->state = JobState::kFailed;
+  job->error = std::move(error);
+  job->error_code = std::move(error_code);
+  ++failed_;
+}
+
+void AdmissionQueue::restore_cancelled(std::int64_t id, std::uint64_t session,
+                                       api::JobSpec spec) {
+  std::lock_guard lock(mutex_);
+  auto job = restore_locked(id, session, std::move(spec));
+  job->state = JobState::kCancelled;
+  ++cancelled_;
 }
 
 bool AdmissionQueue::cancel(std::int64_t id, std::string& error) {
@@ -153,6 +247,7 @@ JobSnapshot AdmissionQueue::snapshot_locked(const Job& job) const {
   snap.label = job.label;
   snap.state = job.state;
   snap.error = job.error;
+  snap.error_code = job.error_code;
   snap.result = job.result;
   snap.dispatch_seq = job.dispatch_seq;
   snap.wall_ms = job.wall_ms;
@@ -221,6 +316,8 @@ QueueStats AdmissionQueue::stats() const {
   stats.failed = failed_;
   stats.cancelled = cancelled_;
   stats.rejected = rejected_;
+  stats.recovered = recovered_;
+  stats.timed_out = timed_out_;
   stats.draining = draining_;
   return stats;
 }

@@ -55,9 +55,14 @@ struct Job {
   std::string label;  ///< stable copy of spec.display_label()
   JobState state = JobState::kQueued;
   std::string error;                    ///< kFailed only
+  std::string error_code;               ///< kFailed only; api::ErrorCode wire string
   std::optional<api::JobResult> result; ///< kDone only
   std::int64_t dispatch_seq = -1;  ///< order handed to the dispatcher
-  std::int64_t runs = 0;           ///< times dispatched; invariant: <= 1
+  /// Times dispatched, INCLUDING dispatches in previous daemon lives
+  /// recovered from the journal; at most 1 within a single life.  The
+  /// daemon quarantines jobs whose count reaches its attempt budget.
+  std::int64_t runs = 0;
+  double started_ms = -1;  ///< wall ms when popped; -1 = never dispatched
   double wall_ms = 0;
 };
 
@@ -68,6 +73,7 @@ struct JobSnapshot {
   std::string label;
   JobState state = JobState::kQueued;
   std::string error;
+  std::string error_code;
   std::optional<api::JobResult> result;
   std::int64_t dispatch_seq = -1;
   double wall_ms = 0;
@@ -81,7 +87,9 @@ struct QueueStats {
   std::int64_t completed = 0;
   std::int64_t failed = 0;
   std::int64_t cancelled = 0;
-  std::int64_t rejected = 0;  ///< backpressure + draining rejections
+  std::int64_t rejected = 0;   ///< backpressure + draining rejections
+  std::int64_t recovered = 0;  ///< re-queued from the journal at startup
+  std::int64_t timed_out = 0;  ///< failed by the deadline watchdog
   bool draining = false;
 };
 
@@ -98,13 +106,41 @@ class AdmissionQueue {
   /// Pop up to `max` jobs (state -> kRunning) in round-robin session
   /// order.  Blocks until work is available; returns an empty vector when
   /// the queue is stopped, or when draining and nothing is left to pop.
-  std::vector<std::shared_ptr<Job>> pop_batch(std::size_t max);
+  /// `now_ms` (when >= 0) stamps each popped job's started_ms so the
+  /// deadline watchdog can expire overruns.
+  std::vector<std::shared_ptr<Job>> pop_batch(std::size_t max,
+                                              double now_ms = -1);
 
-  /// Mark a popped job terminal.  Notifies result waiters.
-  void complete(const std::shared_ptr<Job>& job, api::JobResult result,
+  /// Mark a popped job terminal.  Notifies result waiters.  Returns false
+  /// — dropping the result/error — when the job is already terminal: the
+  /// watchdog may have timed a job out while a worker was still computing
+  /// it, and the first terminal transition wins.
+  bool complete(const std::shared_ptr<Job>& job, api::JobResult result,
                 double wall_ms);
-  void fail(const std::shared_ptr<Job>& job, std::string error,
-            double wall_ms);
+  bool fail(const std::shared_ptr<Job>& job, std::string error,
+            double wall_ms, std::string error_code = "EXEC_ERROR");
+
+  /// Fail every running job whose started_ms deadline has passed
+  /// (now_ms - started_ms > timeout_ms) with a JOB_TIMEOUT error.
+  /// Returns the expired jobs so the caller can journal them.
+  std::vector<std::shared_ptr<Job>> expire_overdue(double now_ms,
+                                                   double timeout_ms);
+
+  /// Startup recovery: re-insert a job replayed from the journal under its
+  /// original id.  restore_queued() puts it back in the pending queue
+  /// (carrying `prior_runs` dispatches from previous daemon lives); the
+  /// terminal flavors record the historical outcome so it stays queryable.
+  /// All bump the id allocator past `id`.  Recovery runs before the
+  /// dispatcher starts, so these never race pop_batch.
+  std::int64_t restore_queued(std::int64_t id, std::uint64_t session,
+                              api::JobSpec spec, std::int64_t prior_runs);
+  void restore_done(std::int64_t id, std::uint64_t session, api::JobSpec spec,
+                    api::JobResult result);
+  void restore_failed(std::int64_t id, std::uint64_t session,
+                      api::JobSpec spec, std::string error,
+                      std::string error_code);
+  void restore_cancelled(std::int64_t id, std::uint64_t session,
+                         api::JobSpec spec);
 
   /// Cancel a queued job.  Fails (returning false with `error` set) when
   /// the job is unknown, already running, or terminal.
@@ -137,6 +173,8 @@ class AdmissionQueue {
  private:
   JobSnapshot snapshot_locked(const Job& job) const;
   bool drained_locked() const;
+  std::shared_ptr<Job> restore_locked(std::int64_t id, std::uint64_t session,
+                                      api::JobSpec spec);
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
@@ -154,6 +192,8 @@ class AdmissionQueue {
   std::int64_t failed_ = 0;
   std::int64_t cancelled_ = 0;
   std::int64_t rejected_ = 0;
+  std::int64_t recovered_ = 0;
+  std::int64_t timed_out_ = 0;
   bool draining_ = false;
   bool stopped_ = false;
   bool paused_ = false;

@@ -1,0 +1,340 @@
+#include "service/store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "util/checksum.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::service {
+namespace {
+
+// Entry file layout: 8-byte magic, 4-byte big-endian CRC32 of the payload,
+// 4-byte big-endian payload length, payload bytes.
+constexpr char kMagic[8] = {'S', 'D', 'P', 'M', 'S', 'T', 'O', '1'};
+constexpr std::size_t kHeaderBytes = 16;
+
+void put_u32_be(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>(v >> 24);
+  out[1] = static_cast<char>(v >> 16);
+  out[2] = static_cast<char>(v >> 8);
+  out[3] = static_cast<char>(v);
+}
+
+std::uint32_t get_u32_be(const char* in) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(in[0]))
+          << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2]))
+          << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[3]));
+}
+
+/// mkdir -p: create every missing component of `path`.
+void make_dirs(const std::string& path) {
+  std::string partial;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') continue;
+    partial = path.substr(0, i);
+    if (partial.empty() || partial == ".") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw Error(str_printf("store: cannot create directory %s: %s",
+                             partial.c_str(), std::strerror(errno)));
+    }
+  }
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error(str_printf("store: cannot create directory %s: %s",
+                           path.c_str(), std::strerror(errno)));
+  }
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string data;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    data.append(buffer, got);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) return std::nullopt;
+  return data;
+}
+
+char hex_digit(unsigned v) {
+  return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return 10 + (c - 'a');
+  if (c >= 'A' && c <= 'F') return 10 + (c - 'A');
+  return -1;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex_digit(v & 0xfu);
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StoreKey::hex() const { return hex_u64(hi) + hex_u64(lo); }
+
+std::optional<StoreKey> StoreKey::from_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  StoreKey key;
+  for (int i = 0; i < 32; ++i) {
+    const int v = hex_value(hex[static_cast<std::size_t>(i)]);
+    if (v < 0) return std::nullopt;
+    if (i < 16) {
+      key.hi = (key.hi << 4) | static_cast<std::uint64_t>(v);
+    } else {
+      key.lo = (key.lo << 4) | static_cast<std::uint64_t>(v);
+    }
+  }
+  return key;
+}
+
+StoreKey fingerprint_bytes(std::string_view bytes) {
+  // Two SplitMix64-style lanes with distinct constants, the same mixing
+  // discipline as experiments::trace_key_of; the byte length is mixed
+  // first so "a" + "" and "" + "a" cannot collide via padding.
+  const auto finalize = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t a = 0x243f6a8885a308d3ULL;
+  std::uint64_t b = 0x13198a2e03707344ULL;
+  const auto mix = [&](std::uint64_t v) {
+    a = finalize((a ^ v) + 0x9e3779b97f4a7c15ULL);
+    b = finalize((b + v) ^ 0xc2b2ae3d27d4eb4fULL);
+  };
+  mix(static_cast<std::uint64_t>(bytes.size()));
+  std::size_t i = 0;
+  while (i + 8 <= bytes.size()) {
+    std::uint64_t word = 0;
+    for (int k = 0; k < 8; ++k) {
+      word |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(bytes[i + static_cast<std::size_t>(k)]))
+              << (8 * k);
+    }
+    mix(word);
+    i += 8;
+  }
+  std::uint64_t tail = 0;
+  for (int k = 0; i + static_cast<std::size_t>(k) < bytes.size(); ++k) {
+    tail |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(bytes[i + static_cast<std::size_t>(k)]))
+            << (8 * k);
+  }
+  mix(tail);
+  return StoreKey{a, b};
+}
+
+PersistentStore::PersistentStore(StoreOptions options)
+    : options_(std::move(options)) {
+  SDPM_REQUIRE(!options_.directory.empty(),
+               "PersistentStore needs a directory");
+  SDPM_REQUIRE(options_.max_bytes > 0, "store budget must be positive");
+  const std::string objects = options_.directory + "/objects";
+  make_dirs(objects);
+
+  // Index existing entries, oldest-mtime first so the LRU list ends up
+  // most-recent at the front.  Stale temp files from a crashed writer are
+  // removed; anything else unrecognized is left alone.
+  struct Found {
+    StoreKey key;
+    std::int64_t bytes = 0;
+    std::int64_t mtime = 0;
+    std::string name;  // mtime tie-breaker: deterministic order
+  };
+  std::vector<Found> found;
+  DIR* dir = ::opendir(objects.c_str());
+  if (dir == nullptr) {
+    throw Error(str_printf("store: cannot scan %s: %s", objects.c_str(),
+                           std::strerror(errno)));
+  }
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    const std::string path = objects + "/" + name;
+    if (name.rfind(".tmp_", 0) == 0) {
+      ::unlink(path.c_str());
+      continue;
+    }
+    if (name.size() != 36 || name.substr(32) != ".bin") continue;
+    const auto key = StoreKey::from_hex(name.substr(0, 32));
+    if (!key.has_value()) continue;
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) continue;
+    const std::int64_t payload =
+        std::max<std::int64_t>(0, st.st_size -
+                                      static_cast<std::int64_t>(kHeaderBytes));
+    found.push_back(Found{*key, payload, st.st_mtime, name});
+  }
+  ::closedir(dir);
+  std::sort(found.begin(), found.end(), [](const Found& x, const Found& y) {
+    return x.mtime != y.mtime ? x.mtime < y.mtime : x.name < y.name;
+  });
+  for (const Found& f : found) {
+    lru_.push_front(Entry{f.key, f.bytes});
+    index_.emplace(f.key, lru_.begin());
+    bytes_ += f.bytes;
+  }
+  std::lock_guard lock(mutex_);
+  evict_to_budget_locked();
+  publish_gauges_locked();
+}
+
+std::string PersistentStore::object_path(const StoreKey& key) const {
+  return options_.directory + "/objects/" + key.hex() + ".bin";
+}
+
+std::optional<std::string> PersistentStore::get(const StoreKey& key) {
+  std::lock_guard lock(mutex_);
+  auto& metrics = obs::MetricsRegistry::global();
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    metrics.add("store.misses");
+    return std::nullopt;
+  }
+  const auto data = read_file(object_path(key));
+  bool valid = data.has_value() && data->size() >= kHeaderBytes &&
+               std::memcmp(data->data(), kMagic, sizeof(kMagic)) == 0;
+  if (valid) {
+    const std::uint32_t crc = get_u32_be(data->data() + 8);
+    const std::uint32_t length = get_u32_be(data->data() + 12);
+    valid = data->size() == kHeaderBytes + length &&
+            crc32(std::string_view(*data).substr(kHeaderBytes)) == crc;
+  }
+  if (!valid) {
+    quarantine_locked(key);
+    ++misses_;
+    metrics.add("store.misses");
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  metrics.add("store.hits");
+  return data->substr(kHeaderBytes);
+}
+
+void PersistentStore::put(const StoreKey& key, std::string_view value) {
+  std::lock_guard lock(mutex_);
+  const auto existing = index_.find(key);
+  if (existing != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, existing->second);
+    return;  // content-addressed: an entry's payload never changes
+  }
+  if (static_cast<std::int64_t>(value.size()) > options_.max_bytes) {
+    return;  // larger than the whole budget: never storable
+  }
+
+  // Write temp-then-rename so a crash mid-write leaves no visible entry.
+  const std::string temp = options_.directory + "/objects/" +
+                           str_printf(".tmp_%ld_%llu",
+                                      static_cast<long>(::getpid()),
+                                      static_cast<unsigned long long>(
+                                          ++temp_seq_));
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    throw Error(str_printf("store: cannot create %s: %s", temp.c_str(),
+                           std::strerror(errno)));
+  }
+  char header[kHeaderBytes];
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  put_u32_be(header + 8, crc32(value));
+  put_u32_be(header + 12, static_cast<std::uint32_t>(value.size()));
+  bool ok = std::fwrite(header, 1, sizeof(header), file) == sizeof(header);
+  ok = ok && (value.empty() ||
+              std::fwrite(value.data(), 1, value.size(), file) ==
+                  value.size());
+  ok = std::fflush(file) == 0 && ok;
+  std::fclose(file);
+  if (!ok || ::rename(temp.c_str(), object_path(key).c_str()) != 0) {
+    ::unlink(temp.c_str());
+    throw Error(str_printf("store: cannot write entry %s: %s",
+                           key.hex().c_str(), std::strerror(errno)));
+  }
+
+  lru_.push_front(Entry{key, static_cast<std::int64_t>(value.size())});
+  index_.emplace(key, lru_.begin());
+  bytes_ += static_cast<std::int64_t>(value.size());
+  evict_to_budget_locked();
+  publish_gauges_locked();
+}
+
+bool PersistentStore::contains(const StoreKey& key) const {
+  std::lock_guard lock(mutex_);
+  return index_.count(key) > 0;
+}
+
+void PersistentStore::quarantine_locked(const StoreKey& key) {
+  const std::string path = object_path(key);
+  const std::string corrupt =
+      options_.directory + "/objects/" + key.hex() + ".corrupt";
+  if (::rename(path.c_str(), corrupt.c_str()) != 0) {
+    ::unlink(path.c_str());  // rename failed (e.g. ENOENT): best effort
+  }
+  erase_index_locked(key);
+  ++corrupt_;
+  obs::MetricsRegistry::global().add("store.corrupt_evictions");
+  publish_gauges_locked();
+}
+
+void PersistentStore::erase_index_locked(const StoreKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void PersistentStore::evict_to_budget_locked() {
+  while (bytes_ > options_.max_bytes && !lru_.empty()) {
+    const StoreKey victim = lru_.back().key;
+    ::unlink(object_path(victim).c_str());
+    erase_index_locked(victim);
+    ++evictions_;
+    obs::MetricsRegistry::global().add("store.evictions");
+  }
+}
+
+void PersistentStore::publish_gauges_locked() const {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.set_gauge("store.entries", static_cast<double>(index_.size()));
+  metrics.set_gauge("store.bytes", static_cast<double>(bytes_));
+}
+
+StoreStats PersistentStore::stats() const {
+  std::lock_guard lock(mutex_);
+  StoreStats stats;
+  stats.entries = index_.size();
+  stats.bytes = bytes_;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.corrupt_evictions = corrupt_;
+  return stats;
+}
+
+}  // namespace sdpm::service

@@ -130,8 +130,10 @@ const char* usage_text() {
       "         entry point; --format json emits the perf-counter snapshot\n"
       "         (BENCH_simulator.json schema) instead of the table\n"
       "  client --socket PATH --op ping|submit|run|status|result|cancel|\n"
-      "         stats|drain|shutdown [--id N] [--wait] [job flags]\n"
-      "         talk to a running sdpm_serviced daemon\n"
+      "         stats|drain|shutdown [--id N] [--wait] [--retry-connect [N]]\n"
+      "         [job flags]   talk to a running sdpm_serviced daemon;\n"
+      "         --retry-connect retries a refused/absent socket with\n"
+      "         backoff (default 40 attempts) to ride out restarts\n"
       "  analyze --benchmark NAME [--mode CMTPM|CMDRPM]\n"
       "         [--format text|json] [--fail-on error|warning|note]\n"
       "         [--baseline FILE] [--write-baseline FILE]\n"
@@ -831,11 +833,24 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_client(const Args& args) {
-  require_known_flags("client", args,
-                      {"socket", "op", "id", "wait", "benchmark", "scheme"});
+  require_known_flags(
+      "client", args,
+      {"socket", "op", "id", "wait", "benchmark", "scheme", "retry-connect"});
   if (!args.has("socket")) usage("client requires --socket PATH");
   const std::string op = args.get("op", "ping");
-  service::Client client(args.get("socket"));
+  service::ClientOptions client_options;
+  if (args.has("retry-connect")) {
+    // Keep knocking while the daemon restarts (crash recovery, rolling
+    // restarts): retry refused/absent sockets with backoff for ~10s.
+    client_options.connect_attempts =
+        args.get("retry-connect").empty()
+            ? 40
+            : static_cast<int>(args.get_int("retry-connect", 40));
+    if (client_options.connect_attempts < 1) {
+      usage("client --retry-connect must be >= 1");
+    }
+  }
+  service::Client client(args.get("socket"), client_options);
 
   if (op == "ping") {
     std::cout << client.ping().dump() << "\n";

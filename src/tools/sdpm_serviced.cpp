@@ -1,7 +1,9 @@
 // sdpm_serviced — the long-running simulation service.
 //
 //   sdpm_serviced --socket PATH [--capacity N] [--batch N] [--jobs N]
-//                 [--trace-out FILE]
+//                 [--trace-out FILE] [--state-dir DIR]
+//                 [--job-timeout-ms MS] [--max-attempts N]
+//                 [--store-max-bytes N] [--fsync-journal]
 //
 // Listens on a Unix domain socket for length-prefixed JSON requests (see
 // src/service/protocol.h), admits jobs into a bounded queue with
@@ -15,6 +17,14 @@
 // admitted reaches a terminal state, then the daemon exits 0.  A client's
 // "shutdown" op does the same.  --trace-out streams per-batch job spans
 // and sweep-cell lifecycle events as JSONL.
+//
+// --state-dir DIR makes the daemon crash-safe: a write-ahead job journal
+// (DIR/journal.bin) and a persistent result store (DIR/store) are replayed
+// at startup, so a SIGKILLed daemon restarted on the same state dir
+// finishes every admitted job exactly once and serves repeated jobs from
+// the store.  --job-timeout-ms arms a watchdog that fails overrunning
+// jobs; --max-attempts bounds how often a poison job is retried across
+// restarts before it is quarantined.
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -35,7 +45,9 @@ using namespace sdpm;
 [[noreturn]] void usage(const std::string& message = "") {
   if (!message.empty()) std::cerr << "error: " << message << "\n";
   std::cerr << "usage: sdpm_serviced --socket PATH [--capacity N] "
-               "[--batch N] [--jobs N] [--trace-out FILE]\n";
+               "[--batch N] [--jobs N] [--trace-out FILE] "
+               "[--state-dir DIR] [--job-timeout-ms MS] [--max-attempts N] "
+               "[--store-max-bytes N] [--fsync-journal]\n";
   std::exit(2);
 }
 
@@ -55,7 +67,9 @@ int main(int argc, char** argv) {
   }
   for (const auto& [key, value] : flags) {
     if (key != "socket" && key != "capacity" && key != "batch" &&
-        key != "jobs" && key != "trace-out") {
+        key != "jobs" && key != "trace-out" && key != "state-dir" &&
+        key != "job-timeout-ms" && key != "max-attempts" &&
+        key != "store-max-bytes" && key != "fsync-journal") {
       usage("unknown flag '--" + key + "'");
     }
   }
@@ -76,6 +90,23 @@ int main(int argc, char** argv) {
   if (flags.count("jobs") != 0) {
     options.jobs = static_cast<unsigned>(std::atoi(flags["jobs"].c_str()));
   }
+  if (flags.count("state-dir") != 0) {
+    if (flags["state-dir"].empty()) usage("--state-dir needs a directory");
+    options.state_dir = flags["state-dir"];
+  }
+  if (flags.count("job-timeout-ms") != 0) {
+    options.job_timeout_ms = std::atof(flags["job-timeout-ms"].c_str());
+    if (options.job_timeout_ms < 0) usage("--job-timeout-ms must be >= 0");
+  }
+  if (flags.count("max-attempts") != 0) {
+    options.max_attempts = std::atoi(flags["max-attempts"].c_str());
+    if (options.max_attempts < 1) usage("--max-attempts must be >= 1");
+  }
+  if (flags.count("store-max-bytes") != 0) {
+    options.store_max_bytes = std::atoll(flags["store-max-bytes"].c_str());
+    if (options.store_max_bytes < 1) usage("--store-max-bytes must be >= 1");
+  }
+  if (flags.count("fsync-journal") != 0) options.fsync_journal = true;
 
   // Observability: job spans stream as JSONL when requested.
   obs::EventTracer tracer;

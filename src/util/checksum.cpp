@@ -1,0 +1,33 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace sdpm {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  crc = ~crc;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32(std::string_view bytes) { return crc32_update(0, bytes); }
+
+}  // namespace sdpm

@@ -1,0 +1,21 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320) for on-disk record integrity.
+//
+// Used by the service's write-ahead journal and persistent store to detect
+// torn writes and bit rot.  Not cryptographic: it guards against
+// corruption, not adversaries — matching the threat model of a local
+// state directory.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sdpm {
+
+/// CRC32 of `bytes`, with the conventional ~0 pre/post conditioning
+/// (crc32("") == 0; matches zlib's crc32).
+std::uint32_t crc32(std::string_view bytes);
+
+/// Streaming form: feed `bytes` into a running crc (start from 0).
+std::uint32_t crc32_update(std::uint32_t crc, std::string_view bytes);
+
+}  // namespace sdpm

@@ -1,0 +1,131 @@
+#!/bin/sh
+# Chaos harness for the crash-safe service: SIGKILL the daemon with a batch
+# in flight, tear the journal tail, flip a bit in a stored result, restart
+# on the same --state-dir, and assert that every admitted job completes
+# exactly once and that the persistent store serves hits after the restart.
+#
+#   chaos_recovery.sh /path/to/sdpm_serviced /path/to/sdpm_cli
+set -eu
+
+SERVICED=${1:?usage: chaos_recovery.sh SERVICED_BIN CLI_BIN}
+CLI=${2:?usage: chaos_recovery.sh SERVICED_BIN CLI_BIN}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/sdpm_chaos.XXXXXX")
+SOCKET="$WORK/daemon.sock"
+STATE="$WORK/state"
+DAEMON_PID=""
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ]; then kill -9 "$DAEMON_PID" 2>/dev/null || true; fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "chaos_recovery: FAIL: $*" >&2
+  exit 1
+}
+
+wait_listening() {
+  attempts=0
+  while ! grep -q "listening on" "$1" 2>/dev/null; do
+    attempts=$((attempts + 1))
+    if [ "$attempts" -gt 100 ]; then fail "daemon never started ($1)"; fi
+    sleep 0.1
+  done
+}
+
+json_int() {
+  grep -o "\"$2\":[0-9]*" "$1" | head -n 1 | cut -d: -f2
+}
+
+# 24 distinct (benchmark, scheme) jobs so each lands under its own store
+# key: identical specs would collapse onto one cached result and hide
+# recovery bugs behind the fast path.
+BENCHMARKS="swim mgrid applu galgel"
+SCHEMES="Base TPM ITPM DRPM IDRPM CMTPM"
+JOBS=24
+
+# ---- life 1: admit the batch, then SIGKILL mid-flight ------------------
+# A single slow worker (--jobs 1 --batch 1) keeps nearly all of the batch
+# in flight when the kill lands.
+"$SERVICED" --socket "$SOCKET" --state-dir "$STATE" \
+    --jobs 1 --batch 1 > "$WORK/life1.log" 2>&1 &
+DAEMON_PID=$!
+wait_listening "$WORK/life1.log"
+
+i=0
+for benchmark in $BENCHMARKS; do
+  for scheme in $SCHEMES; do
+    "$CLI" client --socket "$SOCKET" --op submit \
+        --benchmark "$benchmark" --scheme "$scheme" \
+        > "$WORK/submit_$i.json" || fail "submit $benchmark/$scheme failed"
+    i=$((i + 1))
+  done
+done
+[ "$i" -eq "$JOBS" ] || fail "expected $JOBS submits, made $i"
+
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+rm -f "$SOCKET"
+
+[ -f "$STATE/journal.bin" ] || fail "no journal was written"
+
+# ---- fault injection ---------------------------------------------------
+# A crash mid-append leaves a partial record: 4 length bytes promising 64,
+# then garbage instead of a checksummed body.
+printf '\000\000\000\100TORN-TAIL' >> "$STATE/journal.bin"
+# Bit rot in one stored result, if any landed before the kill.  The entry
+# must be quarantined and recomputed, never returned corrupted.
+OBJECT=$(ls "$STATE/store/objects"/*.bin 2>/dev/null | head -n 1 || true)
+if [ -n "$OBJECT" ]; then
+  printf '\377' | dd of="$OBJECT" bs=1 seek=24 conv=notrunc 2>/dev/null
+fi
+
+# ---- life 2: recover on the same state dir -----------------------------
+"$SERVICED" --socket "$SOCKET" --state-dir "$STATE" \
+    > "$WORK/life2.log" 2>&1 &
+DAEMON_PID=$!
+wait_listening "$WORK/life2.log"
+"$CLI" client --socket "$SOCKET" --op ping --retry-connect > /dev/null \
+    || fail "recovered daemon does not answer pings"
+
+# Every admitted job reaches done exactly once, under its original id.
+i=0
+while [ "$i" -lt "$JOBS" ]; do
+  ID=$(json_int "$WORK/submit_$i.json" id)
+  [ -n "$ID" ] || fail "submit $i produced no id: $(cat "$WORK/submit_$i.json")"
+  "$CLI" client --socket "$SOCKET" --op result --id "$ID" --wait \
+      > "$WORK/result_$i.json" || fail "result for job $ID failed"
+  grep -q '"state":"done"' "$WORK/result_$i.json" \
+      || fail "job $ID did not complete: $(cat "$WORK/result_$i.json")"
+  i=$((i + 1))
+done
+
+# An identical resubmission is served from the persistent store.
+"$CLI" client --socket "$SOCKET" --op run \
+    --benchmark swim --scheme Base > "$WORK/rerun.json" \
+    || fail "post-recovery rerun failed"
+grep -q '"state":"done"' "$WORK/rerun.json" || fail "rerun did not complete"
+
+"$CLI" client --socket "$SOCKET" --op stats > "$WORK/stats.json"
+COMPLETED=$(json_int "$WORK/stats.json" completed)
+FAILED=$(json_int "$WORK/stats.json" failed)
+RECOVERED=$(json_int "$WORK/stats.json" recovered)
+HITS=$(json_int "$WORK/stats.json" hits)
+
+# Life 2 owns every admitted job plus the rerun: completions must match
+# exactly (a duplicate would overshoot, a lost job would hang the waits).
+[ "$COMPLETED" = $((JOBS + 1)) ] \
+    || fail "expected $((JOBS + 1)) completions, saw '$COMPLETED'"
+[ "$FAILED" = 0 ] || fail "'$FAILED' jobs failed after recovery"
+[ "${RECOVERED:-0}" -ge 1 ] || fail "no jobs were recovered from the journal"
+[ "${HITS:-0}" -ge 1 ] || fail "store served no hits after restart"
+
+"$CLI" client --socket "$SOCKET" --op shutdown > /dev/null
+wait "$DAEMON_PID" || fail "daemon exited non-zero after drain"
+DAEMON_PID=""
+
+echo "chaos_recovery: PASS" \
+     "(completed=$COMPLETED recovered=$RECOVERED store_hits=$HITS)"

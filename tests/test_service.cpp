@@ -1,19 +1,30 @@
 // sdpm_serviced core: admission-queue semantics (backpressure, fairness,
-// lifecycle, lossless drain) and a live daemon/client round trip over a
-// Unix socket.
+// lifecycle, lossless drain), worker supervision (deadlines, recovery,
+// quarantine), protocol hardening, and live daemon/client round trips
+// over a Unix socket.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/job_spec.h"
+#include "api/session.h"
 #include "service/client.h"
 #include "service/daemon.h"
+#include "service/journal.h"
+#include "service/protocol.h"
 #include "service/queue.h"
+#include "service/store.h"
 #include "util/error.h"
 
 namespace sdpm::service {
@@ -279,6 +290,526 @@ TEST(ServiceDaemon, DrainRejectsNewWorkButFinishesAdmitted) {
   }
   waiter.join();
   EXPECT_TRUE(daemon.done());
+}
+
+// ---------------------------------------------------------------------------
+// SUPERVISION: deadlines, late-result drops, restore APIs
+
+TEST(AdmissionQueue, WatchdogExpiresOverdueAndDropsLateResults) {
+  AdmissionQueue queue(8);
+  std::string error;
+  bool retryable = false;
+  queue.submit(1, cheap_spec("slow-a"), error, retryable);
+  queue.submit(2, cheap_spec("slow-b"), error, retryable);
+
+  auto batch = queue.pop_batch(2, /*now_ms=*/100.0);
+  ASSERT_EQ(batch.size(), 2u);
+
+  // Within the deadline nothing expires.
+  EXPECT_TRUE(queue.expire_overdue(/*now_ms=*/5099.0, /*timeout_ms=*/5000.0)
+                  .empty());
+  // Past it, every running job fails with a structured JOB_TIMEOUT.
+  const auto expired = queue.expire_overdue(5200.0, 5000.0);
+  EXPECT_EQ(expired.size(), 2u);
+  for (const auto& job : batch) {
+    const auto snap = queue.snapshot(job->id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, JobState::kFailed);
+    EXPECT_EQ(snap->error_code, "JOB_TIMEOUT");
+  }
+  QueueStats stats = queue.stats();
+  EXPECT_EQ(stats.timed_out, 2);
+  EXPECT_EQ(stats.running, 0u);
+
+  // The worker that was still computing those jobs eventually reports in;
+  // its late transitions are dropped, not fatal, and the first terminal
+  // state wins.
+  EXPECT_FALSE(queue.complete(batch[0], dummy_result(batch[0]->spec), 9.0));
+  EXPECT_FALSE(queue.fail(batch[1], "late failure", 9.0));
+  EXPECT_EQ(queue.snapshot(batch[0]->id)->state, JobState::kFailed);
+  EXPECT_EQ(queue.snapshot(batch[1]->id)->error_code, "JOB_TIMEOUT");
+  EXPECT_EQ(queue.stats().completed, 0);
+  queue.stop();
+}
+
+TEST(AdmissionQueue, RestoreRebuildsAPriorLife) {
+  AdmissionQueue queue(8);
+  queue.restore_done(3, 1, cheap_spec("was-done"),
+                     dummy_result(cheap_spec("was-done")));
+  queue.restore_failed(4, 1, cheap_spec("was-failed"), "boom", "EXEC_ERROR");
+  queue.restore_cancelled(5, 1, cheap_spec("was-cancelled"));
+  queue.restore_queued(6, 2, cheap_spec("was-queued"), /*prior_runs=*/2);
+
+  QueueStats stats = queue.stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.depth, 1u);
+  EXPECT_EQ(stats.recovered, 1);
+  EXPECT_EQ(stats.submitted, 4);
+
+  EXPECT_EQ(queue.snapshot(3)->state, JobState::kDone);
+  EXPECT_TRUE(queue.snapshot(3)->result.has_value());
+  EXPECT_EQ(queue.snapshot(4)->error_code, "EXEC_ERROR");
+  EXPECT_EQ(queue.snapshot(5)->state, JobState::kCancelled);
+
+  // The id allocator starts past every restored id.
+  std::string error;
+  bool retryable = false;
+  EXPECT_EQ(queue.submit(1, cheap_spec("fresh"), error, retryable), 7);
+
+  // A re-queued job carries its dispatch history into the next run.
+  auto batch = queue.pop_batch(4, 0.0);
+  ASSERT_EQ(batch.size(), 2u);
+  const auto recovered =
+      batch[0]->id == 6 ? batch[0] : batch[1];
+  EXPECT_EQ(recovered->id, 6);
+  EXPECT_EQ(recovered->runs, 3);  // 2 prior lives + this dispatch
+  queue.stop();
+}
+
+// ---------------------------------------------------------------------------
+// DURABILITY: a second daemon on the same state dir finishes what the
+// first one abandoned, exactly once, and serves repeats from the store
+
+std::string test_state_dir(const char* tag) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("sdpm_state_" + std::string(tag) + "_" +
+                     std::to_string(::getpid()));
+  std::filesystem::remove_all(path);
+  return path.string();
+}
+
+TEST(ServiceDaemon, RecoversAbandonedJobsAcrossRestart) {
+  const std::string state_dir = test_state_dir("recover");
+  DaemonOptions options;
+  options.queue_capacity = 32;
+  options.jobs = 2;
+  options.state_dir = state_dir;
+
+  // Life 1: admit five jobs but never let the dispatcher at them, then
+  // tear the daemon down — the in-process analogue of a crash with a
+  // populated queue.  Only the journal remembers the jobs.
+  std::vector<std::int64_t> ids;
+  options.socket_path = test_socket_path("recover1");
+  {
+    ServiceDaemon daemon(options);
+    daemon.start();
+    daemon.queue().pause(true);
+    Client client(options.socket_path);
+    for (int i = 0; i < 5; ++i) {
+      ids.push_back(
+          client.submit(cheap_spec("recover-" + std::to_string(i))));
+    }
+  }
+
+  // Life 2: same state dir, fresh socket.  Every admitted job completes
+  // under its ORIGINAL id without resubmission.
+  options.socket_path = test_socket_path("recover2");
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+  {
+    Client client(options.socket_path);
+    for (const std::int64_t id : ids) {
+      const Json done = client.result(id, /*wait=*/true);
+      EXPECT_EQ(done.at("state").as_string(), "done");
+      EXPECT_TRUE(done.contains("result"));
+    }
+    Json stats = client.stats();
+    EXPECT_EQ(stats.at("queue").at("recovered").as_int(), 5);
+    EXPECT_EQ(stats.at("queue").at("completed").as_int(), 5);
+
+    // A repeat of an already-computed job rides the persistent store.
+    const std::int64_t again = client.submit(cheap_spec("recover-0"));
+    EXPECT_EQ(client.result(again, true).at("state").as_string(), "done");
+    stats = client.stats();
+    ASSERT_TRUE(stats.contains("store"));
+    EXPECT_GT(stats.at("store").at("hits").as_int(), 0);
+    EXPECT_GT(stats.at("store").at("entries").as_int(), 0);
+    client.shutdown();
+  }
+  waiter.join();
+  std::filesystem::remove_all(state_dir);
+}
+
+TEST(ServiceDaemon, ResultsSurviveRestartWithoutRecompute) {
+  const std::string state_dir = test_state_dir("store");
+  DaemonOptions options;
+  options.jobs = 2;
+  options.state_dir = state_dir;
+
+  options.socket_path = test_socket_path("store1");
+  std::int64_t id = 0;
+  {
+    ServiceDaemon daemon(options);
+    daemon.start();
+    std::thread waiter([&] { daemon.wait(); });
+    Client client(options.socket_path);
+    id = client.submit(cheap_spec("durable"));
+    EXPECT_EQ(client.result(id, true).at("state").as_string(), "done");
+    client.shutdown();
+    waiter.join();
+  }
+
+  // Life 2: the COMPLETE record + store entry restore the job terminal —
+  // still queryable under its id, with zero recovered (nothing re-ran).
+  options.socket_path = test_socket_path("store2");
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+  {
+    Client client(options.socket_path);
+    const Json done = client.result(id, /*wait=*/false);
+    EXPECT_EQ(done.at("state").as_string(), "done");
+    EXPECT_TRUE(done.contains("result"));
+    const Json stats = client.stats();
+    EXPECT_EQ(stats.at("queue").at("recovered").as_int(), 0);
+    client.shutdown();
+  }
+  waiter.join();
+  std::filesystem::remove_all(state_dir);
+}
+
+TEST(ServiceDaemon, QuarantinesPoisonJobsAtRecovery) {
+  const std::string state_dir = test_state_dir("poison");
+  std::filesystem::create_directories(state_dir);
+  // Forge the journal of a job that took three daemon lives down:
+  // three DISPATCH records, no completion.
+  {
+    Journal journal(JournalOptions{.path = state_dir + "/journal.bin"});
+    journal.open();
+    journal.admit(1, 1, cheap_spec("poison").canonical_json());
+    for (int i = 0; i < 3; ++i) journal.dispatch(1);
+    journal.admit(2, 1, cheap_spec("innocent").canonical_json());
+    journal.dispatch(2);
+  }
+
+  DaemonOptions options;
+  options.socket_path = test_socket_path("poison");
+  options.jobs = 2;
+  options.state_dir = state_dir;
+  options.max_attempts = 3;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+  {
+    Client client(options.socket_path);
+    // The poison job is a structured failure, not an infinite re-queue.
+    const Json poisoned = client.result(1, /*wait=*/true);
+    EXPECT_EQ(poisoned.at("state").as_string(), "failed");
+    EXPECT_EQ(poisoned.at("code").as_string(), "QUARANTINED");
+    // The job with attempts to spare still runs to completion.
+    EXPECT_EQ(client.result(2, true).at("state").as_string(), "done");
+    client.shutdown();
+  }
+  waiter.join();
+
+  // The quarantine itself was journaled: the NEXT life restores the job
+  // as failed instead of counting attempts again.
+  DaemonOptions next = options;
+  next.socket_path = test_socket_path("poison2");
+  ServiceDaemon daemon2(next);
+  daemon2.start();
+  const auto snap = daemon2.queue().snapshot(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kFailed);
+  EXPECT_EQ(snap->error_code, "QUARANTINED");
+  EXPECT_EQ(daemon2.queue().stats().recovered, 0);
+  daemon2.request_shutdown();
+  daemon2.wait();
+  std::filesystem::remove_all(state_dir);
+}
+
+TEST(ServiceDaemon, WatchdogFailsOverrunningJobsEndToEnd) {
+  // A 0.01 ms deadline: every real job overruns it, so the watchdog must
+  // convert the whole batch into structured JOB_TIMEOUT failures.
+  DaemonOptions options;
+  options.socket_path = test_socket_path("watchdog");
+  options.jobs = 2;
+  options.job_timeout_ms = 0.01;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+  {
+    Client client(options.socket_path);
+    const std::int64_t id = client.submit(cheap_spec("overrun"));
+    const Json result = client.result(id, /*wait=*/true);
+    if (result.at("state").as_string() == "failed") {
+      EXPECT_EQ(result.at("code").as_string(), "JOB_TIMEOUT");
+      const Json stats = client.stats();
+      EXPECT_GE(stats.at("queue").at("timed_out").as_int(), 1);
+    }  // else the job won the race — legal, the deadline is best-effort
+    client.shutdown();
+  }
+  waiter.join();
+}
+
+// ---------------------------------------------------------------------------
+// PROTOCOL HARDENING: oversized frames, torn frames, fuzz
+
+int raw_connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void raw_send(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t w =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(w, 0) << std::strerror(errno);
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+std::string be32(std::uint32_t v) {
+  std::string out;
+  out.push_back(static_cast<char>(v >> 24));
+  out.push_back(static_cast<char>(v >> 16));
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+  return out;
+}
+
+TEST(ServiceDaemon, OversizedFrameGetsStructuredErrorAndResyncs) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("oversize");
+  options.jobs = 2;
+  options.max_frame_bytes = 1024;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+  {
+    const int fd = raw_connect(options.socket_path);
+    // 2 KB payload against a 1 KB cap: the daemon discards it, answers
+    // with FRAME_TOO_LARGE, and KEEPS SERVING on the same connection.
+    raw_send(fd, be32(2048) + std::string(2048, 'x'));
+    std::string payload;
+    ASSERT_TRUE(read_frame(fd, payload));
+    Json response = Json::parse(payload);
+    EXPECT_FALSE(response.at("ok").as_bool());
+    EXPECT_EQ(response.at("code").as_string(), "FRAME_TOO_LARGE");
+
+    write_frame(fd, "{\"op\":\"ping\"}");
+    ASSERT_TRUE(read_frame(fd, payload));
+    EXPECT_TRUE(Json::parse(payload).at("ok").as_bool());
+
+    // A "negative" length prefix cannot be resynchronized: the daemon
+    // still answers with a structured error, then closes.
+    raw_send(fd, be32(0x80000001u));
+    ASSERT_TRUE(read_frame(fd, payload));
+    response = Json::parse(payload);
+    EXPECT_FALSE(response.at("ok").as_bool());
+    EXPECT_EQ(response.at("code").as_string(), "FRAME_TOO_LARGE");
+    EXPECT_FALSE(read_frame(fd, payload));  // clean EOF
+    ::close(fd);
+  }
+  // The daemon survived all of it.
+  {
+    Client client(options.socket_path);
+    client.ping();
+    client.shutdown();
+  }
+  waiter.join();
+}
+
+TEST(ServiceDaemon, SurvivesMalformedAndTruncatedFrames) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("fuzz");
+  options.jobs = 2;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+
+  // Garbage payloads inside well-formed frames: structured errors, the
+  // connection stays healthy.
+  {
+    const int fd = raw_connect(options.socket_path);
+    for (const std::string bad :
+         {std::string("this is not json"), std::string("[1,2,3"),
+          std::string("{\"no_op\":true}"), std::string("{\"op\":42}"),
+          std::string("\x00\xff\x7f garbage \x01", 12)}) {
+      write_frame(fd, bad);
+      std::string payload;
+      ASSERT_TRUE(read_frame(fd, payload));
+      const Json response = Json::parse(payload);
+      EXPECT_FALSE(response.at("ok").as_bool());
+      EXPECT_TRUE(response.contains("error"));
+    }
+    write_frame(fd, "{\"op\":\"ping\"}");
+    std::string payload;
+    ASSERT_TRUE(read_frame(fd, payload));
+    EXPECT_TRUE(Json::parse(payload).at("ok").as_bool());
+    ::close(fd);
+  }
+
+  // Torn frames: announce more than is sent, then hang up mid-frame.  The
+  // daemon drops that connection and nothing else.
+  for (const std::string torn :
+       {be32(100) + std::string(10, 'y'), be32(1), std::string("\x00", 1),
+        std::string("ABC")}) {
+    const int fd = raw_connect(options.socket_path);
+    raw_send(fd, torn);
+    ::close(fd);
+  }
+  {
+    Client client(options.socket_path);
+    client.ping();
+    client.shutdown();
+  }
+  waiter.join();
+  EXPECT_TRUE(daemon.done());
+}
+
+TEST(ServiceDaemon, OverCapResultIsStructuredNotTruncated) {
+  // Find the gap between "submit fits" and "result does not": the real
+  // result document for this spec, measured directly.  All seven schemes
+  // make the result several times larger than the submit frame.
+  api::JobSpec spec = api::JobSpecBuilder("galgel").build();
+  spec.label = "too-big";
+  Json submit = Json::object();
+  submit.set("op", std::string("submit")).set("spec", spec.to_json());
+  const std::size_t submit_bytes = submit.dump().size();
+  api::Session session(api::SessionOptions{.jobs = 2});
+  const std::size_t result_bytes =
+      session.run(spec).to_json().dump().size();
+  const std::uint32_t cap = static_cast<std::uint32_t>(submit_bytes + 256);
+  ASSERT_GT(result_bytes, cap) << "result unexpectedly small; the cap "
+                                  "cannot sit between submit and result";
+
+  DaemonOptions options;
+  options.socket_path = test_socket_path("toolarge");
+  options.jobs = 2;
+  options.max_frame_bytes = cap;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+  {
+    Client client(options.socket_path);
+    const std::int64_t id = client.submit(spec);
+    Json message = Json::object();
+    message.set("op", std::string("result")).set("id", id).set("wait", true);
+    const Json response = client.request(message);
+    // Silent-data-loss guard: never a truncated frame, never a hang — a
+    // structured RESULT_TOO_LARGE error.
+    EXPECT_FALSE(response.at("ok").as_bool());
+    EXPECT_EQ(response.at("code").as_string(), "RESULT_TOO_LARGE");
+    // The job itself completed; only the transport refused the payload.
+    EXPECT_EQ(daemon.queue().snapshot(id)->state, JobState::kDone);
+    client.shutdown();
+  }
+  waiter.join();
+}
+
+// ---------------------------------------------------------------------------
+// SIGTERM drain racing concurrent cancels: every job terminal exactly once
+
+TEST(ServiceDaemon, DrainRacesConcurrentCancelsLosslessly) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("drainrace");
+  options.queue_capacity = 64;
+  options.jobs = 2;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+
+  daemon.queue().pause(true);  // hold dispatch so cancels have targets
+  std::vector<std::int64_t> ids;
+  {
+    Client client(options.socket_path);
+    for (int i = 0; i < 24; ++i) {
+      ids.push_back(client.submit(cheap_spec("race-" + std::to_string(i))));
+    }
+  }
+
+  // Three cancellers race the drain (the SIGTERM path) while the
+  // dispatcher is still held; each cancel either wins or reports a clean
+  // failure — never a crash, never a lost job.
+  std::atomic<int> cancelled{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Client client(options.socket_path);
+      for (std::size_t i = static_cast<std::size_t>(t); i < ids.size();
+           i += 3) {
+        try {
+          client.cancel(ids[i]);
+          cancelled.fetch_add(1);
+        } catch (const sdpm::Error&) {
+          // already running/terminal — someone else won the race
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    Client client(options.socket_path);
+    client.drain();
+  });
+  for (std::thread& t : threads) t.join();
+  daemon.queue().pause(false);
+  daemon.queue().wait_drained();
+
+  // Exactly-once accounting: done + cancelled covers every admitted job.
+  int done = 0;
+  int cancelled_seen = 0;
+  for (const std::int64_t id : ids) {
+    const auto snap = daemon.queue().snapshot(id);
+    ASSERT_TRUE(snap.has_value());
+    ASSERT_TRUE(is_terminal(snap->state));
+    if (snap->state == JobState::kDone) ++done;
+    if (snap->state == JobState::kCancelled) ++cancelled_seen;
+  }
+  EXPECT_EQ(done + cancelled_seen, 24);
+  EXPECT_EQ(cancelled_seen, cancelled.load());
+  const QueueStats stats = daemon.queue().stats();
+  EXPECT_EQ(stats.completed + stats.cancelled, 24);
+  EXPECT_EQ(stats.depth, 0u);
+  EXPECT_EQ(stats.running, 0u);
+
+  daemon.request_shutdown();
+  waiter.join();
+}
+
+// ---------------------------------------------------------------------------
+// CLIENT RETRY: seeded jitter, bounded backoff, connect retries
+
+TEST(Client, ConnectRetriesUntilTheDaemonAppears) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("lateboot");
+  options.jobs = 2;
+  ServiceDaemon daemon(options);
+
+  // Start the daemon AFTER the client begins connecting: only the retry
+  // path can succeed.
+  std::thread booter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    daemon.start();
+  });
+  ClientOptions retry;
+  retry.connect_attempts = 50;
+  retry.backoff_base_ms = 5;
+  Client client(options.socket_path, retry);
+  booter.join();
+  client.ping();
+  client.shutdown();
+  daemon.wait();
+}
+
+TEST(Client, FailsFastOnPermanentConnectErrors) {
+  ClientOptions retry;
+  retry.connect_attempts = 3;
+  retry.backoff_base_ms = 1;
+  EXPECT_THROW(Client("/tmp/sdpm_definitely_absent.sock", retry),
+               sdpm::Error);
 }
 
 }  // namespace
