@@ -68,6 +68,66 @@ void BM_BaseSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_BaseSimulation)->Unit(benchmark::kMillisecond);
 
+// The batched-replay acceptance metric: single-disk swim replay (no
+// striping fan-out, every request back to back through the hot loop) —
+// the same workload `sdpm_cli bench --suite simulator` times.
+void BM_SingleDiskReplay(benchmark::State& state) {
+  const layout::LayoutTable table(swim().program, layout::Striping{0, 1,
+                                                                   kib(64)},
+                                  1);
+  trace::TraceGenerator generator(swim().program, table);
+  const trace::Trace trace = generator.generate();
+  for (auto _ : state) {
+    policy::BasePolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(), policy)
+            .total_energy);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_SingleDiskReplay)->Unit(benchmark::kMillisecond);
+
+// The same replay through the generic virtual engine (DispatchMode::
+// kForceVirtual): the distance between this and BM_BaseSimulation is what
+// static kernel dispatch buys.  Results are bit-identical either way (the
+// equivalence suite pins that); only the speed differs.
+void BM_BaseSimulationVirtualDispatch(benchmark::State& state) {
+  trace::TraceGenerator generator(swim().program, swim_layout());
+  const trace::Trace trace = generator.generate();
+  sim::SimOptions options;
+  options.dispatch = sim::DispatchMode::kForceVirtual;
+  for (auto _ : state) {
+    policy::BasePolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(), policy,
+                      options)
+            .total_energy);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_BaseSimulationVirtualDispatch)->Unit(benchmark::kMillisecond);
+
+// Scalar delivery (replay_batch = 1): one next_batch virtual call per
+// item, quantifying what block-pull amortization buys.
+void BM_BaseSimulationScalarDelivery(benchmark::State& state) {
+  trace::TraceGenerator generator(swim().program, swim_layout());
+  const trace::Trace trace = generator.generate();
+  sim::SimOptions options;
+  options.replay_batch = 1;
+  for (auto _ : state) {
+    policy::BasePolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(), policy,
+                      options)
+            .total_energy);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_BaseSimulationScalarDelivery)->Unit(benchmark::kMillisecond);
+
 // The observability overhead contract (DESIGN.md §10): a sink-less tracer
 // collapses to the null fast path and must stay within ~2% of
 // BM_BaseSimulation; compare the three simulation cases in one run.

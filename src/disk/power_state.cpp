@@ -23,37 +23,6 @@ const char* to_string(PowerState state) {
   return "?";
 }
 
-void EnergyBreakdown::add(PowerState state, TimeMs duration, Joules energy) {
-  SDPM_ASSERT(duration >= -1e-9 && energy >= -1e-9,
-              "negative duration or energy");
-  switch (state) {
-    case PowerState::kActive:
-      active_ms += duration;
-      active_j += energy;
-      break;
-    case PowerState::kIdle:
-      idle_ms += duration;
-      idle_j += energy;
-      break;
-    case PowerState::kStandby:
-      standby_ms += duration;
-      standby_j += energy;
-      break;
-    case PowerState::kSpinningDown:
-      spin_down_ms += duration;
-      spin_down_j += energy;
-      break;
-    case PowerState::kSpinningUp:
-      spin_up_ms += duration;
-      spin_up_j += energy;
-      break;
-    case PowerState::kRpmShift:
-      rpm_shift_ms += duration;
-      rpm_shift_j += energy;
-      break;
-  }
-}
-
 EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& other) {
   active_ms += other.active_ms;
   idle_ms += other.idle_ms;

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "util/error.h"
 #include "util/units.h"
 
 namespace sdpm::disk {
@@ -45,7 +46,38 @@ struct EnergyBreakdown {
            rpm_shift_j;
   }
 
-  void add(PowerState state, TimeMs duration, Joules energy);
+  // Inline: the simulator calls this once per energy segment, i.e. at
+  // least once per serviced request — a cross-TU call here is measurable.
+  void add(PowerState state, TimeMs duration, Joules energy) {
+    SDPM_ASSERT(duration >= -1e-9 && energy >= -1e-9,
+                "negative duration or energy");
+    switch (state) {
+      case PowerState::kActive:
+        active_ms += duration;
+        active_j += energy;
+        break;
+      case PowerState::kIdle:
+        idle_ms += duration;
+        idle_j += energy;
+        break;
+      case PowerState::kStandby:
+        standby_ms += duration;
+        standby_j += energy;
+        break;
+      case PowerState::kSpinningDown:
+        spin_down_ms += duration;
+        spin_down_j += energy;
+        break;
+      case PowerState::kSpinningUp:
+        spin_up_ms += duration;
+        spin_up_j += energy;
+        break;
+      case PowerState::kRpmShift:
+        rpm_shift_ms += duration;
+        rpm_shift_j += energy;
+        break;
+    }
+  }
 
   EnergyBreakdown& operator+=(const EnergyBreakdown& other);
 

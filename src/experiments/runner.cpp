@@ -71,8 +71,10 @@ void Runner::ensure_base() {
     options.mode = sim::ReplayMode::kClosedLoop;
     options.faults = config_.faults;
     // The measured per-nest timelines consume the Base run's per-request
-    // stall vector; no other scheme's replay needs it.
+    // stall vector, and the ITPM/IDRPM oracles + idle-gap profilers walk
+    // its busy periods; no other scheme's replay needs either.
     options.capture_responses = true;
+    options.capture_busy_periods = true;
     options.tracer = tracer_for(Scheme::kBase);
     base_ = sim::simulate(*trace_, config_.disk, policy, options);
   });

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/tracer.h"
+#include "sim/replay.h"
 #include "util/error.h"
 
 namespace sdpm::policy {
@@ -67,6 +68,11 @@ void AdaptiveTpmPolicy::before_service(sim::DiskUnit& disk, TimeMs now) {
 
 void AdaptiveTpmPolicy::finalize(sim::DiskUnit& disk, TimeMs end) {
   maybe_spin_down(disk, end);
+}
+
+
+sim::PowerPolicy::ReplayFn AdaptiveTpmPolicy::replay_kernel() const {
+  return &sim::replay_run<AdaptiveTpmPolicy>;
 }
 
 }  // namespace sdpm::policy

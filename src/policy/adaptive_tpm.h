@@ -38,6 +38,7 @@ class AdaptiveTpmPolicy final : public sim::PowerPolicy {
   void finalize(sim::DiskUnit& disk, TimeMs end) override;
 
   const char* name() const override { return "ATPM"; }
+  ReplayFn replay_kernel() const override;
 
   /// Current threshold of `disk_id` (for tests/inspection).
   TimeMs threshold_of(int disk_id) const;

@@ -1,0 +1,11 @@
+#include "policy/base.h"
+
+#include "sim/replay.h"
+
+namespace sdpm::policy {
+
+sim::PowerPolicy::ReplayFn BasePolicy::replay_kernel() const {
+  return &sim::replay_run<BasePolicy>;
+}
+
+}  // namespace sdpm::policy

@@ -8,6 +8,7 @@ namespace sdpm::policy {
 class BasePolicy final : public sim::PowerPolicy {
  public:
   const char* name() const override { return "Base"; }
+  ReplayFn replay_kernel() const override;
 };
 
 }  // namespace sdpm::policy

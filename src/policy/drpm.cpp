@@ -1,6 +1,7 @@
 #include "policy/drpm.h"
 
 #include "obs/tracer.h"
+#include "sim/replay.h"
 
 namespace sdpm::policy {
 
@@ -72,6 +73,11 @@ void DrpmPolicy::after_service(sim::DiskUnit& disk, TimeMs completion,
     // Load is light; drop one RPM step.
     disk.set_rpm_level(completion, level - 1);
   }
+}
+
+
+sim::PowerPolicy::ReplayFn DrpmPolicy::replay_kernel() const {
+  return &sim::replay_run<DrpmPolicy>;
 }
 
 }  // namespace sdpm::policy

@@ -41,6 +41,7 @@ class DrpmPolicy final : public sim::PowerPolicy {
   void finalize(sim::DiskUnit& disk, TimeMs end) override;
 
   const char* name() const override { return "DRPM"; }
+  ReplayFn replay_kernel() const override;
 
  private:
   void apply_idle_steps(sim::DiskUnit& disk, TimeMs now) const;

@@ -1,5 +1,7 @@
 #include "policy/proactive.h"
 
+#include "sim/replay.h"
+
 namespace sdpm::policy {
 
 void ProactivePolicy::on_power_event(sim::DiskUnit& disk, TimeMs now,
@@ -21,6 +23,11 @@ void ProactivePolicy::on_power_event(sim::DiskUnit& disk, TimeMs now,
       disk.set_rpm_level(now, directive.rpm_level);
       break;
   }
+}
+
+
+sim::PowerPolicy::ReplayFn ProactivePolicy::replay_kernel() const {
+  return &sim::replay_run<ProactivePolicy>;
 }
 
 }  // namespace sdpm::policy

@@ -19,6 +19,7 @@ class ProactivePolicy final : public sim::PowerPolicy {
                       const ir::PowerDirective& directive) override;
 
   const char* name() const override { return label_; }
+  ReplayFn replay_kernel() const override;
 
  private:
   const char* label_;

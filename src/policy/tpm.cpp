@@ -1,6 +1,7 @@
 #include "policy/tpm.h"
 
 #include "obs/tracer.h"
+#include "sim/replay.h"
 
 namespace sdpm::policy {
 
@@ -38,6 +39,11 @@ void TpmPolicy::before_service(sim::DiskUnit& disk, TimeMs now) {
 
 void TpmPolicy::finalize(sim::DiskUnit& disk, TimeMs end) {
   maybe_spin_down(disk, end);
+}
+
+
+sim::PowerPolicy::ReplayFn TpmPolicy::replay_kernel() const {
+  return &sim::replay_run<TpmPolicy>;
 }
 
 }  // namespace sdpm::policy

@@ -21,6 +21,7 @@ class TpmPolicy final : public sim::PowerPolicy {
   void finalize(sim::DiskUnit& disk, TimeMs end) override;
 
   const char* name() const override { return "TPM"; }
+  ReplayFn replay_kernel() const override;
 
  private:
   TimeMs effective_threshold(const sim::DiskUnit& disk) const;

@@ -2,85 +2,67 @@
 
 #include <algorithm>
 
-#include "layout/striping.h"
 #include "obs/tracer.h"
-#include "util/error.h"
 
 namespace sdpm::sim {
 
-namespace {
-constexpr TimeMs kTimeEps = 1e-9;
-}
-
 DiskUnit::DiskUnit(const disk::DiskParameters& params, int id,
                    FaultModel* faults)
-    : params_(&params), id_(id), faults_(faults),
-      level_(params.max_level()),
+    : params_(&params), id_(id), faults_(faults), state_(nullptr), slot_(0),
       level_residency_(static_cast<std::size_t>(params.rpm_level_count()),
                        0.0) {
-  params.validate();
+  owned_ = std::make_unique<DiskArrayState>(1, params);  // validates params
+  state_ = owned_.get();
 }
 
-void DiskUnit::accumulate(TimeMs dt) {
-  if (dt <= 0) return;
-  disk::PowerState bucket = disk::PowerState::kIdle;
-  Joules energy = 0;
-  switch (mode_) {
-    case Mode::kSpinning:
-      bucket = disk::PowerState::kIdle;
-      energy = joules_from_watt_ms(params_->idle_power_at_level(level_), dt);
-      level_residency_[static_cast<std::size_t>(level_)] += dt;
-      break;
-    case Mode::kStandby:
-      bucket = disk::PowerState::kStandby;
-      energy = joules_from_watt_ms(params_->standby_power(), dt);
-      break;
-    case Mode::kTransition:
-      bucket = trans_bucket_;
-      energy = joules_from_watt_ms(trans_power_, dt);
-      break;
-  }
-  breakdown_.add(bucket, dt, energy);
-  if (tracer_ != nullptr) {
-    obs::Event ev;
-    ev.kind = obs::EventKind::kStateSegment;
-    ev.disk = id_;
-    ev.t0 = clock_;
-    ev.t1 = clock_ + dt;
-    ev.state = bucket;
-    ev.level = level_;
-    ev.energy_j = energy;
-    ev.value = dt;
-    tracer_->emit(ev);
-  }
+DiskUnit::DiskUnit(DiskArrayState& state, int slot,
+                   const disk::DiskParameters& params, int id,
+                   FaultModel* faults)
+    : params_(&params), id_(id), faults_(faults), state_(&state),
+      slot_(static_cast<std::size_t>(slot)),
+      level_residency_(static_cast<std::size_t>(params.rpm_level_count()),
+                       0.0) {
+  SDPM_REQUIRE(slot >= 0 && slot_ < state.core.size(),
+               "disk slot out of range for the array state");
 }
 
-void DiskUnit::advance_to(TimeMs t) {
-  SDPM_ASSERT(t >= clock_ - kTimeEps, "disk commands must be time-ordered");
-  if (t <= clock_) return;
-  if (mode_ == Mode::kTransition && trans_end_ <= t) {
-    accumulate(trans_end_ - clock_);
-    clock_ = trans_end_;
-    mode_ = after_mode_;
-    level_ = after_level_;
-  }
-  if (t > clock_) {
-    accumulate(t - clock_);
-    clock_ = t;
-  }
+void DiskUnit::emit_state_segment(disk::PowerState bucket, TimeMs dt,
+                                  Joules energy) {
+  obs::Event ev;
+  ev.kind = obs::EventKind::kStateSegment;
+  ev.disk = id_;
+  ev.t0 = core().clock;
+  ev.t1 = core().clock + dt;
+  ev.state = bucket;
+  ev.level = core().level;
+  ev.energy_j = energy;
+  ev.value = dt;
+  tracer_->emit(ev);
 }
 
-void DiskUnit::settle() {
-  if (mode_ == Mode::kTransition) advance_to(trans_end_);
-  SDPM_ASSERT(mode_ != Mode::kTransition, "settle left a transition open");
+void DiskUnit::emit_service_segment(TimeMs t0, TimeMs t1, Joules energy,
+                                    TimeMs dt) {
+  obs::Event ev;
+  ev.kind = obs::EventKind::kStateSegment;
+  ev.disk = id_;
+  ev.t0 = t0;
+  ev.t1 = t1;
+  ev.state = disk::PowerState::kActive;
+  ev.level = core().level;
+  ev.energy_j = energy;
+  ev.value = dt;
+  tracer_->emit(ev);
 }
 
 void DiskUnit::begin_transition(disk::PowerState bucket, TimeMs duration,
-                                Joules energy, Mode after, int level_after) {
-  SDPM_ASSERT(mode_ != Mode::kTransition, "transition already in flight");
+                                Joules energy, DiskMode after,
+                                int level_after) {
+  DiskArrayState::Core& c = core();
+  SDPM_ASSERT(c.mode != DiskMode::kTransition,
+              "transition already in flight");
   if (duration <= 0) {
-    mode_ = after;
-    level_ = level_after;
+    c.mode = after;
+    c.level = level_after;
     breakdown_.add(bucket, 0, energy);
     if (tracer_ != nullptr && energy > 0) {
       // Instant transitions still pay their energy; report a zero-width
@@ -88,8 +70,8 @@ void DiskUnit::begin_transition(disk::PowerState bucket, TimeMs duration,
       obs::Event ev;
       ev.kind = obs::EventKind::kStateSegment;
       ev.disk = id_;
-      ev.t0 = clock_;
-      ev.t1 = clock_;
+      ev.t0 = c.clock;
+      ev.t1 = c.clock;
       ev.state = bucket;
       ev.level = level_after;
       ev.energy_j = energy;
@@ -97,28 +79,34 @@ void DiskUnit::begin_transition(disk::PowerState bucket, TimeMs duration,
     }
     return;
   }
-  mode_ = Mode::kTransition;
-  trans_end_ = clock_ + duration;
-  trans_power_ = energy / seconds_from_ms(duration);
-  trans_bucket_ = bucket;
-  after_mode_ = after;
-  after_level_ = level_after;
+  c.mode = DiskMode::kTransition;
+  DiskArrayState::Transition& tr = trans();
+  tr.end = c.clock + duration;
+  tr.power = energy / seconds_from_ms(duration);
+  tr.bucket = bucket;
+  tr.after_mode = after;
+  tr.after_level = level_after;
 }
 
 int DiskUnit::target_level() const {
-  if (mode_ == Mode::kTransition && after_mode_ == Mode::kSpinning) {
-    return after_level_;
+  const DiskArrayState::Core& c = core();
+  if (c.mode == DiskMode::kTransition &&
+      trans().after_mode == DiskMode::kSpinning) {
+    return trans().after_level;
   }
-  return level_;
+  return c.level;
 }
 
 bool DiskUnit::heading_to_standby() const {
-  return mode_ == Mode::kStandby ||
-         (mode_ == Mode::kTransition && after_mode_ == Mode::kStandby);
+  const DiskArrayState::Core& c = core();
+  return c.mode == DiskMode::kStandby ||
+         (c.mode == DiskMode::kTransition &&
+          trans().after_mode == DiskMode::kStandby);
 }
 
 void DiskUnit::begin_spin_up() {
-  SDPM_ASSERT(mode_ == Mode::kStandby, "spin-up must start from standby");
+  SDPM_ASSERT(core().mode == DiskMode::kStandby,
+              "spin-up must start from standby");
   if (faults_ != nullptr) {
     const FaultConfig& fc = faults_->config();
     TimeMs attempt_ms = fc.spin_up_attempt_ms >= 0 ? fc.spin_up_attempt_ms
@@ -140,21 +128,73 @@ void DiskUnit::begin_spin_up() {
         obs::Event ev;
         ev.kind = obs::EventKind::kSpinUpRetry;
         ev.disk = id_;
-        ev.t0 = clock_;
-        ev.t1 = clock_;
+        ev.t0 = core().clock;
+        ev.t1 = core().clock;
         ev.value = backoff;
         tracer_->emit(ev);
       }
       begin_transition(disk::PowerState::kSpinningUp, attempt_ms, attempt_j,
-                       Mode::kStandby, level_);
+                       DiskMode::kStandby, core().level);
       settle();
-      advance_to(clock_ + backoff);
+      advance_to(core().clock + backoff);
       ++attempt;
     }
   }
   begin_transition(disk::PowerState::kSpinningUp, params_->tpm.spin_up_time,
-                   params_->tpm.spin_up_energy, Mode::kSpinning,
+                   params_->tpm.spin_up_energy, DiskMode::kSpinning,
                    params_->max_level());
+}
+
+void DiskUnit::serve_wake(ServeResult& result) {
+  DiskArrayState::Core& c = core();
+  if (c.mode == DiskMode::kTransition) {
+    result.waited_transition = trans().after_mode == DiskMode::kSpinning;
+    settle();
+  }
+  if (c.mode == DiskMode::kStandby) {
+    result.demand_spin_up = true;
+    ++demand_spin_ups_;
+    if (tracer_ != nullptr) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::kDemandSpinUp;
+      ev.disk = id_;
+      ev.t0 = c.clock;
+      ev.t1 = c.clock;
+      tracer_->emit(ev);
+    }
+    begin_spin_up();
+    settle();
+  }
+}
+
+TimeMs DiskUnit::faulted_service(BlockNo sector, Bytes size_bytes,
+                                 TimeMs service) {
+  const DiskArrayState::Core& c = core();
+  const LevelTable::Level& lv = state_->levels[c.level];
+  if (faults_->is_remapped(id_, sector)) {
+    // The head must detour to the spare area: one reposition (seek +
+    // rotational latency) on top of the nominal transfer.
+    service += params_->average_seek_time + lv.rot_latency_ms;
+  }
+  const FaultModel::MediaOutcome media = faults_->media_check(id_, sector);
+  if (media.error) {
+    ++media_errors_;
+    if (media.new_remap) ++remapped_sectors_;
+    if (tracer_ != nullptr) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::kMediaError;
+      ev.disk = id_;
+      ev.t0 = c.clock;
+      ev.t1 = c.clock;
+      ev.value = media.new_remap ? 1 : 0;
+      tracer_->emit(ev);
+    }
+    // Retry the transfer from the (re)mapped location: a full
+    // non-sequential re-read at the current level.
+    service += params_->average_seek_time + lv.rot_latency_ms +
+               static_cast<double>(size_bytes) / lv.bytes_per_ms;
+  }
+  return service * faults_->service_jitter_factor(id_);
 }
 
 void DiskUnit::spin_down(TimeMs t) {
@@ -172,35 +212,39 @@ void DiskUnit::spin_down(TimeMs t) {
     }
     return;
   }
-  advance_to(std::max(t, clock_));
+  advance_to(std::max(t, core().clock));
   settle();
-  if (mode_ == Mode::kStandby) return;
+  if (core().mode == DiskMode::kStandby) return;
   ++spin_downs_;
   if (tracer_ != nullptr) {
     obs::Event ev;
     ev.kind = obs::EventKind::kDirective;
     ev.disk = id_;
-    ev.t0 = clock_;
-    ev.t1 = clock_;
+    ev.t0 = core().clock;
+    ev.t1 = core().clock;
     ev.label = "spin_down";
     tracer_->emit(ev);
   }
-  begin_transition(disk::PowerState::kSpinningDown, params_->tpm.spin_down_time,
-                   params_->tpm.spin_down_energy, Mode::kStandby, level_);
+  begin_transition(disk::PowerState::kSpinningDown,
+                   params_->tpm.spin_down_time, params_->tpm.spin_down_energy,
+                   DiskMode::kStandby, core().level);
 }
 
 void DiskUnit::spin_up(TimeMs t) {
-  if (mode_ == Mode::kSpinning) return;
-  if (mode_ == Mode::kTransition && after_mode_ == Mode::kSpinning) return;
-  advance_to(std::max(t, clock_));
+  if (core().mode == DiskMode::kSpinning) return;
+  if (core().mode == DiskMode::kTransition &&
+      trans().after_mode == DiskMode::kSpinning) {
+    return;
+  }
+  advance_to(std::max(t, core().clock));
   settle();
-  if (mode_ == Mode::kSpinning) return;
+  if (core().mode == DiskMode::kSpinning) return;
   if (tracer_ != nullptr) {
     obs::Event ev;
     ev.kind = obs::EventKind::kDirective;
     ev.disk = id_;
-    ev.t0 = clock_;
-    ev.t1 = clock_;
+    ev.t0 = core().clock;
+    ev.t1 = core().clock;
     ev.label = "spin_up";
     tracer_->emit(ev);
   }
@@ -227,108 +271,28 @@ void DiskUnit::set_rpm_level(TimeMs t, int level) {
     }
     return;
   }
-  advance_to(std::max(t, clock_));
+  advance_to(std::max(t, core().clock));
   settle();
-  if (level_ == level) return;
+  if (core().level == level) return;
   ++rpm_transitions_;
   if (tracer_ != nullptr) {
     obs::Event ev;
     ev.kind = obs::EventKind::kDirective;
     ev.disk = id_;
-    ev.t0 = clock_;
-    ev.t1 = clock_;
+    ev.t0 = core().clock;
+    ev.t1 = core().clock;
     ev.level = level;
     ev.label = "set_rpm";
     tracer_->emit(ev);
   }
   begin_transition(disk::PowerState::kRpmShift,
-                   params_->rpm_transition_time(level_, level),
-                   params_->rpm_transition_energy(level_, level),
-                   Mode::kSpinning, level);
-}
-
-DiskUnit::ServeResult DiskUnit::serve(TimeMs arrival, BlockNo sector,
-                                      Bytes size_bytes, ir::AccessKind kind) {
-  (void)kind;  // reads and writes share the service model
-  ServeResult result;
-  advance_to(std::max(arrival, clock_));
-  if (mode_ == Mode::kTransition) {
-    result.waited_transition = after_mode_ == Mode::kSpinning;
-    settle();
-  }
-  if (mode_ == Mode::kStandby) {
-    result.demand_spin_up = true;
-    ++demand_spin_ups_;
-    if (tracer_ != nullptr) {
-      obs::Event ev;
-      ev.kind = obs::EventKind::kDemandSpinUp;
-      ev.disk = id_;
-      ev.t0 = clock_;
-      ev.t1 = clock_;
-      tracer_->emit(ev);
-    }
-    begin_spin_up();
-    settle();
-  }
-  SDPM_ASSERT(mode_ == Mode::kSpinning, "disk must spin to serve");
-
-  const bool sequential = sector == next_sector_;
-  TimeMs service = params_->service_time(size_bytes, level_, sequential);
-  if (faults_ != nullptr) {
-    if (faults_->is_remapped(id_, sector)) {
-      // The head must detour to the spare area: one reposition (seek +
-      // rotational latency) on top of the nominal transfer.
-      service += params_->average_seek_time +
-                 params_->rotational_latency_at_level(level_);
-    }
-    const FaultModel::MediaOutcome media = faults_->media_check(id_, sector);
-    if (media.error) {
-      ++media_errors_;
-      if (media.new_remap) ++remapped_sectors_;
-      if (tracer_ != nullptr) {
-        obs::Event ev;
-        ev.kind = obs::EventKind::kMediaError;
-        ev.disk = id_;
-        ev.t0 = clock_;
-        ev.t1 = clock_;
-        ev.value = media.new_remap ? 1 : 0;
-        tracer_->emit(ev);
-      }
-      // Retry the transfer from the (re)mapped location: a full
-      // non-sequential re-read at the current level.
-      service += params_->service_time(size_bytes, level_, false);
-    }
-    service *= faults_->service_jitter_factor(id_);
-  }
-  result.start = clock_;
-  result.completion = clock_ + service;
-  const Joules active_j =
-      joules_from_watt_ms(params_->active_power_at_level(level_), service);
-  breakdown_.add(disk::PowerState::kActive, service, active_j);
-  if (tracer_ != nullptr) {
-    obs::Event ev;
-    ev.kind = obs::EventKind::kStateSegment;
-    ev.disk = id_;
-    ev.t0 = result.start;
-    ev.t1 = result.completion;
-    ev.state = disk::PowerState::kActive;
-    ev.level = level_;
-    ev.energy_j = active_j;
-    ev.value = service;
-    tracer_->emit(ev);
-  }
-  level_residency_[static_cast<std::size_t>(level_)] += service;
-  clock_ = result.completion;
-  last_completion_ = clock_;
-  next_sector_ = sector + (size_bytes + layout::kSectorBytes - 1) /
-                              layout::kSectorBytes;
-  busy_.push_back(BusyPeriod{result.start, result.completion});
-  ++services_;
-  return result;
+                   params_->rpm_transition_time(core().level, level),
+                   params_->rpm_transition_energy(core().level, level),
+                   DiskMode::kSpinning, level);
 }
 
 void DiskUnit::finish(TimeMs end) {
-  advance_to(std::max(end, clock_));
+  advance_to(std::max(end, core().clock));
   settle();
 }
 

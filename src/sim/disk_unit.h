@@ -13,15 +13,29 @@
 // Commands issued while a transition is in progress take effect when the
 // transition settles (a physical spindle cannot abort a speed change
 // mid-flight in this model).
+//
+// Hot/cold split: the scalars the replay loop touches per request (clock,
+// mode, level, head position, completion time) live in a DiskArrayState
+// slot (disk_state.h) shared by every disk of a simulated array; the unit
+// itself keeps only the cold accounting (energy breakdown, residency,
+// busy periods, fault counters).  A standalone unit owns a one-slot state,
+// so direct construction behaves exactly as before.  The hot methods
+// (advance_to / accumulate / the serve fast path) are defined inline here
+// so the replay engine compiles them into its loop.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "disk/parameters.h"
 #include "disk/power_state.h"
 #include "ir/nest.h"
+#include "layout/striping.h"
+#include "sim/disk_state.h"
 #include "sim/faults.h"
+#include "util/error.h"
 #include "util/units.h"
 
 namespace sdpm::obs {
@@ -39,11 +53,22 @@ struct BusyPeriod {
 
 class DiskUnit {
  public:
-  /// `faults` (optional, not owned, may outlive no call) injects spin-up
-  /// failures, media errors, jitter and dropped directives; nullptr keeps
-  /// the unit's behavior exactly fault-free.
+  /// Standalone unit owning its own one-slot hot state.  `faults`
+  /// (optional, not owned) injects spin-up failures, media errors, jitter
+  /// and dropped directives; nullptr keeps the unit's behavior exactly
+  /// fault-free.
   DiskUnit(const disk::DiskParameters& params, int id,
            FaultModel* faults = nullptr);
+
+  /// Array member: hot scalars live in `state` slot `slot` (shared with
+  /// the replay engine).  `state` must outlive the unit and have been
+  /// built from the same `params`.
+  DiskUnit(DiskArrayState& state, int slot,
+           const disk::DiskParameters& params, int id,
+           FaultModel* faults = nullptr);
+
+  DiskUnit(DiskUnit&&) = default;
+  DiskUnit& operator=(DiskUnit&&) = delete;
 
   int id() const { return id_; }
   const disk::DiskParameters& params() const { return *params_; }
@@ -54,6 +79,12 @@ class DiskUnit {
   /// behavior is bit-identical either way.  The simulator resolves the
   /// tracer once per run; each emission site costs one null-pointer test.
   void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
+
+  /// Record a BusyPeriod per serviced request.  On by default for
+  /// standalone units (tests drive them directly); the simulator enables
+  /// it only when SimOptions::capture_busy_periods asks for oracle or
+  /// profile post-processing — the vector is O(requests).
+  void set_capture_busy(bool capture) { capture_busy_ = capture; }
 
   // ---- power commands ----------------------------------------------------
 
@@ -98,11 +129,11 @@ class DiskUnit {
 
   /// The unit's internal clock: the last time up to which energy has been
   /// integrated.
-  TimeMs clock() const { return clock_; }
+  TimeMs clock() const { return core().clock; }
 
   /// Completion time of the last serviced request (start of the current
   /// idle period); 0 if never serviced.
-  TimeMs last_completion() const { return last_completion_; }
+  TimeMs last_completion() const { return core().last_completion; }
 
   const disk::EnergyBreakdown& breakdown() const { return breakdown_; }
   const std::vector<BusyPeriod>& busy_periods() const { return busy_; }
@@ -130,47 +161,100 @@ class DiskUnit {
   std::int64_t dropped_directives() const { return dropped_directives_; }
 
  private:
-  enum class Mode { kSpinning, kStandby, kTransition };
+  static constexpr TimeMs kTimeEps = 1e-9;
 
-  /// Integrate energy from clock_ to `t`, resolving a transition that
-  /// completes in between.
-  void advance_to(TimeMs t);
+  DiskArrayState::Core& core() { return state_->core[slot_]; }
+  const DiskArrayState::Core& core() const { return state_->core[slot_]; }
+  DiskArrayState::Transition& trans() { return state_->trans[slot_]; }
+  const DiskArrayState::Transition& trans() const {
+    return state_->trans[slot_];
+  }
 
-  /// Account `dt` of time in the *current* mode ending at clock_ + dt.
-  void accumulate(TimeMs dt);
+  /// Integrate energy from the slot clock to `t`, resolving a transition
+  /// that completes in between.
+  void advance_to(TimeMs t) {
+    DiskArrayState::Core& c = core();
+    SDPM_ASSERT(t >= c.clock - kTimeEps,
+                "disk commands must be time-ordered");
+    if (t <= c.clock) return;
+    if (c.mode == DiskMode::kTransition && trans().end <= t) {
+      const DiskArrayState::Transition tr = trans();
+      accumulate(tr.end - c.clock);
+      c.clock = tr.end;
+      c.mode = tr.after_mode;
+      c.level = tr.after_level;
+    }
+    if (t > c.clock) {
+      accumulate(t - c.clock);
+      c.clock = t;
+    }
+  }
+
+  /// Account `dt` of time in the *current* mode ending at clock + dt.
+  void accumulate(TimeMs dt) {
+    if (dt <= 0) return;
+    DiskArrayState::Core& c = core();
+    disk::PowerState bucket = disk::PowerState::kIdle;
+    Joules energy = 0;
+    switch (c.mode) {
+      case DiskMode::kSpinning:
+        bucket = disk::PowerState::kIdle;
+        energy = joules_from_watt_ms(state_->levels[c.level].idle_w, dt);
+        level_residency_[static_cast<std::size_t>(c.level)] += dt;
+        break;
+      case DiskMode::kStandby:
+        bucket = disk::PowerState::kStandby;
+        energy = joules_from_watt_ms(params_->standby_power(), dt);
+        break;
+      case DiskMode::kTransition:
+        bucket = trans().bucket;
+        energy = joules_from_watt_ms(trans().power, dt);
+        break;
+    }
+    breakdown_.add(bucket, dt, energy);
+    if (tracer_ != nullptr) emit_state_segment(bucket, dt, energy);
+  }
 
   /// Advance through any in-flight transition; afterwards the mode is
-  /// kSpinning or kStandby and clock_ >= previous transition end.
-  void settle();
+  /// kSpinning or kStandby and the slot clock >= previous transition end.
+  void settle() {
+    if (core().mode == DiskMode::kTransition) advance_to(trans().end);
+    SDPM_ASSERT(core().mode != DiskMode::kTransition,
+                "settle left a transition open");
+  }
 
-  /// Start a transition at clock_ (mode must be settled).
+  /// Start a transition at the slot clock (mode must be settled).
   void begin_transition(disk::PowerState bucket, TimeMs duration,
-                        Joules energy, Mode after, int level_after);
+                        Joules energy, DiskMode after, int level_after);
 
-  /// Start the standby -> spinning transition at clock_ (mode kStandby,
-  /// settled), burning through any injected failed attempts (attempt time +
-  /// capped exponential backoff each) before the final, successful spin-up
-  /// is left in flight.
+  /// Start the standby -> spinning transition at the slot clock (mode
+  /// kStandby, settled), burning through any injected failed attempts
+  /// (attempt time + capped exponential backoff each) before the final,
+  /// successful spin-up is left in flight.
   void begin_spin_up();
+
+  /// Rare serve() preamble: wait out an in-flight transition and/or wake a
+  /// standby disk.  Out of line so the inlined fast path stays small.
+  void serve_wake(ServeResult& result);
+
+  /// Fault-model detours on the nominal service time (remap seek, media
+  /// retry, jitter).  Only called when a FaultModel is attached.
+  TimeMs faulted_service(BlockNo sector, Bytes size_bytes, TimeMs service);
+
+  // Cold tracer emissions (observation only; never on the untraced path).
+  void emit_state_segment(disk::PowerState bucket, TimeMs dt, Joules energy);
+  void emit_service_segment(TimeMs t0, TimeMs t1, Joules energy, TimeMs dt);
 
   const disk::DiskParameters* params_;
   int id_;
   FaultModel* faults_;
   obs::EventTracer* tracer_ = nullptr;
 
-  TimeMs clock_ = 0;
-  Mode mode_ = Mode::kSpinning;
-  int level_ = 0;  ///< physical RPM level while spinning
+  DiskArrayState* state_;
+  std::size_t slot_;
+  std::unique_ptr<DiskArrayState> owned_;  ///< standalone units only
 
-  // Valid while mode_ == kTransition:
-  TimeMs trans_end_ = 0;
-  Watts trans_power_ = 0;
-  disk::PowerState trans_bucket_ = disk::PowerState::kRpmShift;
-  Mode after_mode_ = Mode::kSpinning;
-  int after_level_ = 0;
-
-  TimeMs last_completion_ = 0;
-  BlockNo next_sector_ = -1;  ///< head position for sequential detection
+  bool capture_busy_ = true;
 
   disk::EnergyBreakdown breakdown_;
   std::vector<BusyPeriod> busy_;
@@ -184,5 +268,45 @@ class DiskUnit {
   std::int64_t remapped_sectors_ = 0;
   std::int64_t dropped_directives_ = 0;
 };
+
+inline DiskUnit::ServeResult DiskUnit::serve(TimeMs arrival, BlockNo sector,
+                                             Bytes size_bytes,
+                                             ir::AccessKind kind) {
+  (void)kind;  // reads and writes share the service model
+  ServeResult result;
+  DiskArrayState::Core& c = core();
+  advance_to(std::max(arrival, c.clock));
+  if (c.mode != DiskMode::kSpinning) serve_wake(result);
+  SDPM_ASSERT(c.mode == DiskMode::kSpinning, "disk must spin to serve");
+
+  const bool sequential = sector == c.next_sector;
+  const LevelTable::Level& lv = state_->levels[c.level];
+  // Same arithmetic as DiskParameters::service_time over the cached level
+  // physics: optional positioning (skipped when sequential) + transfer.
+  const TimeMs transfer = static_cast<double>(size_bytes) / lv.bytes_per_ms;
+  TimeMs service =
+      sequential ? transfer
+                 : params_->average_seek_time + lv.rot_latency_ms + transfer;
+  if (faults_ != nullptr) {
+    service = faulted_service(sector, size_bytes, service);
+  }
+  result.start = c.clock;
+  result.completion = c.clock + service;
+  const Joules active_j = joules_from_watt_ms(lv.active_w, service);
+  breakdown_.add(disk::PowerState::kActive, service, active_j);
+  if (tracer_ != nullptr) {
+    emit_service_segment(result.start, result.completion, active_j, service);
+  }
+  level_residency_[static_cast<std::size_t>(c.level)] += service;
+  c.clock = result.completion;
+  c.last_completion = c.clock;
+  c.next_sector = sector + (size_bytes + layout::kSectorBytes - 1) /
+                               layout::kSectorBytes;
+  if (capture_busy_) {
+    busy_.push_back(BusyPeriod{result.start, result.completion});
+  }
+  ++services_;
+  return result;
+}
 
 }  // namespace sdpm::sim

@@ -35,8 +35,11 @@ void check_disk(const DiskReport& disk, TimeMs duration,
                             index));
     cursor = bp.completion;
   }
-  SDPM_REQUIRE(static_cast<std::int64_t>(disk.busy_periods.size()) ==
-                   disk.services,
+  // Busy periods are opt-in (SimOptions::capture_busy_periods); when they
+  // were captured, there must be exactly one per service.
+  SDPM_REQUIRE(disk.busy_periods.empty() ||
+                   static_cast<std::int64_t>(disk.busy_periods.size()) ==
+                       disk.services,
                "service count does not match busy periods");
 
   // Fault counters: non-negative, and every remapped sector was created by

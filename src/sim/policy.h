@@ -16,9 +16,25 @@ class EventTracer;
 
 namespace sdpm::sim {
 
+struct ReplayContext;  // sim/replay.h
+struct SimReport;      // sim/report.h
+
 class PowerPolicy {
  public:
+  /// A statically dispatched replay kernel: the whole replay loop
+  /// instantiated against a concrete policy type (sim/replay.h), so the
+  /// per-item policy hooks compile to direct, inlinable calls.
+  using ReplayFn = SimReport (*)(PowerPolicy&, const ReplayContext&);
+
   virtual ~PowerPolicy() = default;
+
+  /// The policy's statically dispatched replay kernel, or nullptr to use
+  /// the generic virtual-dispatch engine (the default).  Built-in final
+  /// policies return sim::replay_run<Self>; wrapper/custom policies leave
+  /// this alone.  Both engines are the same template, so the two dispatch
+  /// paths produce bit-identical reports (pinned by the equivalence
+  /// suite).
+  virtual ReplayFn replay_kernel() const { return nullptr; }
 
   /// Attach the observability tracer for the coming replay (nullptr =
   /// untraced).  Called by the simulator before attach(); policies emit

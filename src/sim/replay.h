@@ -1,0 +1,301 @@
+// Batched replay engine, templated over the concrete policy type.
+//
+// Both dispatch paths run THIS template:
+//
+//   replay_run<PowerPolicy>   the generic engine — PolicyT is the abstract
+//                             base, every hook is a virtual call (wrapper
+//                             policies, fault-injected runs by default,
+//                             custom policies), and
+//   replay_run<TpmPolicy>     (etc.) the static kernels the built-in final
+//                             policies return from replay_kernel() — the
+//                             hooks devirtualize and inline into the loop.
+//
+// Because the two paths are one template instantiated twice, they execute
+// the same statements in the same order on the same doubles; the
+// equivalence suite pins the resulting reports bit for bit.
+//
+// The loop structure itself is the tentpole optimization: items arrive in
+// blocks of SimOptions::replay_batch through RequestSource::next_batch
+// (one virtual call per block instead of per item), input validation is
+// hoisted to the block boundary, per-disk hot state is a DiskArrayState
+// (structure of arrays, disk_state.h), and the block scratch uses
+// small-buffer storage (no heap below the default batch size).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "obs/tracer.h"
+#include "sim/disk_state.h"
+#include "sim/disk_unit.h"
+#include "sim/policy.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "trace/source.h"
+#include "util/error.h"
+
+namespace sdpm::sim {
+
+/// Everything a replay needs beyond the policy: the item source, the disk
+/// model, the options, and the already-resolved fault model and tracer.
+struct ReplayContext {
+  trace::RequestSource* source = nullptr;
+  const disk::DiskParameters* params = nullptr;
+  const SimOptions* options = nullptr;
+  FaultModel* faults = nullptr;      ///< nullptr = fault-free
+  obs::EventTracer* tracer = nullptr;  ///< resolved; nullptr = untraced
+};
+
+namespace detail {
+
+/// Per-block scratch with small-buffer storage: block sizes up to
+/// kReplayBatchSize live on the stack, larger (fuzzing, tuning) fall back
+/// to one heap allocation for the whole replay.
+class ReplayBatch {
+ public:
+  explicit ReplayBatch(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {
+    if (capacity_ > inline_.size()) {
+      heap_ = std::make_unique<trace::TraceItem[]>(capacity_);
+    }
+  }
+
+  trace::TraceItem* data() { return heap_ ? heap_.get() : inline_.data(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::array<trace::TraceItem, kReplayBatchSize> inline_;
+  std::unique_ptr<trace::TraceItem[]> heap_;
+};
+
+/// Input validation hoisted to the block boundary: one pass checks every
+/// target disk so the replay below can index unchecked.
+inline void validate_batch(const trace::TraceItem* items, std::size_t n,
+                           int total_disks) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (items[i].kind == trace::TraceItem::Kind::kPowerEvent) {
+      const int d = items[i].power.directive.disk;
+      SDPM_REQUIRE(d >= 0 && d < total_disks,
+                   "power event targets unknown disk");
+    } else {
+      const int d = items[i].request.disk;
+      SDPM_REQUIRE(d >= 0 && d < total_disks,
+                   "request targets unknown disk");
+    }
+  }
+}
+
+/// Shared replay scaffolding: disk array + units + policy attachment.
+struct ReplayRig {
+  ReplayRig(const ReplayContext& ctx, int total_disks)
+      : state(total_disks, *ctx.params) {
+    units.reserve(static_cast<std::size_t>(total_disks));
+    for (int d = 0; d < total_disks; ++d) {
+      units.emplace_back(state, d, *ctx.params, d, ctx.faults);
+      units.back().set_tracer(ctx.tracer);
+      units.back().set_capture_busy(ctx.options->capture_busy_periods);
+    }
+  }
+
+  DiskArrayState state;
+  std::vector<DiskUnit> units;
+};
+
+/// Finalize energy at `end` and assemble the per-disk reports.
+template <class PolicyT>
+void finalize_report(PolicyT& policy, ReplayRig& rig, SimReport& report,
+                     TimeMs end) {
+  report.disks.reserve(rig.units.size());
+  for (DiskUnit& unit : rig.units) {
+    policy.finalize(unit, end);
+    unit.finish(end);
+    DiskReport dr = make_disk_report(unit);
+    report.total_energy += dr.breakdown.total_j();
+    report.disks.push_back(std::move(dr));
+  }
+}
+
+template <class PolicyT>
+SimReport replay_closed_loop(PolicyT& policy, const ReplayContext& ctx) {
+  trace::RequestSource& source = *ctx.source;
+  obs::EventTracer* const tracer = ctx.tracer;
+  const int total_disks = source.total_disks();
+  ReplayRig rig(ctx, total_disks);
+  policy.set_tracer(tracer);
+  for (DiskUnit& unit : rig.units) policy.attach(unit);
+
+  SimReport report;
+  report.policy_name = policy.name();
+  obs::Span run_span(tracer, policy.name(), 0);
+
+  const TimeMs compute_total = source.compute_total_ms();
+  TimeMs compute_cursor = 0;  // compute-timeline position
+  TimeMs app_clock = 0;       // real simulated time (compute + stalls)
+  TimeMs* const last_issue = rig.state.last_issue.data();
+  const bool capture_responses = ctx.options->capture_responses;
+
+  // Think time is the delta between consecutive compute-timeline stamps;
+  // a run of same-timestamp items advances nothing, so the guard below
+  // batches it away.  (The monotonicity assert matches the historical
+  // behavior in debug builds.)
+  const auto advance_app = [&](TimeMs compute_time) {
+    if (compute_time > compute_cursor) {
+      app_clock += compute_time - compute_cursor;
+      compute_cursor = compute_time;
+    } else {
+      SDPM_ASSERT(compute_time >= compute_cursor - 1e-9,
+                  "compute timeline must be monotone");
+    }
+  };
+
+  ReplayBatch batch(ctx.options->replay_batch);
+  for (;;) {
+    const std::size_t n = source.next_batch(batch.data(), batch.capacity());
+    if (n == 0) break;
+    validate_batch(batch.data(), n, total_disks);
+    for (std::size_t i = 0; i < n; ++i) {
+      const trace::TraceItem& item = batch.data()[i];
+      if (item.kind == trace::TraceItem::Kind::kPowerEvent) {
+        const trace::PowerEvent& ev = item.power;
+        advance_app(ev.app_time_ms);
+        const std::size_t d = static_cast<std::size_t>(ev.directive.disk);
+        policy.on_power_event(rig.units[d], app_clock, ev.directive);
+      } else {
+        const trace::Request& req = item.request;
+        advance_app(req.arrival_ms);
+        const std::size_t d = static_cast<std::size_t>(req.disk);
+        DiskUnit& unit = rig.units[d];
+        // With a prefetch lead, the request was issued that much earlier
+        // and its service overlaps the preceding compute; the application
+        // only stalls for whatever remains at demand time.  The issue time
+        // never precedes this disk's previous issue (per-disk FIFO
+        // ordering).
+        TimeMs issue = app_clock;
+        if (req.prefetch_lead_ms > 0) {
+          issue = std::max(app_clock - req.prefetch_lead_ms, last_issue[d]);
+          issue = std::min(issue, app_clock);
+          last_issue[d] = issue;
+        } else {
+          last_issue[d] = app_clock;
+        }
+        policy.before_service(unit, issue);
+        const DiskUnit::ServeResult result =
+            unit.serve(issue, req.start_sector, req.size_bytes, req.kind);
+        const TimeMs stall = std::max(0.0, result.completion - app_clock);
+        report.response_ms.add(stall);
+        if (capture_responses) report.responses.push_back(stall);
+        if (tracer != nullptr) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::kService;
+          ev.disk = req.disk;
+          ev.t0 = issue;
+          ev.t1 = result.completion;
+          ev.value = stall;
+          ev.value2 = static_cast<double>(req.size_bytes);
+          tracer->emit(ev);
+        }
+        policy.after_service(unit, result.completion, stall);
+        app_clock += stall;  // blocking only for the un-hidden remainder
+        ++report.requests;
+        report.bytes_transferred += req.size_bytes;
+      }
+    }
+  }
+
+  // Trailing compute after the last request / power call.
+  advance_app(compute_total);
+  const TimeMs end = app_clock;
+
+  report.compute_ms = compute_total;
+  report.execution_ms = end;
+  report.io_stall_ms = end - compute_total;
+
+  finalize_report(policy, rig, report, end);
+  run_span.end(end);
+  return report;
+}
+
+template <class PolicyT>
+SimReport replay_open_loop(PolicyT& policy, const ReplayContext& ctx) {
+  trace::RequestSource& source = *ctx.source;
+  obs::EventTracer* const tracer = ctx.tracer;
+  const int total_disks = source.total_disks();
+  ReplayRig rig(ctx, total_disks);
+  policy.set_tracer(tracer);
+  for (DiskUnit& unit : rig.units) policy.attach(unit);
+
+  SimReport report;
+  report.policy_name = policy.name();
+  obs::Span run_span(tracer, policy.name(), 0);
+
+  // Requests and power events arrive merged by recorded timestamp; power
+  // events win ties (they precede the iteration they annotate).
+  const TimeMs compute_total = source.compute_total_ms();
+  const bool capture_responses = ctx.options->capture_responses;
+  TimeMs end = compute_total;
+
+  ReplayBatch batch(ctx.options->replay_batch);
+  for (;;) {
+    const std::size_t n = source.next_batch(batch.data(), batch.capacity());
+    if (n == 0) break;
+    validate_batch(batch.data(), n, total_disks);
+    for (std::size_t i = 0; i < n; ++i) {
+      const trace::TraceItem& item = batch.data()[i];
+      if (item.kind == trace::TraceItem::Kind::kPowerEvent) {
+        const trace::PowerEvent& ev = item.power;
+        const std::size_t d = static_cast<std::size_t>(ev.directive.disk);
+        policy.on_power_event(rig.units[d], ev.app_time_ms, ev.directive);
+      } else {
+        const trace::Request& req = item.request;
+        const std::size_t d = static_cast<std::size_t>(req.disk);
+        DiskUnit& unit = rig.units[d];
+        policy.before_service(unit, req.arrival_ms);
+        const DiskUnit::ServeResult result = unit.serve(
+            req.arrival_ms, req.start_sector, req.size_bytes, req.kind);
+        const TimeMs response = result.completion - req.arrival_ms;
+        report.response_ms.add(response);
+        if (capture_responses) report.responses.push_back(response);
+        if (tracer != nullptr) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::kService;
+          ev.disk = req.disk;
+          ev.t0 = req.arrival_ms;
+          ev.t1 = result.completion;
+          ev.value = response;
+          ev.value2 = static_cast<double>(req.size_bytes);
+          tracer->emit(ev);
+        }
+        end = std::max(end, result.completion);
+        ++report.requests;
+        report.bytes_transferred += req.size_bytes;
+      }
+    }
+  }
+
+  report.compute_ms = compute_total;
+  report.execution_ms = end;
+  report.io_stall_ms = end - compute_total;
+
+  finalize_report(policy, rig, report, end);
+  run_span.end(end);
+  return report;
+}
+
+}  // namespace detail
+
+/// Replay `ctx` under `base`, which must actually be a PolicyT (the
+/// engine downcasts — PowerPolicy itself is always valid).  Built-in
+/// policies return &replay_run<Self> from replay_kernel().
+template <class PolicyT>
+SimReport replay_run(PowerPolicy& base, const ReplayContext& ctx) {
+  PolicyT& policy = static_cast<PolicyT&>(base);
+  return ctx.options->mode == ReplayMode::kClosedLoop
+             ? detail::replay_closed_loop<PolicyT>(policy, ctx)
+             : detail::replay_open_loop<PolicyT>(policy, ctx);
+}
+
+}  // namespace sdpm::sim

@@ -1,11 +1,11 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
 #include <chrono>
 #include <optional>
 
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "sim/replay.h"
 #include "util/error.h"
 #include "util/perf_counters.h"
 
@@ -49,7 +49,7 @@ SimReport Simulator::run() {
 
   // The materialized path replays through a cursor over the trace — the
   // cursor reproduces the historical merge of requests and power events
-  // exactly, so both paths share one replay loop.
+  // exactly, so both paths share one replay engine.
   std::optional<trace::TraceCursor> cursor;
   trace::RequestSource* source = source_;
   if (trace_ != nullptr) {
@@ -61,194 +61,39 @@ SimReport Simulator::run() {
   // sink-less, so every emission site below is one predictable null test.
   obs::EventTracer* tracer = obs::effective_tracer(options_.tracer);
 
-  SimReport report = options_.mode == ReplayMode::kClosedLoop
-                         ? run_closed_loop(*source, faults, tracer)
-                         : run_open_loop(*source, faults, tracer);
+  ReplayContext ctx;
+  ctx.source = source;
+  ctx.params = &params_;
+  ctx.options = &options_;
+  ctx.faults = faults;
+  ctx.tracer = tracer;
+
+  // Dispatch matrix: the static kernel (replay_run<ConcretePolicy>) when
+  // the policy provides one and the mode allows it, the generic virtual
+  // engine (replay_run<PowerPolicy> — the same template) otherwise.
+  PowerPolicy::ReplayFn engine = nullptr;
+  switch (options_.dispatch) {
+    case DispatchMode::kAuto:
+      if (faults == nullptr) engine = policy_.replay_kernel();
+      break;
+    case DispatchMode::kForceKernel:
+      engine = policy_.replay_kernel();
+      SDPM_REQUIRE(engine != nullptr,
+                   "dispatch=kForceKernel but the policy has no static "
+                   "replay kernel");
+      break;
+    case DispatchMode::kForceVirtual:
+      break;
+  }
+  if (engine == nullptr) engine = &replay_run<PowerPolicy>;
+
+  SimReport report = engine(policy_, ctx);
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - started);
   PerfCounters::global().add_simulation(report.requests, elapsed.count());
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   metrics.add("sim.simulations");
   metrics.add("sim.requests", report.requests);
-  return report;
-}
-
-SimReport Simulator::run_closed_loop(trace::RequestSource& source,
-                                     FaultModel* faults,
-                                     obs::EventTracer* tracer) {
-  const int total_disks = source.total_disks();
-  std::vector<DiskUnit> units;
-  units.reserve(static_cast<std::size_t>(total_disks));
-  for (int d = 0; d < total_disks; ++d) {
-    units.emplace_back(params_, d, faults);
-    units.back().set_tracer(tracer);
-  }
-  policy_.set_tracer(tracer);
-  for (DiskUnit& unit : units) policy_.attach(unit);
-
-  SimReport report;
-  report.policy_name = policy_.name();
-  obs::Span run_span(tracer, policy_.name(), 0);
-
-  const TimeMs compute_total = source.compute_total_ms();
-  TimeMs compute_cursor = 0;  // compute-timeline position
-  TimeMs app_clock = 0;       // real simulated time (compute + stalls)
-  std::vector<TimeMs> last_issue(static_cast<std::size_t>(total_disks), 0.0);
-
-  const auto advance_app = [&](TimeMs compute_time) {
-    SDPM_ASSERT(compute_time >= compute_cursor - 1e-9,
-                "compute timeline must be monotone");
-    const TimeMs think = std::max(0.0, compute_time - compute_cursor);
-    compute_cursor = std::max(compute_cursor, compute_time);
-    app_clock += think;
-  };
-
-  // The source delivers requests and power events merged by compute-
-  // timeline order; power events sit *before* the iteration they annotate,
-  // so they win ties.
-  trace::TraceItem item;
-  while (source.next(item)) {
-    if (item.kind == trace::TraceItem::Kind::kPowerEvent) {
-      const trace::PowerEvent& ev = item.power;
-      advance_app(ev.app_time_ms);
-      const int d = ev.directive.disk;
-      SDPM_REQUIRE(d >= 0 && d < total_disks,
-                   "power event targets unknown disk");
-      policy_.on_power_event(units[static_cast<std::size_t>(d)], app_clock,
-                             ev.directive);
-    } else {
-      const trace::Request& req = item.request;
-      advance_app(req.arrival_ms);
-      SDPM_REQUIRE(req.disk >= 0 && req.disk < total_disks,
-                   "request targets unknown disk");
-      DiskUnit& unit = units[static_cast<std::size_t>(req.disk)];
-      // With a prefetch lead, the request was issued that much earlier and
-      // its service overlaps the preceding compute; the application only
-      // stalls for whatever remains at demand time.  The issue time never
-      // precedes this disk's previous issue (per-disk FIFO ordering).
-      TimeMs issue = app_clock;
-      if (req.prefetch_lead_ms > 0) {
-        TimeMs& last = last_issue[static_cast<std::size_t>(req.disk)];
-        issue = std::max(app_clock - req.prefetch_lead_ms, last);
-        issue = std::min(issue, app_clock);
-        last = issue;
-      } else {
-        last_issue[static_cast<std::size_t>(req.disk)] = app_clock;
-      }
-      policy_.before_service(unit, issue);
-      const DiskUnit::ServeResult result =
-          unit.serve(issue, req.start_sector, req.size_bytes, req.kind);
-      const TimeMs stall = std::max(0.0, result.completion - app_clock);
-      report.response_ms.add(stall);
-      if (options_.capture_responses) report.responses.push_back(stall);
-      if (tracer != nullptr) {
-        obs::Event ev;
-        ev.kind = obs::EventKind::kService;
-        ev.disk = req.disk;
-        ev.t0 = issue;
-        ev.t1 = result.completion;
-        ev.value = stall;
-        ev.value2 = static_cast<double>(req.size_bytes);
-        tracer->emit(ev);
-      }
-      policy_.after_service(unit, result.completion, stall);
-      app_clock += stall;  // blocking only for the un-hidden remainder
-      ++report.requests;
-      report.bytes_transferred += req.size_bytes;
-    }
-  }
-
-  // Trailing compute after the last request / power call.
-  advance_app(compute_total);
-  const TimeMs end = app_clock;
-
-  report.compute_ms = compute_total;
-  report.execution_ms = end;
-  report.io_stall_ms = end - compute_total;
-
-  report.disks.reserve(units.size());
-  for (DiskUnit& unit : units) {
-    policy_.finalize(unit, end);
-    unit.finish(end);
-    DiskReport dr = make_disk_report(unit);
-    report.total_energy += dr.breakdown.total_j();
-    report.disks.push_back(std::move(dr));
-  }
-  run_span.end(end);
-  return report;
-}
-
-SimReport Simulator::run_open_loop(trace::RequestSource& source,
-                                   FaultModel* faults,
-                                   obs::EventTracer* tracer) {
-  const int total_disks = source.total_disks();
-  std::vector<DiskUnit> units;
-  units.reserve(static_cast<std::size_t>(total_disks));
-  for (int d = 0; d < total_disks; ++d) {
-    units.emplace_back(params_, d, faults);
-    units.back().set_tracer(tracer);
-  }
-  policy_.set_tracer(tracer);
-  for (DiskUnit& unit : units) policy_.attach(unit);
-
-  SimReport report;
-  report.policy_name = policy_.name();
-  obs::Span run_span(tracer, policy_.name(), 0);
-
-  // Requests and power events arrive merged by recorded timestamp; power
-  // events win ties (they precede the iteration they annotate).
-  const TimeMs compute_total = source.compute_total_ms();
-  TimeMs end = compute_total;
-  trace::TraceItem item;
-  while (source.next(item)) {
-    if (item.kind == trace::TraceItem::Kind::kPowerEvent) {
-      const trace::PowerEvent& ev = item.power;
-      const int d = ev.directive.disk;
-      SDPM_REQUIRE(d >= 0 && d < total_disks,
-                   "power event targets unknown disk");
-      policy_.on_power_event(units[static_cast<std::size_t>(d)],
-                             ev.app_time_ms, ev.directive);
-    } else {
-      const trace::Request& req = item.request;
-      SDPM_REQUIRE(req.disk >= 0 && req.disk < total_disks,
-                   "request targets unknown disk");
-      DiskUnit& unit = units[static_cast<std::size_t>(req.disk)];
-      policy_.before_service(unit, req.arrival_ms);
-      const DiskUnit::ServeResult result =
-          unit.serve(req.arrival_ms, req.start_sector, req.size_bytes,
-                     req.kind);
-      const TimeMs response = result.completion - req.arrival_ms;
-      report.response_ms.add(response);
-      if (options_.capture_responses) report.responses.push_back(response);
-      if (tracer != nullptr) {
-        obs::Event ev;
-        ev.kind = obs::EventKind::kService;
-        ev.disk = req.disk;
-        ev.t0 = req.arrival_ms;
-        ev.t1 = result.completion;
-        ev.value = response;
-        ev.value2 = static_cast<double>(req.size_bytes);
-        tracer->emit(ev);
-      }
-      end = std::max(end, result.completion);
-      ++report.requests;
-      report.bytes_transferred += req.size_bytes;
-    }
-  }
-
-  report.compute_ms = compute_total;
-  report.execution_ms = end;
-  report.io_stall_ms = end - compute_total;
-
-  report.disks.reserve(units.size());
-  for (DiskUnit& unit : units) {
-    policy_.finalize(unit, end);
-    unit.finish(end);
-    DiskReport dr = make_disk_report(unit);
-    report.total_energy += dr.breakdown.total_j();
-    report.disks.push_back(std::move(dr));
-  }
-  run_span.end(end);
   return report;
 }
 

@@ -41,6 +41,24 @@ enum class ReplayMode {
   kOpenLoop,
 };
 
+/// Default number of trace items pulled per RequestSource::next_batch
+/// call: one virtual delivery call amortized over a block, with the block
+/// small enough to stay resident in L1/L2.
+inline constexpr std::size_t kReplayBatchSize = 256;
+
+/// Which replay engine Simulator::run selects.
+enum class DispatchMode {
+  /// Static kernel when the policy provides one and fault injection is
+  /// off; the generic virtual engine otherwise (the default).
+  kAuto,
+  /// Always the generic virtual engine (equivalence testing, debugging).
+  kForceVirtual,
+  /// Always the policy's static kernel — throws if the policy has none.
+  /// Unlike kAuto this also takes the kernel under fault injection, which
+  /// the equivalence suite uses to pin kernel×faults behavior.
+  kForceKernel,
+};
+
 /// Replay configuration beyond the trace itself.
 struct SimOptions {
   ReplayMode mode = ReplayMode::kClosedLoop;
@@ -53,6 +71,19 @@ struct SimOptions {
   /// the full vector — measured per-nest timelines, per-request asserts in
   /// tests — should pay the O(requests) allocation.
   bool capture_responses = false;
+  /// Record a BusyPeriod per serviced request in DiskReport::busy_periods.
+  /// Off by default (it is a per-request push_back on the hot path); the
+  /// oracle post-processors (ITPM/IDRPM) and the idle-gap profilers are
+  /// the only consumers, and the runner enables it for the Base replay
+  /// they read.
+  bool capture_busy_periods = false;
+  /// Engine selection; kAuto picks the static kernel for built-in
+  /// policies on fault-free runs and the virtual engine otherwise.
+  DispatchMode dispatch = DispatchMode::kAuto;
+  /// Items per next_batch block (clamped to >= 1).  The default balances
+  /// virtual-call amortization against scratch locality; the equivalence
+  /// suite fuzzes it — results are identical for every value.
+  std::size_t replay_batch = kReplayBatchSize;
   /// Observability tracer (not owned, may be nullptr or sink-less).  run()
   /// resolves it once via obs::effective_tracer(), so the untraced replay
   /// pays nothing beyond one null test per emission site and produces
@@ -85,11 +116,6 @@ class Simulator {
   SimReport run();
 
  private:
-  SimReport run_closed_loop(trace::RequestSource& source, FaultModel* faults,
-                            obs::EventTracer* tracer);
-  SimReport run_open_loop(trace::RequestSource& source, FaultModel* faults,
-                          obs::EventTracer* tracer);
-
   const trace::Trace* trace_ = nullptr;     // materialized path
   trace::RequestSource* source_ = nullptr;  // streaming path
   const disk::DiskParameters& params_;

@@ -24,11 +24,20 @@
 //       Emit the generated I/O request trace in the text format.
 //   sdpm_cli replay --in FILE [--policy Base|TPM|ATPM|DRPM] [--open-loop]
 //       Replay a (possibly external) text trace under a reactive policy.
-//   sdpm_cli bench [--benchmark NAME] [--out FILE]
-//                 [--format table|csv|json|metrics] [--no-cache] [--jobs N]
-//       Run the 7-scheme x 8-config sweep through the facade's batched
-//       entry point; --format json emits the perf-counter snapshot CI
-//       archives per commit.  --json / --metrics-out FILE remain as
+//   sdpm_cli bench [--suite sweep|simulator] [--benchmark NAME]
+//                 [--out FILE] [--format table|csv|json|metrics]
+//                 [--no-cache] [--jobs N] [--compare FILE] [--tolerance N]
+//       --suite sweep (default): the 7-scheme x 8-config sweep through
+//       the facade's batched entry point; --format json emits the
+//       perf-counter snapshot CI archives per commit (with --suite given
+//       explicitly, the persistable BenchSnapshot schema instead).
+//       --suite simulator: the single-disk hot-loop replay suite (Base
+//       policy on swim, plus the null-tracer overhead probe); --format
+//       json emits its BenchSnapshot.  --compare FILE checks the fresh
+//       run against a stored snapshot (BENCH_simulator.json /
+//       BENCH_sweep.json at the repo root) with a --tolerance percent
+//       band (default 15) on calibration-normalized throughput; a
+//       regression exits 4.  --json / --metrics-out FILE remain as
 //       deprecated aliases.
 //   sdpm_cli client --socket PATH --op ping|submit|run|status|result|
 //                 cancel|stats|drain|shutdown [--id N] [--wait] [job flags]
@@ -59,13 +68,16 @@
 //
 // Exit codes: 0 success, 1 runtime error (sdpm::Error), 2 usage error
 // (unknown command / flag / malformed value, reported with the usage
-// text), 3 analyze found diagnostics at or above the --fail-on severity.
+// text), 3 analyze found diagnostics at or above the --fail-on severity,
+// 4 bench --compare detected a performance regression.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -76,6 +88,8 @@
 #include "api/session.h"
 #include "core/codegen.h"
 #include "core/compiler.h"
+#include "experiments/bench_baseline.h"
+#include "experiments/bench_suite.h"
 #include "experiments/profile.h"
 #include "experiments/report.h"
 #include "experiments/runner.h"
@@ -578,7 +592,8 @@ int cmd_profile(const Args& args) {
   const trace::Trace trace = generator.generate();
   policy::BasePolicy policy;
   sim::SimOptions options;
-  options.capture_responses = true;  // the per-nest profile needs them
+  options.capture_responses = true;      // the per-nest profile needs them
+  options.capture_busy_periods = true;   // the idle-gap table walks them
   const sim::SimReport report =
       sim::simulate(trace, config.disk, policy, options);
   emit(experiments::per_nest_profile(bench.program, trace, report), args);
@@ -662,9 +677,78 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+/// Compare a fresh snapshot against the baseline stored at
+/// `baseline_path`, print the verdict lines and return the exit code
+/// (0 within tolerance, 4 regression).
+int emit_bench_comparison(const std::string& baseline_path,
+                          const experiments::BenchSnapshot& fresh,
+                          double tolerance_pct) {
+  std::ifstream in(baseline_path);
+  if (!in) usage("cannot open '" + baseline_path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const experiments::BenchSnapshot baseline =
+      experiments::BenchSnapshot::from_json(text.str());
+  const experiments::BenchComparison cmp =
+      experiments::compare_snapshots(baseline, fresh, tolerance_pct);
+  std::cout << "bench compare (" << fresh.suite << " suite) vs "
+            << baseline_path << ":\n";
+  for (const std::string& note : cmp.notes) std::cout << "  " << note << "\n";
+  return cmp.regressed ? 4 : 0;
+}
+
+/// The --suite simulator branch of cmd_bench: the single-disk hot-loop
+/// replay suite plus the null-tracer overhead probe.
+int cmd_bench_simulator(const Args& args, const std::string& format,
+                        double tolerance_pct) {
+  if (format != "table" && format != "json") {
+    usage("--suite simulator supports --format table or json");
+  }
+  const experiments::SimulatorSuiteResult run =
+      experiments::run_simulator_suite();
+  const experiments::BenchSnapshot snap =
+      experiments::make_simulator_snapshot(run);
+
+  std::ofstream out_file;
+  if (args.has("out")) {
+    out_file.open(args.get("out"));
+    if (!out_file) usage("cannot open '" + args.get("out") + "'");
+  }
+  std::ostream& out = args.has("out") ? out_file : std::cout;
+
+  if (format == "json") {
+    out << snap.to_json() << "\n";
+  } else {
+    Table table("simulator suite (single-disk swim replay)");
+    table.set_header({"Metric", "Value"});
+    table.add_row({"requests/replay", std::to_string(run.trace_requests)});
+    table.add_row({"replays/round", std::to_string(run.reps_per_round)});
+    table.add_row({"best replay", fmt_double(run.base_ms_per_replay, 3) +
+                                      " ms"});
+    table.add_row({"throughput",
+                   fmt_double(run.requests_per_sec / 1e6, 2) + " M req/s"});
+    table.add_row({"null-tracer overhead",
+                   fmt_double(run.null_tracer_overhead_pct, 2) + " %"});
+    table.add_row({"calibration", fmt_double(snap.calib_score, 1)});
+    table.add_row({"suite wall", fmt_double(run.wall_ms, 1) + " ms"});
+    table.print(out);
+  }
+  if (args.has("compare")) {
+    return emit_bench_comparison(args.get("compare"), snap, tolerance_pct);
+  }
+  return 0;
+}
+
 int cmd_bench(const Args& args) {
-  require_known_flags("bench", args, {"benchmark", "out", "format", "json",
-                                      "no-cache", "metrics-out"});
+  require_known_flags("bench", args,
+                      {"benchmark", "out", "format", "json", "no-cache",
+                       "metrics-out", "suite", "compare", "tolerance"});
+  const std::string suite = args.get("suite", "sweep");
+  if (suite != "sweep" && suite != "simulator") {
+    usage("unknown --suite '" + suite + "' for bench (sweep or simulator)");
+  }
+  const double tolerance_pct = args.get_double("tolerance", 15.0);
+  if (tolerance_pct < 0) usage("--tolerance must be non-negative");
   const std::string bench_name = args.get("benchmark", "swim");
 
   // Unified output: --out PATH + --format; --json and --metrics-out are
@@ -683,6 +767,10 @@ int cmd_bench(const Args& args) {
       format != "metrics") {
     usage("unknown --format '" + format +
           "' for bench (table, csv, json or metrics)");
+  }
+
+  if (suite == "simulator") {
+    return cmd_bench_simulator(args, format, tolerance_pct);
   }
 
   api::SessionOptions session_options;
@@ -730,13 +818,51 @@ int cmd_bench(const Args& args) {
   std::ostream& out = args.has("out") ? out_file : std::cout;
 
   if (!metrics_path.empty()) write_metrics_json(metrics_path);
+
+  std::optional<experiments::BenchSnapshot> snap;
+  const auto sweep_snapshot = [&]() -> const experiments::BenchSnapshot& {
+    if (!snap) {
+      // The gate metric is min-of-rounds like the simulator suite: the
+      // primary run above warmed the trace cache, and each extra round
+      // re-dispatches the same sweep, so a one-shot load spike cannot
+      // fake a regression.  Rounds that simulate a different request
+      // count (e.g. a future result cache short-circuiting the sweep)
+      // are discarded rather than compared.
+      constexpr int kGateRounds = 5;
+      double best_rps = sweep_delta.requests_per_sec();
+      for (int round = 0; round < kGateRounds; ++round) {
+        const PerfSnapshot r0 = PerfCounters::global().snapshot();
+        (void)session.run_batch(specs);
+        const PerfSnapshot rd = PerfCounters::global().snapshot() - r0;
+        if (rd.requests_simulated == sweep_delta.requests_simulated) {
+          best_rps = std::max(best_rps, rd.requests_per_sec());
+        }
+      }
+      snap = experiments::make_sweep_snapshot(sweep_delta, wall_ms, jobs);
+      snap->requests_per_sec = best_rps;
+    }
+    return *snap;
+  };
+  const auto finish = [&]() {
+    return args.has("compare")
+               ? emit_bench_comparison(args.get("compare"),
+                                       sweep_snapshot(), tolerance_pct)
+               : 0;
+  };
+
   if (format == "metrics") {
     out << obs::MetricsRegistry::global().to_json() << "\n";
-    return 0;
+    return finish();
   }
   if (format == "json") {
-    out << perf_json(sweep_delta, wall_ms, jobs) << "\n";
-    return 0;
+    // An explicit --suite asks for the persistable BenchSnapshot schema;
+    // legacy invocations keep the historical perf-counter document.
+    if (args.has("suite")) {
+      out << sweep_snapshot().to_json() << "\n";
+    } else {
+      out << perf_json(sweep_delta, wall_ms, jobs) << "\n";
+    }
+    return finish();
   }
 
   Table table(bench_name + " sweep (" + std::to_string(jobs) + " jobs, " +
@@ -758,7 +884,7 @@ int cmd_bench(const Args& args) {
   } else {
     table.print(out);
   }
-  return 0;
+  return finish();
 }
 
 int cmd_analyze(const Args& args) {

@@ -184,7 +184,16 @@ bool StreamingTraceSource::refill() {
   return true;
 }
 
-bool StreamingTraceSource::next(TraceItem& item) {
+bool StreamingTraceSource::next(TraceItem& item) { return produce(item); }
+
+std::size_t StreamingTraceSource::next_batch(TraceItem* out,
+                                             std::size_t max_items) {
+  std::size_t filled = 0;
+  while (filled < max_items && produce(out[filled])) ++filled;
+  return filled;
+}
+
+bool StreamingTraceSource::produce(TraceItem& item) {
   if (!have_pending_) have_pending_ = refill();
   const bool have_power = pi_ < events_.size();
   if (!have_power && !have_pending_) {

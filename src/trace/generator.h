@@ -128,6 +128,7 @@ class StreamingTraceSource final : public RequestSource {
                        GeneratorOptions options = {});
 
   bool next(TraceItem& item) override;
+  std::size_t next_batch(TraceItem* out, std::size_t max_items) override;
   int total_disks() const override { return total_disks_; }
   TimeMs compute_total_ms() const override { return compute_total_; }
 
@@ -138,6 +139,8 @@ class StreamingTraceSource final : public RequestSource {
 
  private:
   bool refill();
+  /// Non-virtual body shared by next() and next_batch().
+  bool produce(TraceItem& item);
 
   GeneratorOptions options_;
   Timeline actual_;

@@ -2,6 +2,12 @@
 
 namespace sdpm::trace {
 
+std::size_t RequestSource::next_batch(TraceItem* out, std::size_t max_items) {
+  std::size_t filled = 0;
+  while (filled < max_items && next(out[filled])) ++filled;
+  return filled;
+}
+
 bool TraceCursor::next(TraceItem& item) {
   const auto& requests = trace_->requests;
   const auto& events = trace_->power_events;
@@ -18,6 +24,31 @@ bool TraceCursor::next(TraceItem& item) {
     item.request = requests[ri_++];
   }
   return true;
+}
+
+std::size_t TraceCursor::next_batch(TraceItem* out, std::size_t max_items) {
+  // Same merge as next(), devirtualized and unrolled over the block: power
+  // events win timestamp ties (they sit immediately before the iteration
+  // they annotate).
+  const auto& requests = trace_->requests;
+  const auto& events = trace_->power_events;
+  std::size_t filled = 0;
+  while (filled < max_items) {
+    const bool have_request = ri_ < requests.size();
+    const bool have_power = pi_ < events.size();
+    if (!have_request && !have_power) break;
+    TraceItem& item = out[filled++];
+    if (have_power &&
+        (!have_request ||
+         events[pi_].app_time_ms <= requests[ri_].arrival_ms)) {
+      item.kind = TraceItem::Kind::kPowerEvent;
+      item.power = events[pi_++];
+    } else {
+      item.kind = TraceItem::Kind::kRequest;
+      item.request = requests[ri_++];
+    }
+  }
+  return filled;
 }
 
 }  // namespace sdpm::trace

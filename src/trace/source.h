@@ -17,6 +17,7 @@
 // property tests pin that equivalence bit for bit.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "trace/request.h"
@@ -42,6 +43,15 @@ class RequestSource {
   /// Produce the next item in replay order; false at end of stream.
   virtual bool next(TraceItem& item) = 0;
 
+  /// Fill `out[0 .. max_items)` with the next items in replay order and
+  /// return how many were produced; 0 means end of stream.  Semantically
+  /// identical to calling next() up to `max_items` times — batching is a
+  /// delivery optimization, never a reordering — so the batched and scalar
+  /// streams are bit-identical.  The default implementation loops next();
+  /// concrete sources override it with a tight non-virtual loop so the
+  /// replay engine amortizes one virtual call over a whole block.
+  virtual std::size_t next_batch(TraceItem* out, std::size_t max_items);
+
   /// Number of disks the trace addresses (known before streaming starts).
   virtual int total_disks() const = 0;
 
@@ -58,6 +68,7 @@ class TraceCursor final : public RequestSource {
   explicit TraceCursor(const Trace& trace) : trace_(&trace) {}
 
   bool next(TraceItem& item) override;
+  std::size_t next_batch(TraceItem* out, std::size_t max_items) override;
   int total_disks() const override { return trace_->total_disks; }
   TimeMs compute_total_ms() const override {
     return trace_->compute_total_ms;

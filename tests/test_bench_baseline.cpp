@@ -1,0 +1,195 @@
+// Bench snapshot persistence and the regression comparator: JSON
+// round-trips, calibration normalization, the tolerance band, the
+// null-tracer overhead gate, and the release-build assertion contract.
+// All deterministic — no timing-sensitive assertions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "experiments/bench_baseline.h"
+#include "util/error.h"
+
+namespace sdpm {
+namespace {
+
+experiments::BenchSnapshot simulator_snapshot() {
+  experiments::BenchSnapshot snap;
+  snap.suite = "simulator";
+  snap.jobs = 1;
+  snap.calib_score = 400.0;
+  snap.wall_ms = 900.0;
+  snap.requests_simulated = 3'000'000;
+  snap.requests_per_sec = 40'000'000.0;
+  snap.null_tracer_overhead_pct = 1.2;
+  return snap;
+}
+
+experiments::BenchSnapshot sweep_snapshot() {
+  experiments::BenchSnapshot snap;
+  snap.suite = "sweep";
+  snap.jobs = 8;
+  snap.calib_score = 400.0;
+  snap.wall_ms = 150.0;
+  snap.requests_simulated = 230'440;
+  snap.requests_per_sec = 20'000'000.0;
+  snap.cells_completed = 8;
+  return snap;
+}
+
+TEST(BenchSnapshot, JsonRoundTrip) {
+  const experiments::BenchSnapshot original = simulator_snapshot();
+  const experiments::BenchSnapshot parsed =
+      experiments::BenchSnapshot::from_json(original.to_json());
+  EXPECT_EQ(parsed.suite, original.suite);
+  EXPECT_EQ(parsed.schema, original.schema);
+  EXPECT_EQ(parsed.jobs, original.jobs);
+  EXPECT_EQ(parsed.calib_score, original.calib_score);
+  EXPECT_EQ(parsed.wall_ms, original.wall_ms);
+  EXPECT_EQ(parsed.requests_simulated, original.requests_simulated);
+  EXPECT_EQ(parsed.requests_per_sec, original.requests_per_sec);
+  EXPECT_EQ(parsed.null_tracer_overhead_pct,
+            original.null_tracer_overhead_pct);
+  EXPECT_EQ(parsed.cells_completed, original.cells_completed);
+}
+
+TEST(BenchSnapshot, DumpIsDeterministic) {
+  EXPECT_EQ(simulator_snapshot().to_json(), simulator_snapshot().to_json());
+}
+
+TEST(BenchSnapshot, RejectsMalformedInput) {
+  EXPECT_THROW(experiments::BenchSnapshot::from_json("not json"), Error);
+  EXPECT_THROW(experiments::BenchSnapshot::from_json("{}"), Error);
+  EXPECT_THROW(experiments::BenchSnapshot::from_json(
+                   R"({"schema": 2, "suite": "simulator"})"),
+               Error);
+  EXPECT_THROW(experiments::BenchSnapshot::from_json(
+                   R"({"schema": 1, "suite": "nonsense", "jobs": 1,
+                       "calib_score": 1, "wall_ms": 1,
+                       "requests_simulated": 1, "requests_per_sec": 1})"),
+               Error);
+}
+
+TEST(BenchCompare, IdenticalSnapshotsPass) {
+  const auto snap = simulator_snapshot();
+  const experiments::BenchComparison cmp =
+      experiments::compare_snapshots(snap, snap, 15.0);
+  EXPECT_FALSE(cmp.regressed);
+  EXPECT_EQ(cmp.delta_pct, 0.0);
+}
+
+TEST(BenchCompare, DropBeyondToleranceRegresses) {
+  const auto baseline = simulator_snapshot();
+  auto fresh = baseline;
+  fresh.requests_per_sec = baseline.requests_per_sec * 0.80;  // -20%
+  EXPECT_TRUE(experiments::compare_snapshots(baseline, fresh, 15.0)
+                  .regressed);
+  EXPECT_FALSE(experiments::compare_snapshots(baseline, fresh, 25.0)
+                   .regressed);
+}
+
+TEST(BenchCompare, ImprovementNeverRegresses) {
+  const auto baseline = simulator_snapshot();
+  auto fresh = baseline;
+  fresh.requests_per_sec = baseline.requests_per_sec * 3.0;
+  const auto cmp = experiments::compare_snapshots(baseline, fresh, 15.0);
+  EXPECT_FALSE(cmp.regressed);
+  EXPECT_GT(cmp.delta_pct, 0.0);
+}
+
+TEST(BenchCompare, CalibrationNormalizesAcrossMachines) {
+  // The fresh machine is 2x slower on the calibration loop AND on the
+  // suite: normalized throughput is unchanged, so no regression.
+  const auto baseline = simulator_snapshot();
+  auto fresh = baseline;
+  fresh.calib_score = baseline.calib_score / 2.0;
+  fresh.requests_per_sec = baseline.requests_per_sec / 2.0;
+  const auto cmp = experiments::compare_snapshots(baseline, fresh, 15.0);
+  EXPECT_FALSE(cmp.regressed);
+  EXPECT_EQ(cmp.delta_pct, 0.0);
+  // Same raw drop without the calibration drop: a real regression.
+  auto really_slow = baseline;
+  really_slow.requests_per_sec = baseline.requests_per_sec / 2.0;
+  EXPECT_TRUE(experiments::compare_snapshots(baseline, really_slow, 15.0)
+                  .regressed);
+}
+
+TEST(BenchCompare, NullTracerOverheadGate) {
+  const auto baseline = simulator_snapshot();
+  auto fresh = baseline;
+  // Limit at tolerance 15 is 2.0 + 0.2 * 15 = 5.0%.
+  fresh.null_tracer_overhead_pct = 4.9;
+  EXPECT_FALSE(experiments::compare_snapshots(baseline, fresh, 15.0)
+                   .regressed);
+  fresh.null_tracer_overhead_pct = 5.1;
+  const auto cmp = experiments::compare_snapshots(baseline, fresh, 15.0);
+  EXPECT_TRUE(cmp.regressed);
+  EXPECT_EQ(cmp.null_tracer_limit_pct, 5.0);
+}
+
+TEST(BenchCompare, SweepSuiteHasNoTracerGate) {
+  const auto baseline = sweep_snapshot();
+  auto fresh = baseline;
+  fresh.null_tracer_overhead_pct = 50.0;  // ignored for sweep
+  EXPECT_FALSE(experiments::compare_snapshots(baseline, fresh, 15.0)
+                   .regressed);
+}
+
+TEST(BenchCompare, JobsMismatchIsNotedButNonFatal) {
+  const auto baseline = sweep_snapshot();
+  auto fresh = baseline;
+  fresh.jobs = 1;
+  const auto cmp = experiments::compare_snapshots(baseline, fresh, 15.0);
+  EXPECT_FALSE(cmp.regressed);
+  const bool noted =
+      std::any_of(cmp.notes.begin(), cmp.notes.end(), [](const auto& n) {
+        return n.find("jobs differ") != std::string::npos;
+      });
+  EXPECT_TRUE(noted);
+}
+
+TEST(BenchCompare, EqualJobsHasNoMismatchNote) {
+  const auto baseline = sweep_snapshot();
+  const auto cmp = experiments::compare_snapshots(baseline, baseline, 15.0);
+  for (const auto& note : cmp.notes) {
+    EXPECT_EQ(note.find("jobs differ"), std::string::npos) << note;
+  }
+}
+
+TEST(BenchCompare, SuiteMismatchThrows) {
+  EXPECT_THROW(experiments::compare_snapshots(simulator_snapshot(),
+                                              sweep_snapshot(), 15.0),
+               Error);
+}
+
+TEST(BenchCompare, NegativeToleranceThrows) {
+  const auto snap = simulator_snapshot();
+  EXPECT_THROW(experiments::compare_snapshots(snap, snap, -1.0), Error);
+}
+
+TEST(Calibration, ScoreIsPositiveAndFinite) {
+  const double score = experiments::calibration_score();
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, 1e9);
+}
+
+// The assertion audit (hot-path hygiene): SDPM_ASSERT must cost nothing
+// in NDEBUG builds and throw in debug builds, while SDPM_REQUIRE always
+// throws.  This pins the contract the replay engine's hoisted validation
+// relies on.
+TEST(AssertionAudit, AssertCompilesOutUnderNdebug) {
+#ifdef NDEBUG
+  SDPM_ASSERT(false, "must be compiled out in release builds");
+  SUCCEED();
+#else
+  EXPECT_THROW(SDPM_ASSERT(false, "must fire in debug builds"), Error);
+#endif
+}
+
+TEST(AssertionAudit, RequireAlwaysActive) {
+  EXPECT_THROW(SDPM_REQUIRE(false, "always active"), Error);
+  SDPM_REQUIRE(true, "no throw on satisfied precondition");
+}
+
+}  // namespace
+}  // namespace sdpm

@@ -105,7 +105,9 @@ sim::SimReport base_run_with_gap(TimeMs gap_ms) {
   t.requests = {r1, r2};
   t.compute_total_ms = gap_ms + 100.0;
   BasePolicy policy;
-  return sim::simulate(t, params(), policy);
+  // The oracles replay the gaps between busy periods, so capture them.
+  return sim::simulate(t, params(), policy,
+                       sim::SimOptions{.capture_busy_periods = true});
 }
 
 TEST(OracleRun, IdealTpmOnShortGapsEqualsBase) {

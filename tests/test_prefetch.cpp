@@ -72,7 +72,9 @@ TEST(Prefetch, BackToBackPrefetchesKeepFifoOrder) {
   t.compute_total_ms = 200.0;
   policy::BasePolicy policy;
   const sim::SimReport report = sim::simulate(
-      t, params(), policy, sim::SimOptions{.capture_responses = true});
+      t, params(), policy,
+      sim::SimOptions{.capture_responses = true,
+                      .capture_busy_periods = true});
   // The second issue is clamped to the first's issue time; both still
   // complete before their demand points.
   EXPECT_NEAR(report.responses[1], 0.0, 1.0);

@@ -1,0 +1,295 @@
+// Replay-engine equivalence: the batched block-pull delivery and the
+// devirtualized policy kernels are pure speed — every dispatch mode,
+// batch size, and delivery path must produce bit-identical SimReports.
+//
+//   kernel vs virtual    DispatchMode::kForceKernel / kAuto against the
+//                        kForceVirtual reference, per built-in policy,
+//                        with and without fault injection, closed and
+//                        open loop, traced and untraced;
+//   batched vs scalar    RequestSource::next_batch overrides against a
+//                        wrapper that only forwards next() (inheriting
+//                        the scalar default), and batch sizes fuzzed
+//                        through SimOptions::replay_batch.
+//
+// Every comparison is EXPECT_EQ, never NEAR.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <initializer_list>
+
+#include "core/schedule.h"
+#include "layout/layout_table.h"
+#include "obs/sinks.h"
+#include "obs/tracer.h"
+#include "policy/adaptive_tpm.h"
+#include "policy/base.h"
+#include "policy/drpm.h"
+#include "policy/proactive.h"
+#include "policy/resilient.h"
+#include "policy/tpm.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/source.h"
+#include "util/error.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm {
+namespace {
+
+const disk::DiskParameters& params() {
+  static const disk::DiskParameters p =
+      disk::DiskParameters::ultrastar_36z15();
+  return p;
+}
+
+/// The galgel benchmark striped over 4 disks — the cheapest real trace —
+/// run through the power-call scheduler (CMDRPM) so the stream carries
+/// real power events: ProactivePolicy executes directives, the fault
+/// model can drop them, and the power-event arm of the batch loop is
+/// exercised in every cell.
+const trace::Trace& galgel_trace() {
+  static const trace::Trace t = [] {
+    const workloads::Benchmark bench = workloads::make_galgel();
+    const layout::LayoutTable table(bench.program,
+                                    layout::Striping{0, 4, kib(64)}, 4);
+    const core::ScheduleResult scheduled =
+        core::schedule_power_calls(bench.program, table, params());
+    trace::TraceGenerator generator(scheduled.program, table);
+    trace::Trace trace = generator.generate();
+    // The matrix below assumes both item kinds are present.
+    SDPM_REQUIRE(!trace.power_events.empty(),
+                 "scheduler inserted no power events");
+    return trace;
+  }();
+  return t;
+}
+
+sim::SimOptions faulty(sim::SimOptions o) {
+  o.faults.spin_up_failure_prob = 0.3;
+  o.faults.media_error_prob = 0.05;
+  o.faults.dropped_directive_prob = 0.2;
+  o.faults.service_jitter = 0.1;
+  o.faults.seed = 42;
+  return o;
+}
+
+sim::SimOptions open_loop(sim::SimOptions o) {
+  o.mode = sim::ReplayMode::kOpenLoop;
+  return o;
+}
+
+void expect_bit_identical(const sim::SimReport& a, const sim::SimReport& b) {
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  EXPECT_EQ(a.execution_ms, b.execution_ms);
+  EXPECT_EQ(a.compute_ms, b.compute_ms);
+  EXPECT_EQ(a.io_stall_ms, b.io_stall_ms);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    ASSERT_EQ(a.responses[i], b.responses[i]) << "request " << i;
+  }
+  ASSERT_EQ(a.disks.size(), b.disks.size());
+  for (std::size_t d = 0; d < a.disks.size(); ++d) {
+    EXPECT_EQ(a.disks[d].breakdown.total_j(), b.disks[d].breakdown.total_j());
+    EXPECT_EQ(a.disks[d].services, b.disks[d].services);
+    EXPECT_EQ(a.disks[d].spin_downs, b.disks[d].spin_downs);
+    EXPECT_EQ(a.disks[d].demand_spin_ups, b.disks[d].demand_spin_ups);
+    EXPECT_EQ(a.disks[d].rpm_transitions, b.disks[d].rpm_transitions);
+    EXPECT_EQ(a.disks[d].spin_up_retries, b.disks[d].spin_up_retries);
+    EXPECT_EQ(a.disks[d].media_errors, b.disks[d].media_errors);
+    EXPECT_EQ(a.disks[d].dropped_directives, b.disks[d].dropped_directives);
+  }
+}
+
+/// Forwards next() only: next_batch falls back to the RequestSource
+/// default (a scalar loop), exercising the batched-vs-scalar contract.
+class ScalarOnlySource final : public trace::RequestSource {
+ public:
+  explicit ScalarOnlySource(trace::RequestSource& inner) : inner_(&inner) {}
+
+  bool next(trace::TraceItem& item) override { return inner_->next(item); }
+  int total_disks() const override { return inner_->total_disks(); }
+  TimeMs compute_total_ms() const override {
+    return inner_->compute_total_ms();
+  }
+
+ private:
+  trace::RequestSource* inner_;
+};
+
+/// Run the trace under a fresh policy with `options`, capturing the full
+/// response vector so the comparison covers per-request behavior.
+template <typename MakePolicy>
+sim::SimReport run(const trace::Trace& trace, MakePolicy make_policy,
+                   sim::SimOptions options, sim::DispatchMode dispatch,
+                   std::size_t batch = sim::kReplayBatchSize) {
+  options.capture_responses = true;
+  options.dispatch = dispatch;
+  options.replay_batch = batch;
+  auto policy = make_policy();
+  return sim::simulate(trace, params(), policy, options);
+}
+
+/// The full dispatch x batch-size matrix for one (policy, options) cell:
+/// the virtual engine at the default batch is the reference; kAuto,
+/// kForceKernel (when `has_kernel`) and every fuzzed batch size must
+/// reproduce it exactly, as must the scalar-only delivery wrapper.
+template <typename MakePolicy>
+void check_matrix(const trace::Trace& trace, MakePolicy make_policy,
+                  const sim::SimOptions& options, bool has_kernel) {
+  const sim::SimReport reference =
+      run(trace, make_policy, options, sim::DispatchMode::kForceVirtual);
+
+  {
+    SCOPED_TRACE("kAuto vs kForceVirtual");
+    expect_bit_identical(
+        reference,
+        run(trace, make_policy, options, sim::DispatchMode::kAuto));
+  }
+  if (has_kernel) {
+    SCOPED_TRACE("kForceKernel vs kForceVirtual");
+    expect_bit_identical(
+        reference,
+        run(trace, make_policy, options, sim::DispatchMode::kForceKernel));
+  }
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{255}, std::size_t{256},
+                                  std::size_t{4096}}) {
+    SCOPED_TRACE("replay_batch=" + std::to_string(batch));
+    expect_bit_identical(reference, run(trace, make_policy, options,
+                                        sim::DispatchMode::kAuto, batch));
+  }
+  {
+    SCOPED_TRACE("scalar-only source");
+    trace::TraceCursor cursor(trace);
+    ScalarOnlySource scalar(cursor);
+    sim::SimOptions o = options;
+    o.capture_responses = true;
+    auto policy = make_policy();
+    expect_bit_identical(reference,
+                         sim::simulate(scalar, params(), policy, o));
+  }
+}
+
+/// The four standard option cells: {closed, open} x {fault-free, faulty}.
+template <typename MakePolicy>
+void check_all_cells(const trace::Trace& trace, MakePolicy make_policy,
+                     bool has_kernel) {
+  {
+    SCOPED_TRACE("closed-loop fault-free");
+    check_matrix(trace, make_policy, sim::SimOptions{}, has_kernel);
+  }
+  {
+    SCOPED_TRACE("closed-loop faulty");
+    check_matrix(trace, make_policy, faulty({}), has_kernel);
+  }
+  {
+    SCOPED_TRACE("open-loop fault-free");
+    check_matrix(trace, make_policy, open_loop({}), has_kernel);
+  }
+  {
+    SCOPED_TRACE("open-loop faulty");
+    check_matrix(trace, make_policy, open_loop(faulty({})), has_kernel);
+  }
+}
+
+TEST(ReplayEquivalence, BasePolicy) {
+  check_all_cells(
+      galgel_trace(), [] { return policy::BasePolicy(); }, true);
+}
+
+TEST(ReplayEquivalence, TpmPolicy) {
+  check_all_cells(
+      galgel_trace(), [] { return policy::TpmPolicy(); }, true);
+}
+
+TEST(ReplayEquivalence, AdaptiveTpmPolicy) {
+  check_all_cells(
+      galgel_trace(), [] { return policy::AdaptiveTpmPolicy(); }, true);
+}
+
+TEST(ReplayEquivalence, DrpmPolicy) {
+  check_all_cells(
+      galgel_trace(), [] { return policy::DrpmPolicy(); }, true);
+}
+
+TEST(ReplayEquivalence, ProactivePolicyWithDirectives) {
+  // galgel's compiled program inserts power calls, so the proactive
+  // policy replays real directives through both engines.
+  check_all_cells(
+      galgel_trace(), [] { return policy::ProactivePolicy("CMDRPM"); },
+      true);
+}
+
+// ResilientPolicy is a wrapper with no static kernel: kAuto must stay on
+// the virtual engine and still be invariant to batch size and delivery.
+TEST(ReplayEquivalence, ResilientWrapperStaysVirtual) {
+  struct ResilientTpm {
+    policy::TpmPolicy inner;
+    policy::ResilientPolicy wrapper{inner};
+    operator policy::ResilientPolicy&() { return wrapper; }
+  };
+  auto make_policy = [] { return ResilientTpm(); };
+  {
+    SCOPED_TRACE("closed-loop fault-free");
+    check_matrix(galgel_trace(), make_policy, sim::SimOptions{}, false);
+  }
+  {
+    SCOPED_TRACE("closed-loop faulty");
+    check_matrix(galgel_trace(), make_policy, faulty({}), false);
+  }
+}
+
+TEST(ReplayEquivalence, ForceKernelOnKernellessPolicyThrows) {
+  policy::TpmPolicy inner;
+  policy::ResilientPolicy wrapper(inner);
+  sim::SimOptions options;
+  options.dispatch = sim::DispatchMode::kForceKernel;
+  EXPECT_THROW(sim::simulate(galgel_trace(), params(), wrapper, options),
+               Error);
+}
+
+// Tracing must not perturb results in either engine: a counting sink
+// consumes every event while the reports stay bit-identical, and both
+// engines emit the same number of events.
+TEST(ReplayEquivalence, TracedKernelMatchesTracedVirtual) {
+  auto traced_run = [&](sim::DispatchMode dispatch, std::int64_t* events) {
+    obs::CountingSink sink;
+    obs::EventTracer tracer;
+    tracer.add_sink(sink);
+    sim::SimOptions options;
+    options.tracer = &tracer;
+    policy::TpmPolicy policy;
+    options.capture_responses = true;
+    options.dispatch = dispatch;
+    const sim::SimReport report =
+        sim::simulate(galgel_trace(), params(), policy, options);
+    *events = sink.total();
+    return report;
+  };
+  std::int64_t virtual_events = 0;
+  std::int64_t kernel_events = 0;
+  const sim::SimReport virt =
+      traced_run(sim::DispatchMode::kForceVirtual, &virtual_events);
+  const sim::SimReport kern =
+      traced_run(sim::DispatchMode::kForceKernel, &kernel_events);
+  expect_bit_identical(virt, kern);
+  EXPECT_GT(virtual_events, 0);
+  EXPECT_EQ(virtual_events, kernel_events);
+}
+
+// A second benchmark (swim, 8 disks — the microbench workload) through
+// the fault-free matrix: guards against galgel-specific coincidences.
+TEST(ReplayEquivalence, SwimEightDisks) {
+  const workloads::Benchmark bench = workloads::make_swim();
+  const layout::LayoutTable table(bench.program,
+                                  layout::Striping{0, 8, kib(64)}, 8);
+  trace::TraceGenerator generator(bench.program, table);
+  const trace::Trace trace = generator.generate();
+  check_matrix(
+      trace, [] { return policy::DrpmPolicy(); }, sim::SimOptions{}, true);
+}
+
+}  // namespace
+}  // namespace sdpm

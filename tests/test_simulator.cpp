@@ -59,7 +59,8 @@ TEST(Simulator, StallsCascadeThroughThinkTimes) {
   t.requests.push_back(make_request(100.0, 0, 0, kib(64)));
   t.requests.push_back(make_request(200.0, 0, 999'999, kib(64)));
   policy::BasePolicy policy;
-  const SimReport report = simulate(t, params(), policy);
+  const SimReport report = simulate(
+      t, params(), policy, SimOptions{.capture_busy_periods = true});
   const TimeMs service = params().service_time(kib(64), 10, false);
   // Second request arrives at (100 + service) + 100.
   EXPECT_NEAR(report.disks[0].busy_periods[1].start, 200.0 + service, 1e-9);
