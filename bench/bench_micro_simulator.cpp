@@ -15,6 +15,7 @@
 #include "obs/sinks.h"
 #include "obs/tracer.h"
 #include "policy/base.h"
+#include "service/telemetry.h"
 #include "policy/drpm.h"
 #include "sim/simulator.h"
 #include "trace/dap.h"
@@ -174,6 +175,78 @@ void BM_TracedSimulation(benchmark::State& state) {
                           static_cast<std::int64_t>(trace.requests.size()));
 }
 BENCHMARK(BM_TracedSimulation)->Unit(benchmark::kMillisecond);
+
+// The service telemetry contract (DESIGN.md §15): a null telemetry
+// pointer through ServiceTelemetry::record_if must keep the daemon's
+// per-job path within ~2% of the untelemetered replay — the same shape
+// as the null-tracer contract above.  The workload is one job evaluation
+// plus the five lifecycle stamps the daemon makes around it (admit,
+// queue-wait, dispatch, eval, e2e); compare against BM_BaseSimulation.
+void BM_ServiceTelemetryOverhead(benchmark::State& state) {
+  trace::TraceGenerator generator(swim().program, swim_layout());
+  const trace::Trace trace = generator.generate();
+  service::ServiceTelemetry* telemetry = nullptr;  // disabled: branch only
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(telemetry);
+    policy::BasePolicy policy;
+    service::ServiceTelemetry::record_if(telemetry, service::Stage::kAdmit,
+                                         0.01);
+    service::ServiceTelemetry::record_if(telemetry,
+                                         service::Stage::kQueueWait, 0.05);
+    service::ServiceTelemetry::record_if(telemetry,
+                                         service::Stage::kDispatch, 0.01);
+    const double energy =
+        sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(), policy)
+            .total_energy;
+    benchmark::DoNotOptimize(energy);
+    service::ServiceTelemetry::record_if(telemetry, service::Stage::kEval,
+                                         1.0);
+    service::ServiceTelemetry::record_if(telemetry,
+                                         service::Stage::kEndToEnd, 1.0);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_ServiceTelemetryOverhead)->Unit(benchmark::kMillisecond);
+
+// Live telemetry: the same job shape with an active ServiceTelemetry
+// recording into the sharded histograms.  Not bound by the 2% contract
+// (the daemon always runs with telemetry on; this quantifies that the
+// per-job stamp cost is noise next to evaluation).
+void BM_ServiceTelemetryActive(benchmark::State& state) {
+  trace::TraceGenerator generator(swim().program, swim_layout());
+  const trace::Trace trace = generator.generate();
+  service::ServiceTelemetry telemetry;
+  service::ServiceTelemetry* t = &telemetry;
+  for (auto _ : state) {
+    policy::BasePolicy policy;
+    service::ServiceTelemetry::record_if(t, service::Stage::kAdmit, 0.01);
+    service::ServiceTelemetry::record_if(t, service::Stage::kQueueWait, 0.05);
+    service::ServiceTelemetry::record_if(t, service::Stage::kDispatch, 0.01);
+    const double energy =
+        sim::simulate(trace, disk::DiskParameters::ultrastar_36z15(), policy)
+            .total_energy;
+    benchmark::DoNotOptimize(energy);
+    service::ServiceTelemetry::record_if(t, service::Stage::kEval, 1.0);
+    service::ServiceTelemetry::record_if(t, service::Stage::kEndToEnd, 1.0);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_ServiceTelemetryActive)->Unit(benchmark::kMillisecond);
+
+// Raw per-call cost of one record() into the lock-striped histogram —
+// the number a capacity planner multiplies by stamps-per-job.
+void BM_ServiceTelemetryRecord(benchmark::State& state) {
+  service::ServiceTelemetry telemetry;
+  double ms = 0.0;
+  for (auto _ : state) {
+    ms += 1e-4;
+    telemetry.record(service::Stage::kEval, ms);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceTelemetryRecord);
 
 // Same replay fed by the streaming generator: no request vector is ever
 // materialized.  The result must be bit-identical to BM_BaseSimulation's.

@@ -19,13 +19,23 @@ std::string BenchSnapshot::to_json() const {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(3);
+  const bool service = suite == "service";
   os << "{\n"
      << "  \"calib_score\": " << calib_score << ",\n"
-     << "  \"cells_completed\": " << cells_completed << ",\n"
-     << "  \"jobs\": " << jobs << ",\n"
+     << "  \"cells_completed\": " << cells_completed << ",\n";
+  if (service) {
+    os << "  \"clients\": " << clients << ",\n"
+       << "  \"e2e_p50_ms\": " << e2e_p50_ms << ",\n"
+       << "  \"e2e_p99_ms\": " << e2e_p99_ms << ",\n";
+  }
+  os << "  \"jobs\": " << jobs << ",\n"
      << "  \"null_tracer_overhead_pct\": " << null_tracer_overhead_pct
-     << ",\n"
-     << "  \"requests_per_sec\": " << requests_per_sec << ",\n"
+     << ",\n";
+  if (service) {
+    os << "  \"queue_wait_p50_ms\": " << queue_wait_p50_ms << ",\n"
+       << "  \"queue_wait_p99_ms\": " << queue_wait_p99_ms << ",\n";
+  }
+  os << "  \"requests_per_sec\": " << requests_per_sec << ",\n"
      << "  \"requests_simulated\": " << requests_simulated << ",\n"
      << "  \"schema\": " << schema << ",\n"
      << "  \"suite\": \"" << suite << "\",\n"
@@ -41,8 +51,10 @@ BenchSnapshot BenchSnapshot::from_json(std::string_view text) {
   snap.schema = static_cast<int>(doc.at("schema").as_int());
   SDPM_REQUIRE(snap.schema == 1, "unsupported bench snapshot schema");
   snap.suite = doc.at("suite").as_string();
-  SDPM_REQUIRE(snap.suite == "simulator" || snap.suite == "sweep",
-               "bench snapshot suite must be 'simulator' or 'sweep'");
+  SDPM_REQUIRE(snap.suite == "simulator" || snap.suite == "sweep" ||
+                   snap.suite == "service",
+               "bench snapshot suite must be 'simulator', 'sweep' or "
+               "'service'");
   snap.jobs = static_cast<unsigned>(doc.at("jobs").as_int());
   snap.calib_score = doc.at("calib_score").as_double();
   snap.wall_ms = doc.at("wall_ms").as_double();
@@ -53,6 +65,19 @@ BenchSnapshot BenchSnapshot::from_json(std::string_view text) {
   }
   if (const Json* f = doc.find("cells_completed")) {
     snap.cells_completed = f->as_int();
+  }
+  if (const Json* f = doc.find("clients")) snap.clients = f->as_int();
+  if (const Json* f = doc.find("e2e_p50_ms")) {
+    snap.e2e_p50_ms = f->as_double();
+  }
+  if (const Json* f = doc.find("e2e_p99_ms")) {
+    snap.e2e_p99_ms = f->as_double();
+  }
+  if (const Json* f = doc.find("queue_wait_p50_ms")) {
+    snap.queue_wait_p50_ms = f->as_double();
+  }
+  if (const Json* f = doc.find("queue_wait_p99_ms")) {
+    snap.queue_wait_p99_ms = f->as_double();
   }
   return snap;
 }
@@ -164,6 +189,29 @@ BenchComparison compare_snapshots(const BenchSnapshot& baseline,
                         "% (limit " + fmt_pct(cmp.null_tracer_limit_pct) +
                         "%): " + (tracer_regressed ? "REGRESSED" : "ok"));
     if (tracer_regressed) cmp.regressed = true;
+  }
+
+  if (fresh.suite == "service" && baseline.e2e_p99_ms > 0 &&
+      fresh.e2e_p99_ms > 0) {
+    // Latency shrinks on faster machines, so normalize by MULTIPLYING
+    // with the calibration score (the inverse of the throughput
+    // normalization).  Tails are noisier than means: the band is twice
+    // the throughput tolerance.
+    const double baseline_p99 = calibrated
+                                    ? baseline.e2e_p99_ms *
+                                          baseline.calib_score
+                                    : baseline.e2e_p99_ms;
+    const double fresh_p99 =
+        calibrated ? fresh.e2e_p99_ms * fresh.calib_score : fresh.e2e_p99_ms;
+    cmp.p99_delta_pct = (fresh_p99 / baseline_p99 - 1.0) * 100.0;
+    cmp.p99_limit_pct = 2.0 * tolerance_pct;
+    const bool p99_regressed = cmp.p99_delta_pct > cmp.p99_limit_pct;
+    cmp.notes.push_back("e2e p99 latency " +
+                        std::string(cmp.p99_delta_pct >= 0 ? "+" : "") +
+                        fmt_pct(cmp.p99_delta_pct) + "% vs baseline (limit +" +
+                        fmt_pct(cmp.p99_limit_pct) +
+                        "%): " + (p99_regressed ? "REGRESSED" : "ok"));
+    if (p99_regressed) cmp.regressed = true;
   }
   return cmp;
 }

@@ -1,8 +1,9 @@
 // Persisted performance baselines and the regression comparator.
 //
 // A BenchSnapshot is the JSON document committed at the repo root
-// (BENCH_simulator.json, BENCH_sweep.json) and produced fresh by
-// `sdpm_cli bench --suite ... --format json`.  Raw throughput numbers are
+// (BENCH_simulator.json, BENCH_sweep.json, BENCH_service.json) and
+// produced fresh by `sdpm_cli bench --suite ... --format json` or
+// `bench_service_stress --format json`.  Raw throughput numbers are
 // not comparable across machines, so every snapshot also records a
 // calibration score — the throughput of a fixed, deterministic CPU-bound
 // workload measured in the same process — and the comparator divides
@@ -20,7 +21,7 @@ namespace sdpm::experiments {
 
 /// One persisted benchmark measurement (schema version 1).
 struct BenchSnapshot {
-  std::string suite;        ///< "simulator" or "sweep"
+  std::string suite;        ///< "simulator", "sweep" or "service"
   int schema = 1;           ///< bumped on incompatible field changes
   unsigned jobs = 1;        ///< worker threads the suite ran with
   double calib_score = 0;   ///< calibration_score() on the same machine
@@ -32,6 +33,15 @@ struct BenchSnapshot {
   double null_tracer_overhead_pct = 0;
   /// Sweep suite only: grid cells completed.
   std::int64_t cells_completed = 0;
+  /// Service suite only (bench_service_stress): concurrent client count
+  /// and client-observed latency quantiles.  requests_per_sec doubles as
+  /// jobs/s.  Serialized only for the service suite, so the committed
+  /// simulator/sweep baselines stay byte-identical.
+  std::int64_t clients = 0;
+  double e2e_p50_ms = 0;
+  double e2e_p99_ms = 0;
+  double queue_wait_p50_ms = 0;
+  double queue_wait_p99_ms = 0;
 
   /// Multiline deterministic JSON (stable key order, fixed precision).
   std::string to_json() const;
@@ -53,6 +63,8 @@ struct BenchComparison {
   double fresh_normalized = 0;     ///< fresh req/s per calibration unit
   double delta_pct = 0;            ///< fresh vs baseline; negative = slower
   double null_tracer_limit_pct = 0;  ///< gate applied (simulator suite)
+  double p99_delta_pct = 0;        ///< service suite: normalized e2e p99
+  double p99_limit_pct = 0;        ///< gate applied (service suite)
   std::vector<std::string> notes;  ///< human-readable verdict lines
 };
 
@@ -61,7 +73,10 @@ struct BenchComparison {
 /// Regression criteria:
 ///   - normalized throughput dropped by more than tolerance_pct, or
 ///   - (simulator suite) the null-tracer overhead exceeds
-///     2.0 + 0.2 * tolerance_pct percent.
+///     2.0 + 0.2 * tolerance_pct percent, or
+///   - (service suite) the calibration-normalized e2e p99 latency grew by
+///     more than 2 * tolerance_pct percent (tails are noisier than
+///     means, so the latency band is twice the throughput band).
 /// Suite or schema mismatches throw — comparing a sweep snapshot against
 /// a simulator baseline is a usage error, not a regression.
 BenchComparison compare_snapshots(const BenchSnapshot& baseline,

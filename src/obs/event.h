@@ -13,6 +13,8 @@
 // zero defaults.  The field meaning per kind is documented on the enum.
 #pragma once
 
+#include <cstdint>
+
 #include "disk/power_state.h"
 #include "util/units.h"
 
@@ -64,6 +66,13 @@ enum class EventKind {
   /// wrapping each simulation on the simulated clock.
   kSpanBegin,
   kSpanEnd,
+  /// One service-lifecycle stage of a daemon job: [t0, t1] are wall ms
+  /// since the daemon started (like the sweep-cell pair, there is no
+  /// simulated clock at the service layer), `label` is the stage
+  /// ("queued", "eval", ...), `value` is the job id and `level` the
+  /// client lane.  Carries `trace_id` so the wall-time service lane can
+  /// be stitched to the simulated-time disk tracks of the same job.
+  kServiceStage,
 };
 
 const char* to_string(EventKind kind);
@@ -82,6 +91,9 @@ struct Event {
   /// Static or emit-scoped C string; sinks must format it immediately and
   /// never retain the pointer.
   const char* label = nullptr;
+  /// Client-propagated trace correlation id; 0 (the default) means
+  /// untraced and sinks omit it, keeping pre-existing streams byte-stable.
+  std::uint64_t trace_id = 0;
 };
 
 }  // namespace sdpm::obs

@@ -1,0 +1,59 @@
+#include "obs/latency.h"
+
+#include <functional>
+#include <thread>
+
+namespace sdpm::obs {
+
+LatencyHistogram::LatencyHistogram(double min_value, double growth)
+    : min_value_(min_value), growth_(growth) {
+  for (Shard& shard : shards_) shard.hist = Histogram(min_value, growth);
+}
+
+std::size_t LatencyHistogram::shard_of_this_thread() const {
+  // One hash per call keeps the class free of thread_local state shared
+  // across instances; the hash itself is a few arithmetic ops.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+}
+
+void LatencyHistogram::record(double value) {
+  if (value < 0) value = 0;
+  Shard& shard = shards_[shard_of_this_thread()];
+  std::lock_guard lock(shard.mutex);
+  shard.hist.add(value);
+}
+
+Histogram LatencyHistogram::merged() const {
+  Histogram out(min_value_, growth_);
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    out.merge(shard.hist);
+  }
+  return out;
+}
+
+LatencyHistogram::Quantiles LatencyHistogram::quantiles() const {
+  return quantiles_of(merged());
+}
+
+void LatencyHistogram::reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.hist = Histogram(min_value_, growth_);
+  }
+}
+
+LatencyHistogram::Quantiles quantiles_of(const Histogram& hist) {
+  LatencyHistogram::Quantiles q;
+  q.count = hist.count();
+  q.sum = hist.sum();
+  q.mean = hist.mean();
+  q.p50 = hist.median();
+  q.p90 = hist.p90();
+  q.p99 = hist.p99();
+  q.p999 = hist.p999();
+  q.max = hist.max();
+  return q;
+}
+
+}  // namespace sdpm::obs

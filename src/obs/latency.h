@@ -1,0 +1,71 @@
+// Concurrent, mergeable latency histogram.
+//
+// util::Histogram is single-threaded; the daemon records queue-wait and
+// end-to-end latencies from accept, worker and watchdog threads at once.
+// LatencyHistogram shards the samples across a small fixed set of
+// mutex-guarded util::Histogram instances (thread hashed to shard, so
+// steady-state recording is an uncontended lock + one bucket increment)
+// and merges them exactly on snapshot — log-bucketed merging is lossless,
+// so the merged view is indistinguishable from a single-writer histogram.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "util/histogram.h"
+
+namespace sdpm::obs {
+
+class LatencyHistogram {
+ public:
+  /// Bucketing matches util::Histogram: `min_value` sizes the first
+  /// bucket (default 1e-3 → microsecond resolution for millisecond
+  /// units), `growth` the geometric ratio (~4% relative quantile error).
+  explicit LatencyHistogram(double min_value = 1e-3, double growth = 1.25);
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Record one sample.  Thread-safe; negative samples clamp to zero
+  /// (scheduler jitter can make a steady-clock stage delta land at -0).
+  void record(double value);
+
+  /// Exact merge of every shard into one plain histogram.
+  Histogram merged() const;
+
+  struct Quantiles {
+    std::int64_t count = 0;
+    double sum = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+    double p999 = 0;
+    double max = 0;
+  };
+  Quantiles quantiles() const;
+
+  /// Zero every shard (bucketing scheme survives).
+  void reset();
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    Histogram hist;
+  };
+
+  std::size_t shard_of_this_thread() const;
+
+  double min_value_;
+  double growth_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Compute Quantiles from an already-merged plain histogram (shared by
+/// LatencyHistogram::quantiles and per-client aggregates that keep a
+/// single-writer util::Histogram under their own lock).
+LatencyHistogram::Quantiles quantiles_of(const Histogram& hist);
+
+}  // namespace sdpm::obs

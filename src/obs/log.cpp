@@ -1,0 +1,60 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace sdpm::obs {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+StructuredLog::StructuredLog(std::ostream& os, LogLevel min_level)
+    : os_(os), min_level_(min_level) {}
+
+void StructuredLog::set_clock_for_testing(long long fixed_ts_ms) {
+  std::lock_guard lock(mutex_);
+  fixed_ts_ = true;
+  fixed_ts_ms_ = fixed_ts_ms;
+}
+
+void StructuredLog::log(LogLevel level, const std::string& event,
+                        const Json& fields) {
+  if (!enabled(level)) return;
+  SDPM_REQUIRE(fields.is_null() || fields.is_object(),
+               "log fields must be a JSON object");
+  Json line = Json::object();
+  // Json::Object is a std::map, so dump() sorts keys; the ts/level/event
+  // triple sorts after most payload keys but every line carries all three,
+  // which is what parsers key on.
+  if (fields.is_object()) {
+    for (const auto& [key, value] : fields.as_object()) {
+      line.set(key, value);
+    }
+  }
+  line.set("level", to_string(level));
+  line.set("event", event);
+  std::lock_guard lock(mutex_);
+  const long long ts =
+      fixed_ts_ ? fixed_ts_ms_
+                : std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  line.set("ts_ms", static_cast<std::int64_t>(ts));
+  os_ << line.dump() << "\n";
+  os_.flush();
+}
+
+}  // namespace sdpm::obs

@@ -1,0 +1,66 @@
+// Leveled structured JSONL logger.
+//
+// The daemon's diagnostics were ad-hoc fprintf(stderr) lines; a service
+// that runs unattended needs machine-parseable logs.  StructuredLog emits
+// one JSON object per line — fixed leading fields (ts_ms, level, event)
+// followed by the caller's fields in sorted order — serialized under a
+// mutex so concurrent threads never interleave bytes.  `ts_ms` is wall
+// (system) clock epoch milliseconds: log lines are operator-facing and
+// correlated with external systems, unlike the deterministic simulated
+// clocks everywhere else (tools/lint_determinism.sh allowlists this file).
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "util/json.h"
+
+namespace sdpm::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* to_string(LogLevel level);
+
+class StructuredLog {
+ public:
+  /// Logs at or above `min_level` go to `os` (not owned; must outlive the
+  /// logger).  The stream is flushed per line so logs survive a crash.
+  explicit StructuredLog(std::ostream& os, LogLevel min_level = LogLevel::kInfo);
+
+  StructuredLog(const StructuredLog&) = delete;
+  StructuredLog& operator=(const StructuredLog&) = delete;
+
+  bool enabled(LogLevel level) const { return level >= min_level_; }
+
+  /// Emit `{"ts_ms":...,"level":"...","event":"...",<fields>}`.
+  /// `fields` must be a JSON object (or null for none).  Thread-safe.
+  void log(LogLevel level, const std::string& event,
+           const Json& fields = Json());
+
+  void debug(const std::string& event, const Json& fields = Json()) {
+    log(LogLevel::kDebug, event, fields);
+  }
+  void info(const std::string& event, const Json& fields = Json()) {
+    log(LogLevel::kInfo, event, fields);
+  }
+  void warn(const std::string& event, const Json& fields = Json()) {
+    log(LogLevel::kWarn, event, fields);
+  }
+  void error(const std::string& event, const Json& fields = Json()) {
+    log(LogLevel::kError, event, fields);
+  }
+
+  /// Override the timestamp source (epoch ms) — tests pin it for
+  /// byte-stable golden lines.
+  void set_clock_for_testing(long long fixed_ts_ms);
+
+ private:
+  std::ostream& os_;
+  LogLevel min_level_;
+  std::mutex mutex_;
+  bool fixed_ts_ = false;
+  long long fixed_ts_ms_ = 0;
+};
+
+}  // namespace sdpm::obs

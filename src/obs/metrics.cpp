@@ -39,6 +39,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     HistogramStats stats;
     stats.count = hist.count();
     stats.mean = hist.mean();
+    stats.sum = hist.sum();
     stats.p50 = hist.median();
     stats.p95 = hist.p95();
     stats.p99 = hist.p99();

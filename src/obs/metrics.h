@@ -9,8 +9,15 @@
 //              relaxed fetch_add with no lock),
 //   gauges     last-write-wins doubles (peak RSS, last run's energy), and
 //   histograms util::Histogram distributions (idle-period lengths,
-//              service-latency stalls), guarded by the registry mutex —
-//              producers record aggregates once per run, never per request.
+//              service-latency stalls), guarded by the registry mutex.
+//
+// Thread-safety: every recording entry point (counter/add, set_gauge,
+// observe) and snapshot() is safe to call concurrently — the daemon records
+// from accept, worker and watchdog threads at once.  Counter increments on
+// a cached handle are a single relaxed fetch_add; gauges and histograms
+// take the registry mutex per call, so per-request histogram recording on
+// a hot path should prefer obs::LatencyHistogram (sharded, see latency.h)
+// and fold into the registry on snapshot instead.
 //
 // The simulator, trace cache, sweep engine and event tracer all report
 // into global(); `sdpm_cli ... --metrics-out` snapshots it as JSON with
@@ -60,6 +67,7 @@ class MetricsRegistry {
   struct HistogramStats {
     std::int64_t count = 0;
     double mean = 0;
+    double sum = 0;  // populated in snapshot(); not part of to_json()
     double p50 = 0;
     double p95 = 0;
     double p99 = 0;

@@ -1,0 +1,38 @@
+// Prometheus text-exposition rendering for MetricsRegistry + histograms.
+//
+// The daemon's `telemetry` op (and `sdpm_cli client --op telemetry
+// --prometheus`) serve this format so a stock Prometheus scraper — or a
+// human with curl + socat — can ingest service metrics without a custom
+// exporter.  Rendering is deterministic: names sort lexicographically and
+// numbers use the same %.9g convention as the JSON sinks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/latency.h"
+#include "obs/metrics.h"
+
+namespace sdpm::obs {
+
+/// One pre-aggregated distribution rendered as a Prometheus summary
+/// (quantile-labelled gauges + _count/_sum), e.g. service stage latencies
+/// with labels {{"stage","eval"}}.
+struct PromSummary {
+  std::string name;  // dotted sdpm name, sanitized on render
+  std::map<std::string, std::string> labels;
+  LatencyHistogram::Quantiles quantiles;
+};
+
+/// Sanitize a dotted metric name ("service.jobs_completed") into a
+/// Prometheus identifier ("sdpm_service_jobs_completed").
+std::string prometheus_name(const std::string& dotted);
+
+/// Render a registry snapshot plus extra summaries as Prometheus text
+/// exposition format (counters -> counter, gauges -> gauge, registry
+/// histograms and `extra` -> summary with quantile labels).
+std::string render_prometheus(const MetricsRegistry::Snapshot& snapshot,
+                              const std::vector<PromSummary>& extra = {});
+
+}  // namespace sdpm::obs

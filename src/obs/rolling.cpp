@@ -1,0 +1,54 @@
+#include "obs/rolling.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sdpm::obs {
+
+RollingWindow::RollingWindow(int capacity_s) : capacity_s_(capacity_s) {
+  SDPM_REQUIRE(capacity_s > 0, "rolling window capacity must be positive");
+  slots_.resize(static_cast<std::size_t>(capacity_s));
+}
+
+void RollingWindow::record(double now_ms, double value) {
+  const std::int64_t sec =
+      static_cast<std::int64_t>(std::floor(now_ms / 1000.0));
+  if (sec < 0) return;
+  std::lock_guard lock(mutex_);
+  Slot& slot = slots_[static_cast<std::size_t>(sec % capacity_s_)];
+  if (slot.second != sec) {
+    // Either a fresh second (reclaim the expired slot) or a stale
+    // timestamp whose second already rotated out; only the former keeps
+    // the sample.
+    if (slot.second > sec) return;
+    slot.second = sec;
+    slot.count = 0;
+    slot.sum = 0;
+  }
+  ++slot.count;
+  slot.sum += value;
+}
+
+RollingWindow::WindowStats RollingWindow::stats(double now_ms,
+                                                double window_s) const {
+  SDPM_REQUIRE(window_s > 0 && window_s <= capacity_s_,
+               "window must be in (0, capacity_s]");
+  WindowStats out;
+  out.window_s = window_s;
+  const std::int64_t now_sec =
+      static_cast<std::int64_t>(std::floor(now_ms / 1000.0));
+  const std::int64_t first_sec =
+      now_sec - static_cast<std::int64_t>(std::ceil(window_s)) + 1;
+  std::lock_guard lock(mutex_);
+  for (const Slot& slot : slots_) {
+    if (slot.second < first_sec || slot.second > now_sec) continue;
+    out.count += slot.count;
+    out.sum += slot.sum;
+  }
+  out.rate_per_sec = static_cast<double>(out.count) / window_s;
+  out.mean = out.count == 0 ? 0.0 : out.sum / static_cast<double>(out.count);
+  return out;
+}
+
+}  // namespace sdpm::obs

@@ -1,0 +1,56 @@
+// Rolling time-window aggregator.
+//
+// Lifetime histograms answer "what has p99 been since startup"; operators
+// watching a live daemon want "what is the completion rate *right now*".
+// RollingWindow keeps a ring of one-second slots (count + sum per slot)
+// and aggregates the trailing 1s/10s/60s on demand.  The caller supplies
+// the clock (the daemon's monotonic wall_ms), so the aggregator itself is
+// deterministic and unit-testable without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sdpm::obs {
+
+class RollingWindow {
+ public:
+  /// `capacity_s` bounds the longest queryable window (default one
+  /// minute, matching the 1s/10s/60s views the telemetry op renders).
+  explicit RollingWindow(int capacity_s = 60);
+
+  RollingWindow(const RollingWindow&) = delete;
+  RollingWindow& operator=(const RollingWindow&) = delete;
+
+  /// Record one event of weight `value` at time `now_ms`.  Thread-safe.
+  /// `now_ms` must be monotonic per caller (a stale timestamp older than
+  /// the ring simply lands in an expired slot and is dropped).
+  void record(double now_ms, double value = 1.0);
+
+  struct WindowStats {
+    std::int64_t count = 0;
+    double sum = 0;
+    double window_s = 0;
+    double rate_per_sec = 0;  // count / window_s
+    double mean = 0;          // sum / count (0 when empty)
+  };
+
+  /// Aggregate the trailing `window_s` seconds ending at `now_ms`.
+  WindowStats stats(double now_ms, double window_s) const;
+
+  int capacity_s() const { return capacity_s_; }
+
+ private:
+  struct Slot {
+    std::int64_t second = -1;  // absolute second this slot holds, -1 empty
+    std::int64_t count = 0;
+    double sum = 0;
+  };
+
+  int capacity_s_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace sdpm::obs

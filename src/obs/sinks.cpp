@@ -39,7 +39,16 @@ void JsonlSink::on_event(const Event& e) {
       << disk::to_string(e.state) << "\",\"level\":" << e.level
       << ",\"energy_j\":" << num(e.energy_j) << ",\"value\":" << num(e.value)
       << ",\"value2\":" << num(e.value2) << ",\"label\":\"" << escape(e.label)
-      << "\"}\n";
+      << "\"";
+  // Appended only when set, so untraced streams stay byte-identical to
+  // the pre-trace_id format pinned in test_obs.
+  if (e.trace_id != 0) {
+    os_ << ",\"trace_id\":\"" << str_printf("%016llx",
+                                            static_cast<unsigned long long>(
+                                                e.trace_id))
+        << "\"";
+  }
+  os_ << "}\n";
 }
 
 void JsonlSink::close() { os_.flush(); }
@@ -139,11 +148,32 @@ void ChromeTraceSink::on_event(const Event& e) {
     case EventKind::kSpanBegin:
     case EventKind::kSpanEnd:
       app_track_ = true;
-      push(str_printf("{\"ph\":\"%s\",\"pid\":1,\"tid\":0,\"ts\":%s,"
-                      "\"name\":\"%s\",\"cat\":\"span\"}",
-                      e.kind == EventKind::kSpanBegin ? "B" : "E",
-                      ts_us(e.t0).c_str(), escape(e.label).c_str()));
+      if (e.trace_id != 0) {
+        push(str_printf("{\"ph\":\"%s\",\"pid\":1,\"tid\":0,\"ts\":%s,"
+                        "\"name\":\"%s\",\"cat\":\"span\","
+                        "\"args\":{\"trace_id\":\"%016llx\"}}",
+                        e.kind == EventKind::kSpanBegin ? "B" : "E",
+                        ts_us(e.t0).c_str(), escape(e.label).c_str(),
+                        static_cast<unsigned long long>(e.trace_id)));
+      } else {
+        push(str_printf("{\"ph\":\"%s\",\"pid\":1,\"tid\":0,\"ts\":%s,"
+                        "\"name\":\"%s\",\"cat\":\"span\"}",
+                        e.kind == EventKind::kSpanBegin ? "B" : "E",
+                        ts_us(e.t0).c_str(), escape(e.label).c_str()));
+      }
       break;
+    case EventKind::kServiceStage: {
+      const int lane = e.level;
+      service_tids_.insert(lane);
+      push(str_printf("{\"ph\":\"X\",\"pid\":3,\"tid\":%d,\"ts\":%s,"
+                      "\"dur\":%s,\"name\":\"%s\",\"cat\":\"service\","
+                      "\"args\":{\"job\":%lld,\"trace_id\":\"%016llx\"}}",
+                      3000 + lane, ts_us(e.t0).c_str(),
+                      ts_us(e.t1 - e.t0).c_str(), escape(e.label).c_str(),
+                      static_cast<long long>(e.value),
+                      static_cast<unsigned long long>(e.trace_id)));
+      break;
+    }
   }
 }
 
@@ -178,6 +208,17 @@ void ChromeTraceSink::close() {
                            "\"name\":\"thread_name\","
                            "\"args\":{\"name\":\"worker %d\"}}",
                            1000 + lane, lane));
+    }
+  }
+  if (!service_tids_.empty()) {
+    emit_line("{\"ph\":\"M\",\"pid\":3,\"tid\":3000,"
+              "\"name\":\"process_name\","
+              "\"args\":{\"name\":\"service (wall time)\"}}");
+    for (const int lane : service_tids_) {
+      emit_line(str_printf("{\"ph\":\"M\",\"pid\":3,\"tid\":%d,"
+                           "\"name\":\"thread_name\","
+                           "\"args\":{\"name\":\"client lane %d\"}}",
+                           3000 + lane, lane));
     }
   }
   for (const std::string& line : events_) emit_line(line);

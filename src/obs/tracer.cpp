@@ -34,6 +34,8 @@ const char* to_string(EventKind kind) {
       return "span_begin";
     case EventKind::kSpanEnd:
       return "span_end";
+    case EventKind::kServiceStage:
+      return "service_stage";
   }
   return "?";
 }

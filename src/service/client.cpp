@@ -109,9 +109,13 @@ Json Client::ping() {
 }
 
 std::int64_t Client::try_submit(const api::JobSpec& spec, std::string& error,
-                                bool& retryable) {
+                                bool& retryable, const TraceContext& trace) {
   Json message = Json::object();
   message.set("op", "submit").set("spec", spec.to_json());
+  if (trace.active()) {
+    message.set("trace_id", trace_hex(trace.trace_id));
+    if (trace.span_id != 0) message.set("span_id", trace_hex(trace.span_id));
+  }
   const Json response = request(message);
   if (response.contains("ok") && response.at("ok").as_bool()) {
     error.clear();
@@ -125,11 +129,12 @@ std::int64_t Client::try_submit(const api::JobSpec& spec, std::string& error,
   return 0;
 }
 
-std::int64_t Client::submit(const api::JobSpec& spec, int max_attempts) {
+std::int64_t Client::submit(const api::JobSpec& spec, int max_attempts,
+                            const TraceContext& trace) {
   std::string error;
   bool retryable = false;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    const std::int64_t id = try_submit(spec, error, retryable);
+    const std::int64_t id = try_submit(spec, error, retryable, trace);
     if (id > 0) return id;
     if (!retryable) {
       throw Error(str_printf("submit rejected: %s", error.c_str()));
@@ -162,6 +167,13 @@ void Client::cancel(std::int64_t id) {
 Json Client::stats() {
   Json message = Json::object();
   message.set("op", "stats");
+  return expect_ok(request(message));
+}
+
+Json Client::telemetry(bool prometheus) {
+  Json message = Json::object();
+  message.set("op", "telemetry");
+  if (prometheus) message.set("prometheus", true);
   return expect_ok(request(message));
 }
 

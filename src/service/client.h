@@ -16,6 +16,7 @@
 #include <string>
 
 #include "api/job_spec.h"
+#include "service/protocol.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -52,13 +53,17 @@ class Client {
   Json ping();
 
   /// Submit; returns the job id, or 0 with `error`/`retryable` set.
+  /// `trace` (when active) rides along on the wire so the daemon stitches
+  /// this job's service lifecycle into the client's distributed trace.
   std::int64_t try_submit(const api::JobSpec& spec, std::string& error,
-                          bool& retryable);
+                          bool& retryable,
+                          const TraceContext& trace = TraceContext{});
 
   /// Submit with bounded exponential backoff + jitter on backpressure
   /// (retryable rejections).  Throws after `max_attempts` rejections or
   /// on any non-retryable error.
-  std::int64_t submit(const api::JobSpec& spec, int max_attempts = 8);
+  std::int64_t submit(const api::JobSpec& spec, int max_attempts = 8,
+                      const TraceContext& trace = TraceContext{});
 
   /// Job snapshot as the daemon rendered it ({"id","state","label",...}).
   Json status(std::int64_t id);
@@ -68,6 +73,9 @@ class Client {
 
   void cancel(std::int64_t id);
   Json stats();
+  /// Per-stage latency histograms + rolling rates; with prometheus=true
+  /// the response includes a "text" exposition rendering.
+  Json telemetry(bool prometheus = false);
   void drain();
   void shutdown();
 

@@ -9,7 +9,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cstdio>
+#include <fstream>
+
+#include "experiments/runner.h"
 #include "experiments/trace_cache.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "service/protocol.h"
@@ -73,10 +78,12 @@ void ServiceDaemon::open_state() {
   store_ = std::make_unique<PersistentStore>(StoreOptions{
       .directory = options_.state_dir + "/store",
       .max_bytes = options_.store_max_bytes,
+      .telemetry = &telemetry_,
   });
   journal_ = std::make_unique<Journal>(JournalOptions{
       .path = options_.state_dir + "/journal.bin",
       .fsync_each = options_.fsync_journal,
+      .telemetry = &telemetry_,
   });
   const JournalReplay replay = journal_->open();
   auto& metrics = obs::MetricsRegistry::global();
@@ -138,6 +145,14 @@ void ServiceDaemon::open_state() {
                           replayed.dispatches);
     metrics.add("service.jobs_recovered");
   }
+  if (options_.log != nullptr && replay.records > 0) {
+    options_.log->info(
+        "service.journal_replayed",
+        Json::object()
+            .set("jobs", static_cast<std::int64_t>(replay.jobs.size()))
+            .set("records", static_cast<std::int64_t>(replay.records))
+            .set("truncated_tail", replay.truncated_tail));
+  }
 }
 
 void ServiceDaemon::start() {
@@ -178,6 +193,17 @@ void ServiceDaemon::start() {
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
   if (options_.job_timeout_ms > 0) {
     watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  }
+  if (!options_.telemetry_dump.empty()) {
+    telemetry_thread_ = std::thread([this] { telemetry_dump_loop(); });
+  }
+  if (options_.log != nullptr) {
+    options_.log->info(
+        "service.listening",
+        Json::object()
+            .set("socket", options_.socket_path)
+            .set("capacity",
+                 static_cast<std::int64_t>(options_.queue_capacity)));
   }
 }
 
@@ -254,7 +280,9 @@ void ServiceDaemon::handle_connection(int fd, std::uint64_t session_id) {
             false, "RESULT_TOO_LARGE");
         dump = response.dump();
       }
+      const double t_respond0 = wall_ms_now();
       write_frame(fd, dump);
+      telemetry_.record(Stage::kRespond, wall_ms_now() - t_respond0);
     }
   } catch (const std::exception&) {
     // Torn frame or socket error: drop the connection.  The daemon's
@@ -279,6 +307,7 @@ Json ServiceDaemon::handle_request(const Json& request,
   }
 
   if (op == "submit") {
+    const double t_admit0 = wall_ms_now();
     if (!request.contains("spec")) {
       return error_response("submit is missing the \"spec\" field");
     }
@@ -289,20 +318,32 @@ Json ServiceDaemon::handle_request(const Json& request,
     } catch (const std::exception& e) {
       return error_response(e.what());
     }
+    // Optional client trace context; a malformed id degrades to untraced.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    if (const Json* f = request.find("trace_id")) {
+      trace_id = parse_trace_hex(f->as_string());
+    }
+    if (const Json* f = request.find("span_id")) {
+      span_id = parse_trace_hex(f->as_string());
+    }
     // The ADMIT record needs the canonical document; capture it before the
     // spec is moved into the queue.
     const std::string spec_json =
         journal_ != nullptr ? spec.canonical_json() : std::string();
     std::string error;
     bool retryable = false;
-    const std::int64_t id =
-        queue_.submit(session_id, std::move(spec), error, retryable);
+    const double now = wall_ms_now();
+    const std::int64_t id = queue_.submit(session_id, std::move(spec), error,
+                                          retryable, now, trace_id, span_id);
     if (id == 0) {
       obs::MetricsRegistry::global().add("service.jobs_rejected");
       return error_response(error, retryable);
     }
     if (journal_ != nullptr) journal_->admit(id, session_id, spec_json);
     obs::MetricsRegistry::global().add("service.jobs_submitted");
+    telemetry_.record_admit(session_id, now);
+    telemetry_.record(Stage::kAdmit, wall_ms_now() - t_admit0);
     return ok_response().set("id", id);
   }
 
@@ -371,6 +412,26 @@ Json ServiceDaemon::handle_request(const Json& request,
           .set("corrupt_evictions", store_stats.corrupt_evictions);
       response.set("store", store);
     }
+    if (journal_ != nullptr) {
+      const JournalStats journal_stats = journal_->stats();
+      Json journal = Json::object();
+      journal.set("appends", journal_stats.appends)
+          .set("fsyncs", journal_stats.fsyncs)
+          .set("compactions", journal_stats.compactions)
+          .set("torn_tail_truncations", journal_stats.torn_tail_truncations);
+      response.set("journal", journal);
+    }
+    return response;
+  }
+
+  if (op == "telemetry") {
+    Json response = ok_response()
+                        .set("protocol", kProtocolVersion)
+                        .set("telemetry", telemetry_.to_json(wall_ms_now()));
+    const Json* prometheus = request.find("prometheus");
+    if (prometheus != nullptr && prometheus->as_bool()) {
+      response.set("text", telemetry_.prometheus_text());
+    }
     return response;
   }
 
@@ -391,13 +452,22 @@ void ServiceDaemon::dispatch_loop() {
   while (true) {
     const auto batch = queue_.pop_batch(options_.max_batch, wall_ms_now());
     if (batch.empty()) return;  // stopped, or draining with nothing left
+    const double pop_ms = wall_ms_now();
+    for (const auto& job : batch) {
+      // Journal-recovered jobs carry admit_ms == -1: their queue wait
+      // spans a daemon restart and would poison the histogram.
+      if (job->admit_ms >= 0) {
+        telemetry_.record(Stage::kQueueWait, job->started_ms - job->admit_ms);
+        emit_stage(job, "queued", job->admit_ms, job->started_ms);
+      }
+    }
     // DISPATCH is journaled before the work runs: a job that takes the
     // daemon down mid-evaluation accumulates dispatch records, which is
     // exactly the signal the poison-job quarantine counts at recovery.
     if (journal_ != nullptr) {
       for (const auto& job : batch) journal_->dispatch(job->id);
     }
-    run_batch_jobs(batch);
+    run_batch_jobs(batch, pop_ms);
   }
 }
 
@@ -410,6 +480,14 @@ void ServiceDaemon::watchdog_loop() {
     for (const auto& job : expired) {
       if (journal_ != nullptr) {
         journal_->complete_failed(job->id, "JOB_TIMEOUT", job->error);
+      }
+      telemetry_.record(Stage::kEval, job->wall_ms);
+      record_outcome(job, false);
+      if (options_.log != nullptr) {
+        options_.log->warn("service.job_timeout",
+                           Json::object()
+                               .set("id", job->id)
+                               .set("wall_ms", job->wall_ms));
       }
       metrics.add("service.jobs_failed");
       metrics.add("service.jobs_timed_out");
@@ -434,6 +512,10 @@ void ServiceDaemon::finish_job(const std::shared_ptr<Job>& job,
   if (journal_ != nullptr) journal_->complete_done(job->id, store_key_hex);
   metrics.add("service.jobs_completed");
   metrics.observe("service.job_wall_ms", wall_ms);
+  telemetry_.record(Stage::kEval, wall_ms);
+  const double now = wall_ms_now();
+  emit_stage(job, "eval", now - wall_ms, now);
+  record_outcome(job, true);
 }
 
 void ServiceDaemon::finish_job_failed(const std::shared_ptr<Job>& job,
@@ -442,15 +524,49 @@ void ServiceDaemon::finish_job_failed(const std::shared_ptr<Job>& job,
   if (!queue_.fail(job, error, wall_ms, code)) return;
   if (journal_ != nullptr) journal_->complete_failed(job->id, code, error);
   obs::MetricsRegistry::global().add("service.jobs_failed");
+  telemetry_.record(Stage::kEval, wall_ms);
+  const double now = wall_ms_now();
+  emit_stage(job, "eval", now - wall_ms, now);
+  record_outcome(job, false);
+}
+
+void ServiceDaemon::record_outcome(const std::shared_ptr<Job>& job, bool ok) {
+  // Journal-recovered jobs (admit_ms == -1) have no admission timestamp on
+  // this daemon's clock; their e2e latency is undefined and not recorded.
+  if (job->admit_ms < 0) return;
+  const double now = wall_ms_now();
+  telemetry_.record_outcome(job->session, now - job->admit_ms, ok, now);
+}
+
+void ServiceDaemon::emit_stage(const std::shared_ptr<Job>& job,
+                               const char* stage, double t0, double t1) {
+  obs::EventTracer* tracer = obs::effective_tracer(options_.tracer);
+  if (tracer == nullptr || job->trace_id == 0) return;
+  obs::Event e;
+  e.kind = obs::EventKind::kServiceStage;
+  e.t0 = t0;
+  e.t1 = t1;
+  e.label = stage;
+  e.value = static_cast<double>(job->id);
+  // One Chrome-trace lane per client connection keeps concurrent clients'
+  // lifecycles visually separate without unbounded tids.
+  e.level = static_cast<int>(job->session % 64);
+  e.trace_id = job->trace_id;
+  tracer->emit(e);
 }
 
 void ServiceDaemon::run_batch_jobs(
-    const std::vector<std::shared_ptr<Job>>& batch) {
+    const std::vector<std::shared_ptr<Job>>& batch, double pop_ms) {
   auto& metrics = obs::MetricsRegistry::global();
   metrics.observe("service.batch_size", static_cast<double>(batch.size()));
   obs::EventTracer* tracer = obs::effective_tracer(options_.tracer);
 
   const double t0 = wall_ms_now();
+  // pop -> evaluation start: the DISPATCH journaling window, charged once
+  // per job in the batch.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    telemetry_.record(Stage::kDispatch, t0 - pop_ms);
+  }
   std::vector<std::unique_ptr<obs::Span>> spans;
   if (tracer != nullptr) {
     spans.reserve(batch.size());
@@ -486,22 +602,72 @@ void ServiceDaemon::run_batch_jobs(
         }
         metrics.add("service.jobs_completed");
         metrics.observe("service.job_wall_ms", wall);
+        telemetry_.record(Stage::kEval, wall);
+        const double now = wall_ms_now();
+        emit_stage(job, "eval", now - wall, now);
+        record_outcome(job, true);
       }
     } else {
       misses.push_back(job);
     }
   }
 
+  // A traced job (client-supplied trace_id, tracer attached) runs on its
+  // own with the replay tracer hooked up, so its simulated-time disk
+  // tracks land in the same event stream as its wall-time service lane.
+  // Everything else goes through the shared batch sweep.
+  std::vector<std::shared_ptr<Job>> plain;
+  plain.reserve(misses.size());
+  for (const auto& job : misses) {
+    if (tracer == nullptr || job->trace_id == 0) {
+      plain.push_back(job);
+      continue;
+    }
+    const double job_t0 = wall_ms_now();
+    try {
+      api::RunHooks hooks;
+      hooks.replay_tracer = tracer;
+      if (job->spec.schemes.size() == 1) {
+        const auto scheme = api::scheme_from_name(job->spec.schemes.front());
+        if (scheme.has_value() && *scheme != experiments::Scheme::kItpm &&
+            *scheme != experiments::Scheme::kIdrpm) {
+          hooks.trace_scheme = *scheme;  // oracle schemes cannot replay
+        }
+      }
+      api::JobResult result = session_.run(job->spec, hooks);
+      // Stitch marker: a simulated-clock span carrying the client's
+      // trace id over the traced scheme's execution window is what links
+      // the wall-time service lane (same trace_id) to the disk tracks.
+      if (hooks.trace_scheme.has_value() && !result.schemes.empty()) {
+        obs::Event begin;
+        begin.kind = obs::EventKind::kSpanBegin;
+        begin.t0 = 0;
+        begin.t1 = 0;
+        begin.label = job->label.c_str();
+        begin.trace_id = job->trace_id;
+        tracer->emit(begin);
+        obs::Event end = begin;
+        end.kind = obs::EventKind::kSpanEnd;
+        end.t0 = result.schemes.front().execution_ms;
+        end.t1 = end.t0;
+        tracer->emit(end);
+      }
+      finish_job(job, std::move(result), wall_ms_now() - job_t0);
+    } catch (const std::exception& e) {
+      finish_job_failed(job, e.what(), wall_ms_now() - job_t0, "EXEC_ERROR");
+    }
+  }
+
   bool batched_ok = true;
-  if (!misses.empty()) {
+  if (!plain.empty()) {
     try {
       std::vector<api::JobSpec> specs;
-      specs.reserve(misses.size());
-      for (const auto& job : misses) specs.push_back(job->spec);
+      specs.reserve(plain.size());
+      for (const auto& job : plain) specs.push_back(job->spec);
       std::vector<api::JobResult> results = session_.run_batch(specs);
       const double wall = wall_ms_now() - t0;
-      for (std::size_t i = 0; i < misses.size(); ++i) {
-        finish_job(misses[i], std::move(results[i]), wall);
+      for (std::size_t i = 0; i < plain.size(); ++i) {
+        finish_job(plain[i], std::move(results[i]), wall);
       }
     } catch (const std::exception&) {
       batched_ok = false;
@@ -511,7 +677,7 @@ void ServiceDaemon::run_batch_jobs(
   if (!batched_ok) {
     // The sweep failed as a whole; re-run per job so the error lands on
     // the job that caused it and the rest of the batch still completes.
-    for (const auto& job : misses) {
+    for (const auto& job : plain) {
       const double job_t0 = wall_ms_now();
       try {
         api::JobResult result = session_.run(job->spec);
@@ -527,15 +693,50 @@ void ServiceDaemon::run_batch_jobs(
   for (auto& span : spans) span->end(t1);
 }
 
-void ServiceDaemon::request_drain() { queue_.begin_drain(); }
+void ServiceDaemon::request_drain() {
+  if (options_.log != nullptr && !queue_.draining()) {
+    options_.log->info("service.draining", Json::object());
+  }
+  queue_.begin_drain();
+}
 
 void ServiceDaemon::request_shutdown() {
+  if (options_.log != nullptr &&
+      !shutdown_requested_.load(std::memory_order_acquire)) {
+    options_.log->info("service.shutdown_requested", Json::object());
+  }
   queue_.begin_drain();
   shutdown_requested_.store(true, std::memory_order_release);
   // wait() polls shutdown_requested_; no other thread blocks on it.
 }
 
+void ServiceDaemon::telemetry_dump_loop() {
+  const double interval_ms = options_.telemetry_interval_ms < 10
+                                 ? 10
+                                 : options_.telemetry_interval_ms;
+  double next_ms = wall_ms_now() + interval_ms;
+  while (!telemetry_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (wall_ms_now() < next_ms) continue;
+    dump_telemetry();
+    next_ms = wall_ms_now() + interval_ms;
+  }
+}
+
+void ServiceDaemon::dump_telemetry() {
+  if (options_.telemetry_dump.empty()) return;
+  const std::string temp = options_.telemetry_dump + ".tmp";
+  {
+    std::ofstream os(temp, std::ios::trunc);
+    if (!os) return;  // unwritable dump path must not take the daemon down
+    os << telemetry_.to_json(wall_ms_now()).dump() << "\n";
+  }
+  // Atomic swap: a scraper reading the dump never sees a torn file.
+  std::rename(temp.c_str(), options_.telemetry_dump.c_str());
+}
+
 void ServiceDaemon::wait() {
+  if (done_.load(std::memory_order_acquire)) return;
   // Phase 1: wait for a shutdown request, then for the queue to drain
   // (instant when the queue was stop()ed — drained-or-stopped is the
   // wait_drained predicate).
@@ -565,11 +766,17 @@ void ServiceDaemon::wait() {
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
   watchdog_stop_.store(true, std::memory_order_release);
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  telemetry_stop_.store(true, std::memory_order_release);
+  if (telemetry_thread_.joinable()) telemetry_thread_.join();
+  dump_telemetry();  // final snapshot; no-op without --telemetry-dump
   if (journal_ != nullptr) journal_->close();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     ::unlink(options_.socket_path.c_str());
+  }
+  if (options_.log != nullptr) {
+    options_.log->info("service.stopped", Json::object());
   }
   done_.store(true, std::memory_order_release);
 }

@@ -35,9 +35,11 @@
 #include "service/protocol.h"
 #include "service/queue.h"
 #include "service/store.h"
+#include "service/telemetry.h"
 
 namespace sdpm::obs {
 class EventTracer;
+class StructuredLog;
 }
 
 namespace sdpm::service {
@@ -73,6 +75,14 @@ struct DaemonOptions {
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
   /// fsync the journal after every append (power-cut durability).
   bool fsync_journal = false;
+  /// Structured JSONL logger for lifecycle diagnostics (not owned); null
+  /// keeps the daemon silent (the pre-logging behavior).
+  obs::StructuredLog* log = nullptr;
+  /// When non-empty, a background thread writes the telemetry snapshot
+  /// JSON to this path every `telemetry_interval_ms`, plus once at
+  /// shutdown (atomic temp+rename, so scrapers never read a torn file).
+  std::string telemetry_dump;
+  double telemetry_interval_ms = 1000;
 };
 
 class ServiceDaemon {
@@ -110,13 +120,21 @@ class ServiceDaemon {
   AdmissionQueue& queue() { return queue_; }
   /// The persistent store, or nullptr when state_dir is empty.
   PersistentStore* store() { return store_.get(); }
+  /// Per-stage latency histograms and per-client aggregates (always on;
+  /// stamping a stage is an uncontended lock + one bucket increment).
+  ServiceTelemetry& telemetry() { return telemetry_; }
+  /// The journal, or nullptr when state_dir is empty.
+  Journal* journal() { return journal_.get(); }
 
  private:
   void accept_loop();
   void handle_connection(int fd, std::uint64_t session_id);
   void dispatch_loop();
   void watchdog_loop();
-  void run_batch_jobs(const std::vector<std::shared_ptr<Job>>& batch);
+  void telemetry_dump_loop();
+  void dump_telemetry();
+  void run_batch_jobs(const std::vector<std::shared_ptr<Job>>& batch,
+                      double pop_ms);
   Json handle_request(const Json& request, std::uint64_t session_id);
   double wall_ms_now() const;
   void close_listener();
@@ -125,17 +143,23 @@ class ServiceDaemon {
                   double wall_ms);
   void finish_job_failed(const std::shared_ptr<Job>& job, std::string error,
                          double wall_ms, const char* code);
+  void record_outcome(const std::shared_ptr<Job>& job, bool ok);
+  void emit_stage(const std::shared_ptr<Job>& job, const char* stage,
+                  double t0, double t1);
 
   DaemonOptions options_;
   AdmissionQueue queue_;
   api::Session session_;
+  ServiceTelemetry telemetry_;
   std::unique_ptr<PersistentStore> store_;
   std::unique_ptr<Journal> journal_;
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::thread dispatch_thread_;
   std::thread watchdog_thread_;
+  std::thread telemetry_thread_;
   std::atomic<bool> watchdog_stop_{false};
+  std::atomic<bool> telemetry_stop_{false};
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> done_{false};
   std::int64_t start_ns_ = 0;  ///< steady-clock epoch for span timestamps

@@ -12,6 +12,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "service/telemetry.h"
 #include "util/checksum.h"
 #include "util/error.h"
 #include "util/json.h"
@@ -286,6 +287,8 @@ JournalReplay Journal::open() {
                            options_.path.c_str(), std::strerror(errno)));
   }
   replay.jobs = std::move(kept);
+  ++stats_.compactions;
+  if (replay.truncated_tail) ++stats_.torn_tail_truncations;
 
   fd_ = ::open(options_.path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
   if (fd_ < 0) {
@@ -300,8 +303,29 @@ void Journal::append_locked(JournalRecordType type, std::int64_t id,
                             const std::string& payload) {
   if (fd_ < 0) return;  // closed (shutdown teardown): appends are no-ops
   const std::string record = encode_record(type, id, session, payload);
+  const auto t0 = std::chrono::steady_clock::now();
   write_all(fd_, record.data(), record.size(), options_.path);
-  if (options_.fsync_each) ::fdatasync(fd_);
+  ++stats_.appends;
+  double fsync_ms = 0;
+  if (options_.fsync_each) {
+    const auto f0 = std::chrono::steady_clock::now();
+    ::fdatasync(fd_);
+    ++stats_.fsyncs;
+    fsync_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - f0)
+                   .count();
+  }
+  if (options_.telemetry != nullptr) {
+    const double append_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+    ServiceTelemetry::record_if(options_.telemetry, Stage::kJournalAppend,
+                                append_ms);
+    if (options_.fsync_each) {
+      ServiceTelemetry::record_if(options_.telemetry, Stage::kJournalFsync,
+                                  fsync_ms);
+    }
+  }
 }
 
 void Journal::append(JournalRecordType type, std::int64_t id,
@@ -342,6 +366,11 @@ void Journal::close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+JournalStats Journal::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
 }
 
 }  // namespace sdpm::service

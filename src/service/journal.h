@@ -43,6 +43,8 @@
 
 namespace sdpm::service {
 
+class ServiceTelemetry;
+
 enum class JournalRecordType : std::uint8_t {
   kAdmit = 1,
   kDispatch = 2,
@@ -79,6 +81,17 @@ struct JournalOptions {
   /// Terminal jobs kept through compaction, newest first; bounds the
   /// journal across restarts while keeping recent results queryable.
   std::size_t keep_terminal = 1024;
+  /// When set (not owned), every append self-times into the
+  /// journal_append stage (and the fsync portion into journal_fsync).
+  ServiceTelemetry* telemetry = nullptr;
+};
+
+/// Lifetime health counters, surfaced by the daemon's `stats` op.
+struct JournalStats {
+  std::int64_t appends = 0;
+  std::int64_t fsyncs = 0;
+  std::int64_t compactions = 0;
+  std::int64_t torn_tail_truncations = 0;
 };
 
 class Journal {
@@ -105,6 +118,8 @@ class Journal {
   void close();
   const std::string& path() const { return options_.path; }
 
+  JournalStats stats() const;
+
  private:
   void append_locked(JournalRecordType type, std::int64_t id,
                      std::uint64_t session, const std::string& payload);
@@ -112,8 +127,9 @@ class Journal {
               const std::string& payload);
 
   JournalOptions options_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   int fd_ = -1;
+  JournalStats stats_;  ///< guarded by mutex_
 };
 
 }  // namespace sdpm::service

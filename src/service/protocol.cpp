@@ -139,4 +139,27 @@ Json error_response(const std::string& message, bool retryable,
   return response;
 }
 
+std::string trace_hex(std::uint64_t id) {
+  return str_printf("%016llx", static_cast<unsigned long long>(id));
+}
+
+std::uint64_t parse_trace_hex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  std::uint64_t out = 0;
+  for (const char c : hex) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(10 + c - 'a');
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(10 + c - 'A');
+    } else {
+      return 0;
+    }
+    out = (out << 4) | digit;
+  }
+  return out;
+}
+
 }  // namespace sdpm::service

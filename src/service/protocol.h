@@ -17,10 +17,18 @@
 // REQUESTS are JSON objects with an "op" field:
 //   {"op":"ping"}
 //   {"op":"submit","spec":{...JobSpec...}}
+//     optional "trace_id"/"span_id": 16 lowercase hex digits each, a
+//     client-generated trace context propagated into the daemon's event
+//     tracer so one Chrome trace stitches the service lifecycle to the
+//     job's simulated-time disk tracks.
 //   {"op":"status","id":7}
 //   {"op":"result","id":7,"wait":true}      wait: block until terminal
 //   {"op":"cancel","id":7}
 //   {"op":"stats"}
+//   {"op":"telemetry"}                      per-stage latency histograms,
+//     rolling 1s/10s/60s rates and per-client aggregates; with
+//     "prometheus":true the response adds a "text" field holding the
+//     Prometheus exposition rendering.
 //   {"op":"drain"}                          stop admitting, finish queued
 //   {"op":"shutdown"}                       drain, then exit the daemon
 //
@@ -95,5 +103,19 @@ void write_message(int fd, const Json& message);
 Json ok_response();
 Json error_response(const std::string& message, bool retryable = false,
                     const std::string& code = "");
+
+/// Client-generated trace correlation carried on submit.  trace_id == 0
+/// means untraced (the fields are omitted from the wire).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool active() const { return trace_id != 0; }
+};
+
+/// 16 lowercase hex digits, the wire spelling of trace/span ids.
+std::string trace_hex(std::uint64_t id);
+/// Parse a 1..16-digit hex id; 0 on malformed input (0 is "untraced", so
+/// a bad id degrades to an untraced submit rather than an error).
+std::uint64_t parse_trace_hex(std::string_view hex);
 
 }  // namespace sdpm::service

@@ -26,7 +26,9 @@ AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
 }
 
 std::int64_t AdmissionQueue::submit(std::uint64_t session, api::JobSpec spec,
-                                    std::string& error, bool& retryable) {
+                                    std::string& error, bool& retryable,
+                                    double now_ms, std::uint64_t trace_id,
+                                    std::uint64_t span_id) {
   std::lock_guard lock(mutex_);
   if (draining_ || stopped_) {
     error = "daemon is draining; admission is closed";
@@ -46,6 +48,9 @@ std::int64_t AdmissionQueue::submit(std::uint64_t session, api::JobSpec spec,
   job->session = session;
   job->spec = std::move(spec);
   job->label = job->spec.display_label();
+  job->admit_ms = now_ms;
+  job->trace_id = trace_id;
+  job->span_id = span_id;
   jobs_.emplace(job->id, job);
   pending_[session].push_back(job);
   ++queued_;

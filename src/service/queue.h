@@ -64,6 +64,14 @@ struct Job {
   std::int64_t runs = 0;
   double started_ms = -1;  ///< wall ms when popped; -1 = never dispatched
   double wall_ms = 0;
+  /// Wall ms when admitted; -1 for jobs recovered from the journal (their
+  /// admission happened in a prior daemon life, so queue-wait/e2e stages
+  /// are not recorded for them).
+  double admit_ms = -1;
+  /// Client-propagated trace correlation (0 = untraced).  Set at submit,
+  /// immutable afterwards.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 /// Copyable view of one job for responses (no locking hazards).
@@ -99,9 +107,13 @@ class AdmissionQueue {
 
   /// Admit a job for `session`.  Returns the job id (> 0), or 0 with
   /// `error`/`retryable` set: retryable=true is backpressure (queue full),
-  /// retryable=false means admission is closed (draining).
+  /// retryable=false means admission is closed (draining).  `now_ms`
+  /// (when >= 0) stamps admit_ms for the queue-wait/e2e telemetry stages;
+  /// `trace_id`/`span_id` carry the client's trace context.
   std::int64_t submit(std::uint64_t session, api::JobSpec spec,
-                      std::string& error, bool& retryable);
+                      std::string& error, bool& retryable,
+                      double now_ms = -1, std::uint64_t trace_id = 0,
+                      std::uint64_t span_id = 0);
 
   /// Pop up to `max` jobs (state -> kRunning) in round-robin session
   /// order.  Blocks until work is available; returns an empty vector when

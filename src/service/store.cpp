@@ -11,13 +11,38 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <chrono>
+
 #include "obs/metrics.h"
+#include "service/telemetry.h"
 #include "util/checksum.h"
 #include "util/error.h"
 #include "util/strings.h"
 
 namespace sdpm::service {
 namespace {
+
+/// Records the enclosing scope's wall duration into a telemetry stage
+/// (no-op with null telemetry — the standalone-store fast path).
+class StageTimer {
+ public:
+  StageTimer(ServiceTelemetry* telemetry, Stage stage)
+      : telemetry_(telemetry), stage_(stage),
+        t0_(telemetry == nullptr ? std::chrono::steady_clock::time_point{}
+                                 : std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    if (telemetry_ == nullptr) return;
+    telemetry_->record(stage_,
+                       std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0_)
+                           .count());
+  }
+
+ private:
+  ServiceTelemetry* telemetry_;
+  Stage stage_;
+  std::chrono::steady_clock::time_point t0_;
+};
 
 // Entry file layout: 8-byte magic, 4-byte big-endian CRC32 of the payload,
 // 4-byte big-endian payload length, payload bytes.
@@ -209,6 +234,7 @@ std::string PersistentStore::object_path(const StoreKey& key) const {
 }
 
 std::optional<std::string> PersistentStore::get(const StoreKey& key) {
+  const StageTimer timer(options_.telemetry, Stage::kStoreGet);
   std::lock_guard lock(mutex_);
   auto& metrics = obs::MetricsRegistry::global();
   const auto it = index_.find(key);
@@ -239,6 +265,7 @@ std::optional<std::string> PersistentStore::get(const StoreKey& key) {
 }
 
 void PersistentStore::put(const StoreKey& key, std::string_view value) {
+  const StageTimer timer(options_.telemetry, Stage::kStorePut);
   std::lock_guard lock(mutex_);
   const auto existing = index_.find(key);
   if (existing != index_.end()) {

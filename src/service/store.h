@@ -34,6 +34,8 @@
 
 namespace sdpm::service {
 
+class ServiceTelemetry;
+
 /// 128-bit content key, printed as 32 lowercase hex digits.
 struct StoreKey {
   std::uint64_t hi = 0;
@@ -56,6 +58,9 @@ StoreKey fingerprint_bytes(std::string_view bytes);
 struct StoreOptions {
   std::string directory;                       ///< created if missing
   std::int64_t max_bytes = 256ll << 20;        ///< payload-byte budget
+  /// When set (not owned), get/put self-time into the store_get /
+  /// store_put latency stages.
+  ServiceTelemetry* telemetry = nullptr;
 };
 
 struct StoreStats {

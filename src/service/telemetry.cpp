@@ -1,0 +1,143 @@
+#include "service/telemetry.h"
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sdpm::service {
+
+namespace {
+
+constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kCount);
+
+Json quantiles_json(const obs::LatencyHistogram::Quantiles& q) {
+  Json out = Json::object();
+  out.set("count", q.count)
+      .set("mean_ms", q.mean)
+      .set("p50_ms", q.p50)
+      .set("p90_ms", q.p90)
+      .set("p99_ms", q.p99)
+      .set("p999_ms", q.p999)
+      .set("max_ms", q.max);
+  return out;
+}
+
+Json window_json(const obs::RollingWindow& window, double now_ms) {
+  Json out = Json::object();
+  for (const double seconds : {1.0, 10.0, 60.0}) {
+    const obs::RollingWindow::WindowStats stats =
+        window.stats(now_ms, seconds);
+    Json view = Json::object();
+    view.set("count", stats.count).set("rate_per_sec", stats.rate_per_sec);
+    out.set(str_printf("%.0fs", seconds), std::move(view));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kAdmit:
+      return "admit";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kDispatch:
+      return "dispatch";
+    case Stage::kEval:
+      return "eval";
+    case Stage::kRespond:
+      return "respond";
+    case Stage::kEndToEnd:
+      return "e2e";
+    case Stage::kJournalAppend:
+      return "journal_append";
+    case Stage::kJournalFsync:
+      return "journal_fsync";
+    case Stage::kStoreGet:
+      return "store_get";
+    case Stage::kStorePut:
+      return "store_put";
+    case Stage::kCount:
+      break;
+  }
+  return "?";
+}
+
+ServiceTelemetry::ServiceTelemetry() = default;
+
+void ServiceTelemetry::record(Stage stage, double ms) {
+  SDPM_ASSERT(stage < Stage::kCount, "invalid telemetry stage");
+  stages_[static_cast<std::size_t>(stage)].record(ms);
+}
+
+void ServiceTelemetry::record_admit(std::uint64_t session, double now_ms) {
+  admissions_.record(now_ms);
+  std::lock_guard lock(clients_mutex_);
+  ++clients_[session].submitted;
+}
+
+void ServiceTelemetry::record_outcome(std::uint64_t session, double e2e_ms,
+                                      bool ok, double now_ms) {
+  record(Stage::kEndToEnd, e2e_ms);
+  completions_.record(now_ms);
+  std::lock_guard lock(clients_mutex_);
+  ClientAgg& agg = clients_[session];
+  if (ok) {
+    ++agg.completed;
+  } else {
+    ++agg.failed;
+  }
+  agg.e2e_ms.add(e2e_ms < 0 ? 0 : e2e_ms);
+}
+
+obs::LatencyHistogram::Quantiles ServiceTelemetry::stage_quantiles(
+    Stage stage) const {
+  SDPM_ASSERT(stage < Stage::kCount, "invalid telemetry stage");
+  return stages_[static_cast<std::size_t>(stage)].quantiles();
+}
+
+Json ServiceTelemetry::to_json(double now_ms) const {
+  Json stages = Json::object();
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    stages.set(to_string(static_cast<Stage>(s)),
+               quantiles_json(stages_[s].quantiles()));
+  }
+  Json windows = Json::object();
+  windows.set("admissions", window_json(admissions_, now_ms));
+  windows.set("completions", window_json(completions_, now_ms));
+  Json clients = Json::object();
+  {
+    std::lock_guard lock(clients_mutex_);
+    for (const auto& [session, agg] : clients_) {
+      Json client = Json::object();
+      client.set("submitted", agg.submitted)
+          .set("completed", agg.completed)
+          .set("failed", agg.failed)
+          .set("e2e_ms", quantiles_json(obs::quantiles_of(agg.e2e_ms)));
+      clients.set(std::to_string(session), std::move(client));
+    }
+  }
+  Json out = Json::object();
+  out.set("stages", std::move(stages))
+      .set("windows", std::move(windows))
+      .set("clients", std::move(clients));
+  return out;
+}
+
+std::string ServiceTelemetry::prometheus_text() const {
+  std::vector<obs::PromSummary> extra;
+  extra.reserve(kStageCount);
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    obs::PromSummary summary;
+    summary.name = "service.stage_latency_ms";
+    summary.labels = {{"stage", to_string(static_cast<Stage>(s))}};
+    summary.quantiles = stages_[s].quantiles();
+    extra.push_back(std::move(summary));
+  }
+  return obs::render_prometheus(obs::MetricsRegistry::global().snapshot(),
+                                extra);
+}
+
+}  // namespace sdpm::service

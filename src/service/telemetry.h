@@ -1,0 +1,116 @@
+// Service telemetry: per-stage latency histograms, rolling rates and
+// per-client aggregates for sdpm_serviced.
+//
+// Every job's lifecycle is stamped into a fixed set of stages:
+//
+//   admit           handling time of the submit op (parse, validate,
+//                   journal ADMIT, enqueue)
+//   queue_wait      admission -> dispatcher pop
+//   dispatch        pop -> evaluation start (DISPATCH journaling for the
+//                   whole batch)
+//   eval            evaluation wall time (store hits count too; their
+//                   eval is the store get)
+//   respond         response serialization + socket write of any op
+//   e2e             admission -> terminal state (done or failed); the
+//                   latency a client actually observes
+//   journal_append / journal_fsync, store_get / store_put
+//                   durability-layer self-timings
+//
+// All recording entry points are thread-safe (obs::LatencyHistogram
+// shards; the client table takes a mutex per terminal transition, never
+// per request).  Timestamps come from the caller — the daemon's monotonic
+// wall_ms clock — so this module reads no clock itself.
+//
+// Null fast path: call sites that may run without telemetry go through
+// the static `record_if(t, stage, ms)` helpers, which reduce to one
+// branch when `t` is null — the same contract as obs::effective_tracer
+// (bench: BM_ServiceTelemetryOverhead).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/latency.h"
+#include "obs/rolling.h"
+#include "util/histogram.h"
+#include "util/json.h"
+
+namespace sdpm::service {
+
+enum class Stage {
+  kAdmit = 0,
+  kQueueWait,
+  kDispatch,
+  kEval,
+  kRespond,
+  kEndToEnd,
+  kJournalAppend,
+  kJournalFsync,
+  kStoreGet,
+  kStorePut,
+  kCount,  // sentinel
+};
+
+const char* to_string(Stage stage);
+
+class ServiceTelemetry {
+ public:
+  ServiceTelemetry();
+
+  ServiceTelemetry(const ServiceTelemetry&) = delete;
+  ServiceTelemetry& operator=(const ServiceTelemetry&) = delete;
+
+  /// Record one latency sample for `stage`.  Thread-safe, lock-striped.
+  void record(Stage stage, double ms);
+
+  /// Null-safe helper for call sites whose telemetry pointer may be
+  /// absent (standalone Journal/PersistentStore users): one predictable
+  /// branch when `t` is null.
+  static void record_if(ServiceTelemetry* t, Stage stage, double ms) {
+    if (t != nullptr) t->record(stage, ms);
+  }
+
+  /// One job admitted for `session` at `now_ms` (per-client submitted
+  /// count + admission rate window).
+  void record_admit(std::uint64_t session, double now_ms);
+
+  /// One job reached a terminal evaluated state: records the e2e stage,
+  /// the per-client aggregate and the completion rate window.
+  void record_outcome(std::uint64_t session, double e2e_ms, bool ok,
+                      double now_ms);
+
+  /// Merged quantiles for one stage.
+  obs::LatencyHistogram::Quantiles stage_quantiles(Stage stage) const;
+
+  /// Deterministically-keyed snapshot for the `telemetry` op /
+  /// --telemetry-dump:
+  ///   {"stages":{name:{count,mean_ms,p50_ms,p90_ms,p99_ms,p999_ms,max_ms}},
+  ///    "windows":{"admissions":{"1s":{count,rate_per_sec},...},
+  ///               "completions":{...}},
+  ///    "clients":{"<session>":{submitted,completed,failed,e2e_ms:{...}}}}
+  Json to_json(double now_ms) const;
+
+  /// Prometheus text exposition: the global MetricsRegistry snapshot plus
+  /// one summary per stage (sdpm_service_stage_latency_ms{stage="..."}).
+  std::string prometheus_text() const;
+
+ private:
+  struct ClientAgg {
+    std::int64_t submitted = 0;
+    std::int64_t completed = 0;
+    std::int64_t failed = 0;
+    Histogram e2e_ms{1e-3, 1.25};
+  };
+
+  std::array<obs::LatencyHistogram, static_cast<std::size_t>(Stage::kCount)>
+      stages_;
+  obs::RollingWindow admissions_{60};
+  obs::RollingWindow completions_{60};
+  mutable std::mutex clients_mutex_;
+  std::map<std::uint64_t, ClientAgg> clients_;
+};
+
+}  // namespace sdpm::service

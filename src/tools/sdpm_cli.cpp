@@ -40,11 +40,18 @@
 //       regression exits 4.  --json / --metrics-out FILE remain as
 //       deprecated aliases.
 //   sdpm_cli client --socket PATH --op ping|submit|run|status|result|
-//                 cancel|stats|drain|shutdown [--id N] [--wait] [job flags]
+//                 cancel|stats|telemetry|drain|shutdown [--id N] [--wait]
+//                 [--trace-id HEX] [job flags]
 //       Talk to a running sdpm_serviced daemon.  "submit" admits a job
 //       built from the usual run flags and prints its id; "run" submits,
 //       waits for the terminal state and prints the job JSON; "result
-//       --wait" blocks until an existing job is terminal.
+//       --wait" blocks until an existing job is terminal.  --trace-id
+//       (submit/run) propagates a client trace context so the daemon's
+//       --trace-out stream stitches this job's service lifecycle to its
+//       simulated-time disk tracks.  "telemetry" prints the daemon's
+//       per-stage latency histograms (--prometheus for the text
+//       exposition); "stats --watch [N]" renders a live summary line
+//       every --interval-ms (default 1000).
 //   sdpm_cli analyze --benchmark NAME [--mode CMTPM|CMDRPM]
 //                 [--format text|json] [--fail-on error|warning|note]
 //                 [--baseline FILE] [--write-baseline FILE]
@@ -79,6 +86,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/mutate.h"
@@ -144,10 +152,15 @@ const char* usage_text() {
       "         entry point; --format json emits the perf-counter snapshot\n"
       "         (BENCH_simulator.json schema) instead of the table\n"
       "  client --socket PATH --op ping|submit|run|status|result|cancel|\n"
-      "         stats|drain|shutdown [--id N] [--wait] [--retry-connect [N]]\n"
+      "         stats|telemetry|drain|shutdown [--id N] [--wait]\n"
+      "         [--retry-connect [N]] [--trace-id HEX [--span-id HEX]]\n"
       "         [job flags]   talk to a running sdpm_serviced daemon;\n"
       "         --retry-connect retries a refused/absent socket with\n"
-      "         backoff (default 40 attempts) to ride out restarts\n"
+      "         backoff (default 40 attempts) to ride out restarts;\n"
+      "         submit/run propagate --trace-id into the daemon's trace;\n"
+      "         telemetry prints stage latency histograms (--prometheus\n"
+      "         for text exposition); stats --watch [N] [--interval-ms M]\n"
+      "         renders a live one-line summary per tick\n"
       "  analyze --benchmark NAME [--mode CMTPM|CMDRPM]\n"
       "         [--format text|json] [--fail-on error|warning|note]\n"
       "         [--baseline FILE] [--write-baseline FILE]\n"
@@ -961,7 +974,8 @@ int cmd_analyze(const Args& args) {
 int cmd_client(const Args& args) {
   require_known_flags(
       "client", args,
-      {"socket", "op", "id", "wait", "benchmark", "scheme", "retry-connect"});
+      {"socket", "op", "id", "wait", "benchmark", "scheme", "retry-connect",
+       "trace-id", "span-id", "prometheus", "watch", "interval-ms"});
   if (!args.has("socket")) usage("client requires --socket PATH");
   const std::string op = args.get("op", "ping");
   service::ClientOptions client_options;
@@ -987,10 +1001,23 @@ int cmd_client(const Args& args) {
       usage("client --op " + op + " requires --benchmark");
     }
     const api::JobSpec spec = job_spec_from(args);
-    const std::int64_t id = client.submit(spec);
+    service::TraceContext trace;
+    if (args.has("trace-id")) {
+      trace.trace_id = service::parse_trace_hex(args.get("trace-id"));
+      if (trace.trace_id == 0) {
+        usage("client --trace-id must be 1..16 hex digits (nonzero)");
+      }
+    }
+    if (args.has("span-id")) {
+      trace.span_id = service::parse_trace_hex(args.get("span-id"));
+    }
+    const std::int64_t id = client.submit(spec, 8, trace);
     if (op == "submit") {
       Json line = Json::object();
       line.set("id", id);
+      if (trace.active()) {
+        line.set("trace_id", service::trace_hex(trace.trace_id));
+      }
       std::cout << line.dump() << "\n";
       return 0;
     }
@@ -1012,7 +1039,55 @@ int cmd_client(const Args& args) {
     return 0;
   }
   if (op == "stats") {
-    std::cout << client.stats().dump() << "\n";
+    if (!args.has("watch")) {
+      std::cout << client.stats().dump() << "\n";
+      return 0;
+    }
+    // Live mode: one summary line per tick, drawn from stats + telemetry.
+    // --watch N stops after N ticks (0 / bare --watch = until interrupted).
+    const std::int64_t ticks =
+        args.get("watch").empty() ? 0 : args.get_int("watch", 0);
+    const double interval_ms =
+        args.has("interval-ms")
+            ? static_cast<double>(args.get_int("interval-ms", 1000))
+            : 1000.0;
+    if (interval_ms <= 0) usage("client --interval-ms must be > 0");
+    for (std::int64_t tick = 0; ticks == 0 || tick < ticks; ++tick) {
+      if (tick > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(interval_ms));
+      }
+      const Json stats = client.stats();
+      const Json telemetry = client.telemetry().at("telemetry");
+      const Json& queue = stats.at("queue");
+      const Json& e2e = telemetry.at("stages").at("e2e");
+      const Json& queue_wait = telemetry.at("stages").at("queue_wait");
+      const Json& completions =
+          telemetry.at("windows").at("completions").at("10s");
+      std::cout << str_printf(
+                       "queue %lld/%lld running %lld | done %lld failed %lld "
+                       "| %.1f jobs/s (10s) | e2e p50 %.1fms p99 %.1fms | "
+                       "queue_wait p99 %.1fms",
+                       static_cast<long long>(queue.at("depth").as_int()),
+                       static_cast<long long>(queue.at("capacity").as_int()),
+                       static_cast<long long>(queue.at("running").as_int()),
+                       static_cast<long long>(queue.at("completed").as_int()),
+                       static_cast<long long>(queue.at("failed").as_int()),
+                       completions.at("rate_per_sec").as_double(),
+                       e2e.at("p50_ms").as_double(),
+                       e2e.at("p99_ms").as_double(),
+                       queue_wait.at("p99_ms").as_double())
+                << std::endl;
+    }
+    return 0;
+  }
+  if (op == "telemetry") {
+    const Json response = client.telemetry(args.has("prometheus"));
+    if (args.has("prometheus")) {
+      std::cout << response.at("text").as_string();
+    } else {
+      std::cout << response.at("telemetry").dump() << "\n";
+    }
     return 0;
   }
   if (op == "drain") {

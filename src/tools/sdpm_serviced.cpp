@@ -1,9 +1,12 @@
 // sdpm_serviced — the long-running simulation service.
 //
 //   sdpm_serviced --socket PATH [--capacity N] [--batch N] [--jobs N]
-//                 [--trace-out FILE] [--state-dir DIR]
+//                 [--trace-out FILE] [--trace-format jsonl|chrome]
+//                 [--state-dir DIR]
 //                 [--job-timeout-ms MS] [--max-attempts N]
 //                 [--store-max-bytes N] [--fsync-journal]
+//                 [--log-json FILE|-] [--telemetry-dump FILE]
+//                 [--telemetry-interval-ms MS]
 //
 // Listens on a Unix domain socket for length-prefixed JSON requests (see
 // src/service/protocol.h), admits jobs into a bounded queue with
@@ -25,6 +28,14 @@
 // the store.  --job-timeout-ms arms a watchdog that fails overrunning
 // jobs; --max-attempts bounds how often a poison job is retried across
 // restarts before it is quarantined.
+//
+// Observability: --log-json streams leveled structured JSONL lifecycle
+// events (to a file, or stderr with "-"); --telemetry-dump writes the
+// per-stage latency/rate snapshot JSON atomically every
+// --telemetry-interval-ms (default 1000) plus once at shutdown;
+// --trace-format chrome makes --trace-out emit a chrome://tracing file
+// whose service lanes stitch to the simulated-time disk tracks of traced
+// submissions (same trace_id).
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +44,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/log.h"
 #include "obs/sinks.h"
 #include "obs/tracer.h"
 #include "service/daemon.h"
@@ -46,8 +58,11 @@ using namespace sdpm;
   if (!message.empty()) std::cerr << "error: " << message << "\n";
   std::cerr << "usage: sdpm_serviced --socket PATH [--capacity N] "
                "[--batch N] [--jobs N] [--trace-out FILE] "
+               "[--trace-format jsonl|chrome] "
                "[--state-dir DIR] [--job-timeout-ms MS] [--max-attempts N] "
-               "[--store-max-bytes N] [--fsync-journal]\n";
+               "[--store-max-bytes N] [--fsync-journal] "
+               "[--log-json FILE|-] [--telemetry-dump FILE] "
+               "[--telemetry-interval-ms MS]\n";
   std::exit(2);
 }
 
@@ -67,9 +82,11 @@ int main(int argc, char** argv) {
   }
   for (const auto& [key, value] : flags) {
     if (key != "socket" && key != "capacity" && key != "batch" &&
-        key != "jobs" && key != "trace-out" && key != "state-dir" &&
-        key != "job-timeout-ms" && key != "max-attempts" &&
-        key != "store-max-bytes" && key != "fsync-journal") {
+        key != "jobs" && key != "trace-out" && key != "trace-format" &&
+        key != "state-dir" && key != "job-timeout-ms" &&
+        key != "max-attempts" && key != "store-max-bytes" &&
+        key != "fsync-journal" && key != "log-json" &&
+        key != "telemetry-dump" && key != "telemetry-interval-ms") {
       usage("unknown flag '--" + key + "'");
     }
   }
@@ -107,16 +124,55 @@ int main(int argc, char** argv) {
     if (options.store_max_bytes < 1) usage("--store-max-bytes must be >= 1");
   }
   if (flags.count("fsync-journal") != 0) options.fsync_journal = true;
+  if (flags.count("telemetry-dump") != 0) {
+    if (flags["telemetry-dump"].empty()) usage("--telemetry-dump needs a path");
+    options.telemetry_dump = flags["telemetry-dump"];
+  }
+  if (flags.count("telemetry-interval-ms") != 0) {
+    options.telemetry_interval_ms =
+        std::atof(flags["telemetry-interval-ms"].c_str());
+    if (options.telemetry_interval_ms <= 0) {
+      usage("--telemetry-interval-ms must be > 0");
+    }
+  }
 
-  // Observability: job spans stream as JSONL when requested.
+  // Observability: job spans stream as JSONL (or a chrome://tracing file)
+  // when requested.
   obs::EventTracer tracer;
   std::ofstream trace_file;
   std::optional<obs::JsonlSink> jsonl;
+  std::optional<obs::ChromeTraceSink> chrome;
   if (flags.count("trace-out") != 0) {
     trace_file.open(flags["trace-out"]);
     if (!trace_file) usage("cannot open '" + flags["trace-out"] + "'");
-    tracer.add_sink(jsonl.emplace(trace_file));
+    const std::string format = flags.count("trace-format") != 0
+                                   ? flags["trace-format"]
+                                   : std::string("jsonl");
+    if (format == "jsonl") {
+      tracer.add_sink(jsonl.emplace(trace_file));
+    } else if (format == "chrome") {
+      tracer.add_sink(chrome.emplace(trace_file));
+    } else {
+      usage("--trace-format must be jsonl or chrome");
+    }
     options.tracer = &tracer;
+  } else if (flags.count("trace-format") != 0) {
+    usage("--trace-format needs --trace-out");
+  }
+
+  // Structured JSONL lifecycle log: a file, or stderr with "-".
+  std::ofstream log_file;
+  std::optional<obs::StructuredLog> log;
+  if (flags.count("log-json") != 0) {
+    if (flags["log-json"].empty()) usage("--log-json needs FILE or -");
+    if (flags["log-json"] == "-") {
+      log.emplace(std::cerr);
+    } else {
+      log_file.open(flags["log-json"], std::ios::app);
+      if (!log_file) usage("cannot open '" + flags["log-json"] + "'");
+      log.emplace(log_file);
+    }
+    options.log = &*log;
   }
 
   // Block the termination signals before any thread exists so every

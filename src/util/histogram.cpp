@@ -45,6 +45,27 @@ void Histogram::add(double value) {
   sum_ += value;
 }
 
+void Histogram::merge(const Histogram& other) {
+  SDPM_REQUIRE(min_value_ == other.min_value_ && growth_ == other.growth_,
+               "histogram merge requires identical bucketing");
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0) {
+    min_seen_ = other.min_seen_;
+    max_seen_ = other.max_seen_;
+  } else {
+    min_seen_ = std::min(min_seen_, other.min_seen_);
+    max_seen_ = std::max(max_seen_, other.max_seen_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double Histogram::min() const { return count_ == 0 ? 0.0 : min_seen_; }
 double Histogram::max() const { return count_ == 0 ? 0.0 : max_seen_; }
 

@@ -19,16 +19,28 @@ class Histogram {
 
   void add(double value);
 
+  /// Fold `other` into this histogram.  Both sides must share the same
+  /// bucketing scheme (min_value, growth); merging is then exact — the
+  /// merged histogram is indistinguishable from one that saw every sample
+  /// directly, so per-thread shards can be combined on snapshot.
+  void merge(const Histogram& other);
+
   std::int64_t count() const { return count_; }
   double min() const;
   double max() const;
+  double sum() const { return sum_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  double min_value() const { return min_value_; }
+  double growth() const { return growth_; }
 
   /// Quantile in [0, 1]; linear interpolation inside the winning bucket.
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
+  double p90() const { return quantile(0.90); }
   double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
 
   /// Render a compact one-line summary ("n=... mean=... p50/p95/p99=...").
   std::string summary() const;

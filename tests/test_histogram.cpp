@@ -1,6 +1,8 @@
 // Histogram, invariant checker, and profiling tables.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "experiments/profile.h"
 #include "experiments/report.h"
 #include "policy/proactive.h"
@@ -78,6 +80,114 @@ TEST(Histogram, RejectsBadConfig) {
   EXPECT_THROW(Histogram(1.0, 1.0), Error);
   Histogram h;
   EXPECT_THROW(h.quantile(1.5), Error);
+}
+
+TEST(Histogram, MergeEmptyIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  Histogram a;
+  Histogram empty;
+  for (int i = 1; i <= 50; ++i) a.add(static_cast<double>(i));
+  const double before = a.quantile(0.9);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 50);
+  EXPECT_DOUBLE_EQ(a.quantile(0.9), before);
+
+  // The other direction: folding a populated histogram into an empty one
+  // must adopt its extremes, not mix in the empty side's zero min/max.
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 50);
+  EXPECT_DOUBLE_EQ(empty.min(), a.min());
+  EXPECT_DOUBLE_EQ(empty.max(), a.max());
+}
+
+TEST(Histogram, MergeSingleSample) {
+  Histogram a;
+  Histogram b;
+  b.add(3.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+}
+
+TEST(Histogram, MergeDisjointRanges) {
+  // Sub-millisecond samples on one side, multi-second on the other: the
+  // merged histogram must span both and place the median in the gap's
+  // lower half (equal counts each side).
+  Histogram lo;
+  Histogram hi;
+  SplitMix64 rng(99);
+  for (int i = 0; i < 10'000; ++i) lo.add(rng.next_double(0.01, 0.1));
+  for (int i = 0; i < 10'000; ++i) hi.add(rng.next_double(4'000.0, 9'000.0));
+  Histogram merged;
+  merged.merge(lo);
+  merged.merge(hi);
+  EXPECT_EQ(merged.count(), 20'000);
+  EXPECT_LE(merged.min(), 0.1);
+  EXPECT_GE(merged.max(), 4'000.0);
+  EXPECT_LT(merged.quantile(0.49), 0.2);
+  EXPECT_GT(merged.quantile(0.51), 3'000.0);
+  EXPECT_NEAR(merged.sum(), lo.sum() + hi.sum(), 1e-6);
+}
+
+TEST(Histogram, MergeIsLossless) {
+  // The documented merge contract: shard-and-merge is indistinguishable
+  // from a single histogram that saw every sample directly.
+  Histogram direct;
+  Histogram shard_a;
+  Histogram shard_b;
+  SplitMix64 rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.next_double(0.001, 500.0);
+    direct.add(v);
+    (i % 2 == 0 ? shard_a : shard_b).add(v);
+  }
+  Histogram merged;
+  merged.merge(shard_a);
+  merged.merge(shard_b);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_DOUBLE_EQ(merged.min(), direct.min());
+  EXPECT_DOUBLE_EQ(merged.max(), direct.max());
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), direct.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantilesMonotoneUnderMerge) {
+  Histogram merged;
+  SplitMix64 rng(123);
+  for (int shard = 0; shard < 8; ++shard) {
+    Histogram h;
+    // Each shard covers a different decade, so the merged distribution is
+    // lumpy — the worst case for interpolation inside buckets.
+    const double base = std::pow(10.0, shard % 4);
+    for (int i = 0; i < 1'000; ++i) {
+      h.add(rng.next_double(base * 0.1, base));
+    }
+    merged.merge(h);
+    double prev = -1;
+    for (double q = 0.0; q <= 1.0; q += 0.02) {
+      const double value = merged.quantile(q);
+      EXPECT_GE(value, prev - 1e-9) << "shard " << shard << " q " << q;
+      prev = value;
+    }
+  }
+}
+
+TEST(Histogram, MergeRejectsIncompatibleBucketing) {
+  Histogram a(1e-3, 1.25);
+  Histogram fine(1e-3, 1.1);
+  Histogram shifted(1e-2, 1.25);
+  EXPECT_THROW(a.merge(fine), Error);
+  EXPECT_THROW(a.merge(shifted), Error);
 }
 
 TEST(Invariants, AcceptsHealthyReports) {

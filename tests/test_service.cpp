@@ -13,12 +13,15 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/job_spec.h"
 #include "api/session.h"
+#include "obs/sinks.h"
+#include "obs/tracer.h"
 #include "service/client.h"
 #include "service/daemon.h"
 #include "service/journal.h"
@@ -810,6 +813,168 @@ TEST(Client, FailsFastOnPermanentConnectErrors) {
   retry.backoff_base_ms = 1;
   EXPECT_THROW(Client("/tmp/sdpm_definitely_absent.sock", retry),
                sdpm::Error);
+}
+
+// ---------------------------------------------------------------------------
+// TELEMETRY: the telemetry op, counter reconciliation, journal counters,
+// trace-id propagation and Chrome-trace stitching
+
+TEST(ServiceDaemon, TelemetryReconcilesWithQueueStats) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("telemetry");
+  options.queue_capacity = 32;
+  options.jobs = 2;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+  {
+    Client client(options.socket_path);
+    std::vector<std::int64_t> ids;
+    for (int i = 0; i < 5; ++i) {
+      ids.push_back(client.submit(cheap_spec("tel-" + std::to_string(i))));
+    }
+    // One job cancelled before it can possibly run is still fine for the
+    // invariant: cancellation is a terminal state without an e2e sample.
+    for (const std::int64_t id : ids) client.result(id, /*wait=*/true);
+
+    const Json stats = client.stats().at("queue");
+    // Telemetry outcome stamps land just after the queue's terminal
+    // transition (the client can observe "done" in between), so give the
+    // counters a bounded moment to converge before asserting equality.
+    Json telemetry = client.telemetry().at("telemetry");
+    for (int spin = 0; spin < 200; ++spin) {
+      if (telemetry.at("stages").at("e2e").at("count").as_int() ==
+          stats.at("completed").as_int() + stats.at("failed").as_int()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      telemetry = client.telemetry().at("telemetry");
+    }
+    const Json& stages = telemetry.at("stages");
+
+    // Invariant: submitted == completed + failed + cancelled + rejected +
+    // in-flight, and the e2e histogram saw exactly the evaluated
+    // terminals (completed + failed).
+    const std::int64_t submitted = stats.at("submitted").as_int();
+    const std::int64_t completed = stats.at("completed").as_int();
+    const std::int64_t failed = stats.at("failed").as_int();
+    const std::int64_t in_flight =
+        stats.at("depth").as_int() + stats.at("running").as_int();
+    EXPECT_EQ(submitted, completed + failed + stats.at("cancelled").as_int() +
+                             stats.at("rejected").as_int() + in_flight);
+    EXPECT_EQ(stages.at("e2e").at("count").as_int(), completed + failed);
+    EXPECT_EQ(stages.at("admit").at("count").as_int(), submitted);
+    EXPECT_EQ(stages.at("queue_wait").at("count").as_int(),
+              completed + failed);
+    // Every op handled so far wrote a response.
+    EXPECT_GT(stages.at("respond").at("count").as_int(), 0);
+    // Quantiles are ordered within every stage.
+    for (const auto& [name, stage] : stages.as_object()) {
+      EXPECT_LE(stage.at("p50_ms").as_double(),
+                stage.at("p99_ms").as_double() + 1e-9)
+          << name;
+    }
+
+    // Rolling windows and per-client aggregates reconcile too.
+    EXPECT_EQ(telemetry.at("windows")
+                  .at("completions")
+                  .at("60s")
+                  .at("count")
+                  .as_int(),
+              completed + failed);
+    std::int64_t client_submitted = 0;
+    for (const auto& [session, agg] : telemetry.at("clients").as_object()) {
+      client_submitted += agg.at("submitted").as_int();
+    }
+    EXPECT_EQ(client_submitted, submitted);
+
+    // The Prometheus rendering includes the stage summaries.
+    const Json prom = client.telemetry(/*prometheus=*/true);
+    EXPECT_NE(prom.at("text").as_string().find(
+                  "sdpm_service_stage_latency_ms"),
+              std::string::npos);
+    client.shutdown();
+  }
+  waiter.join();
+}
+
+TEST(ServiceDaemon, StatsReportJournalCounters) {
+  const std::string state_dir = test_state_dir("telemetry_journal");
+  DaemonOptions options;
+  options.socket_path = test_socket_path("telemetry_journal");
+  options.state_dir = state_dir;
+  options.fsync_journal = true;
+  options.jobs = 2;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+  {
+    Client client(options.socket_path);
+    const std::int64_t id = client.submit(cheap_spec("journal-counters"));
+    client.result(id, /*wait=*/true);
+    const Json stats = client.stats();
+    ASSERT_TRUE(stats.contains("journal"));
+    const Json& journal = stats.at("journal");
+    // ADMIT + DISPATCH + DONE for one job: at least three appends, each
+    // fsynced (fsync_journal is on).  Opening the journal always compacts
+    // it to live state once; a clean file has no torn tail.
+    EXPECT_GE(journal.at("appends").as_int(), 3);
+    EXPECT_GE(journal.at("fsyncs").as_int(), 3);
+    EXPECT_EQ(journal.at("compactions").as_int(), 1);
+    EXPECT_EQ(journal.at("torn_tail_truncations").as_int(), 0);
+    // The durability stages saw those fsyncs.
+    const Json stages = client.telemetry().at("telemetry").at("stages");
+    EXPECT_GE(stages.at("journal_fsync").at("count").as_int(), 3);
+    client.shutdown();
+  }
+  waiter.join();
+  std::filesystem::remove_all(state_dir);
+}
+
+TEST(ServiceDaemon, TraceIdStitchesServiceAndDiskTracks) {
+  std::ostringstream trace_out;
+  obs::EventTracer tracer;
+  obs::ChromeTraceSink sink(trace_out);
+  tracer.add_sink(sink);
+
+  DaemonOptions options;
+  options.socket_path = test_socket_path("stitch");
+  options.jobs = 2;
+  options.tracer = &tracer;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+  {
+    Client client(options.socket_path);
+    TraceContext trace;
+    trace.trace_id = 0xabcdef12ull;
+    trace.span_id = 7;
+    const std::int64_t id = client.submit(cheap_spec("stitched"), 8, trace);
+    const Json done = client.result(id, /*wait=*/true);
+    EXPECT_EQ(done.at("state").as_string(), "done");
+    client.shutdown();
+  }
+  waiter.join();
+  tracer.close();
+
+  // One trace file, one trace_id, two clocks: the service stages ride
+  // pid 3 (wall time), the replayed job span rides pid 1 (simulated
+  // time), and the shared trace_id is what a viewer joins them on.
+  const Json doc = Json::parse(trace_out.str());
+  const std::string want_id = trace_hex(0xabcdef12ull);
+  bool service_stage_tagged = false;
+  bool sim_span_tagged = false;
+  for (const Json& event : doc.at("traceEvents").as_array()) {
+    const Json* event_args = event.find("args");
+    if (event_args == nullptr) continue;
+    const Json* tagged = event_args->find("trace_id");
+    if (tagged == nullptr || tagged->as_string() != want_id) continue;
+    const std::int64_t pid = event.at("pid").as_int();
+    if (pid == 3) service_stage_tagged = true;
+    if (pid == 1) sim_span_tagged = true;
+  }
+  EXPECT_TRUE(service_stage_tagged);
+  EXPECT_TRUE(sim_span_tagged);
 }
 
 }  // namespace

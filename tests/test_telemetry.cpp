@@ -1,0 +1,313 @@
+// Telemetry substrate: concurrent latency histograms, rolling windows,
+// Prometheus rendering, structured logging, trace-id codecs and the
+// ServiceTelemetry aggregate.  The MetricsRegistry and LatencyHistogram
+// hammer tests here run under TSan in CI — they are the thread-safety
+// regression net for the recording hot paths.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/latency.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/rolling.h"
+#include "service/protocol.h"
+#include "service/telemetry.h"
+#include "util/json.h"
+
+namespace sdpm {
+namespace {
+
+TEST(LatencyHistogram, EmptyQuantilesAreZero) {
+  obs::LatencyHistogram h;
+  const auto q = h.quantiles();
+  EXPECT_EQ(q.count, 0);
+  EXPECT_EQ(q.p50, 0.0);
+  EXPECT_EQ(q.p999, 0.0);
+  EXPECT_EQ(q.max, 0.0);
+}
+
+TEST(LatencyHistogram, NegativeSamplesClampToZero) {
+  obs::LatencyHistogram h;
+  h.record(-0.001);  // steady-clock jitter can produce -0 stage deltas
+  const auto q = h.quantiles();
+  EXPECT_EQ(q.count, 1);
+  EXPECT_GE(q.max, 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
+  obs::LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(0.5 + 0.001 * (t + 1) * (i % 100));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto q = h.quantiles();
+  EXPECT_EQ(q.count, static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_GT(q.p50, 0.0);
+  EXPECT_LE(q.p50, q.p99);
+  EXPECT_LE(q.p99, q.p999);
+  EXPECT_LE(q.p999, q.max * 1.05);
+}
+
+TEST(LatencyHistogram, ResetZeroesButKeepsBucketing) {
+  obs::LatencyHistogram h(1e-3, 1.25);
+  h.record(1.0);
+  h.reset();
+  EXPECT_EQ(h.quantiles().count, 0);
+  h.record(2.0);
+  EXPECT_EQ(h.quantiles().count, 1);
+}
+
+TEST(RollingWindow, DeterministicWithCallerClock) {
+  obs::RollingWindow w(60);
+  // 5 events/s for the last 10 seconds, ending at t=100s.
+  for (int s = 90; s < 100; ++s) {
+    for (int e = 0; e < 5; ++e) w.record(s * 1000.0 + e * 100.0);
+  }
+  // Windows cover whole seconds [now_sec - w + 1, now_sec]; pinning now
+  // inside second 99 makes the 10s view span exactly seconds 90..99.
+  const auto now = 99'999.0;
+  const auto w10 = w.stats(now, 10.0);
+  EXPECT_EQ(w10.count, 50);
+  EXPECT_NEAR(w10.rate_per_sec, 5.0, 1e-9);
+  const auto w60 = w.stats(now, 60.0);
+  EXPECT_EQ(w60.count, 50);
+  EXPECT_NEAR(w60.rate_per_sec, 50.0 / 60.0, 1e-9);
+  // The trailing 1s window covers second 99 only.
+  EXPECT_EQ(w.stats(now, 1.0).count, 5);
+}
+
+TEST(RollingWindow, OldSlotsExpire) {
+  obs::RollingWindow w(60);
+  w.record(1'000.0);
+  EXPECT_EQ(w.stats(2'000.0, 60.0).count, 1);
+  // 10 minutes later the ring has long since recycled that slot.
+  EXPECT_EQ(w.stats(600'000.0, 60.0).count, 0);
+}
+
+TEST(MetricsRegistry, ConcurrentMixedRecordingIsSafe) {
+  // TSan target: counters, gauges, histograms and snapshots from many
+  // threads at once — the daemon's accept/worker/watchdog shape.
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      auto& cached = registry.counter("hammer.cached");
+      for (int i = 0; i < kOps; ++i) {
+        cached.fetch_add(1, std::memory_order_relaxed);
+        registry.add("hammer.uncached");
+        registry.set_gauge("hammer.gauge", t + i * 1e-6);
+        registry.observe("hammer.hist", 0.1 * (i % 50));
+        if (i % 512 == 0) {
+          const auto snap = registry.snapshot();
+          EXPECT_GE(snap.counters.at("hammer.cached"), 1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("hammer.cached"),
+            static_cast<std::int64_t>(kThreads) * kOps);
+  EXPECT_EQ(snap.counters.at("hammer.uncached"),
+            static_cast<std::int64_t>(kThreads) * kOps);
+  EXPECT_EQ(snap.histograms.at("hammer.hist").count,
+            static_cast<std::int64_t>(kThreads) * kOps);
+}
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(obs::prometheus_name("service.jobs_completed"),
+            "sdpm_service_jobs_completed");
+  EXPECT_EQ(obs::prometheus_name("trace-cache.hits"),
+            "sdpm_trace_cache_hits");
+}
+
+TEST(Prometheus, RendersCountersGaugesAndSummaries) {
+  obs::MetricsRegistry registry;
+  registry.add("service.jobs_completed", 42);
+  registry.set_gauge("service.queue_depth", 3);
+  obs::PromSummary stage;
+  stage.name = "service.stage_latency_ms";
+  stage.labels = {{"stage", "eval"}};
+  stage.quantiles.count = 10;
+  stage.quantiles.sum = 25.0;
+  stage.quantiles.p50 = 2.0;
+  stage.quantiles.p99 = 4.0;
+  const std::string text =
+      obs::render_prometheus(registry.snapshot(), {stage});
+  EXPECT_NE(text.find("# TYPE sdpm_service_jobs_completed counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sdpm_service_jobs_completed 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sdpm_service_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "sdpm_service_stage_latency_ms{quantile=\"0.5\",stage=\"eval\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("sdpm_service_stage_latency_ms_count{stage=\"eval\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("sdpm_service_stage_latency_ms_sum{stage=\"eval\"} 25"),
+            std::string::npos);
+}
+
+TEST(StructuredLog, GoldenLineWithPinnedClock) {
+  std::ostringstream os;
+  obs::StructuredLog log(os);
+  log.set_clock_for_testing(1'700'000'000'123LL);
+  log.info("service.listening",
+           Json::object().set("socket", "/tmp/s.sock").set("capacity", 64));
+  EXPECT_EQ(os.str(),
+            "{\"capacity\":64,\"event\":\"service.listening\","
+            "\"level\":\"info\",\"socket\":\"/tmp/s.sock\","
+            "\"ts_ms\":1700000000123}\n");
+}
+
+TEST(StructuredLog, MinLevelFilters) {
+  std::ostringstream os;
+  obs::StructuredLog log(os, obs::LogLevel::kWarn);
+  EXPECT_FALSE(log.enabled(obs::LogLevel::kInfo));
+  log.info("dropped");
+  log.warn("kept");
+  EXPECT_EQ(os.str().find("dropped"), std::string::npos);
+  EXPECT_NE(os.str().find("kept"), std::string::npos);
+}
+
+TEST(StructuredLog, ConcurrentLinesNeverInterleave) {
+  std::ostringstream os;
+  obs::StructuredLog log(os);
+  log.set_clock_for_testing(1);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kLines; ++i) {
+        log.info("tick", Json::object().set("thread", t).set("i", i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::istringstream in(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    const Json parsed = Json::parse(line);  // throws on torn output
+    EXPECT_EQ(parsed.at("event").as_string(), "tick");
+    ++lines;
+  }
+  EXPECT_EQ(lines, kThreads * kLines);
+}
+
+TEST(TraceHex, RoundTripsAndRejectsGarbage) {
+  EXPECT_EQ(service::trace_hex(0xbe5c0de5e55101ull), "00be5c0de5e55101");
+  EXPECT_EQ(service::parse_trace_hex("00be5c0de5e55101"),
+            0xbe5c0de5e55101ull);
+  EXPECT_EQ(service::parse_trace_hex("ff"), 0xffull);
+  EXPECT_EQ(service::parse_trace_hex(""), 0ull);
+  EXPECT_EQ(service::parse_trace_hex("xyz"), 0ull);
+  EXPECT_EQ(service::parse_trace_hex("0123456789abcdef0"), 0ull);  // 17 digits
+}
+
+TEST(ServiceTelemetry, RecordIfNullIsANoOp) {
+  service::ServiceTelemetry::record_if(nullptr, service::Stage::kEval, 1.0);
+  service::ServiceTelemetry t;
+  service::ServiceTelemetry::record_if(&t, service::Stage::kEval, 1.0);
+  EXPECT_EQ(t.stage_quantiles(service::Stage::kEval).count, 1);
+}
+
+TEST(ServiceTelemetry, SnapshotShapeAndReconciliation) {
+  service::ServiceTelemetry t;
+  t.record(service::Stage::kAdmit, 0.05);
+  t.record_admit(/*session=*/7, /*now_ms=*/1'000.0);
+  t.record_admit(7, 1'100.0);
+  t.record_admit(9, 1'200.0);
+  t.record_outcome(7, 12.0, /*ok=*/true, 1'500.0);
+  t.record_outcome(7, 14.0, /*ok=*/false, 1'600.0);
+  t.record_outcome(9, 9.0, /*ok=*/true, 1'700.0);
+
+  const Json doc = t.to_json(/*now_ms=*/2'000.0);
+  const Json& stages = doc.at("stages");
+  EXPECT_EQ(stages.at("admit").at("count").as_int(), 1);
+  EXPECT_EQ(stages.at("e2e").at("count").as_int(), 3);
+  EXPECT_NEAR(stages.at("e2e").at("p50_ms").as_double(), 12.0, 1.5);
+
+  const Json& windows = doc.at("windows");
+  EXPECT_EQ(windows.at("admissions").at("10s").at("count").as_int(), 3);
+  EXPECT_EQ(windows.at("completions").at("10s").at("count").as_int(), 3);
+
+  const Json& clients = doc.at("clients");
+  EXPECT_EQ(clients.at("7").at("submitted").as_int(), 2);
+  EXPECT_EQ(clients.at("7").at("completed").as_int(), 1);
+  EXPECT_EQ(clients.at("7").at("failed").as_int(), 1);
+  EXPECT_EQ(clients.at("9").at("submitted").as_int(), 1);
+
+  // The reconciliation invariant the service test asserts end-to-end:
+  // e2e samples == terminal outcomes across all clients.
+  std::int64_t terminal = 0;
+  for (const auto& [session, agg] : clients.as_object()) {
+    terminal += agg.at("completed").as_int() + agg.at("failed").as_int();
+  }
+  EXPECT_EQ(stages.at("e2e").at("count").as_int(), terminal);
+}
+
+TEST(ServiceTelemetry, ConcurrentStampsReconcile) {
+  service::ServiceTelemetry t;
+  constexpr int kThreads = 6;
+  constexpr int kJobs = 2'000;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kThreads; ++c) {
+    threads.emplace_back([&t, c] {
+      for (int j = 0; j < kJobs; ++j) {
+        const double now = 1'000.0 + j;
+        t.record_admit(static_cast<std::uint64_t>(c), now);
+        t.record(service::Stage::kQueueWait, 0.2);
+        t.record(service::Stage::kEval, 1.5);
+        t.record_outcome(static_cast<std::uint64_t>(c), 2.0, j % 7 != 0,
+                         now + 2.0);
+      }
+    });
+  }
+  for (auto& t2 : threads) t2.join();
+  constexpr std::int64_t kTotal =
+      static_cast<std::int64_t>(kThreads) * kJobs;
+  EXPECT_EQ(t.stage_quantiles(service::Stage::kEndToEnd).count, kTotal);
+  EXPECT_EQ(t.stage_quantiles(service::Stage::kEval).count, kTotal);
+  const Json doc = t.to_json(5'000.0);
+  std::int64_t submitted = 0;
+  std::int64_t terminal = 0;
+  for (const auto& [session, agg] : doc.at("clients").as_object()) {
+    submitted += agg.at("submitted").as_int();
+    terminal += agg.at("completed").as_int() + agg.at("failed").as_int();
+  }
+  EXPECT_EQ(submitted, kTotal);
+  EXPECT_EQ(terminal, kTotal);
+}
+
+TEST(ServiceTelemetry, PrometheusTextCoversEveryStage) {
+  service::ServiceTelemetry t;
+  t.record(service::Stage::kEval, 3.0);
+  const std::string text = t.prometheus_text();
+  for (int s = 0; s < static_cast<int>(service::Stage::kCount); ++s) {
+    const std::string label = std::string("stage=\"") +
+                              service::to_string(static_cast<service::Stage>(s)) +
+                              "\"";
+    EXPECT_NE(text.find(label), std::string::npos) << label;
+  }
+  EXPECT_NE(text.find("sdpm_service_stage_latency_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdpm

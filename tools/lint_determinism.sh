@@ -14,8 +14,11 @@ status=0
 # as wall time on purpose (bench output, sweep progress, the bench suite's
 # throughput/calibration timers, CLI timing, the facade's
 # JobResult.wall_ms, the daemon's span timestamps/uptime, and the
-# journal's record timestamps — forensic metadata that replay ignores).
-WALL_ALLOW='src/sim/simulator\.cpp|src/experiments/sweep\.cpp|src/experiments/bench_baseline\.cpp|src/experiments/bench_suite\.cpp|src/tools/sdpm_cli\.cpp|src/api/session\.cpp|src/service/daemon\.cpp|src/service/journal\.cpp'
+# journal's record timestamps — forensic metadata that replay ignores —
+# plus the telemetry self-timings: the journal/store latency stages and
+# the structured log's operator-facing epoch timestamps, all reported as
+# wall time on purpose and never feeding a deterministic emitter).
+WALL_ALLOW='src/sim/simulator\.cpp|src/experiments/sweep\.cpp|src/experiments/bench_baseline\.cpp|src/experiments/bench_suite\.cpp|src/tools/sdpm_cli\.cpp|src/api/session\.cpp|src/service/daemon\.cpp|src/service/journal\.cpp|src/service/store\.cpp|src/obs/log\.cpp'
 wall=$(grep -rn -E 'steady_clock|system_clock|high_resolution_clock|gettimeofday|time\(NULL\)|time\(nullptr\)' src/ \
   | grep -Ev "^($WALL_ALLOW):" || true)
 if [ -n "$wall" ]; then
