@@ -1,0 +1,42 @@
+// Certified energy/delay bounds by abstract interpretation of the trace.
+//
+// The certifier replays the *same* timestamped item stream the simulator
+// consumes (requests merged with power events, power events winning ties)
+// over an abstract per-disk state: the set of RPM levels the disk may be
+// settled at, whether standby is possible, and a list of in-flight
+// transition windows with sound settle-by times on the compute timeline.
+// From that it derives, per disk,
+//
+//   E_lo <= measured closed-loop energy <= E_hi
+//
+// for the fault-free ProactivePolicy replay of the trace, plus execution
+// time bounds, may-access / guaranteed-idle interval sets, and two proved
+// safety properties ("no demand spin-up possible", "no wasted
+// pre-activation").  The derivation and its soundness argument are
+// documented in MODEL.md ("Certified energy bounds") and DESIGN.md §16.
+#pragma once
+
+#include "analysis/certificate.h"
+#include "core/schedule.h"
+#include "disk/parameters.h"
+#include "layout/layout_table.h"
+#include "trace/generator.h"
+#include "trace/request.h"
+
+namespace sdpm::analysis {
+
+/// Certify a materialized trace against the disk model.  The bounds hold
+/// for sim::simulate of this trace under policy::ProactivePolicy in
+/// closed-loop mode with no fault injection.
+ScheduleCertificate certify_trace(const trace::Trace& trace,
+                                  const disk::DiskParameters& params);
+
+/// Convenience overload: generate the trace a schedule produces (under
+/// `options`, which carries the timing noise of the run being certified)
+/// and certify it.
+ScheduleCertificate certify_schedule(const core::ScheduleResult& result,
+                                     const layout::LayoutTable& layout,
+                                     const disk::DiskParameters& params,
+                                     const trace::GeneratorOptions& options);
+
+}  // namespace sdpm::analysis

@@ -1,0 +1,59 @@
+// Certified schedule facts derived by abstract interpretation (bounds.h).
+//
+// A ScheduleCertificate is the analyzer's *proof object* for one
+// (schedule, scheme) pair: per-disk may-access / guaranteed-idle interval
+// sets over the compute timeline, sound energy bounds [E_lo, E_hi] that
+// must bracket the simulator's measured energy, execution-time bounds,
+// and two safety properties proved where they hold — "no demand spin-up
+// possible" and "no wasted pre-activation".  Plain data; the derivation
+// lives in analysis/bounds.cpp and the math in MODEL.md.
+#pragma once
+
+#include <vector>
+
+#include "util/units.h"
+
+namespace sdpm::analysis {
+
+/// One closed time interval [lo_ms, hi_ms] on the compute timeline.
+struct TimeInterval {
+  TimeMs lo_ms = 0;
+  TimeMs hi_ms = 0;
+
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+/// Certified facts about one disk.
+struct DiskCertificate {
+  int disk = 0;
+  Joules energy_lo_j = 0;  ///< no execution can consume less
+  Joules energy_hi_j = 0;  ///< no execution can consume more
+  /// Compute-timeline intervals during which the disk may be serving a
+  /// request (arrival through worst-case completion); merged + sorted.
+  std::vector<TimeInterval> may_access_ms;
+  /// Complement of may_access within [0, compute_total]: intervals where
+  /// the disk is guaranteed not to be accessed.
+  std::vector<TimeInterval> guaranteed_idle_ms;
+  /// Proved: no request can ever find this disk in (or heading to)
+  /// standby, so no demand spin-up is possible.
+  bool no_demand_spinup_proved = false;
+  /// Proved: every restoring directive (spin_up / set_RPM back to a
+  /// faster level) is followed by an access before the next degrade.
+  bool no_wasted_preactivation_proved = false;
+};
+
+/// Whole-schedule certificate: per-disk bounds plus program-level totals.
+struct ScheduleCertificate {
+  Joules energy_lo_j = 0;   ///< sum of per-disk lower bounds
+  Joules energy_hi_j = 0;   ///< sum of per-disk upper bounds
+  TimeMs exec_lo_ms = 0;    ///< execution time lower bound
+  TimeMs exec_hi_ms = 0;    ///< execution time upper bound
+  TimeMs compute_total_ms = 0;
+  int disks = 0;
+  std::int64_t requests = 0;
+  std::vector<DiskCertificate> per_disk;
+  bool no_demand_spinup_proved = false;        ///< conjunction over disks
+  bool no_wasted_preactivation_proved = false; ///< conjunction over disks
+};
+
+}  // namespace sdpm::analysis

@@ -41,8 +41,8 @@ std::string json_escape(const std::string& s) {
 }
 
 auto sort_key(const Diagnostic& d) {
-  return std::tuple(d.loc.nest, d.loc.iteration, d.loc.disk, d.loc.directive,
-                    d.rule, d.message);
+  return std::tuple(d.loc.disk, d.loc.nest, d.loc.iteration, d.rule,
+                    d.loc.directive, d.message);
 }
 
 }  // namespace
@@ -100,6 +100,14 @@ int AnalysisReport::count(Severity severity) const {
   return n;
 }
 
+int AnalysisReport::fixit_count() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    n += static_cast<int>(d.fixits.size());
+  }
+  return n;
+}
+
 bool AnalysisReport::has(std::string_view rule) const {
   for (const Diagnostic& d : diagnostics) {
     if (d.rule == rule) return true;
@@ -148,6 +156,19 @@ std::string render_text(const AnalysisReport& report) {
     out += " [" + d.pass + "]";
     out += location_text(d.loc);
     out += ": " + d.message + "\n";
+    for (const FixIt& f : d.fixits) {
+      out += "  fix-it " + f.id + ": " + f.title + "\n";
+    }
+  }
+  if (report.certificate.has_value()) {
+    const ScheduleCertificate& c = *report.certificate;
+    out += str_printf(
+        "certificate: energy in [%.3f, %.3f] J, execution in "
+        "[%.3f, %.3f] ms; no-demand-spin-up %s; "
+        "no-wasted-preactivation %s\n",
+        c.energy_lo_j, c.energy_hi_j, c.exec_lo_ms, c.exec_hi_ms,
+        c.no_demand_spinup_proved ? "proved" : "unproven",
+        c.no_wasted_preactivation_proved ? "proved" : "unproven");
   }
   out += str_printf(
       "analyze: %d error(s), %d warning(s), %d note(s); %lld directive(s) "
@@ -157,19 +178,111 @@ std::string render_text(const AnalysisReport& report) {
   return out;
 }
 
+namespace {
+
+std::string point_json(const ir::IterationPoint& point) {
+  return str_printf("\"nest\":%d,\"iteration\":%lld", point.nest_index,
+                    static_cast<long long>(point.flat_iteration));
+}
+
+std::string edit_json(const core::ScheduleEdit& e) {
+  std::string out = "{\"kind\":\"";
+  out += core::to_string(e.kind);
+  out += "\"";
+  switch (e.kind) {
+    case core::ScheduleEdit::Kind::kMoveDirective:
+      out += str_printf(",\"directive\":%d,", e.directive_index);
+      out += point_json(e.point);
+      break;
+    case core::ScheduleEdit::Kind::kRemoveDirective:
+      out += str_printf(",\"directive\":%d", e.directive_index);
+      break;
+    case core::ScheduleEdit::Kind::kInsertDirective:
+      out += ",";
+      out += point_json(e.point);
+      out += str_printf(",\"directive_kind\":\"%s\",\"disk\":%d,"
+                        "\"rpm_level\":%d",
+                        ir::to_string(e.directive.kind), e.directive.disk,
+                        e.directive.rpm_level);
+      break;
+    case core::ScheduleEdit::Kind::kRetargetLevel:
+      out += str_printf(",\"directive\":%d,\"level\":%d", e.directive_index,
+                        e.level);
+      break;
+    case core::ScheduleEdit::Kind::kSetPlanLevel:
+      out += str_printf(",\"plan\":%d,\"level\":%d", e.plan_index, e.level);
+      break;
+    case core::ScheduleEdit::Kind::kSetPlanActed:
+      out += str_printf(",\"plan\":%d,\"acted\":%s", e.plan_index,
+                        e.acted ? "true" : "false");
+      break;
+    case core::ScheduleEdit::Kind::kRestripeArray:
+      out += str_printf(",\"array\":%d,\"starting_disk\":%d,"
+                        "\"stripe_factor\":%d,\"stripe_size\":%lld",
+                        static_cast<int>(e.array), e.striping.starting_disk,
+                        e.striping.stripe_factor,
+                        static_cast<long long>(e.striping.stripe_size));
+      break;
+  }
+  out += "}";
+  return out;
+}
+
+std::string certificate_json(const ScheduleCertificate& c) {
+  std::string out = str_printf(
+      "{\"energy_lo_j\":%.6f,\"energy_hi_j\":%.6f,\"exec_lo_ms\":%.6f,"
+      "\"exec_hi_ms\":%.6f,\"compute_total_ms\":%.6f,\"disks\":%d,"
+      "\"requests\":%lld,\"no_demand_spinup\":%s,"
+      "\"no_wasted_preactivation\":%s,\"per_disk\":[",
+      c.energy_lo_j, c.energy_hi_j, c.exec_lo_ms, c.exec_hi_ms,
+      c.compute_total_ms, c.disks, static_cast<long long>(c.requests),
+      c.no_demand_spinup_proved ? "true" : "false",
+      c.no_wasted_preactivation_proved ? "true" : "false");
+  for (std::size_t i = 0; i < c.per_disk.size(); ++i) {
+    const DiskCertificate& d = c.per_disk[i];
+    if (i > 0) out += ",";
+    TimeMs idle_ms = 0;
+    for (const TimeInterval& iv : d.guaranteed_idle_ms) {
+      idle_ms += iv.hi_ms - iv.lo_ms;
+    }
+    out += str_printf(
+        "{\"disk\":%d,\"energy_lo_j\":%.6f,\"energy_hi_j\":%.6f,"
+        "\"may_access_intervals\":%zu,\"guaranteed_idle_intervals\":%zu,"
+        "\"guaranteed_idle_ms\":%.6f,\"no_demand_spinup\":%s,"
+        "\"no_wasted_preactivation\":%s}",
+        d.disk, d.energy_lo_j, d.energy_hi_j, d.may_access_ms.size(),
+        d.guaranteed_idle_ms.size(), idle_ms,
+        d.no_demand_spinup_proved ? "true" : "false",
+        d.no_wasted_preactivation_proved ? "true" : "false");
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
 std::string render_json(const AnalysisReport& report) {
-  std::string out = "{\"version\":1,\"tool\":\"sdpm-analyze\",";
+  std::string out = "{\"version\":2,\"tool\":\"sdpm-analyze\",";
   out += str_printf(
       "\"summary\":{\"directives\":%lld,\"errors\":%d,\"warnings\":%d,"
-      "\"notes\":%d,\"suppressed\":%d},",
+      "\"notes\":%d,\"suppressed\":%d,\"fixits\":%d},",
       static_cast<long long>(report.directives_checked), report.errors(),
-      report.warnings(), report.notes(), report.suppressed);
+      report.warnings(), report.notes(), report.suppressed,
+      report.fixit_count());
+  // Passes render sorted so the byte stream is invariant under
+  // registration order (the report keeps the run order).
+  std::vector<std::string> passes = report.passes_run;
+  std::sort(passes.begin(), passes.end());
   out += "\"passes\":[";
-  for (std::size_t i = 0; i < report.passes_run.size(); ++i) {
+  for (std::size_t i = 0; i < passes.size(); ++i) {
     if (i > 0) out += ",";
-    out += "\"" + json_escape(report.passes_run[i]) + "\"";
+    out += "\"" + json_escape(passes[i]) + "\"";
   }
-  out += "],\"diagnostics\":[";
+  out += "],";
+  if (report.certificate.has_value()) {
+    out += "\"certificate\":" + certificate_json(*report.certificate) + ",";
+  }
+  out += "\"diagnostics\":[";
   for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
     const Diagnostic& d = report.diagnostics[i];
     if (i > 0) out += ",";
@@ -181,7 +294,24 @@ std::string render_json(const AnalysisReport& report) {
         "\"disk\":%d,\"nest\":%d,\"iteration\":%lld,\"directive\":%d,",
         d.loc.disk, d.loc.nest, static_cast<long long>(d.loc.iteration),
         d.loc.directive);
-    out += "\"message\":\"" + json_escape(d.message) + "\"}";
+    out += "\"message\":\"" + json_escape(d.message) + "\"";
+    if (!d.fixits.empty()) {
+      out += ",\"fixits\":[";
+      for (std::size_t fi = 0; fi < d.fixits.size(); ++fi) {
+        const FixIt& f = d.fixits[fi];
+        if (fi > 0) out += ",";
+        out += "{\"id\":\"" + json_escape(f.id) + "\",";
+        out += "\"title\":\"" + json_escape(f.title) + "\",";
+        out += "\"edits\":[";
+        for (std::size_t ei = 0; ei < f.edits.size(); ++ei) {
+          if (ei > 0) out += ",";
+          out += edit_json(f.edits[ei]);
+        }
+        out += "]}";
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += report.diagnostics.empty() ? "]}" : "\n]}";
   out += "\n";

@@ -15,6 +15,9 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/certificate.h"
+#include "analysis/fixit.h"
+
 namespace sdpm::analysis {
 
 enum class Severity { kNote, kWarning, kError };
@@ -42,6 +45,9 @@ struct Diagnostic {
   DiagLocation loc;
   std::string message;   ///< deterministic, human-readable
   std::string pass;      ///< name of the pass that produced it
+  /// Machine-applicable repairs (SDPM-F### catalog); empty when the pass
+  /// has no mechanical remedy for this finding.
+  std::vector<FixIt> fixits;
 
   /// Stable identity for baseline suppression: rule + location (the
   /// directive index is excluded so unrelated insertions don't invalidate
@@ -58,11 +64,18 @@ struct AnalysisReport {
   std::vector<std::string> passes_run;
   std::int64_t directives_checked = 0;
   int suppressed = 0;  ///< findings removed by the baseline
+  /// Certified energy/delay bounds (analysis/bounds.h); empty when the
+  /// caller did not run the certifier (e.g. the access model rejected the
+  /// program).
+  std::optional<ScheduleCertificate> certificate;
 
   int count(Severity severity) const;
   int errors() const { return count(Severity::kError); }
   int warnings() const { return count(Severity::kWarning); }
   int notes() const { return count(Severity::kNote); }
+
+  /// Total fix-its attached across all diagnostics.
+  int fixit_count() const;
 
   /// True when any diagnostic carries `rule`.
   bool has(std::string_view rule) const;
@@ -70,8 +83,9 @@ struct AnalysisReport {
   /// Highest severity present; empty when the report is clean.
   std::optional<Severity> worst() const;
 
-  /// Sort diagnostics into the canonical deterministic order (program
-  /// position, then disk, then rule).  Renderers expect sorted input.
+  /// Sort diagnostics into the canonical deterministic order: disk, then
+  /// program position (nest, iteration), then rule id — stable across
+  /// pass-registration order.  Renderers expect sorted input.
   void sort();
 };
 

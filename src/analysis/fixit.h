@@ -1,0 +1,31 @@
+// Fix-its: machine-applicable repairs attached to diagnostics.
+//
+// Each fix-it carries a stable catalog id ("SDPM-F001"), a one-line human
+// title, and the batch of schedule edits (core/schedule_edit.h) that
+// implements the repair.  `sdpm_cli analyze --fix` applies fix-its to a
+// fixed point (analysis/repair.h); the JSON renderer serializes them so
+// external tooling can apply the same edits.
+//
+// Catalog:
+//   SDPM-F001  hoist a late pre-activation to the latest safe point
+//   SDPM-F002  drop a sub-break-even spin-down/spin-up pair
+//   SDPM-F003  remove a no-op set_RPM directive
+//   SDPM-F004  retarget a misfit set_RPM to the energy-optimal level
+//   SDPM-F005  insert a missing pre-activation before a standby access
+//   SDPM-F006  restripe overlapping fission groups onto disjoint disks
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule_edit.h"
+
+namespace sdpm::analysis {
+
+struct FixIt {
+  std::string id;     ///< stable catalog id, e.g. "SDPM-F001"
+  std::string title;  ///< deterministic, human-readable summary
+  std::vector<core::ScheduleEdit> edits;
+};
+
+}  // namespace sdpm::analysis

@@ -1,0 +1,54 @@
+#include "analysis/interval_domain.h"
+
+#include <algorithm>
+
+namespace sdpm::analysis {
+
+void TimeIntervalSet::insert(TimeMs lo, TimeMs hi) {
+  if (!(hi >= lo)) return;  // empty or NaN span
+  TimeInterval iv{lo, hi};
+  // Find the first interval that could touch [lo, hi].
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const TimeInterval& a, const TimeInterval& b) {
+        return a.hi_ms < b.lo_ms;
+      });
+  auto last = first;
+  while (last != intervals_.end() && last->lo_ms <= iv.hi_ms) {
+    iv.lo_ms = std::min(iv.lo_ms, last->lo_ms);
+    iv.hi_ms = std::max(iv.hi_ms, last->hi_ms);
+    ++last;
+  }
+  first = intervals_.erase(first, last);
+  intervals_.insert(first, iv);
+}
+
+TimeMs TimeIntervalSet::total_length() const {
+  TimeMs sum = 0;
+  for (const TimeInterval& iv : intervals_) sum += iv.hi_ms - iv.lo_ms;
+  return sum;
+}
+
+bool TimeIntervalSet::contains(TimeMs t) const {
+  auto it = std::lower_bound(intervals_.begin(), intervals_.end(), t,
+                             [](const TimeInterval& iv, TimeMs x) {
+                               return iv.hi_ms < x;
+                             });
+  return it != intervals_.end() && it->lo_ms <= t;
+}
+
+TimeIntervalSet TimeIntervalSet::complement_within(TimeMs lo,
+                                                   TimeMs hi) const {
+  TimeIntervalSet out;
+  TimeMs cursor = lo;
+  for (const TimeInterval& iv : intervals_) {
+    if (iv.hi_ms < lo) continue;
+    if (iv.lo_ms > hi) break;
+    if (iv.lo_ms > cursor) out.insert(cursor, std::min(iv.lo_ms, hi));
+    cursor = std::max(cursor, iv.hi_ms);
+  }
+  if (cursor < hi) out.insert(cursor, hi);
+  return out;
+}
+
+}  // namespace sdpm::analysis

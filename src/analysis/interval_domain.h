@@ -1,0 +1,45 @@
+// Time-interval abstract domain for the schedule certifier.
+//
+// The certifier reasons about *when* each disk may be busy on the compute
+// timeline, which is real-valued (milliseconds), so it needs an interval
+// set over doubles — the int64 util::IntervalSet covers iteration/block
+// coordinates.  TimeIntervalSet keeps a canonical sorted, merged list of
+// closed intervals; insertion order never changes the result, which is
+// what makes the certificate byte-deterministic.
+#pragma once
+
+#include <vector>
+
+#include "analysis/certificate.h"
+#include "util/units.h"
+
+namespace sdpm::analysis {
+
+/// Canonical set of closed time intervals [lo, hi], sorted and merged
+/// (touching intervals coalesce).  Empty-or-negative spans are dropped.
+class TimeIntervalSet {
+ public:
+  TimeIntervalSet() = default;
+
+  /// Insert [lo, hi]; overlapping or touching intervals are merged.
+  void insert(TimeMs lo, TimeMs hi);
+
+  bool empty() const { return intervals_.empty(); }
+  std::size_t size() const { return intervals_.size(); }
+
+  /// Sum of interval lengths.
+  TimeMs total_length() const;
+
+  /// True when `t` lies inside some interval (inclusive bounds).
+  bool contains(TimeMs t) const;
+
+  /// The gaps: complement of this set clipped to [lo, hi].
+  TimeIntervalSet complement_within(TimeMs lo, TimeMs hi) const;
+
+  const std::vector<TimeInterval>& intervals() const { return intervals_; }
+
+ private:
+  std::vector<TimeInterval> intervals_;  // sorted, disjoint, merged
+};
+
+}  // namespace sdpm::analysis

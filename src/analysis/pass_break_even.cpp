@@ -9,6 +9,10 @@
 // The remaining gap is derived from the plan's *estimated* length scaled
 // by the time fraction after the directive, so the check replicates the
 // scheduler's decision basis rather than second-guessing its estimator.
+//
+// E030 carries an SDPM-F002 fix-it: when the whole gap clears break-even
+// the spin_down is hoisted to the gap's first iteration; otherwise the
+// spin_down and its paired wake-up are removed and the plan un-acted.
 #include <cstdint>
 #include <vector>
 
@@ -45,12 +49,14 @@ class BreakEvenPass final : public Pass {
           if (d.kind != ir::PowerDirective::Kind::kSpinDown) continue;
           const TimeMs remaining = remaining_estimate(ctx, *plan, ref.global);
           if (remaining + 1e-9 < break_even) {
-            out.push_back(make_diagnostic(
+            Diagnostic diag = make_diagnostic(
                 "SDPM-E030", name(), ctx.loc_at(ref.global, disk, ref.index),
                 str_printf("spin_down on disk %d leaves %s of the gap, "
                            "below the %s break-even time",
                            disk, fmt_time_ms(remaining).c_str(),
-                           fmt_time_ms(break_even).c_str())));
+                           fmt_time_ms(break_even).c_str()));
+            attach_f002(ctx, *plan, ref, disk, break_even, diag);
+            out.push_back(std::move(diag));
           }
         }
 
@@ -84,6 +90,57 @@ class BreakEvenPass final : public Pass {
   }
 
  private:
+  /// SDPM-F002: repair a sub-break-even spin_down.  If the whole gap is
+  /// profitable the call is merely late — hoist it to the gap begin.
+  /// Otherwise remove it together with its paired wake-up and mark the
+  /// plan un-acted so later passes stop expecting directives in the gap.
+  static void attach_f002(AnalysisContext& ctx, const core::GapPlan& plan,
+                          const AnalysisContext::DirRef& ref, int disk,
+                          TimeMs break_even, Diagnostic& diag) {
+    std::vector<core::ScheduleEdit> edits;
+    if (plan.estimated_ms >= break_even && ref.global > plan.begin_iter) {
+      core::ScheduleEdit move;
+      move.kind = core::ScheduleEdit::Kind::kMoveDirective;
+      move.directive_index = ref.index;
+      move.point = ctx.space().point_of(plan.begin_iter);
+      edits.push_back(move);
+      diag.fixits.push_back(FixIt{
+          "SDPM-F002",
+          "hoist the spin_down to the start of the gap",
+          std::move(edits)});
+      return;
+    }
+    core::ScheduleEdit remove_down;
+    remove_down.kind = core::ScheduleEdit::Kind::kRemoveDirective;
+    remove_down.directive_index = ref.index;
+    edits.push_back(remove_down);
+    // The paired wake-up: the first spin_up in the same gap after the
+    // spin_down (the scheduler and the mutation engine both emit the
+    // pair in that shape).
+    const ir::Program& program = ctx.program();
+    for (const auto& other : ctx.directives_of(disk)) {
+      if (other.global < ref.global || other.global > plan.end_iter) continue;
+      if (other.index == ref.index) continue;
+      const ir::PowerDirective& od =
+          program.directives[static_cast<std::size_t>(other.index)].directive;
+      if (od.kind != ir::PowerDirective::Kind::kSpinUp) continue;
+      core::ScheduleEdit remove_up;
+      remove_up.kind = core::ScheduleEdit::Kind::kRemoveDirective;
+      remove_up.directive_index = other.index;
+      edits.push_back(remove_up);
+      break;
+    }
+    core::ScheduleEdit unact;
+    unact.kind = core::ScheduleEdit::Kind::kSetPlanActed;
+    unact.plan_index = static_cast<int>(&plan - ctx.result().plans.data());
+    unact.acted = false;
+    edits.push_back(unact);
+    diag.fixits.push_back(FixIt{
+        "SDPM-F002",
+        "remove the unprofitable spin_down/spin_up pair",
+        std::move(edits)});
+  }
+
   /// Estimated idle time left after a directive at `g`: the plan estimate
   /// scaled by the timeline fraction of the gap after `g`.
   static TimeMs remaining_estimate(const AnalysisContext& ctx,

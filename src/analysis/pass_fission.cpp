@@ -8,6 +8,10 @@
 //
 // Only checked for Transformation::kLFDL — layout-oblivious fission keeps
 // every array on the full disk set by design, so overlap is expected there.
+//
+// The first E060 carries an SDPM-F006 fix-it that restripes every group
+// onto contiguous, mutually disjoint disk ranges packed in group order
+// (omitted when the groups need more disks than the subsystem has).
 #include <algorithm>
 #include <set>
 #include <vector>
@@ -42,6 +46,7 @@ class FissionPass final : public Pass {
       disk_sets.push_back(std::move(disks));
     }
 
+    bool fixit_attached = false;
     for (std::size_t i = 0; i < disk_sets.size(); ++i) {
       for (std::size_t j = i + 1; j < disk_sets.size(); ++j) {
         std::vector<int> shared;
@@ -49,14 +54,55 @@ class FissionPass final : public Pass {
                               disk_sets[j].begin(), disk_sets[j].end(),
                               std::back_inserter(shared));
         if (shared.empty()) continue;
-        out.push_back(make_diagnostic(
+        Diagnostic diag = make_diagnostic(
             "SDPM-E060", name(), DiagLocation{},
             str_printf("array groups %zu and %zu of the layout-aware "
                        "fission share %zu disk(s), first disk %d: their "
                        "loops can never idle each other's disks",
-                       i, j, shared.size(), shared.front())));
+                       i, j, shared.size(), shared.front()));
+        if (!fixit_attached) {
+          std::vector<core::ScheduleEdit> edits = restripe_edits(ctx, groups);
+          if (!edits.empty()) {
+            diag.fixits.push_back(FixIt{
+                "SDPM-F006",
+                "restripe the array groups onto disjoint disk ranges",
+                std::move(edits)});
+            fixit_attached = true;
+          }
+        }
+        out.push_back(std::move(diag));
       }
     }
+  }
+
+ private:
+  /// SDPM-F006 edit list: pack the groups onto contiguous disjoint disk
+  /// ranges in group order, keeping each array's stripe size and each
+  /// group's stripe factor.  Empty when the subsystem is too small to
+  /// separate the groups.
+  static std::vector<core::ScheduleEdit> restripe_edits(
+      AnalysisContext& ctx,
+      const std::vector<std::vector<ir::ArrayId>>& groups) {
+    std::vector<core::ScheduleEdit> edits;
+    int start = 0;
+    for (const std::vector<ir::ArrayId>& group : groups) {
+      int factor = 1;
+      for (const ir::ArrayId array : group) {
+        factor = std::max(
+            factor, ctx.layout().layout_of(array).striping().stripe_factor);
+      }
+      if (start + factor > ctx.total_disks()) return {};
+      for (const ir::ArrayId array : group) {
+        core::ScheduleEdit edit;
+        edit.kind = core::ScheduleEdit::Kind::kRestripeArray;
+        edit.array = array;
+        edit.striping = layout::Striping{
+            start, factor, ctx.layout().layout_of(array).striping().stripe_size};
+        edits.push_back(edit);
+      }
+      start += factor;
+    }
+    return edits;
   }
 };
 

@@ -13,6 +13,10 @@
 // smallest block size among those arrays as the request unit — the most
 // demanding stream.  This mirrors the generator's access model closely
 // enough for a static keep-up bound.
+//
+// W051 carries an SDPM-F004 fix-it that retargets the gap's degrade
+// directive (and the plan) to the oracle-optimal level for the estimated
+// idle length.
 #include <algorithm>
 #include <cstdint>
 #include <optional>
@@ -41,12 +45,14 @@ class MisfitPass final : public Pass {
         if (!plan->acted || plan->level < 0 || plan->level >= top) continue;
         if (!policy::drpm_level_feasible(plan->estimated_ms, plan->level,
                                          params)) {
-          out.push_back(make_diagnostic(
+          Diagnostic diag = make_diagnostic(
               "SDPM-W051", name(), ctx.loc_at(plan->begin_iter, disk),
               str_printf("RPM level %d round trip does not fit the "
                          "estimated %s idle period of disk %d",
                          plan->level,
-                         fmt_time_ms(plan->estimated_ms).c_str(), disk)));
+                         fmt_time_ms(plan->estimated_ms).c_str(), disk));
+          attach_f004(ctx, *plan, disk, diag);
+          out.push_back(std::move(diag));
         }
       }
       walk_active_starts(ctx, disk, out);
@@ -54,6 +60,48 @@ class MisfitPass final : public Pass {
   }
 
  private:
+  /// SDPM-F004: retarget the plan's degrade directive to the level the
+  /// oracle deems optimal for the estimated gap length, and record the
+  /// new level on the plan.  When the optimal level is the top level the
+  /// retargeted call becomes a no-op and the redundancy pass's SDPM-F003
+  /// removes it on the next repair round.
+  static void attach_f004(AnalysisContext& ctx, const core::GapPlan& plan,
+                          int disk, Diagnostic& diag) {
+    const int best =
+        policy::optimal_rpm_level(plan.estimated_ms, ctx.params());
+    if (best == plan.level) return;
+    const ir::Program& program = ctx.program();
+    int degrade_index = -1;
+    for (const auto& ref : ctx.directives_of(disk)) {
+      if (ref.global < plan.begin_iter || ref.global > plan.end_iter) {
+        continue;
+      }
+      const ir::PowerDirective& d =
+          program.directives[static_cast<std::size_t>(ref.index)].directive;
+      if (d.kind == ir::PowerDirective::Kind::kSetRpm &&
+          d.rpm_level == plan.level) {
+        degrade_index = ref.index;
+        break;
+      }
+    }
+    if (degrade_index < 0) return;
+    std::vector<core::ScheduleEdit> edits;
+    core::ScheduleEdit retarget;
+    retarget.kind = core::ScheduleEdit::Kind::kRetargetLevel;
+    retarget.directive_index = degrade_index;
+    retarget.level = best;
+    edits.push_back(retarget);
+    core::ScheduleEdit set_level;
+    set_level.kind = core::ScheduleEdit::Kind::kSetPlanLevel;
+    set_level.plan_index = static_cast<int>(&plan - ctx.result().plans.data());
+    set_level.level = best;
+    edits.push_back(set_level);
+    diag.fixits.push_back(FixIt{
+        "SDPM-F004",
+        str_printf("retarget the degrade to RPM level %d", best),
+        std::move(edits)});
+  }
+
   /// Track the level each active interval starts at, honouring in-flight
   /// restores (a restore whose transition completes by the access leaves
   /// the disk at its target level).

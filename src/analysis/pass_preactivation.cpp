@@ -12,6 +12,11 @@
 //              or never used before the program ends (wasted call)
 //   SDPM-N043  the pre-activation completes earlier than one whole
 //              transition before the access (overly conservative lead)
+//
+// Late pre-activations (E040) carry an SDPM-F001 fix-it that hoists the
+// directive to the latest iteration whose wake-up still completes by the
+// access; predicted demand spin-ups (W041) carry an SDPM-F005 fix-it that
+// inserts the missing wake-up at that same latest-feasible point.
 #include <algorithm>
 #include <cstdint>
 #include <optional>
@@ -61,19 +66,63 @@ class PreactivationPass final : public Pass {
     std::optional<Pending> pending;
     std::size_t next_active = 0;
 
+    // Latest global iteration in [`lo`, `a`] whose power call (issued at
+    // at(g) + Tm) still completes a `duration`-long transition by at(a);
+    // -1 when even `lo` is too late.  at() is monotone, so binary search.
+    auto latest_feasible = [&](std::int64_t lo, std::int64_t a,
+                               TimeMs duration) -> std::int64_t {
+      const TimeMs deadline = ctx.at(a) + 1e-9;
+      std::int64_t best = -1;
+      std::int64_t lo_g = lo;
+      std::int64_t hi_g = a;
+      while (lo_g <= hi_g) {
+        const std::int64_t mid = lo_g + (hi_g - lo_g) / 2;
+        if (ctx.at(mid) + ctx.tm() + duration <= deadline) {
+          best = mid;
+          lo_g = mid + 1;
+        } else {
+          hi_g = mid - 1;
+        }
+      }
+      return best;
+    };
+
+    // First iteration of the gap plan ending at access `a` (hoists must
+    // stay inside the planned idle period).
+    auto gap_begin = [&](std::int64_t a) -> std::int64_t {
+      for (const core::GapPlan* plan : ctx.plans_of(disk)) {
+        if (plan->end_iter == a) return plan->begin_iter;
+      }
+      return 0;
+    };
+
     auto handle_access = [&](std::int64_t a) {
       const TimeMs t0 = ctx.at(a);
       if (pending.has_value()) {
         const TimeMs slack = ctx.iter_ms(a) + 1e-6;
         if (pending->ready > t0 + slack) {
-          out.push_back(make_diagnostic(
+          Diagnostic diag = make_diagnostic(
               "SDPM-E040", name(),
               ctx.loc_at(pending->global, disk, pending->directive),
               str_printf("pre-activation of disk %d completes %s after "
                          "its next access (global iteration %lld)",
                          disk,
                          fmt_time_ms(pending->ready - t0).c_str(),
-                         static_cast<long long>(a))));
+                         static_cast<long long>(a)));
+          const std::int64_t target =
+              latest_feasible(gap_begin(a), a, pending->duration);
+          if (target >= 0 && target != pending->global) {
+            core::ScheduleEdit edit;
+            edit.kind = core::ScheduleEdit::Kind::kMoveDirective;
+            edit.directive_index = pending->directive;
+            edit.point = ctx.space().point_of(target);
+            diag.fixits.push_back(FixIt{
+                "SDPM-F001",
+                "hoist the pre-activation so the wake-up completes "
+                "before the access",
+                {edit}});
+          }
+          out.push_back(std::move(diag));
         } else if (t0 - pending->ready > pending->duration) {
           out.push_back(make_diagnostic(
               "SDPM-N043", name(),
@@ -87,11 +136,25 @@ class PreactivationPass final : public Pass {
         pending.reset();
         standby = false;
       } else if (standby) {
-        out.push_back(make_diagnostic(
+        Diagnostic diag = make_diagnostic(
             "SDPM-W041", name(), ctx.loc_at(a, disk),
             str_printf("disk %d is in standby at its next access (global "
                        "iteration %lld): demand spin-up predicted",
-                       disk, static_cast<long long>(a))));
+                       disk, static_cast<long long>(a)));
+        const std::int64_t target =
+            latest_feasible(gap_begin(a), a, params.tpm.spin_up_time);
+        if (target >= 0) {
+          core::ScheduleEdit edit;
+          edit.kind = core::ScheduleEdit::Kind::kInsertDirective;
+          edit.point = ctx.space().point_of(target);
+          edit.directive = ir::PowerDirective{
+              ir::PowerDirective::Kind::kSpinUp, disk, 0};
+          diag.fixits.push_back(FixIt{
+              "SDPM-F005",
+              "insert the missing wake-up before the access",
+              {edit}});
+        }
+        out.push_back(std::move(diag));
         standby = false;
         level = top;
       }

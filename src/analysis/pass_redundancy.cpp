@@ -7,6 +7,9 @@
 //              first call was wasted
 //   SDPM-E022  TPM (spin_down/spin_up) and DRPM (set_RPM) directives mixed
 //              within one idle period of one disk
+//
+// No-op set_RPM calls (W020) carry an SDPM-F003 fix-it that simply
+// removes the directive.
 #include <cstdint>
 #include <vector>
 
@@ -73,12 +76,18 @@ class RedundancyPass final : public Pass {
               const int target = d.rpm_level;
               saw_drpm = true;
               if (target == level && !standby) {
-                out.push_back(make_diagnostic(
+                Diagnostic diag = make_diagnostic(
                     "SDPM-W020", name(),
                     ctx.loc_at(ref.global, disk, ref.index),
                     str_printf("set_RPM(%d) on disk %d is a no-op: the "
                                "disk is already at level %d",
-                               target, disk, level)));
+                               target, disk, level));
+                core::ScheduleEdit edit;
+                edit.kind = core::ScheduleEdit::Kind::kRemoveDirective;
+                edit.directive_index = ref.index;
+                diag.fixits.push_back(FixIt{
+                    "SDPM-F003", "remove the no-op set_RPM call", {edit}});
+                out.push_back(std::move(diag));
               }
               if (target < level) {
                 if (pending_degrade >= 0) {

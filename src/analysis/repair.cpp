@@ -1,0 +1,104 @@
+#include "analysis/repair.h"
+
+#include <set>
+#include <utility>
+
+#include "core/schedule_edit.h"
+#include "layout/layout_table.h"
+
+namespace sdpm::analysis {
+
+namespace {
+
+/// Conflict key of one edit: what it mutates.  Inserts never conflict
+/// (they name no existing entity).
+enum class Touch { kDirective, kPlan, kArray };
+
+void touched_keys(const core::ScheduleEdit& edit,
+                  std::set<std::pair<Touch, int>>& keys) {
+  switch (edit.kind) {
+    case core::ScheduleEdit::Kind::kMoveDirective:
+    case core::ScheduleEdit::Kind::kRemoveDirective:
+    case core::ScheduleEdit::Kind::kRetargetLevel:
+      keys.insert({Touch::kDirective, edit.directive_index});
+      break;
+    case core::ScheduleEdit::Kind::kInsertDirective:
+      break;
+    case core::ScheduleEdit::Kind::kSetPlanLevel:
+    case core::ScheduleEdit::Kind::kSetPlanActed:
+      keys.insert({Touch::kPlan, edit.plan_index});
+      break;
+    case core::ScheduleEdit::Kind::kRestripeArray:
+      keys.insert({Touch::kArray, edit.array});
+      break;
+  }
+}
+
+}  // namespace
+
+ApplyOutcome apply_fixits(const AnalysisReport& report,
+                          core::ScheduleResult& result,
+                          std::vector<layout::Striping>& striping) {
+  ApplyOutcome outcome;
+  std::set<std::pair<Touch, int>> claimed;
+  std::vector<core::ScheduleEdit> batch;
+  for (const Diagnostic& diag : report.diagnostics) {
+    for (const FixIt& fixit : diag.fixits) {
+      std::set<std::pair<Touch, int>> keys;
+      for (const core::ScheduleEdit& edit : fixit.edits) {
+        touched_keys(edit, keys);
+      }
+      bool conflict = false;
+      for (const auto& key : keys) {
+        if (claimed.count(key) > 0) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) {
+        ++outcome.skipped;
+        continue;
+      }
+      claimed.insert(keys.begin(), keys.end());
+      batch.insert(batch.end(), fixit.edits.begin(), fixit.edits.end());
+      outcome.applied_ids.push_back(fixit.id);
+      ++outcome.applied;
+    }
+  }
+  if (!batch.empty()) {
+    core::apply_schedule_edits(result, striping, batch);
+  }
+  return outcome;
+}
+
+RepairOutcome repair_schedule(core::ScheduleResult result,
+                              std::vector<layout::Striping> striping,
+                              int total_disks,
+                              const disk::DiskParameters& params,
+                              const AnalyzeOptions& options,
+                              int max_rounds) {
+  RepairOutcome out;
+  AnalysisReport report;
+  while (true) {
+    const layout::LayoutTable table(result.program, striping, total_disks);
+    report = analyze(result, table, params, options);
+    if (report.fixit_count() == 0) {
+      out.converged = true;
+      break;
+    }
+    if (out.rounds >= max_rounds) break;
+    const ApplyOutcome applied = apply_fixits(report, result, striping);
+    if (applied.applied == 0) break;  // every fix-it conflicted: stuck
+    ++out.rounds;
+    out.fixits_applied += applied.applied;
+    out.fixits_skipped += applied.skipped;
+    out.applied_ids.insert(out.applied_ids.end(), applied.applied_ids.begin(),
+                           applied.applied_ids.end());
+  }
+  out.final_report = std::move(report);
+  out.result = std::move(result);
+  out.striping = std::move(striping);
+  return out;
+}
+
+}  // namespace sdpm::analysis

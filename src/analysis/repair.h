@@ -1,0 +1,66 @@
+// Auto-repair engine for analyzer fix-its.
+//
+// The passes attach machine-applicable SDPM-F### fix-its (analysis/fixit.h)
+// to their diagnostics; this engine drives them to a fixed point:
+//
+//   round:  analyze -> collect fix-its -> drop conflicting ones (two
+//           fix-its touching the same directive, plan or array; first in
+//           diagnostic order wins) -> apply the rest as one schedule-edit
+//           batch -> rebuild the layout
+//
+// until a round yields no applicable fix-its or `max_rounds` is hit.
+// Directive indices are only valid against the schedule a report was
+// produced from, which is why edits are batched per round and the
+// schedule re-analyzed in between.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/registry.h"
+#include "core/schedule.h"
+#include "disk/parameters.h"
+#include "layout/striping.h"
+
+namespace sdpm::analysis {
+
+/// One round of fix-it application.
+struct ApplyOutcome {
+  int applied = 0;  ///< fix-its whose edits were applied
+  int skipped = 0;  ///< fix-its dropped because they conflicted
+  std::vector<std::string> applied_ids;  ///< e.g. "SDPM-F001", in order
+};
+
+/// Apply every non-conflicting fix-it of `report` to (`result`,
+/// `striping`) in one batch.  `report` must have been produced by
+/// analyzing exactly this schedule (directive and plan indices match).
+ApplyOutcome apply_fixits(const AnalysisReport& report,
+                          core::ScheduleResult& result,
+                          std::vector<layout::Striping>& striping);
+
+/// Full repair run: the schedule after the last round, the striping it
+/// should be laid out with, and the report that proves (or disproves)
+/// convergence.
+struct RepairOutcome {
+  core::ScheduleResult result;
+  std::vector<layout::Striping> striping;
+  int rounds = 0;          ///< analyze/apply rounds that applied something
+  int fixits_applied = 0;  ///< total across rounds
+  int fixits_skipped = 0;  ///< total conflicts across rounds
+  bool converged = false;  ///< the final report carries no fix-its
+  AnalysisReport final_report;  ///< report of the repaired schedule
+  std::vector<std::string> applied_ids;  ///< every applied fix-it id
+};
+
+/// Repair `result` to a fixed point (at most `max_rounds` rounds).  The
+/// layout is rebuilt from `striping` each round, so SDPM-F006 restriping
+/// feeds back into the next round's access model.
+RepairOutcome repair_schedule(core::ScheduleResult result,
+                              std::vector<layout::Striping> striping,
+                              int total_disks,
+                              const disk::DiskParameters& params,
+                              const AnalyzeOptions& options,
+                              int max_rounds = 16);
+
+}  // namespace sdpm::analysis

@@ -4,8 +4,8 @@
 // (rules SDPM-E001..E008), modelling the simulator's demand wake: an
 // active interval (a planned gap's end) clears standby, so ablation
 // schedules without pre-activation still verify.  The historical throwing
-// interface survives only as the deprecated core::verify_schedule shim in
-// core/verify_schedule.h, scheduled for removal one release out.
+// core::verify_schedule interface has been removed; this is the only
+// schedule-verification entry point.
 #pragma once
 
 #include <vector>

@@ -62,6 +62,9 @@ Json JobResult::to_json() const {
       .set("transform", transform)
       .set("schemes", std::move(schemes_json))
       .set("wall_ms", wall_ms);
+  if (!analysis_json.empty()) {
+    json.set("analysis", Json::parse(analysis_json));
+  }
   return json;
 }
 
@@ -87,6 +90,9 @@ JobResult JobResult::from_json(const Json& json) {
   }
   if (const Json* wall = json.find("wall_ms")) {
     result.wall_ms = wall->as_double();
+  }
+  if (const Json* analysis = json.find("analysis")) {
+    result.analysis_json = analysis->dump();
   }
   return result;
 }

@@ -60,6 +60,14 @@ struct JobResult {
   /// Wall time this job's evaluation consumed (sum over its scheme tasks);
   /// a measurement, not a simulated quantity — excluded from equality.
   double wall_ms = 0;
+  /// Optional analyzer report (analysis::render_json v2: diagnostics,
+  /// fix-its, certificate) attached by the service `analyze` op.  Stored
+  /// as its JSON text; to_json embeds it as a parsed "analysis" object and
+  /// from_json recovers the canonical dump, so the payload — including
+  /// every fix-it edit — survives the wire round trip structurally.
+  /// Excluded from equality (like wall_ms: canonicalization may reorder
+  /// keys without changing meaning).
+  std::string analysis_json;
 
   friend bool operator==(const JobResult& a, const JobResult& b) {
     return a.label == b.label && a.benchmark == b.benchmark &&

@@ -1,7 +1,9 @@
 #include "api/session.h"
 
 #include <chrono>
+#include <utility>
 
+#include "analysis/bounds.h"
 #include "experiments/sweep.h"
 #include "experiments/trace_cache.h"
 #include "obs/metrics.h"
@@ -116,14 +118,18 @@ std::vector<JobResult> Session::run_batch(const std::vector<JobSpec>& specs) {
   return results;
 }
 
-analysis::AnalysisReport Session::analyze(
-    const JobSpec& spec, core::PowerMode mode,
-    const std::optional<analysis::Mutation>& mutation) const {
-  const experiments::ExperimentConfig config = spec.to_config();
-  const workloads::Benchmark bench =
-      workloads::make_benchmark(spec.benchmark);
+namespace {
 
-  // Reproduce the compiler pipeline, then analyze its exact output.
+/// Rebuild the exact compiler output analyze()/repair() inspect.
+struct AnalyzedSchedule {
+  core::ScheduleResult result;
+  std::vector<layout::Striping> striping;
+};
+
+AnalyzedSchedule compiled_schedule(
+    const experiments::ExperimentConfig& config,
+    const workloads::Benchmark& bench, core::PowerMode mode,
+    const std::optional<analysis::Mutation>& mutation) {
   core::CompilerOptions co;
   co.total_disks = config.total_disks;
   co.base_striping = config.striping;
@@ -134,19 +140,73 @@ analysis::AnalysisReport Session::analyze(
   co.tile_bytes = config.tile_bytes;
   const core::CompileOutput out =
       core::compile(bench.program, config.transform, mode, co);
-  core::ScheduleResult result{out.program, out.plans, out.calls_inserted};
-  std::vector<layout::Striping> striping = out.striping;
-
+  AnalyzedSchedule sched{
+      core::ScheduleResult{out.program, out.plans, out.calls_inserted},
+      out.striping};
   if (mutation.has_value()) {
-    analysis::apply_mutation(*mutation, result, striping, config.disk);
+    analysis::apply_mutation(*mutation, sched.result, sched.striping,
+                             config.disk);
   }
+  return sched;
+}
 
-  const layout::LayoutTable table(result.program, striping,
+/// Attach the certified bounds for the run the simulator would measure
+/// (actual-noise trace).  A program the access model rejects analyzes to
+/// SDPM-E090 and simply carries no certificate.
+void attach_certificate(analysis::AnalysisReport& report,
+                        const core::ScheduleResult& result,
+                        const layout::LayoutTable& table,
+                        const experiments::ExperimentConfig& config) {
+  try {
+    trace::GeneratorOptions gen = config.gen;
+    gen.noise = config.actual_noise;
+    report.certificate =
+        analysis::certify_schedule(result, table, config.disk, gen);
+  } catch (const Error&) {
+    report.certificate.reset();
+  }
+}
+
+}  // namespace
+
+analysis::AnalysisReport Session::analyze(
+    const JobSpec& spec, core::PowerMode mode,
+    const std::optional<analysis::Mutation>& mutation) const {
+  const experiments::ExperimentConfig config = spec.to_config();
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(spec.benchmark);
+
+  // Reproduce the compiler pipeline, then analyze its exact output.
+  AnalyzedSchedule sched = compiled_schedule(config, bench, mode, mutation);
+  const layout::LayoutTable table(sched.result.program, sched.striping,
                                   config.total_disks);
   analysis::AnalyzeOptions opts;
   opts.access = config.gen;
   opts.transform = config.transform;
-  return analysis::analyze(result, table, config.disk, opts);
+  analysis::AnalysisReport report =
+      analysis::analyze(sched.result, table, config.disk, opts);
+  attach_certificate(report, sched.result, table, config);
+  return report;
+}
+
+analysis::RepairOutcome Session::repair(
+    const JobSpec& spec, core::PowerMode mode,
+    const std::optional<analysis::Mutation>& mutation) const {
+  const experiments::ExperimentConfig config = spec.to_config();
+  const workloads::Benchmark bench =
+      workloads::make_benchmark(spec.benchmark);
+
+  AnalyzedSchedule sched = compiled_schedule(config, bench, mode, mutation);
+  analysis::AnalyzeOptions opts;
+  opts.access = config.gen;
+  opts.transform = config.transform;
+  analysis::RepairOutcome outcome = analysis::repair_schedule(
+      std::move(sched.result), std::move(sched.striping), config.total_disks,
+      config.disk, opts);
+  const layout::LayoutTable table(outcome.result.program, outcome.striping,
+                                  config.total_disks);
+  attach_certificate(outcome.final_report, outcome.result, table, config);
+  return outcome;
 }
 
 }  // namespace sdpm::api

@@ -19,6 +19,7 @@
 
 #include "analysis/mutate.h"
 #include "analysis/registry.h"
+#include "analysis/repair.h"
 #include "api/job_result.h"
 #include "api/job_spec.h"
 
@@ -69,8 +70,19 @@ class Session {
 
   /// Statically analyze the compiled power-call schedule of `spec` for
   /// `mode` (no simulation).  `mutation` seeds a known bug class first —
-  /// the analyzer-validation path of `sdpm_cli analyze --mutate`.
+  /// the analyzer-validation path of `sdpm_cli analyze --mutate`.  The
+  /// report carries the certified energy/delay bounds of the schedule
+  /// (analysis/bounds.h) whenever the access model accepts the program.
   analysis::AnalysisReport analyze(
+      const JobSpec& spec, core::PowerMode mode,
+      const std::optional<analysis::Mutation>& mutation = std::nullopt) const;
+
+  /// Analyze and auto-repair the schedule of `spec` to a fixed point
+  /// (`sdpm_cli analyze --fix`): apply the passes' SDPM-F### fix-its,
+  /// re-analyze, repeat.  The outcome carries the repaired schedule, the
+  /// striping it must be laid out with, and the final report (with
+  /// certificate, like analyze()).
+  analysis::RepairOutcome repair(
       const JobSpec& spec, core::PowerMode mode,
       const std::optional<analysis::Mutation>& mutation = std::nullopt) const;
 

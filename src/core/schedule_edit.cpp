@@ -1,0 +1,104 @@
+#include "core/schedule_edit.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace sdpm::core {
+
+const char* to_string(ScheduleEdit::Kind kind) {
+  switch (kind) {
+    case ScheduleEdit::Kind::kMoveDirective:
+      return "move_directive";
+    case ScheduleEdit::Kind::kRemoveDirective:
+      return "remove_directive";
+    case ScheduleEdit::Kind::kInsertDirective:
+      return "insert_directive";
+    case ScheduleEdit::Kind::kRetargetLevel:
+      return "retarget_level";
+    case ScheduleEdit::Kind::kSetPlanLevel:
+      return "set_plan_level";
+    case ScheduleEdit::Kind::kSetPlanActed:
+      return "set_plan_acted";
+    case ScheduleEdit::Kind::kRestripeArray:
+      return "restripe_array";
+  }
+  return "?";
+}
+
+void apply_schedule_edits(ScheduleResult& result,
+                          std::vector<layout::Striping>& striping,
+                          const std::vector<ScheduleEdit>& edits) {
+  auto& dirs = result.program.directives;
+  const auto check_dir = [&](const ScheduleEdit& e) {
+    SDPM_REQUIRE(e.directive_index >= 0 &&
+                     static_cast<std::size_t>(e.directive_index) < dirs.size(),
+                 "schedule edit: directive index out of range");
+  };
+  const auto check_plan = [&](const ScheduleEdit& e) {
+    SDPM_REQUIRE(e.plan_index >= 0 && static_cast<std::size_t>(e.plan_index) <
+                                          result.plans.size(),
+                 "schedule edit: plan index out of range");
+  };
+
+  // Index-stable edits first, so every index still refers to the
+  // pre-batch schedule.
+  for (const ScheduleEdit& e : edits) {
+    switch (e.kind) {
+      case ScheduleEdit::Kind::kMoveDirective:
+        check_dir(e);
+        dirs[e.directive_index].point = e.point;
+        break;
+      case ScheduleEdit::Kind::kRetargetLevel:
+        check_dir(e);
+        dirs[e.directive_index].directive.rpm_level = e.level;
+        break;
+      case ScheduleEdit::Kind::kSetPlanLevel:
+        check_plan(e);
+        result.plans[e.plan_index].level = e.level;
+        break;
+      case ScheduleEdit::Kind::kSetPlanActed:
+        check_plan(e);
+        result.plans[e.plan_index].acted = e.acted;
+        break;
+      case ScheduleEdit::Kind::kRestripeArray:
+        SDPM_REQUIRE(e.array >= 0 && static_cast<std::size_t>(e.array) <
+                                         striping.size(),
+                     "schedule edit: array id out of range");
+        striping[e.array] = e.striping;
+        break;
+      case ScheduleEdit::Kind::kRemoveDirective:
+        check_dir(e);
+        break;  // validated now, applied below
+      case ScheduleEdit::Kind::kInsertDirective:
+        break;  // applied below
+    }
+  }
+
+  // Removals in descending index order keep the remaining indices valid.
+  std::vector<int> removals;
+  for (const ScheduleEdit& e : edits) {
+    if (e.kind == ScheduleEdit::Kind::kRemoveDirective) {
+      removals.push_back(e.directive_index);
+    }
+  }
+  std::sort(removals.begin(), removals.end(), std::greater<>());
+  SDPM_REQUIRE(std::adjacent_find(removals.begin(), removals.end()) ==
+                   removals.end(),
+               "schedule edit: duplicate removal of one directive");
+  for (const int idx : removals) {
+    dirs.erase(dirs.begin() + idx);
+    --result.calls_inserted;
+  }
+
+  for (const ScheduleEdit& e : edits) {
+    if (e.kind != ScheduleEdit::Kind::kInsertDirective) continue;
+    dirs.push_back(ir::PlacedDirective{e.point, e.directive});
+    ++result.calls_inserted;
+  }
+
+  result.program.sort_directives();
+}
+
+}  // namespace sdpm::core

@@ -1,0 +1,56 @@
+// Machine-applicable schedule edits — the mutation vocabulary of the
+// analyzer's auto-repair engine (analysis/repair.h).
+//
+// An edit is a small, declarative change to a (ScheduleResult, striping)
+// pair: move/remove/insert a power directive, retarget a set_RPM level,
+// update the gap plan that justified a directive, or restripe an array.
+// Edits are applied in conflict-free batches; directive and plan indices
+// always refer to positions *before* the batch, so a batch produced
+// against one snapshot of the schedule stays meaningful while it is
+// applied.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "ir/program.h"
+#include "layout/striping.h"
+
+namespace sdpm::core {
+
+/// One atomic change to a schedule.  Which fields are meaningful depends
+/// on `kind`; unused fields keep their defaults.
+struct ScheduleEdit {
+  enum class Kind {
+    kMoveDirective,    ///< move directives[directive_index] to `point`
+    kRemoveDirective,  ///< erase directives[directive_index]
+    kInsertDirective,  ///< insert {point, directive}
+    kRetargetLevel,    ///< directives[directive_index].rpm_level = level
+    kSetPlanLevel,     ///< plans[plan_index].level = level
+    kSetPlanActed,     ///< plans[plan_index].acted = acted
+    kRestripeArray,    ///< striping[array] = striping
+  };
+
+  Kind kind = Kind::kMoveDirective;
+  int directive_index = -1;       ///< kMove / kRemove / kRetargetLevel
+  int plan_index = -1;            ///< kSetPlanLevel / kSetPlanActed
+  ir::ArrayId array = -1;         ///< kRestripeArray
+  ir::IterationPoint point;       ///< kMove / kInsert
+  ir::PowerDirective directive;   ///< kInsert
+  int level = 0;                  ///< kRetargetLevel / kSetPlanLevel
+  bool acted = false;             ///< kSetPlanActed
+  layout::Striping striping;      ///< kRestripeArray
+};
+
+const char* to_string(ScheduleEdit::Kind kind);
+
+/// Apply a conflict-free batch of edits in place.  Index-stable edits
+/// (moves, retargets, plan updates, restripes) run first, then removals in
+/// descending index order, then insertions, and finally the program's
+/// directives are re-sorted into program order.  `calls_inserted` tracks
+/// removals/insertions.  Throws sdpm::Error on out-of-range indices.
+void apply_schedule_edits(ScheduleResult& result,
+                          std::vector<layout::Striping>& striping,
+                          const std::vector<ScheduleEdit>& edits);
+
+}  // namespace sdpm::core

@@ -347,6 +347,63 @@ Json ServiceDaemon::handle_request(const Json& request,
     return ok_response().set("id", id);
   }
 
+  if (op == "analyze") {
+    // Synchronous static analysis: no simulation, so it runs inline on
+    // the session thread instead of the job queue.  Returns the v2
+    // analyzer report (diagnostics, fix-its, certified bounds) and — with
+    // "fix": true — the repair summary plus the repaired schedule's
+    // report.
+    if (!request.contains("spec")) {
+      return error_response("analyze is missing the \"spec\" field");
+    }
+    try {
+      const api::JobSpec spec = api::JobSpec::from_json(request.at("spec"));
+      spec.validate();
+      core::PowerMode mode = core::PowerMode::kDrpm;
+      if (const Json* f = request.find("mode")) {
+        if (f->as_string() == "CMTPM") {
+          mode = core::PowerMode::kTpm;
+        } else if (f->as_string() != "CMDRPM") {
+          return error_response("unknown analyze mode \"" +
+                                f->as_string() + "\"");
+        }
+      }
+      std::optional<analysis::Mutation> mutation;
+      if (const Json* f = request.find("mutate")) {
+        mutation = analysis::mutation_from_name(f->as_string());
+        if (!mutation) {
+          return error_response("unknown mutation \"" + f->as_string() +
+                                "\"");
+        }
+      }
+      const bool fix =
+          request.contains("fix") && request.at("fix").as_bool();
+      obs::MetricsRegistry::global().add("service.analyzes");
+      if (!fix) {
+        const analysis::AnalysisReport report =
+            session_.analyze(spec, mode, mutation);
+        return ok_response().set(
+            "report", Json::parse(analysis::render_json(report)));
+      }
+      const analysis::RepairOutcome outcome =
+          session_.repair(spec, mode, mutation);
+      Json ids = Json::array();
+      for (const std::string& id : outcome.applied_ids) ids.push_back(id);
+      Json repair = Json::object();
+      repair.set("rounds", outcome.rounds)
+          .set("fixits_applied", outcome.fixits_applied)
+          .set("fixits_skipped", outcome.fixits_skipped)
+          .set("converged", outcome.converged)
+          .set("applied", std::move(ids));
+      return ok_response()
+          .set("report",
+               Json::parse(analysis::render_json(outcome.final_report)))
+          .set("repair", std::move(repair));
+    } catch (const std::exception& e) {
+      return error_response(e.what());
+    }
+  }
+
   if (op == "status") {
     const auto snap = queue_.snapshot(require_id(request));
     if (!snap) return error_response("no such job");

@@ -56,14 +56,16 @@
 //                 [--format text|json] [--fail-on error|warning|note]
 //                 [--baseline FILE] [--write-baseline FILE]
 //                 [--mutate late-preact|short-gap|overlap-fission]
-//                 [--list-rules] [config flags]
+//                 [--fix] [--list-rules] [config flags]
 //       Statically lint the compiled power-call schedule (no simulation):
 //       break-even violations, late/missing pre-activations, redundant or
 //       conflicting directives, DRPM misfits, fission disk-set overlap,
-//       transformation legality, layout coverage.  --mutate seeds a known
-//       bug class first (for validating the analyzer).  Exits 3 when any
-//       diagnostic at or above the --fail-on severity survives the
-//       baseline.
+//       transformation legality, layout coverage.  The report carries the
+//       certifier's guaranteed energy/execution bounds.  --mutate seeds a
+//       known bug class first (for validating the analyzer).  --fix
+//       applies the diagnostics' SDPM-F### fix-its to a fixed point and
+//       reports the repaired schedule.  Exits 3 when any diagnostic at or
+//       above the --fail-on severity survives the baseline.
 //
 // --jobs N caps the worker count of every parallel phase (equivalent to
 // SDPM_JOBS in the environment).
@@ -165,10 +167,11 @@ const char* usage_text() {
       "         [--format text|json] [--fail-on error|warning|note]\n"
       "         [--baseline FILE] [--write-baseline FILE]\n"
       "         [--mutate late-preact|short-gap|overlap-fission]\n"
-      "         [--list-rules] [config]\n"
-      "         static energy-safety lint of the compiled schedule;\n"
-      "         exits 3 when a diagnostic at or above the --fail-on\n"
-      "         severity survives the baseline\n"
+      "         [--fix] [--list-rules] [config]\n"
+      "         static energy-safety lint of the compiled schedule with\n"
+      "         certified energy bounds; --fix applies SDPM-F### fix-its\n"
+      "         to a fixed point; exits 3 when a diagnostic at or above\n"
+      "         the --fail-on severity survives the baseline\n"
       "  --help / --version         print this help / the build version\n"
       "config flags: --disks N --stripe BYTES --block BYTES --cache BYTES\n"
       "              --noise SIGMA --no-preactivate --csv --jobs N\n"
@@ -903,7 +906,7 @@ int cmd_bench(const Args& args) {
 int cmd_analyze(const Args& args) {
   require_known_flags("analyze", args,
                       {"benchmark", "mode", "format", "fail-on", "baseline",
-                       "write-baseline", "mutate", "list-rules"});
+                       "write-baseline", "mutate", "fix", "list-rules"});
   if (args.has("list-rules")) {
     for (const analysis::RuleInfo& rule : analysis::rule_catalog()) {
       std::cout << rule.id << "  " << analysis::to_string(rule.severity)
@@ -948,7 +951,23 @@ int cmd_analyze(const Args& args) {
     if (!mutation) usage("unknown --mutate '" + args.get("mutate") + "'");
   }
   const api::Session session;
-  analysis::AnalysisReport report = session.analyze(spec, mode, mutation);
+  analysis::AnalysisReport report;
+  if (args.has("fix")) {
+    // Repair to a fixed point and judge the repaired schedule: the exit
+    // code reflects what is left after the fix-its, and the repair
+    // trailer goes to stderr so --format json stays machine-parseable.
+    analysis::RepairOutcome outcome = session.repair(spec, mode, mutation);
+    std::cerr << "fix: " << outcome.fixits_applied << " fix-it(s) applied"
+              << " in " << outcome.rounds << " round(s), "
+              << outcome.fixits_skipped << " skipped; "
+              << (outcome.converged ? "converged" : "NOT converged") << "\n";
+    for (const std::string& id : outcome.applied_ids) {
+      std::cerr << "fix: applied " << id << "\n";
+    }
+    report = std::move(outcome.final_report);
+  } else {
+    report = session.analyze(spec, mode, mutation);
+  }
 
   if (args.has("baseline")) {
     std::ifstream in(args.get("baseline"));

@@ -151,10 +151,10 @@ TEST(Render, GoldenText) {
   const AnalysisReport report = golden_report();
   EXPECT_EQ(render_text(report),
             "SDPM-N072 note [dependence] <program>: legality \"unproven\"\n"
-            "SDPM-W081 warning [coverage] disk 2: disk 2 holds data but is "
-            "never accessed\n"
             "SDPM-E030 error [break-even] disk 0 nest 1 iter 42 directive 3: "
             "spin_down leaves 1.0 ms of the gap\n"
+            "SDPM-W081 warning [coverage] disk 2: disk 2 holds data but is "
+            "never accessed\n"
             "analyze: 1 error(s), 1 warning(s), 1 note(s); 2 directive(s) "
             "checked; 0 suppressed\n");
 }
@@ -164,21 +164,21 @@ TEST(Render, GoldenJson) {
   const std::string json = render_json(report);
   EXPECT_EQ(
       json,
-      "{\"version\":1,\"tool\":\"sdpm-analyze\","
+      "{\"version\":2,\"tool\":\"sdpm-analyze\","
       "\"summary\":{\"directives\":2,\"errors\":1,\"warnings\":1,"
-      "\"notes\":1,\"suppressed\":0},"
-      "\"passes\":[\"wellformed\",\"break-even\"],\"diagnostics\":[\n"
+      "\"notes\":1,\"suppressed\":0,\"fixits\":0},"
+      "\"passes\":[\"break-even\",\"wellformed\"],\"diagnostics\":[\n"
       " {\"rule\":\"SDPM-N072\",\"severity\":\"note\","
       "\"pass\":\"dependence\",\"disk\":-1,\"nest\":-1,\"iteration\":-1,"
       "\"directive\":-1,\"message\":\"legality \\\"unproven\\\"\"},\n"
-      " {\"rule\":\"SDPM-W081\",\"severity\":\"warning\","
-      "\"pass\":\"coverage\",\"disk\":2,\"nest\":-1,\"iteration\":-1,"
-      "\"directive\":-1,\"message\":\"disk 2 holds data but is never "
-      "accessed\"},\n"
       " {\"rule\":\"SDPM-E030\",\"severity\":\"error\","
       "\"pass\":\"break-even\",\"disk\":0,\"nest\":1,\"iteration\":42,"
       "\"directive\":3,\"message\":\"spin_down leaves 1.0 ms of the "
-      "gap\"}\n"
+      "gap\"},\n"
+      " {\"rule\":\"SDPM-W081\",\"severity\":\"warning\","
+      "\"pass\":\"coverage\",\"disk\":2,\"nest\":-1,\"iteration\":-1,"
+      "\"directive\":-1,\"message\":\"disk 2 holds data but is never "
+      "accessed\"}\n"
       "]}\n");
   // Rendering is a pure function of the report: byte-stable across calls.
   EXPECT_EQ(json, render_json(report));
@@ -188,10 +188,46 @@ TEST(Render, EmptyReportJson) {
   AnalysisReport report;
   report.passes_run = {"wellformed"};
   EXPECT_EQ(render_json(report),
-            "{\"version\":1,\"tool\":\"sdpm-analyze\","
+            "{\"version\":2,\"tool\":\"sdpm-analyze\","
             "\"summary\":{\"directives\":0,\"errors\":0,\"warnings\":0,"
-            "\"notes\":0,\"suppressed\":0},"
+            "\"notes\":0,\"suppressed\":0,\"fixits\":0},"
             "\"passes\":[\"wellformed\"],\"diagnostics\":[]}\n");
+}
+
+TEST(Render, JsonIsStableAcrossPassRegistrationOrder) {
+  // The "passes" array renders sorted, so two registries that run the
+  // same passes in different orders produce byte-identical output.
+  AnalysisReport a = golden_report();
+  AnalysisReport b = golden_report();
+  b.passes_run = {"break-even", "wellformed"};
+  EXPECT_EQ(render_json(a), render_json(b));
+}
+
+TEST(Render, GoldenFixitJson) {
+  AnalysisReport report;
+  report.passes_run = {"redundancy"};
+  report.directives_checked = 1;
+  Diagnostic diag = make_diagnostic("SDPM-W020", "redundancy",
+                                    DiagLocation{0, 0, 7, 2},
+                                    "set_RPM(10) is a no-op");
+  core::ScheduleEdit edit;
+  edit.kind = core::ScheduleEdit::Kind::kRemoveDirective;
+  edit.directive_index = 2;
+  diag.fixits.push_back(FixIt{"SDPM-F003", "remove the call", {edit}});
+  report.diagnostics.push_back(std::move(diag));
+  report.sort();
+  EXPECT_EQ(
+      render_json(report),
+      "{\"version\":2,\"tool\":\"sdpm-analyze\","
+      "\"summary\":{\"directives\":1,\"errors\":0,\"warnings\":1,"
+      "\"notes\":0,\"suppressed\":0,\"fixits\":1},"
+      "\"passes\":[\"redundancy\"],\"diagnostics\":[\n"
+      " {\"rule\":\"SDPM-W020\",\"severity\":\"warning\","
+      "\"pass\":\"redundancy\",\"disk\":0,\"nest\":0,\"iteration\":7,"
+      "\"directive\":2,\"message\":\"set_RPM(10) is a no-op\","
+      "\"fixits\":[{\"id\":\"SDPM-F003\",\"title\":\"remove the call\","
+      "\"edits\":[{\"kind\":\"remove_directive\",\"directive\":2}]}]}\n"
+      "]}\n");
 }
 
 // ---------------------------------------------------------------------------
@@ -909,11 +945,12 @@ TEST(Analyze, SeededMutationOutputIsDeterministic) {
   EXPECT_EQ(render_text(a), render_text(b));
   EXPECT_EQ(render_json(a), render_json(b));
   EXPECT_TRUE(a.has("SDPM-E040")) << render_text(a);
-  // Sorted canonical order: (nest, iteration, disk, rule).
+  // Sorted canonical order: disk-major, then program position.
   for (std::size_t i = 1; i < a.diagnostics.size(); ++i) {
     const DiagLocation& p = a.diagnostics[i - 1].loc;
     const DiagLocation& q = a.diagnostics[i].loc;
-    EXPECT_LE(std::tie(p.nest, p.iteration), std::tie(q.nest, q.iteration));
+    EXPECT_LE(std::tie(p.disk, p.nest, p.iteration),
+              std::tie(q.disk, q.nest, q.iteration));
   }
 }
 

@@ -1,0 +1,292 @@
+// Schedule certifier: the abstract-interpretation bounds of
+// analysis/bounds.h must bracket the simulator's measured closed-loop
+// energy and execution time for every (schedule, scheme) we can build —
+// clean schedules, un-preactivated schedules, every seeded mutation, and
+// the full benchmark corpus in both CM modes, with and without timing
+// noise.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "analysis/interval_domain.h"
+#include "analysis/mutate.h"
+#include "core/compiler.h"
+#include "core/schedule.h"
+#include "ir/builder.h"
+#include "layout/layout_table.h"
+#include "policy/proactive.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm::analysis {
+namespace {
+
+using core::PowerMode;
+using core::ScheduleResult;
+using ir::ArrayId;
+using ir::ProgramBuilder;
+using ir::sym;
+
+const disk::DiskParameters& params() {
+  static const disk::DiskParameters p = disk::DiskParameters::ultrastar_36z15();
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// TimeIntervalSet (the abstract domain's interval sets)
+
+TEST(TimeIntervalSet, InsertMergesOverlappingAndTouching) {
+  TimeIntervalSet set;
+  set.insert(10, 20);
+  set.insert(40, 50);
+  EXPECT_EQ(set.size(), 2u);
+  set.insert(20, 40);  // touches both: one interval remains
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.intervals().front().lo_ms, 10);
+  EXPECT_DOUBLE_EQ(set.intervals().front().hi_ms, 50);
+  EXPECT_DOUBLE_EQ(set.total_length(), 40);
+}
+
+TEST(TimeIntervalSet, InsertKeepsDisjointIntervalsSorted) {
+  TimeIntervalSet set;
+  set.insert(30, 35);
+  set.insert(0, 5);
+  set.insert(10, 15);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].lo_ms, 0);
+  EXPECT_DOUBLE_EQ(set.intervals()[1].lo_ms, 10);
+  EXPECT_DOUBLE_EQ(set.intervals()[2].lo_ms, 30);
+  EXPECT_TRUE(set.contains(12));
+  EXPECT_FALSE(set.contains(20));
+}
+
+TEST(TimeIntervalSet, ComplementWithinWindow) {
+  TimeIntervalSet set;
+  set.insert(10, 20);
+  set.insert(30, 40);
+  const TimeIntervalSet gaps = set.complement_within(0, 50);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps.intervals()[0].lo_ms, 0);
+  EXPECT_DOUBLE_EQ(gaps.intervals()[0].hi_ms, 10);
+  EXPECT_DOUBLE_EQ(gaps.intervals()[1].lo_ms, 20);
+  EXPECT_DOUBLE_EQ(gaps.intervals()[1].hi_ms, 30);
+  EXPECT_DOUBLE_EQ(gaps.intervals()[2].lo_ms, 40);
+  EXPECT_DOUBLE_EQ(gaps.intervals()[2].hi_ms, 50);
+  EXPECT_DOUBLE_EQ(gaps.total_length(), 30);
+}
+
+// ---------------------------------------------------------------------------
+// Bounds vs. measured ground truth
+
+trace::GeneratorOptions access_options() {
+  trace::GeneratorOptions o;
+  o.cache_bytes = 0;
+  return o;
+}
+
+/// Simulate the trace under ProactivePolicy in closed loop (the replay the
+/// certificate is sound for).
+sim::SimReport measure(const trace::Trace& trace) {
+  policy::ProactivePolicy policy("certified");
+  sim::SimOptions options;
+  options.mode = sim::ReplayMode::kClosedLoop;
+  return sim::simulate(trace, params(), policy, options);
+}
+
+/// Assert the certificate brackets the measured run.
+void expect_brackets(const ScheduleCertificate& cert,
+                     const sim::SimReport& report, const std::string& what) {
+  EXPECT_LE(cert.energy_lo_j, report.total_energy + 1e-6) << what;
+  EXPECT_GE(cert.energy_hi_j, report.total_energy - 1e-6) << what;
+  EXPECT_LE(cert.exec_lo_ms, report.execution_ms + 1e-6) << what;
+  EXPECT_GE(cert.exec_hi_ms, report.execution_ms - 1e-6) << what;
+  EXPECT_EQ(cert.requests, report.requests) << what;
+}
+
+// Two sequential phases over private arrays on two disks (the
+// cross-phase-gap fixture the scheduler acts on).
+struct TwoPhase {
+  ir::Program program;
+  std::vector<layout::Striping> striping;
+
+  TwoPhase() {
+    ProgramBuilder pb("twophase");
+    const ArrayId a = pb.array("A", {64 * 8192});
+    const ArrayId b = pb.array("B", {64 * 8192});
+    pb.nest("phase1")
+        .loop("i", 0, 64 * 8192)
+        .stmt(75'000.0)
+        .read(a, {sym("i")})
+        .done();
+    pb.nest("phase2")
+        .loop("i", 0, 64 * 8192)
+        .stmt(75'000.0)
+        .read(b, {sym("i")})
+        .done();
+    program = pb.build();
+    striping = {layout::Striping{0, 1, kib(64)},
+                layout::Striping{1, 1, kib(64)}};
+  }
+};
+
+core::SchedulerOptions scheduler_options(PowerMode mode, bool preactivate) {
+  core::SchedulerOptions o;
+  o.mode = mode;
+  o.access = access_options();
+  o.preactivate = preactivate;
+  return o;
+}
+
+TEST(Certifier, BracketsCleanTpmSchedule) {
+  const TwoPhase tp;
+  const layout::LayoutTable table(tp.program, tp.striping, 2);
+  const ScheduleResult result = core::schedule_power_calls(
+      tp.program, table, params(), scheduler_options(PowerMode::kTpm, true));
+  const trace::Trace trace =
+      trace::TraceGenerator(result.program, table, access_options())
+          .generate();
+  const ScheduleCertificate cert = certify_trace(trace, params());
+  const sim::SimReport report = measure(trace);
+
+  expect_brackets(cert, report, "clean TPM");
+  EXPECT_GT(cert.energy_lo_j, 0);
+  EXPECT_LT(cert.energy_lo_j, cert.energy_hi_j);
+  // The preactivated schedule provably never demand-spins-up, and the
+  // measured replay agrees.
+  EXPECT_TRUE(cert.no_demand_spinup_proved);
+  for (const sim::DiskReport& d : report.disks) {
+    EXPECT_EQ(d.demand_spin_ups, 0);
+  }
+  // Interval sets: every disk has guaranteed-idle time inside the compute
+  // window, and the per-disk bounds sum to the totals.
+  ASSERT_EQ(cert.per_disk.size(), 2u);
+  double lo = 0;
+  double hi = 0;
+  for (const DiskCertificate& d : cert.per_disk) {
+    EXPECT_GT(d.guaranteed_idle_ms.size(), 0u) << "disk " << d.disk;
+    lo += d.energy_lo_j;
+    hi += d.energy_hi_j;
+  }
+  EXPECT_NEAR(lo, cert.energy_lo_j, 1e-6);
+  EXPECT_NEAR(hi, cert.energy_hi_j, 1e-6);
+}
+
+TEST(Certifier, UnpreactivatedScheduleLosesTheNoDemandProof) {
+  const TwoPhase tp;
+  const layout::LayoutTable table(tp.program, tp.striping, 2);
+  const ScheduleResult result = core::schedule_power_calls(
+      tp.program, table, params(), scheduler_options(PowerMode::kTpm, false));
+  const trace::Trace trace =
+      trace::TraceGenerator(result.program, table, access_options())
+          .generate();
+  const ScheduleCertificate cert = certify_trace(trace, params());
+  const sim::SimReport report = measure(trace);
+
+  expect_brackets(cert, report, "no-preactivation TPM");
+  EXPECT_FALSE(cert.no_demand_spinup_proved);
+  std::int64_t demand = 0;
+  for (const sim::DiskReport& d : report.disks) demand += d.demand_spin_ups;
+  EXPECT_GT(demand, 0);  // the lost proof is not vacuous on this fixture
+}
+
+TEST(Certifier, BracketsEverySeededMutation) {
+  for (const Mutation mutation :
+       {Mutation::kLatePreactivation, Mutation::kShortGapSpinDown}) {
+    const TwoPhase tp;
+    const layout::LayoutTable table(tp.program, tp.striping, 2);
+    ScheduleResult result = core::schedule_power_calls(
+        tp.program, table, params(),
+        scheduler_options(PowerMode::kTpm, true));
+    std::vector<layout::Striping> striping = tp.striping;
+    apply_mutation(mutation, result, striping, params());
+    const layout::LayoutTable mutated(result.program, striping, 2);
+    const trace::Trace trace =
+        trace::TraceGenerator(result.program, mutated, access_options())
+            .generate();
+    const ScheduleCertificate cert = certify_trace(trace, params());
+    expect_brackets(cert, measure(trace), to_string(mutation));
+  }
+}
+
+TEST(Certifier, BracketsOverlappingFissionMutation) {
+  const workloads::Benchmark bench = workloads::make_benchmark("swim");
+  core::CompilerOptions co;
+  co.total_disks = 8;
+  co.base_striping = layout::Striping{0, 8, kib(64)};
+  co.disk_params = params();
+  co.access = access_options();
+  const core::CompileOutput out = core::compile(
+      bench.program, core::Transformation::kLFDL, PowerMode::kTpm, co);
+  ScheduleResult result{out.program, out.plans, out.calls_inserted};
+  std::vector<layout::Striping> striping = out.striping;
+  apply_mutation(Mutation::kOverlappingFission, result, striping, params());
+  const layout::LayoutTable table(result.program, striping, 8);
+  const trace::Trace trace =
+      trace::TraceGenerator(result.program, table, access_options())
+          .generate();
+  const ScheduleCertificate cert = certify_trace(trace, params());
+  expect_brackets(cert, measure(trace), "overlap-fission");
+}
+
+// The fig3/fig4 corpus: every benchmark, both CM modes, original and
+// transformed programs, noise-free and noisy traces.  The certified
+// bounds must bracket the measured energy and execution time everywhere.
+TEST(Certifier, BracketsTheBenchmarkCorpus) {
+  for (const workloads::Benchmark& bench : workloads::all_benchmarks()) {
+    for (const PowerMode mode : {PowerMode::kTpm, PowerMode::kDrpm}) {
+      for (const core::Transformation transform :
+           {core::Transformation::kNone, core::Transformation::kLFDL}) {
+        core::CompilerOptions co;
+        co.total_disks = 8;
+        co.base_striping = layout::Striping{0, 8, kib(64)};
+        co.disk_params = params();
+        co.access = access_options();
+        const core::CompileOutput out =
+            core::compile(bench.program, transform, mode, co);
+        const ScheduleResult result{out.program, out.plans,
+                                    out.calls_inserted};
+        const layout::LayoutTable table(result.program, out.striping, 8);
+
+        for (const bool noisy : {false, true}) {
+          trace::GeneratorOptions gen = access_options();
+          if (noisy) gen.noise = trace::CycleNoise::paper_default();
+          const trace::Trace trace =
+              trace::TraceGenerator(result.program, table, gen).generate();
+          const ScheduleCertificate cert = certify_trace(trace, params());
+          const std::string what =
+              bench.name + (mode == PowerMode::kTpm ? "/CMTPM" : "/CMDRPM") +
+              (transform == core::Transformation::kNone ? "" : "/LFDL") +
+              (noisy ? "/noisy" : "");
+          expect_brackets(cert, measure(trace), what);
+        }
+      }
+    }
+  }
+}
+
+// certify_schedule is the generate-then-certify convenience the Session
+// uses; it must agree with certifying the generated trace directly.
+TEST(Certifier, ScheduleOverloadMatchesTraceCertification) {
+  const TwoPhase tp;
+  const layout::LayoutTable table(tp.program, tp.striping, 2);
+  const ScheduleResult result = core::schedule_power_calls(
+      tp.program, table, params(), scheduler_options(PowerMode::kDrpm, true));
+  const trace::Trace trace =
+      trace::TraceGenerator(result.program, table, access_options())
+          .generate();
+  const ScheduleCertificate direct = certify_trace(trace, params());
+  const ScheduleCertificate via =
+      certify_schedule(result, table, params(), access_options());
+  EXPECT_DOUBLE_EQ(direct.energy_lo_j, via.energy_lo_j);
+  EXPECT_DOUBLE_EQ(direct.energy_hi_j, via.energy_hi_j);
+  EXPECT_DOUBLE_EQ(direct.exec_lo_ms, via.exec_lo_ms);
+  EXPECT_DOUBLE_EQ(direct.exec_hi_ms, via.exec_hi_ms);
+  EXPECT_EQ(direct.requests, via.requests);
+}
+
+}  // namespace
+}  // namespace sdpm::analysis

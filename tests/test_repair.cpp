@@ -1,0 +1,268 @@
+// Auto-repair engine: `analyze --fix` must drive every seeded-mutation
+// schedule to a fixed point whose report is clean, whose simulated energy
+// does not exceed the mutated original's, and whose replay never
+// demand-spins-up a disk.  Plus the mechanics: conflict handling when two
+// fix-its edit the same directive, idempotence of repairing an already
+// repaired schedule, and the JSON round trip of the fix-it payload
+// through api::JobResult.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/mutate.h"
+#include "analysis/registry.h"
+#include "analysis/repair.h"
+#include "api/job_result.h"
+#include "core/compiler.h"
+#include "core/schedule.h"
+#include "ir/builder.h"
+#include "layout/layout_table.h"
+#include "policy/proactive.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "util/json.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm::analysis {
+namespace {
+
+using core::PowerMode;
+using core::ScheduleResult;
+using ir::ArrayId;
+using ir::ProgramBuilder;
+using ir::sym;
+
+const disk::DiskParameters& params() {
+  static const disk::DiskParameters p = disk::DiskParameters::ultrastar_36z15();
+  return p;
+}
+
+trace::GeneratorOptions access_options() {
+  trace::GeneratorOptions o;
+  o.cache_bytes = 0;  // noise-free: energy comparisons must be exact
+  return o;
+}
+
+AnalyzeOptions analyze_options(
+    core::Transformation transform = core::Transformation::kNone) {
+  AnalyzeOptions o;
+  o.access = access_options();
+  o.transform = transform;
+  return o;
+}
+
+// Same two-nest private-array fixture as test_analysis.cpp: one ~52 s
+// cross-phase gap per disk for the scheduler (and the mutations) to act on.
+struct TwoPhase {
+  ir::Program program;
+  std::vector<layout::Striping> striping;
+
+  TwoPhase() {
+    ProgramBuilder pb("twophase");
+    const ArrayId a = pb.array("A", {64 * 8192});
+    const ArrayId b = pb.array("B", {64 * 8192});
+    pb.nest("phase1")
+        .loop("i", 0, 64 * 8192)
+        .stmt(75'000.0)
+        .read(a, {sym("i")})
+        .done();
+    pb.nest("phase2")
+        .loop("i", 0, 64 * 8192)
+        .stmt(75'000.0)
+        .read(b, {sym("i")})
+        .done();
+    program = pb.build();
+    striping = {layout::Striping{0, 1, kib(64)},
+                layout::Striping{1, 1, kib(64)}};
+  }
+};
+
+sim::SimReport measure(const ScheduleResult& result,
+                       const std::vector<layout::Striping>& striping,
+                       int total_disks) {
+  const layout::LayoutTable table(result.program, striping, total_disks);
+  const trace::Trace trace =
+      trace::TraceGenerator(result.program, table, access_options())
+          .generate();
+  policy::ProactivePolicy policy("repair-test");
+  sim::SimOptions options;
+  options.mode = sim::ReplayMode::kClosedLoop;
+  return sim::simulate(trace, params(), policy, options);
+}
+
+/// A mutated (schedule, striping) pair plus the disk count to lay it out
+/// with — the input of one repair scenario.
+struct Mutated {
+  ScheduleResult result;
+  std::vector<layout::Striping> striping;
+  int total_disks = 2;
+  core::Transformation transform = core::Transformation::kNone;
+};
+
+Mutated mutated_two_phase(Mutation mutation, PowerMode mode) {
+  const TwoPhase tp;
+  const layout::LayoutTable table(tp.program, tp.striping, 2);
+  core::SchedulerOptions so;
+  so.mode = mode;
+  so.access = access_options();
+  Mutated m;
+  m.result = core::schedule_power_calls(tp.program, table, params(), so);
+  m.striping = tp.striping;
+  m.total_disks = 2;
+  apply_mutation(mutation, m.result, m.striping, params());
+  return m;
+}
+
+Mutated mutated_fission() {
+  const workloads::Benchmark bench = workloads::make_benchmark("swim");
+  core::CompilerOptions co;
+  co.total_disks = 8;
+  co.base_striping = layout::Striping{0, 8, kib(64)};
+  co.disk_params = params();
+  co.access = access_options();
+  const core::CompileOutput out = core::compile(
+      bench.program, core::Transformation::kLFDL, PowerMode::kTpm, co);
+  Mutated m;
+  m.result = ScheduleResult{out.program, out.plans, out.calls_inserted};
+  m.striping = out.striping;
+  m.total_disks = 8;
+  m.transform = core::Transformation::kLFDL;
+  apply_mutation(Mutation::kOverlappingFission, m.result, m.striping,
+                 params());
+  return m;
+}
+
+/// The acceptance contract for one scenario: repair converges, the final
+/// report is clean (notes allowed), and the repaired schedule simulates
+/// with energy <= the mutated original and zero demand spin-ups.
+void expect_repaired(Mutated m, const std::string& what) {
+  const int disks = m.total_disks;
+  const sim::SimReport before = measure(m.result, m.striping, disks);
+  const RepairOutcome outcome =
+      repair_schedule(std::move(m.result), std::move(m.striping), disks,
+                      params(), analyze_options(m.transform));
+
+  EXPECT_TRUE(outcome.converged) << what;
+  EXPECT_GT(outcome.fixits_applied, 0) << what;
+  EXPECT_GT(outcome.rounds, 0) << what;
+  EXPECT_EQ(outcome.final_report.fixit_count(), 0) << what;
+  EXPECT_EQ(outcome.final_report.errors(), 0) << what;
+  EXPECT_EQ(outcome.final_report.warnings(), 0) << what;
+
+  const sim::SimReport after = measure(outcome.result, outcome.striping, disks);
+  EXPECT_LE(after.total_energy, before.total_energy + 1e-6) << what;
+  for (const sim::DiskReport& d : after.disks) {
+    EXPECT_EQ(d.demand_spin_ups, 0) << what << " disk";
+  }
+}
+
+TEST(Repair, FixesLatePreactivation) {
+  expect_repaired(mutated_two_phase(Mutation::kLatePreactivation,
+                                    PowerMode::kTpm),
+                  "late-preact/CMTPM");
+}
+
+TEST(Repair, FixesShortGapSpinDown) {
+  expect_repaired(mutated_two_phase(Mutation::kShortGapSpinDown,
+                                    PowerMode::kTpm),
+                  "short-gap/CMTPM");
+}
+
+TEST(Repair, FixesOverlappingFission) {
+  expect_repaired(mutated_fission(), "overlap-fission/LFDL");
+}
+
+TEST(Repair, RepairIsIdempotent) {
+  Mutated m = mutated_two_phase(Mutation::kLatePreactivation, PowerMode::kTpm);
+  RepairOutcome first =
+      repair_schedule(std::move(m.result), std::move(m.striping),
+                      m.total_disks, params(), analyze_options());
+  ASSERT_TRUE(first.converged);
+
+  // Repairing the repaired schedule is a no-op: zero rounds, zero fix-its.
+  const RepairOutcome second =
+      repair_schedule(std::move(first.result), std::move(first.striping),
+                      m.total_disks, params(), analyze_options());
+  EXPECT_TRUE(second.converged);
+  EXPECT_EQ(second.rounds, 0);
+  EXPECT_EQ(second.fixits_applied, 0);
+  EXPECT_EQ(second.fixits_skipped, 0);
+}
+
+TEST(Repair, ConflictingFixitsOnOneDirectiveApplyFirstOnly) {
+  const TwoPhase tp;
+  const layout::LayoutTable table(tp.program, tp.striping, 2);
+  core::SchedulerOptions so;
+  so.mode = PowerMode::kTpm;
+  so.access = access_options();
+  ScheduleResult result =
+      core::schedule_power_calls(tp.program, table, params(), so);
+  ASSERT_FALSE(result.program.directives.empty());
+  const std::size_t n_before = result.program.directives.size();
+
+  // Handcraft two fix-its editing the same directive: a retarget and a
+  // removal.  The engine must apply the first (diagnostic order) and skip
+  // the second — otherwise the removal would invalidate the retarget's
+  // index mid-batch.
+  core::ScheduleEdit retarget;
+  retarget.kind = core::ScheduleEdit::Kind::kRetargetLevel;
+  retarget.directive_index = 0;
+  retarget.level = 0;
+  core::ScheduleEdit remove;
+  remove.kind = core::ScheduleEdit::Kind::kRemoveDirective;
+  remove.directive_index = 0;
+
+  AnalysisReport report;
+  Diagnostic d = make_diagnostic("SDPM-W020", "test", DiagLocation{}, "first");
+  d.fixits.push_back(FixIt{"SDPM-F004", "retarget", {retarget}});
+  report.diagnostics.push_back(d);
+  Diagnostic e = make_diagnostic("SDPM-W020", "test", DiagLocation{}, "second");
+  e.fixits.push_back(FixIt{"SDPM-F003", "remove", {remove}});
+  report.diagnostics.push_back(e);
+
+  std::vector<layout::Striping> striping = tp.striping;
+  const ApplyOutcome outcome = apply_fixits(report, result, striping);
+  EXPECT_EQ(outcome.applied, 1);
+  EXPECT_EQ(outcome.skipped, 1);
+  ASSERT_EQ(outcome.applied_ids.size(), 1u);
+  EXPECT_EQ(outcome.applied_ids[0], "SDPM-F004");
+  // The retarget won; the conflicting removal was not applied.
+  EXPECT_EQ(result.program.directives.size(), n_before);
+}
+
+TEST(Repair, FixitJsonRoundTripsThroughJobResult) {
+  // A mutated schedule's report carries fix-its with edits; that payload
+  // must survive JobResult::to_json / from_json structurally.
+  Mutated m = mutated_two_phase(Mutation::kLatePreactivation, PowerMode::kTpm);
+  const layout::LayoutTable table(m.result.program, m.striping,
+                                  m.total_disks);
+  AnalysisReport report =
+      analyze(m.result, table, params(), analyze_options());
+  ASSERT_GT(report.fixit_count(), 0);
+
+  api::JobResult result;
+  result.label = "roundtrip";
+  result.benchmark = "twophase";
+  result.analysis_json = render_json(report);
+
+  const Json wire = result.to_json();
+  const api::JobResult back = api::JobResult::from_json(wire);
+  ASSERT_FALSE(back.analysis_json.empty());
+  // Canonical dumps are equal: every diagnostic, fix-it, and edit made it
+  // across the wire unchanged.
+  EXPECT_EQ(Json::parse(back.analysis_json).dump(),
+            Json::parse(result.analysis_json).dump());
+  // And the embedded report still announces the fix-its.
+  const Json* analysis = wire.find("analysis");
+  ASSERT_NE(analysis, nullptr);
+  const Json* summary = analysis->find("summary");
+  ASSERT_NE(summary, nullptr);
+  const Json* fixits = summary->find("fixits");
+  ASSERT_NE(fixits, nullptr);
+  EXPECT_EQ(fixits->as_int(), report.fixit_count());
+}
+
+}  // namespace
+}  // namespace sdpm::analysis
