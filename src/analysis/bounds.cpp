@@ -56,13 +56,19 @@ struct ModelTable {
       idle_w.push_back(p.idle_power_at_level(l));
       active_w.push_back(p.active_power_at_level(l));
     }
-    spin_up_w = p.tpm.spin_up_time > 0
-                    ? p.tpm.spin_up_energy / seconds_from_ms(p.tpm.spin_up_time)
-                    : 0;
-    spin_down_w =
-        p.tpm.spin_down_time > 0
-            ? p.tpm.spin_down_energy / seconds_from_ms(p.tpm.spin_down_time)
-            : 0;
+    // Directives only ever park into the default (deepest) park, so the
+    // wake window is that park's edge; the entry window takes the worst
+    // entry edge over all levels (legacy disks: the Table 1 constants).
+    const int park = p.default_park();
+    const TimeMs up_t = p.wake_time(park);
+    const Joules up_e = p.wake_energy(park);
+    spin_up_w = up_t > 0 ? up_e / seconds_from_ms(up_t) : 0;
+    for (int l = 0; l < n; ++l) {
+      const TimeMs down_t = p.park_entry_time(l, park);
+      const Joules down_e = p.park_entry_energy(l, park);
+      spin_down_w = std::max(
+          spin_down_w, down_t > 0 ? down_e / seconds_from_ms(down_t) : 0);
+    }
     power_max = std::max({active_w.back(), idle_w.back(), spin_up_w,
                           spin_down_w, p.standby_power()});
     power_min = p.standby_power();
@@ -144,11 +150,17 @@ void apply_directive(AbstractDisk& d, const ModelTable& m, TimeMs t,
   switch (dir.kind) {
     case ir::PowerDirective::Kind::kSpinDown: {
       // No-op when already heading to standby; every spinning branch
-      // transitions (1.5 s at the spin-down power) and ends in standby.
+      // transitions into the default park over its worst entry edge.
       if (!d.levels.empty()) {
-        add_pending(d, t, p.tpm.spin_down_time, m.spin_down_w,
+        TimeMs down_t = 0;
+        Joules down_e = 0;
+        for (const int l : d.levels) {
+          down_t = std::max(down_t, p.park_entry_time(l, p.default_park()));
+          down_e = std::max(down_e, p.park_entry_energy(l, p.default_park()));
+        }
+        add_pending(d, t, down_t, m.spin_down_w,
                     /*to_standby=*/true);
-        d.hi_j += p.tpm.spin_down_energy;  // covers tails past end-of-run
+        d.hi_j += down_e;  // covers tails past end-of-run
       }
       d.levels.clear();
       d.standby = true;
@@ -158,9 +170,9 @@ void apply_directive(AbstractDisk& d, const ModelTable& m, TimeMs t,
       // No-op when spinning or already spinning up; the standby branches
       // wake to the top level.
       if (standby_possible(d)) {
-        add_pending(d, t, p.tpm.spin_up_time, m.spin_up_w,
+        add_pending(d, t, p.wake_time(p.default_park()), m.spin_up_w,
                     /*to_standby=*/false);
-        d.hi_j += p.tpm.spin_up_energy;
+        d.hi_j += p.wake_energy(p.default_park());
         std::vector<int> levels = d.levels;
         levels.push_back(p.max_level());
         set_levels(d, std::move(levels));
@@ -180,9 +192,9 @@ void apply_directive(AbstractDisk& d, const ModelTable& m, TimeMs t,
       Joules lump = 0;
       if (standby_possible(d)) {
         const TimeMs shift = p.rpm_transition_time(p.max_level(), target);
-        duration = p.tpm.spin_up_time + shift;
+        duration = p.wake_time(p.default_park()) + shift;
         power = std::max(m.spin_up_w, m.idle_w[p.max_level()]);
-        lump = p.tpm.spin_up_energy +
+        lump = p.wake_energy(p.default_park()) +
                p.rpm_transition_energy(p.max_level(), target);
       }
       for (const int from : d.levels) {
@@ -304,7 +316,7 @@ ScheduleCertificate certify_trace(const trace::Trace& trace,
     for (const PendingTransition& p : d.pending) {
       wake_hi += p.duration;
     }
-    if (may_standby) wake_hi += params.tpm.spin_up_time;
+    if (may_standby) wake_hi += params.wake_time(params.default_park());
     if (may_standby) d.demand_spinup_possible = true;
 
     // Service levels: any possible settled level; a woken disk serves at

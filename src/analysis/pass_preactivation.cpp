@@ -142,7 +142,8 @@ class PreactivationPass final : public Pass {
                        "iteration %lld): demand spin-up predicted",
                        disk, static_cast<long long>(a)));
         const std::int64_t target =
-            latest_feasible(gap_begin(a), a, params.tpm.spin_up_time);
+            latest_feasible(gap_begin(a), a,
+                            params.wake_time(params.default_park()));
         if (target >= 0) {
           core::ScheduleEdit edit;
           edit.kind = core::ScheduleEdit::Kind::kInsertDirective;
@@ -189,9 +190,8 @@ class PreactivationPass final : public Pass {
             waste("a second wake-up replaces it before any use");
           }
           if (standby) {
-            pending = Pending{ref.index, ref.global,
-                              issue + params.tpm.spin_up_time,
-                              params.tpm.spin_up_time};
+            const TimeMs wake = params.wake_time(params.default_park());
+            pending = Pending{ref.index, ref.global, issue + wake, wake};
             standby = false;
             level = top;
           }

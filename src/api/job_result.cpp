@@ -65,6 +65,11 @@ Json JobResult::to_json() const {
   if (!analysis_json.empty()) {
     json.set("analysis", Json::parse(analysis_json));
   }
+  if (!notes.empty()) {
+    Json notes_json = Json::array();
+    for (const std::string& note : notes) notes_json.push_back(Json(note));
+    json.set("notes", std::move(notes_json));
+  }
   return json;
 }
 
@@ -93,6 +98,11 @@ JobResult JobResult::from_json(const Json& json) {
   }
   if (const Json* analysis = json.find("analysis")) {
     result.analysis_json = analysis->dump();
+  }
+  if (const Json* notes = json.find("notes")) {
+    for (const Json& note : notes->as_array()) {
+      result.notes.push_back(note.as_string());
+    }
   }
   return result;
 }

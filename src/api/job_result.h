@@ -68,6 +68,10 @@ struct JobResult {
   /// Excluded from equality (like wall_ms: canonicalization may reorder
   /// keys without changing meaning).
   std::string analysis_json;
+  /// Advisory messages attached by the service ("deprecation: ..." for
+  /// schema-v1 specs, for example).  Informational only — excluded from
+  /// equality so a note never makes two otherwise-identical results differ.
+  std::vector<std::string> notes;
 
   friend bool operator==(const JobResult& a, const JobResult& b) {
     return a.label == b.label && a.benchmark == b.benchmark &&

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "disk/ladder.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "workloads/benchmarks.h"
@@ -101,11 +102,22 @@ void JobSpec::validate() const {
   require(fault_jitter >= 0 && fault_jitter < 1, "fault_jitter not in [0,1)");
   require(fault_drop >= 0 && fault_drop <= 1, "fault_drop not in [0,1]");
   require(fault_retries >= 0, "fault_retries must be non-negative");
+  require(device.empty() || device_inline_json.empty(),
+          "device names a preset and carries an inline ladder; pick one");
+  require(device.empty() || disk::PowerLadder::is_preset(device),
+          "unknown device preset '" + device + "' (known: " +
+              join(disk::PowerLadder::preset_names(), ", ") + ")");
+  if (!device_inline_json.empty()) {
+    // An inline ladder is stored pre-canonicalised; re-validating here keeps
+    // hand-assembled specs honest.  from_json errors carry the ladder field.
+    disk::PowerLadder::from_json(Json::parse(device_inline_json));
+  }
 }
 
 experiments::ExperimentConfig JobSpec::to_config() const {
   validate();
   experiments::ExperimentConfig config;
+  config.disk = resolved_device();
   config.total_disks = disks;
   config.striping.starting_disk = starting_disk;
   config.striping.stripe_factor = stripe_factor == 0 ? disks : stripe_factor;
@@ -150,6 +162,15 @@ core::Transformation JobSpec::resolved_transform() const {
   return *t;
 }
 
+disk::DiskParameters JobSpec::resolved_device() const {
+  if (!device_inline_json.empty()) {
+    return disk::DiskParameters::from_ladder(
+        disk::PowerLadder::from_json(Json::parse(device_inline_json)));
+  }
+  if (!device.empty()) return disk::DiskParameters::preset(device);
+  return disk::DiskParameters::ultrastar_36z15();
+}
+
 Json JobSpec::to_json() const {
   Json schemes_json = Json::array();
   for (const std::string& name : schemes) schemes_json.push_back(Json(name));
@@ -163,6 +184,9 @@ Json JobSpec::to_json() const {
       .set("stripe_size", stripe_size)
       .set("stripe_factor", stripe_factor)
       .set("starting_disk", starting_disk)
+      .set("device", device_inline_json.empty()
+                         ? Json(device)
+                         : Json::parse(device_inline_json))
       .set("block_size", block_size)
       .set("cache_bytes", cache_bytes)
       .set("power_call_overhead_ms", power_call_overhead_ms)
@@ -215,6 +239,16 @@ JobSpec JobSpec::from_json(const Json& json) {
       static_cast<int>(get_int(json, "stripe_factor", spec.stripe_factor));
   spec.starting_disk =
       static_cast<int>(get_int(json, "starting_disk", spec.starting_disk));
+  if (const Json* field = json.find("device")) {
+    if (field->is_object()) {
+      // Inline ladder: parse (which validates) and keep the canonical dump
+      // so equal devices fingerprint equally regardless of author key order.
+      spec.device_inline_json =
+          disk::PowerLadder::from_json(*field).to_json().dump();
+    } else {
+      spec.device = field->as_string();
+    }
+  }
   spec.block_size = get_int(json, "block_size", spec.block_size);
   spec.cache_bytes = get_int(json, "cache_bytes", spec.cache_bytes);
   spec.power_call_overhead_ms = get_double(json, "power_call_overhead_ms",
@@ -241,5 +275,10 @@ JobSpec JobSpec::from_json(const Json& json) {
 }
 
 std::string JobSpec::canonical_json() const { return to_json().dump(); }
+
+JobSpecBuilder& JobSpecBuilder::device_ladder(const disk::PowerLadder& ladder) {
+  spec_.device_inline_json = ladder.to_json().dump();
+  return *this;
+}
 
 }  // namespace sdpm::api

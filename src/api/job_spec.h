@@ -30,6 +30,12 @@
 // not bump it).  A parser accepts documents with version <= its own and
 // rejects newer ones, so an old daemon never silently misreads a newer
 // client's spec.
+//
+// SCHEMA VERSION 2 adds the `device` field: a preset name (see
+// disk::PowerLadder::preset_names) or an inline power-ladder descriptor
+// object (disk::PowerLadder::to_json format).  Version-1 documents keep
+// parsing and run on the default `ultrastar_36z15` device; Session attaches
+// a structured deprecation note to their JobResult.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +50,7 @@
 
 namespace sdpm::api {
 
-inline constexpr int kJobSpecSchemaVersion = 1;
+inline constexpr int kJobSpecSchemaVersion = 2;
 
 struct JobSpec {
   int version = kJobSpecSchemaVersion;
@@ -63,6 +69,13 @@ struct JobSpec {
   Bytes stripe_size = kib(64);
   int stripe_factor = 0;  ///< 0 = `disks`
   int starting_disk = 0;
+  /// Device preset name ("" = the ultrastar_36z15 default).  Mutually
+  /// exclusive with `device_inline_json`.
+  std::string device;
+  /// Canonical JSON (PowerLadder::to_json().dump()) of an inline ladder
+  /// descriptor; "" = none.  Set via JobSpecBuilder::device_ladder or a v2
+  /// document whose "device" field is an object.
+  std::string device_inline_json;
 
   // --- access model (was trace::GeneratorOptions) -----------------------
   Bytes block_size = 0;  ///< 0 = per-array stripe size
@@ -107,6 +120,10 @@ struct JobSpec {
   /// The parsed transformation.
   core::Transformation resolved_transform() const;
 
+  /// The disk model this spec runs on: the inline ladder when set, else
+  /// the named preset, else the paper's default disk.
+  disk::DiskParameters resolved_device() const;
+
   /// JSON document carrying every field (defaults included), keys sorted.
   Json to_json() const;
 
@@ -139,6 +156,9 @@ class JobSpecBuilder {
   JobSpecBuilder& stripe_size(Bytes v) { spec_.stripe_size = v; return *this; }
   JobSpecBuilder& stripe_factor(int v) { spec_.stripe_factor = v; return *this; }
   JobSpecBuilder& starting_disk(int v) { spec_.starting_disk = v; return *this; }
+  JobSpecBuilder& device(std::string v) { spec_.device = std::move(v); return *this; }
+  /// Attach an inline power-ladder descriptor (stored as canonical JSON).
+  JobSpecBuilder& device_ladder(const disk::PowerLadder& ladder);
   JobSpecBuilder& block_size(Bytes v) { spec_.block_size = v; return *this; }
   JobSpecBuilder& cache_bytes(Bytes v) { spec_.cache_bytes = v; return *this; }
   JobSpecBuilder& noise(double sigma) {

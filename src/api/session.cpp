@@ -19,6 +19,15 @@ JobResult result_shell(const JobSpec& spec) {
   result.label = spec.display_label();
   result.benchmark = spec.benchmark;
   result.transform = spec.transform;
+  // A schema-v1 spec cannot name a device; it ran on the historical default.
+  // The note is structured (stable "deprecation:" prefix) so clients can
+  // surface or filter it without string-matching prose.
+  if (spec.version < 2 && spec.device.empty() &&
+      spec.device_inline_json.empty()) {
+    result.notes.push_back(
+        "deprecation: schema v1 job spec; ran on the default device "
+        "'ultrastar_36z15' — migrate to schema v2 and set \"device\"");
+  }
   return result;
 }
 

@@ -104,7 +104,8 @@ ScheduleResult schedule_power_calls(const ir::Program& program,
                 ir::PowerDirective{ir::PowerDirective::Kind::kSpinDown, d, 0});
           if (has_next_use && options.preactivate) {
             const TimeMs lead =
-                (params.tpm.spin_up_time + tm) * (1.0 + options.safety_margin);
+                (params.wake_time(params.default_park()) + tm) *
+                (1.0 + options.safety_margin);
             std::int64_t up_site =
                 latest_start_with_lead(est, gap.lo, gap.hi, lead);
             up_site = std::max(snap_down(up_site,

@@ -11,12 +11,15 @@
 //     assumption).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/units.h"
 
 namespace sdpm::disk {
+
+struct PowerLadder;  // ladder.h
 
 /// TPM (traditional power management) spin-down/up characteristics.
 struct TpmParameters {
@@ -52,16 +55,31 @@ struct DrpmParameters {
   TimeMs transition_time_per_step = 5.0;
   /// Spindle power exponent (power ~ RPM^2.8, DRPM paper).
   double spindle_exponent = 2.8;
-  /// Fixed electronics power, spinning or not while powered (equals the
-  /// standby power so the decomposition is consistent with Table 1).
+  /// Fixed electronics power while serviceable (the floor of the Table 1
+  /// decomposition).  The Ultrastar figures happen to match the standby
+  /// power, but nothing requires that: standby draw is a property of the
+  /// parked state, not of the electronics floor.
   Watts electronics_power = 2.5;
   /// Spindle power at max RPM: idle(15k) - electronics = 10.2 - 2.5.
+  /// The Table 1 decomposition electronics + spindle_at_max == idle is
+  /// enforced by validate(); electronics_power is otherwise independent of
+  /// TpmParameters::standby_power (a parked device may keep more or less
+  /// of its electronics alive than the spun-down floor suggests).
   Watts spindle_power_at_max = 7.7;
   /// Additional power while servicing at max RPM: active - idle.
   Watts access_power_at_max = 3.3;
 };
 
-/// Full disk model (mechanics + TPM + DRPM).
+/// Full disk model.  Two backings share one accessor surface:
+///   - *legacy*: the TpmParameters/DrpmParameters structs below; every
+///     derived quantity is computed by the original Table 1 formulas.
+///     Mutating `tpm`/`drpm` fields directly keeps working.
+///   - *ladder*: a generic PowerLadder descriptor (see ladder.h) with
+///     arbitrary parked states, serviceable levels and an explicit
+///     transition-cost matrix.  The legacy structs then only mirror the
+///     ladder's top level for display.
+/// from_ladder(PowerLadder::from_legacy(p)) reproduces a legacy disk `p`
+/// bit for bit (each ladder value is produced by the formula it replaces).
 struct DiskParameters {
   std::string model = "IBM Ultrastar 36Z15";
   std::string interface = "SCSI";
@@ -74,8 +92,55 @@ struct DiskParameters {
   TpmParameters tpm;
   DrpmParameters drpm;
 
-  /// The paper's default disk.
+  /// Ladder backing; null for legacy-backed disks.  Shared so copies of
+  /// DiskParameters stay cheap (SweepEngine copies configs across threads).
+  std::shared_ptr<const PowerLadder> native_ladder;
+
+  /// The paper's default disk (legacy-backed Table 1 values).
   static DiskParameters ultrastar_36z15();
+
+  // ---- ladder backing ----------------------------------------------------
+
+  bool has_ladder() const { return native_ladder != nullptr; }
+  /// The backing ladder; requires has_ladder().
+  const PowerLadder& ladder() const;
+  /// This disk as a ladder: the backing ladder, or the legacy model
+  /// converted via PowerLadder::from_legacy.
+  PowerLadder to_ladder(std::string ladder_name = "device") const;
+  /// A ladder-backed disk (validates the ladder; mirrors its top level
+  /// into the legacy structs for display).
+  static DiskParameters from_ladder(const PowerLadder& ladder);
+  /// Shipped device presets (see PowerLadder::preset_names).  The
+  /// `ultrastar_36z15` preset is the legacy-backed paper disk; the others
+  /// are ladder-backed.
+  static DiskParameters preset(const std::string& preset_name);
+  static const std::vector<std::string>& preset_names();
+
+  // ---- parked states -----------------------------------------------------
+
+  /// Number of parked (non-serviceable) states; park 0 is the deepest.
+  /// Legacy disks have exactly one park ("standby").
+  int park_count() const;
+  /// The park a bare spin-down directive targets (the deepest).
+  int default_park() const { return 0; }
+  const std::string& park_name(int park) const;
+  /// Resident power while parked in `park`.
+  Watts park_power(int park) const;
+  /// Idleness timer of `park` (< 0 = none; reactive policies then fall
+  /// back to the break-even threshold for the default park).
+  TimeMs park_timer_ms(int park) const;
+  /// Entry cost from serviceable `level` into `park`; entry must be
+  /// possible (check park_entry_possible for non-default parks).
+  bool park_entry_possible(int level, int park) const;
+  TimeMs park_entry_time(int level, int park) const;
+  Joules park_entry_energy(int level, int park) const;
+  /// Descent between parks (deepening while already parked).
+  bool park_descent_possible(int from_park, int to_park) const;
+  TimeMs park_descent_time(int from_park, int to_park) const;
+  Joules park_descent_energy(int from_park, int to_park) const;
+  /// Wake cost from `park` back to the top level.
+  TimeMs wake_time(int park) const;
+  Joules wake_energy(int park) const;
 
   // ---- DRPM ladder -------------------------------------------------------
 
@@ -100,8 +165,8 @@ struct DiskParameters {
   /// Power while servicing a request at `level`.
   Watts active_power_at_level(int level) const;
 
-  /// Power while spun down (standby).
-  Watts standby_power() const { return tpm.standby_power; }
+  /// Power while spun down into the deepest park.
+  Watts standby_power() const;
 
   // ---- mechanics ---------------------------------------------------------
 
@@ -126,13 +191,24 @@ struct DiskParameters {
 
   // ---- TPM thresholds ----------------------------------------------------
 
-  /// Minimum idle-period length for which spinning down saves energy:
-  /// (E_down + E_up - P_standby*(T_down + T_up)) / (P_idle - P_standby).
+  /// Minimum idle-period length for which parking in the deepest park
+  /// saves energy:
+  /// (E_down + E_up - P_park*(T_down + T_up)) / (P_idle - P_park).
   TimeMs break_even_time() const;
+
+  /// Break-even generalized to any park (entry from and wake back to the
+  /// top level).
+  TimeMs break_even_time(int park) const;
 
   /// Effective reactive-TPM idleness threshold (configured value, or
   /// break-even when unset).
   TimeMs effective_idleness_threshold() const;
+
+  // ---- reactive-controller knobs ----------------------------------------
+
+  int window_size() const;
+  double lower_tolerance() const;
+  double upper_tolerance() const;
 
   /// Validate parameter consistency; throws sdpm::Error.
   void validate() const;

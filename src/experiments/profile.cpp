@@ -70,8 +70,10 @@ Table idle_gap_table(const sim::SimReport& report,
   table.add_row({"median", fmt_time_ms(hist.median())});
   table.add_row({"p95", fmt_time_ms(hist.p95())});
   table.add_row({"max", fmt_time_ms(hist.max())});
-  table.add_row({"DRPM one-step round trip",
-                 fmt_time_ms(2 * params.drpm.transition_time_per_step)});
+  const int top = params.max_level();
+  const TimeMs one_step =
+      top > 0 ? params.rpm_transition_time(top - 1, top) : 0;
+  table.add_row({"DRPM one-step round trip", fmt_time_ms(2 * one_step)});
   table.add_row({"TPM break-even", fmt_time_ms(params.break_even_time())});
   return table;
 }

@@ -35,7 +35,7 @@ void DrpmPolicy::after_service(sim::DiskUnit& disk, TimeMs completion,
   DiskState& st = state_[disk.id()];
   st.window_sum += response_ms;
   ++st.window_count;
-  const int n = disk.params().drpm.window_size;
+  const int n = disk.params().window_size();
   if (st.window_count < n) return;
 
   const double mean = st.window_sum / static_cast<double>(st.window_count);
@@ -52,9 +52,9 @@ void DrpmPolicy::after_service(sim::DiskUnit& disk, TimeMs completion,
   st.prev_mean = mean;
   const auto& params = disk.params();
   const int level = disk.target_level();
-  const bool raise = delta > params.drpm.upper_tolerance;
+  const bool raise = delta > params.upper_tolerance();
   const bool lower =
-      !raise && delta < params.drpm.lower_tolerance && level > 0;
+      !raise && delta < params.lower_tolerance() && level > 0;
   if (tracer_ != nullptr) {
     obs::Event ev;
     ev.kind = obs::EventKind::kRpmWindow;

@@ -28,6 +28,11 @@ class TpmPolicy final : public sim::PowerPolicy {
   // Non-const: examining the gap emits a kBreakEven decision event when a
   // tracer is attached.
   void maybe_spin_down(sim::DiskUnit& disk, TimeMs now);
+  /// Ladder disks with per-park idleness timers (SCSI power conditions)
+  /// descend the timer chain instead of the single-threshold spin-down.
+  /// An explicit constructor threshold opts back into single-threshold.
+  bool uses_park_timers(const disk::DiskParameters& params) const;
+  void maybe_park_multi(sim::DiskUnit& disk, TimeMs now);
 
   TimeMs threshold_ms_;
 };

@@ -30,7 +30,8 @@ namespace sdpm::sim {
 /// Spindle operating mode (DiskUnit's power-state machine).
 enum class DiskMode : std::uint8_t { kSpinning, kStandby, kTransition };
 
-/// Per-RPM-level derived physics, precomputed once per replay.
+/// Per-ladder-state derived physics, precomputed once per replay: one
+/// entry per serviceable level plus the resident power of every park.
 class LevelTable {
  public:
   struct Level {
@@ -52,14 +53,25 @@ class LevelTable {
       lv.bytes_per_ms = params.transfer_rate_at_level(l) * 1'000'000.0 /
                         1'000.0;
     }
+    parks_w_.resize(static_cast<std::size_t>(params.park_count()));
+    for (int p = 0; p < params.park_count(); ++p) {
+      parks_w_[static_cast<std::size_t>(p)] = params.park_power(p);
+    }
   }
 
   const Level& operator[](int level) const {
     return levels_[static_cast<std::size_t>(level)];
   }
 
+  /// Resident power of park `park` (park 0 the deepest; legacy disks have
+  /// exactly the standby park).
+  Watts park_w(int park) const {
+    return parks_w_[static_cast<std::size_t>(park)];
+  }
+
  private:
   std::vector<Level> levels_;
+  std::vector<Watts> parks_w_;
 };
 
 /// Hot per-disk replay state for an array of `disks` units.
@@ -71,6 +83,7 @@ struct DiskArrayState {
     BlockNo next_sector = -1;    ///< head position (sequential detection)
     std::int32_t level = 0;      ///< physical RPM level while spinning
     DiskMode mode = DiskMode::kSpinning;
+    std::uint8_t park = 0;       ///< resident park while mode == kStandby
   };
 
   /// Valid only while the slot's mode is kTransition.
@@ -80,6 +93,7 @@ struct DiskArrayState {
     std::int32_t after_level = 0;
     disk::PowerState bucket = disk::PowerState::kRpmShift;
     DiskMode after_mode = DiskMode::kSpinning;
+    std::uint8_t after_park = 0;  ///< park entered when after_mode is kStandby
   };
 
   /// Validates `params` once for the whole array (the per-unit validation

@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "disk/ladder.h"
 #include "obs/tracer.h"
 
 namespace sdpm::sim {
+
+namespace {
+
+/// Ladder-state name for tracing; nullptr for legacy-backed disks (their
+/// traces stay byte-identical to the pre-ladder format).
+const char* state_label(const disk::DiskParameters& params, DiskMode mode,
+                        int level, int park) {
+  if (!params.has_ladder()) return nullptr;
+  const disk::PowerLadder& ladder = params.ladder();
+  switch (mode) {
+    case DiskMode::kSpinning:
+      return ladder.states[static_cast<std::size_t>(ladder.level_state(level))]
+          .name.c_str();
+    case DiskMode::kStandby:
+      return ladder.states[static_cast<std::size_t>(ladder.park_state(park))]
+          .name.c_str();
+    case DiskMode::kTransition:
+      return nullptr;  // the bucket names the transition
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 DiskUnit::DiskUnit(const disk::DiskParameters& params, int id,
                    FaultModel* faults)
@@ -37,6 +61,7 @@ void DiskUnit::emit_state_segment(disk::PowerState bucket, TimeMs dt,
   ev.level = core().level;
   ev.energy_j = energy;
   ev.value = dt;
+  ev.label = state_label(*params_, core().mode, core().level, core().park);
   tracer_->emit(ev);
 }
 
@@ -51,18 +76,21 @@ void DiskUnit::emit_service_segment(TimeMs t0, TimeMs t1, Joules energy,
   ev.level = core().level;
   ev.energy_j = energy;
   ev.value = dt;
+  ev.label =
+      state_label(*params_, DiskMode::kSpinning, core().level, core().park);
   tracer_->emit(ev);
 }
 
 void DiskUnit::begin_transition(disk::PowerState bucket, TimeMs duration,
                                 Joules energy, DiskMode after,
-                                int level_after) {
+                                int level_after, int park_after) {
   DiskArrayState::Core& c = core();
   SDPM_ASSERT(c.mode != DiskMode::kTransition,
               "transition already in flight");
   if (duration <= 0) {
     c.mode = after;
     c.level = level_after;
+    c.park = static_cast<std::uint8_t>(park_after);
     breakdown_.add(bucket, 0, energy);
     if (tracer_ != nullptr && energy > 0) {
       // Instant transitions still pay their energy; report a zero-width
@@ -86,6 +114,7 @@ void DiskUnit::begin_transition(disk::PowerState bucket, TimeMs duration,
   tr.bucket = bucket;
   tr.after_mode = after;
   tr.after_level = level_after;
+  tr.after_park = static_cast<std::uint8_t>(park_after);
 }
 
 int DiskUnit::target_level() const {
@@ -104,19 +133,31 @@ bool DiskUnit::heading_to_standby() const {
           trans().after_mode == DiskMode::kStandby);
 }
 
+int DiskUnit::current_park() const {
+  const DiskArrayState::Core& c = core();
+  if (c.mode == DiskMode::kStandby) return c.park;
+  if (c.mode == DiskMode::kTransition &&
+      trans().after_mode == DiskMode::kStandby) {
+    return trans().after_park;
+  }
+  return -1;
+}
+
 void DiskUnit::begin_spin_up() {
   SDPM_ASSERT(core().mode == DiskMode::kStandby,
               "spin-up must start from standby");
+  // Wake cost depends on the resident park (legacy disks: the standby park,
+  // whose wake edge carries the Table 1 spin-up figures).
+  const int park = core().park;
+  const TimeMs up_time = params_->wake_time(park);
+  const Joules up_energy = params_->wake_energy(park);
   if (faults_ != nullptr) {
     const FaultConfig& fc = faults_->config();
-    TimeMs attempt_ms = fc.spin_up_attempt_ms >= 0 ? fc.spin_up_attempt_ms
-                                                   : params_->tpm.spin_up_time;
-    attempt_ms = std::min(attempt_ms, params_->tpm.spin_up_time);
+    TimeMs attempt_ms =
+        fc.spin_up_attempt_ms >= 0 ? fc.spin_up_attempt_ms : up_time;
+    attempt_ms = std::min(attempt_ms, up_time);
     const Joules attempt_j =
-        params_->tpm.spin_up_energy *
-        (params_->tpm.spin_up_time > 0
-             ? attempt_ms / params_->tpm.spin_up_time
-             : 1.0);
+        up_energy * (up_time > 0 ? attempt_ms / up_time : 1.0);
     int attempt = 0;
     // The attempt after the retry cap always succeeds (controller
     // recovery), so service can never wedge behind a permanently dead
@@ -134,15 +175,14 @@ void DiskUnit::begin_spin_up() {
         tracer_->emit(ev);
       }
       begin_transition(disk::PowerState::kSpinningUp, attempt_ms, attempt_j,
-                       DiskMode::kStandby, core().level);
+                       DiskMode::kStandby, core().level, park);
       settle();
       advance_to(core().clock + backoff);
       ++attempt;
     }
   }
-  begin_transition(disk::PowerState::kSpinningUp, params_->tpm.spin_up_time,
-                   params_->tpm.spin_up_energy, DiskMode::kSpinning,
-                   params_->max_level());
+  begin_transition(disk::PowerState::kSpinningUp, up_time, up_energy,
+                   DiskMode::kSpinning, params_->max_level());
 }
 
 void DiskUnit::serve_wake(ServeResult& result) {
@@ -226,8 +266,65 @@ void DiskUnit::spin_down(TimeMs t) {
     tracer_->emit(ev);
   }
   begin_transition(disk::PowerState::kSpinningDown,
-                   params_->tpm.spin_down_time, params_->tpm.spin_down_energy,
-                   DiskMode::kStandby, core().level);
+                   params_->park_entry_time(core().level, 0),
+                   params_->park_entry_energy(core().level, 0),
+                   DiskMode::kStandby, core().level, params_->default_park());
+}
+
+void DiskUnit::park_to(TimeMs t, int park) {
+  SDPM_REQUIRE(park >= 0 && park < params_->park_count(),
+               "park index out of range");
+  const int resident = current_park();
+  if (resident >= 0 && resident <= park) return;  // already at-or-deeper
+  if (faults_ != nullptr && faults_->drops_directive(id_)) {
+    ++dropped_directives_;
+    if (tracer_ != nullptr) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::kDirectiveDropped;
+      ev.disk = id_;
+      ev.t0 = t;
+      ev.t1 = t;
+      ev.value = park;
+      ev.label = params_->has_ladder() ? params_->park_name(park).c_str()
+                                       : "spin_down";
+      tracer_->emit(ev);
+    }
+    return;
+  }
+  advance_to(std::max(t, core().clock));
+  settle();
+  DiskArrayState::Core& c = core();
+  const bool parked = c.mode == DiskMode::kStandby;
+  if (parked && c.park <= park) return;
+  // Hold when the ladder has no edge for the requested move (a reactive
+  // policy may ask for a deepening the hardware cannot do directly).
+  if (parked ? !params_->park_descent_possible(c.park, park)
+             : !params_->park_entry_possible(c.level, park)) {
+    return;
+  }
+  ++spin_downs_;
+  if (tracer_ != nullptr) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kDirective;
+    ev.disk = id_;
+    ev.t0 = c.clock;
+    ev.t1 = c.clock;
+    ev.value = park;
+    ev.label = params_->has_ladder() ? params_->park_name(park).c_str()
+                                     : "spin_down";
+    tracer_->emit(ev);
+  }
+  if (parked) {
+    begin_transition(disk::PowerState::kSpinningDown,
+                     params_->park_descent_time(c.park, park),
+                     params_->park_descent_energy(c.park, park),
+                     DiskMode::kStandby, c.level, park);
+  } else {
+    begin_transition(disk::PowerState::kSpinningDown,
+                     params_->park_entry_time(c.level, park),
+                     params_->park_entry_energy(c.level, park),
+                     DiskMode::kStandby, c.level, park);
+  }
 }
 
 void DiskUnit::spin_up(TimeMs t) {

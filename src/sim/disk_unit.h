@@ -88,10 +88,17 @@ class DiskUnit {
 
   // ---- power commands ----------------------------------------------------
 
-  /// Begin spinning down at `t` (idle -> standby).  No-op when already in
-  /// standby.  A transition in progress completes first.  Under fault
+  /// Begin spinning down at `t` into the deepest park.  No-op when already
+  /// in standby.  A transition in progress completes first.  Under fault
   /// injection the command may be silently dropped.
   void spin_down(TimeMs t);
+
+  /// Begin parking into `park` at `t` (ladder-backed disks; park 0 is the
+  /// deepest, so spin_down(t) == park_to(t, default park)).  No-op when the
+  /// disk is already at-or-below `park`; deepening from a shallower park
+  /// follows the ladder's park->park descent edge, and is a no-op when the
+  /// ladder has none.  Under fault injection the command may be dropped.
+  void park_to(TimeMs t, int park);
 
   /// Begin spinning up at `t` (standby -> active at full RPM).  No-op when
   /// the disk is spinning.  A spin-down in progress completes first.
@@ -126,6 +133,10 @@ class DiskUnit {
 
   /// True when in standby or spinning down toward it.
   bool heading_to_standby() const;
+
+  /// Park the disk is resident in (or transitioning toward); -1 while
+  /// serviceable or heading back to a level.
+  int current_park() const;
 
   /// The unit's internal clock: the last time up to which energy has been
   /// integrated.
@@ -183,6 +194,7 @@ class DiskUnit {
       c.clock = tr.end;
       c.mode = tr.after_mode;
       c.level = tr.after_level;
+      c.park = tr.after_park;
     }
     if (t > c.clock) {
       accumulate(t - c.clock);
@@ -204,7 +216,7 @@ class DiskUnit {
         break;
       case DiskMode::kStandby:
         bucket = disk::PowerState::kStandby;
-        energy = joules_from_watt_ms(params_->standby_power(), dt);
+        energy = joules_from_watt_ms(state_->levels.park_w(c.park), dt);
         break;
       case DiskMode::kTransition:
         bucket = trans().bucket;
@@ -225,7 +237,8 @@ class DiskUnit {
 
   /// Start a transition at the slot clock (mode must be settled).
   void begin_transition(disk::PowerState bucket, TimeMs duration,
-                        Joules energy, DiskMode after, int level_after);
+                        Joules energy, DiskMode after, int level_after,
+                        int park_after = 0);
 
   /// Start the standby -> spinning transition at the slot clock (mode
   /// kStandby, settled), burning through any injected failed attempts

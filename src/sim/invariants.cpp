@@ -1,5 +1,6 @@
 #include "sim/invariants.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.h"
@@ -61,17 +62,28 @@ void check_disk(const DiskReport& disk, TimeMs duration,
   const Joules active_ceiling =
       joules_from_watt_ms(params.active_power_at_level(params.max_level()),
                           duration);
-  // Transitions are billed at <= spin-up average power (135 J / 10.9 s
-  // ~ 12.4 W < active); demand spin-ups add bounded lumps, and each failed
-  // spin-up attempt adds at most one more spin-up's worth of energy (a
-  // timed-out attempt is billed pro rata, never above the full cost).
+  // Every transition's full edge energy is granted as a lump per commanded
+  // spin-down / demand spin-up (worst edge of the ladder), so transitions
+  // billed above active power are still covered; each failed spin-up
+  // attempt adds at most one more wake's worth of energy (a timed-out
+  // attempt is billed pro rata, never above the full cost).
+  Joules worst_wake_j = 0;
+  Joules worst_entry_j = 0;
+  for (int park = 0; park < params.park_count(); ++park) {
+    worst_wake_j = std::max(worst_wake_j, params.wake_energy(park));
+    for (int level = 0; level < params.rpm_level_count(); ++level) {
+      if (params.park_entry_possible(level, park)) {
+        worst_entry_j =
+            std::max(worst_entry_j, params.park_entry_energy(level, park));
+      }
+    }
+  }
   const Joules ceiling = active_ceiling * 1.05 +
                          static_cast<double>(disk.demand_spin_ups +
                                              disk.spin_downs) *
-                             (params.tpm.spin_up_energy +
-                              params.tpm.spin_down_energy) +
+                             (worst_wake_j + worst_entry_j) +
                          static_cast<double>(disk.spin_up_retries) *
-                             params.tpm.spin_up_energy;
+                             worst_wake_j;
   SDPM_REQUIRE(b.total_j() >= floor,
                str_printf("disk %d energy %.3f J below the standby floor "
                           "%.3f J",

@@ -1,7 +1,13 @@
 // sdpm_cli — command-line driver for the sdpm library.
 //
 //   sdpm_cli list
-//       Show the available benchmarks, schemes and transformations.
+//       Show the available benchmarks, schemes, transformations and
+//       device presets.
+//
+// Every simulating command accepts --device PRESET|FILE.json to pick the
+// disk model: a power-ladder preset name (see `list`) or a path to a
+// ladder descriptor JSON file (disk::PowerLadder::to_json format).  The
+// default is the paper's IBM Ultrastar 36Z15.
 //   sdpm_cli run --benchmark swim [--scheme all|Base|TPM|ITPM|DRPM|IDRPM|
 //                 CMTPM|CMDRPM] [--transform none|LF|TL|LF+DL|TL+DL]
 //                 [--disks N] [--stripe BYTES] [--block BYTES]
@@ -98,6 +104,7 @@
 #include "api/session.h"
 #include "core/codegen.h"
 #include "core/compiler.h"
+#include "disk/ladder.h"
 #include "experiments/bench_baseline.h"
 #include "experiments/bench_suite.h"
 #include "experiments/profile.h"
@@ -137,6 +144,9 @@ const char* usage_text() {
   return
       "usage: sdpm_cli <command> [flags]\n"
       "  list                       show benchmarks / schemes / transforms\n"
+      "  device --preset NAME [--out FILE] | --validate FILE\n"
+      "         export a preset's canonical power-ladder JSON (editable,\n"
+      "         feed back via --device FILE.json), or lint a descriptor\n"
       "  run    --benchmark NAME [--scheme S] [--transform T] [config]\n"
       "         [--out FILE] [--format chrome|jsonl|csv|metrics]\n"
       "         [--preact-report]\n"
@@ -175,6 +185,8 @@ const char* usage_text() {
       "  --help / --version         print this help / the build version\n"
       "config flags: --disks N --stripe BYTES --block BYTES --cache BYTES\n"
       "              --noise SIGMA --no-preactivate --csv --jobs N\n"
+      "              --device PRESET|FILE.json (a power-ladder preset name\n"
+      "              from `list`, or a ladder descriptor file)\n"
       "fault flags:  --fault-seed N --fault-spinup P --fault-media P\n"
       "              --fault-jitter F --fault-drop P --fault-retries N\n"
       "              (inspect/replay also accept --resilient)\n"
@@ -259,8 +271,8 @@ const std::set<std::string>& common_flags() {
   static const std::set<std::string> flags = {
       "disks",      "stripe",        "block",        "cache",
       "noise",      "no-preactivate", "transform",   "csv",
-      "jobs",       "fault-seed",    "fault-spinup", "fault-media",
-      "fault-jitter", "fault-drop",  "fault-retries"};
+      "jobs",       "device",        "fault-seed",   "fault-spinup",
+      "fault-media", "fault-jitter", "fault-drop",   "fault-retries"};
   return flags;
 }
 
@@ -284,6 +296,39 @@ void write_metrics_json(const std::string& path) {
   out << obs::MetricsRegistry::global().to_json() << "\n";
 }
 
+/// Apply --device to a job spec: a preset name goes in as-is; anything
+/// else is read as a power-ladder JSON descriptor file and stored inline.
+void apply_device_flag(const Args& args, api::JobSpec& spec) {
+  if (!args.has("device")) return;
+  const std::string value = args.get("device");
+  if (disk::PowerLadder::is_preset(value)) {
+    spec.device = value;
+    return;
+  }
+  std::ifstream in(value);
+  if (!in) {
+    usage("--device '" + value + "' is neither a preset (" +
+          join(disk::PowerLadder::preset_names(), ", ") +
+          ") nor a readable ladder JSON file");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    spec.device_inline_json =
+        disk::PowerLadder::from_json(Json::parse(text.str())).to_json().dump();
+  } catch (const Error& e) {
+    usage("--device file '" + value + "': " + e.what());
+  }
+}
+
+/// The disk model the config-struct commands (inspect/profile/replay/...)
+/// run on; the facade commands resolve through the JobSpec instead.
+disk::DiskParameters device_params_from(const Args& args) {
+  api::JobSpec spec;
+  apply_device_flag(args, spec);
+  return spec.resolved_device();
+}
+
 sim::FaultConfig fault_config_from(const Args& args) {
   sim::FaultConfig faults;
   faults.spin_up_failure_prob = args.get_double("fault-spinup", 0.0);
@@ -302,6 +347,7 @@ sim::FaultConfig fault_config_from(const Args& args) {
 
 experiments::ExperimentConfig config_from(const Args& args) {
   experiments::ExperimentConfig config;
+  config.disk = device_params_from(args);
   config.faults = fault_config_from(args);
   config.total_disks = static_cast<int>(args.get_int("disks", 8));
   config.striping.stripe_factor = config.total_disks;
@@ -363,6 +409,7 @@ api::JobSpec job_spec_from(const Args& args) {
   }
   spec.preactivate = !args.has("no-preactivate");
   spec.transform = args.get("transform", spec.transform);
+  apply_device_flag(args, spec);
   spec.fault_spinup = args.get_double("fault-spinup", 0.0);
   spec.fault_media = args.get_double("fault-media", 0.0);
   spec.fault_jitter = args.get_double("fault-jitter", 0.0);
@@ -401,8 +448,59 @@ int cmd_list() {
     std::cout << " " << experiments::to_string(s);
   }
   std::cout << "\ntransforms: none LF TL LF+DL TL+DL\n";
-  std::cout << "replay policies: Base TPM ATPM DRPM (each wrappable with "
+  std::cout << "device presets:";
+  for (const std::string& name : disk::PowerLadder::preset_names()) {
+    std::cout << " " << name;
+  }
+  std::cout << "\nreplay policies: Base TPM ATPM DRPM (each wrappable with "
                "--resilient)\n";
+  return 0;
+}
+
+/// `device`: export a preset's canonical ladder JSON (the file format
+/// --device accepts back), or lint a ladder descriptor file.
+int cmd_device(const Args& args) {
+  require_known_flags("device", args, {"preset", "out", "validate"});
+  if (args.has("preset") == args.has("validate")) {
+    usage("device requires exactly one of --preset NAME or --validate FILE");
+  }
+  if (args.has("validate")) {
+    const std::string path = args.get("validate");
+    std::ifstream in(path);
+    if (!in) usage("device --validate: cannot read '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      const disk::PowerLadder ladder =
+          disk::PowerLadder::from_json(Json::parse(text.str()));
+      const disk::PowerLadder again =
+          disk::PowerLadder::from_json(ladder.to_json());
+      if (again != ladder || again.to_json().dump() != ladder.to_json().dump()) {
+        std::cerr << "error: '" << path
+                  << "' does not survive a canonical JSON round trip\n";
+        return 1;
+      }
+      std::cout << "ok: " << ladder.name << " (" << ladder.park_count()
+                << " parks, " << ladder.level_count() << " levels)\n";
+      return 0;
+    } catch (const Error& e) {
+      std::cerr << "error: '" << path << "': " << e.what() << "\n";
+      return 1;
+    }
+  }
+  const std::string name = args.get("preset");
+  if (!disk::PowerLadder::is_preset(name)) {
+    usage("unknown device preset '" + name + "' (known: " +
+          join(disk::PowerLadder::preset_names(), ", ") + ")");
+  }
+  const std::string text = disk::PowerLadder::preset(name).to_json().dump();
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    if (!out) usage("device --out: cannot write '" + args.get("out") + "'");
+    out << text << "\n";
+  } else {
+    std::cout << text << "\n";
+  }
   return 0;
 }
 
@@ -674,7 +772,7 @@ int cmd_replay(const Args& args) {
                                    ? sim::ReplayMode::kOpenLoop
                                    : sim::ReplayMode::kClosedLoop;
   const sim::SimReport report = sim::simulate(
-      trace, disk::DiskParameters::ultrastar_36z15(), *policy, mode,
+      trace, device_params_from(args), *policy, mode,
       fault_config_from(args));
 
   Table table("replay of " + args.get("in") + " under " +
@@ -1145,6 +1243,7 @@ int main(int argc, char** argv) {
       require_known_flags("list", args, {});
       return cmd_list();
     }
+    if (command == "device") return cmd_device(args);
     if (command == "run") return cmd_run(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "codegen") return cmd_codegen(args);

@@ -4,6 +4,7 @@
 #include "api/job_result.h"
 #include "api/job_spec.h"
 #include "api/session.h"
+#include "disk/ladder.h"
 #include "experiments/runner.h"
 #include "obs/tracer.h"
 #include "util/error.h"
@@ -96,6 +97,67 @@ TEST(JobSpec, CanonicalJsonIsTheJobIdentity) {
 }
 
 // ---------------------------------------------------------------------------
+// Schema v2: the device field (preset name or inline power ladder)
+
+TEST(JobSpec, DeviceDefaultsToThePaperDisk) {
+  const JobSpec spec;
+  EXPECT_TRUE(spec.device.empty());
+  EXPECT_TRUE(spec.device_inline_json.empty());
+  const disk::DiskParameters resolved = spec.resolved_device();
+  EXPECT_EQ(resolved.model, "IBM Ultrastar 36Z15");
+  EXPECT_FALSE(resolved.has_ladder());  // legacy-backed default stays exact
+}
+
+TEST(JobSpec, DevicePresetRoundTrips) {
+  const JobSpec spec =
+      JobSpecBuilder("galgel").scheme("TPM").device("scsi_multi_idle").build();
+  const JobSpec back = JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(spec, back);
+  EXPECT_EQ(back.device, "scsi_multi_idle");
+  EXPECT_TRUE(spec.resolved_device().has_ladder());
+  EXPECT_EQ(spec.resolved_device().ladder().name, "scsi_multi_idle");
+}
+
+TEST(JobSpec, InlineLadderRoundTripsCanonically) {
+  const disk::PowerLadder ladder = disk::PowerLadder::preset("nvme_tiered");
+  const JobSpec spec =
+      JobSpecBuilder("galgel").scheme("Base").device_ladder(ladder).build();
+  EXPECT_TRUE(spec.device.empty());
+  const Json doc = spec.to_json();
+  EXPECT_TRUE(doc.at("device").is_object());
+  const JobSpec back = JobSpec::from_json(doc);
+  EXPECT_EQ(spec, back);
+  EXPECT_EQ(spec.canonical_json(), back.canonical_json());
+  EXPECT_EQ(back.resolved_device().ladder(), ladder);
+}
+
+TEST(JobSpec, DeviceValidation) {
+  EXPECT_THROW(JobSpecBuilder("swim").device("quantum_bigfoot").build(),
+               sdpm::Error);
+  JobSpec both = JobSpecBuilder("swim").device("nvme_tiered").build();
+  both.device_inline_json =
+      disk::PowerLadder::preset("scsi_multi_idle").to_json().dump();
+  EXPECT_THROW(both.validate(), sdpm::Error);  // preset XOR inline
+}
+
+TEST(JobSpec, ToConfigCarriesTheResolvedDevice) {
+  const JobSpec spec =
+      JobSpecBuilder("galgel").scheme("Base").device("nvme_tiered").build();
+  const experiments::ExperimentConfig config = spec.to_config();
+  ASSERT_TRUE(config.disk.has_ladder());
+  EXPECT_EQ(config.disk.ladder().name, "nvme_tiered");
+}
+
+TEST(JobSpec, V1DocumentsKeepParsing) {
+  Json doc = Json::object();
+  doc.set("version", 1).set("benchmark", std::string("mesa"));
+  const JobSpec spec = JobSpec::from_json(doc);
+  EXPECT_EQ(spec.version, 1);
+  EXPECT_TRUE(spec.device.empty());
+  EXPECT_FALSE(spec.resolved_device().has_ladder());  // default Ultrastar
+}
+
+// ---------------------------------------------------------------------------
 // Session: the determinism contract across all three evaluation paths
 
 TEST(Session, RunMatchesDirectRunnerBitForBit) {
@@ -149,6 +211,65 @@ TEST(Session, RunHooksRejectOracleTraces) {
   EXPECT_THROW(
       session.run(JobSpecBuilder("galgel").scheme("ITPM").build(), hooks),
       sdpm::Error);
+}
+
+TEST(Session, RunsBothNewPresetsEndToEnd) {
+  Session session;
+  for (const char* preset : {"scsi_multi_idle", "nvme_tiered"}) {
+    SCOPED_TRACE(preset);
+    const JobSpec spec = JobSpecBuilder("galgel")
+                             .scheme("Base")
+                             .scheme("TPM")
+                             .scheme("CMDRPM")
+                             .device(preset)
+                             .build();
+    const JobResult result = session.run(spec);
+    ASSERT_EQ(result.schemes.size(), 3u);
+    for (const SchemeOutcome& outcome : result.schemes) {
+      EXPECT_GT(outcome.energy_j, 0.0) << outcome.scheme;
+      EXPECT_GT(outcome.execution_ms, 0.0) << outcome.scheme;
+    }
+    EXPECT_TRUE(result.notes.empty());  // v2 spec: no deprecation note
+  }
+}
+
+TEST(Session, CertifierBoundsBracketNewPresets) {
+  const Session session;
+  for (const char* preset : {"scsi_multi_idle", "nvme_tiered"}) {
+    SCOPED_TRACE(preset);
+    const JobSpec spec =
+        JobSpecBuilder("galgel").scheme("CMDRPM").device(preset).build();
+    const analysis::AnalysisReport report =
+        session.analyze(spec, core::PowerMode::kDrpm);
+    ASSERT_TRUE(report.certificate.has_value());
+    EXPECT_GE(report.certificate->energy_hi_j, report.certificate->energy_lo_j);
+    EXPECT_GT(report.certificate->energy_hi_j, 0.0);
+  }
+}
+
+TEST(Session, V1SpecCarriesADeprecationNote) {
+  Json doc = Json::object();
+  doc.set("version", 1)
+      .set("benchmark", std::string("galgel"))
+      .set("schemes", Json::array().push_back(Json(std::string("Base"))));
+  const JobSpec v1 = JobSpec::from_json(doc);
+  Session session;
+  const JobResult result = session.run(v1);
+  ASSERT_EQ(result.notes.size(), 1u);
+  EXPECT_EQ(result.notes.front().rfind("deprecation:", 0), 0u);
+
+  // The note survives the wire round trip but never breaks equality.
+  const JobResult back = JobResult::from_json(result.to_json());
+  EXPECT_EQ(back.notes, result.notes);
+  JobResult stripped = result;
+  stripped.notes.clear();
+  EXPECT_EQ(stripped, result);
+
+  // The same job under a v2 spec carries no note.
+  const JobResult v2 =
+      session.run(JobSpecBuilder("galgel").scheme("Base").build());
+  EXPECT_TRUE(v2.notes.empty());
+  EXPECT_EQ(v2, result);  // and the simulated outcome is unchanged
 }
 
 TEST(Session, AnalyzeIsCleanOnSchedulerOutputAndDirtyOnMutation) {

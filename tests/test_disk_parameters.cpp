@@ -1,6 +1,7 @@
 // DiskParameters: Table 1 identities and the derived physics.
 #include <gtest/gtest.h>
 
+#include "disk/ladder.h"
 #include "disk/parameters.h"
 #include "disk/power_state.h"
 #include "util/error.h"
@@ -171,6 +172,76 @@ TEST(PowerStateNames, AllDistinct) {
   EXPECT_STREQ(to_string(PowerState::kActive), "active");
   EXPECT_STREQ(to_string(PowerState::kStandby), "standby");
   EXPECT_STREQ(to_string(PowerState::kRpmShift), "rpm-shift");
+}
+
+TEST(Parameters, LegacyParkApiIsTheOneStandbyState) {
+  const DiskParameters p = DiskParameters::ultrastar_36z15();
+  EXPECT_FALSE(p.has_ladder());
+  EXPECT_EQ(p.park_count(), 1);
+  EXPECT_EQ(p.default_park(), 0);
+  EXPECT_EQ(p.park_name(0), "standby");
+  EXPECT_EQ(p.park_power(0), p.tpm.standby_power);
+  EXPECT_LT(p.park_timer_ms(0), 0);  // legacy: break-even, never a timer
+  EXPECT_TRUE(p.park_entry_possible(p.max_level(), 0));
+  EXPECT_EQ(p.park_entry_time(p.max_level(), 0), p.tpm.spin_down_time);
+  EXPECT_EQ(p.park_entry_energy(p.max_level(), 0), p.tpm.spin_down_energy);
+  EXPECT_EQ(p.wake_time(0), p.tpm.spin_up_time);
+  EXPECT_EQ(p.wake_energy(0), p.tpm.spin_up_energy);
+  EXPECT_FALSE(p.park_descent_possible(0, 0));
+  EXPECT_EQ(p.break_even_time(0), p.break_even_time());
+  EXPECT_THROW(p.park_power(1), Error);
+}
+
+TEST(Parameters, PresetRegistry) {
+  EXPECT_EQ(DiskParameters::preset_names().size(), 3u);
+  // The paper's disk stays legacy-backed; the new presets are ladder-backed.
+  EXPECT_FALSE(DiskParameters::preset("ultrastar_36z15").has_ladder());
+  EXPECT_TRUE(DiskParameters::preset("scsi_multi_idle").has_ladder());
+  EXPECT_TRUE(DiskParameters::preset("nvme_tiered").has_ladder());
+  EXPECT_THROW(DiskParameters::preset("microdrive"), Error);
+}
+
+TEST(Parameters, ElectronicsPowerDecoupledFromStandby) {
+  // The Table 1 decomposition floor is the DRPM electronics power, not the
+  // TPM standby power: changing one must not move the other.
+  DiskParameters p = DiskParameters::ultrastar_36z15();
+  const Watts idle_top_before = p.idle_power_at_level(p.max_level());
+  p.tpm.standby_power = 5.0;
+  EXPECT_EQ(p.idle_power_at_level(p.max_level()), idle_top_before);
+  EXPECT_EQ(p.standby_power(), 5.0);
+  p.validate();  // the decomposition still holds: only standby moved
+}
+
+TEST(Parameters, MultiParkPresetAccessors) {
+  const DiskParameters p = DiskParameters::preset("scsi_multi_idle");
+  EXPECT_EQ(p.park_count(), 4);
+  EXPECT_EQ(p.rpm_level_count(), 1);
+  for (int park = 0; park < p.park_count(); ++park) {
+    EXPECT_GT(p.wake_time(park), 0.0);
+    EXPECT_GT(p.break_even_time(park), 0.0);
+    EXPECT_TRUE(p.park_entry_possible(p.max_level(), park));
+  }
+  // Deeper parks pay more to wake but hold less power.
+  for (int park = 1; park < p.park_count(); ++park) {
+    EXPECT_GE(p.wake_time(park - 1), p.wake_time(park));
+    EXPECT_LE(p.park_power(park - 1), p.park_power(park));
+  }
+  // The descent chain steps one rung at a time toward the deepest park.
+  EXPECT_TRUE(p.park_descent_possible(3, 2));
+  EXPECT_TRUE(p.park_descent_possible(2, 1));
+  EXPECT_TRUE(p.park_descent_possible(1, 0));
+  EXPECT_FALSE(p.park_descent_possible(0, 3));
+}
+
+TEST(Parameters, ToLadderFromLadderRoundTrip) {
+  const DiskParameters legacy = DiskParameters::ultrastar_36z15();
+  const DiskParameters back =
+      DiskParameters::from_ladder(legacy.to_ladder("roundtrip"));
+  EXPECT_TRUE(back.has_ladder());
+  EXPECT_EQ(back.rpm_level_count(), legacy.rpm_level_count());
+  EXPECT_EQ(back.standby_power(), legacy.standby_power());
+  EXPECT_EQ(back.break_even_time(), legacy.break_even_time());
+  back.validate();
 }
 
 }  // namespace

@@ -1,0 +1,276 @@
+// Ladder-vs-legacy equivalence: a DiskParameters built from
+// PowerLadder::from_legacy(ultrastar) must reproduce the legacy-backed
+// Ultrastar bit for bit — every accessor, all seven schemes, both replay
+// dispatch paths, with and without fault injection, traced and untraced.
+// Every comparison is EXPECT_EQ, never NEAR: from_legacy stores values
+// computed by the exact legacy formulas, so the doubles are identical.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/schedule.h"
+#include "disk/ladder.h"
+#include "disk/parameters.h"
+#include "experiments/runner.h"
+#include "layout/layout_table.h"
+#include "obs/sinks.h"
+#include "obs/tracer.h"
+#include "policy/adaptive_tpm.h"
+#include "policy/base.h"
+#include "policy/drpm.h"
+#include "policy/proactive.h"
+#include "policy/tpm.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "util/error.h"
+#include "workloads/benchmarks.h"
+
+namespace sdpm {
+namespace {
+
+const disk::DiskParameters& legacy_params() {
+  static const disk::DiskParameters p =
+      disk::DiskParameters::ultrastar_36z15();
+  return p;
+}
+
+const disk::DiskParameters& ladder_params() {
+  static const disk::DiskParameters p = disk::DiskParameters::from_ladder(
+      disk::PowerLadder::from_legacy(legacy_params(), "ultrastar_36z15"));
+  return p;
+}
+
+TEST(LadderEquivalence, BackingsDiffer) {
+  EXPECT_FALSE(legacy_params().has_ladder());
+  EXPECT_TRUE(ladder_params().has_ladder());
+}
+
+TEST(LadderEquivalence, AccessorsMatchBitForBit) {
+  const disk::DiskParameters& a = legacy_params();
+  const disk::DiskParameters& b = ladder_params();
+  ASSERT_EQ(a.rpm_level_count(), b.rpm_level_count());
+  for (int level = 0; level < a.rpm_level_count(); ++level) {
+    EXPECT_EQ(a.rpm_of_level(level), b.rpm_of_level(level));
+    EXPECT_EQ(a.idle_power_at_level(level), b.idle_power_at_level(level));
+    EXPECT_EQ(a.active_power_at_level(level), b.active_power_at_level(level));
+    EXPECT_EQ(a.rotational_latency_at_level(level),
+              b.rotational_latency_at_level(level));
+    EXPECT_EQ(a.transfer_rate_at_level(level),
+              b.transfer_rate_at_level(level));
+    EXPECT_EQ(a.service_time(kib(64), level, true),
+              b.service_time(kib(64), level, true));
+    for (int to = 0; to < a.rpm_level_count(); ++to) {
+      EXPECT_EQ(a.rpm_transition_time(level, to),
+                b.rpm_transition_time(level, to));
+      EXPECT_EQ(a.rpm_transition_energy(level, to),
+                b.rpm_transition_energy(level, to));
+    }
+  }
+  EXPECT_EQ(a.standby_power(), b.standby_power());
+  EXPECT_EQ(a.break_even_time(), b.break_even_time());
+  ASSERT_EQ(b.park_count(), 1);
+  EXPECT_EQ(a.wake_time(0), b.wake_time(0));
+  EXPECT_EQ(a.wake_energy(0), b.wake_energy(0));
+  EXPECT_EQ(a.park_entry_time(a.max_level(), 0),
+            b.park_entry_time(b.max_level(), 0));
+  EXPECT_EQ(a.park_entry_energy(a.max_level(), 0),
+            b.park_entry_energy(b.max_level(), 0));
+  EXPECT_EQ(a.window_size(), b.window_size());
+  EXPECT_EQ(a.lower_tolerance(), b.lower_tolerance());
+  EXPECT_EQ(a.upper_tolerance(), b.upper_tolerance());
+}
+
+/// galgel over 4 disks with scheduled power calls: the cheapest real
+/// trace that still exercises directives (same recipe as the replay-
+/// equivalence suite).
+const trace::Trace& galgel_trace() {
+  static const trace::Trace t = [] {
+    const workloads::Benchmark bench = workloads::make_galgel();
+    const layout::LayoutTable table(bench.program,
+                                    layout::Striping{0, 4, kib(64)}, 4);
+    const core::ScheduleResult scheduled =
+        core::schedule_power_calls(bench.program, table, legacy_params());
+    trace::TraceGenerator generator(scheduled.program, table);
+    trace::Trace trace = generator.generate();
+    SDPM_REQUIRE(!trace.power_events.empty(),
+                 "scheduler inserted no power events");
+    return trace;
+  }();
+  return t;
+}
+
+void expect_bit_identical(const sim::SimReport& a, const sim::SimReport& b) {
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  EXPECT_EQ(a.execution_ms, b.execution_ms);
+  EXPECT_EQ(a.compute_ms, b.compute_ms);
+  EXPECT_EQ(a.io_stall_ms, b.io_stall_ms);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    ASSERT_EQ(a.responses[i], b.responses[i]) << "request " << i;
+  }
+  ASSERT_EQ(a.disks.size(), b.disks.size());
+  for (std::size_t d = 0; d < a.disks.size(); ++d) {
+    EXPECT_EQ(a.disks[d].breakdown.total_j(), b.disks[d].breakdown.total_j());
+    EXPECT_EQ(a.disks[d].services, b.disks[d].services);
+    EXPECT_EQ(a.disks[d].spin_downs, b.disks[d].spin_downs);
+    EXPECT_EQ(a.disks[d].demand_spin_ups, b.disks[d].demand_spin_ups);
+    EXPECT_EQ(a.disks[d].rpm_transitions, b.disks[d].rpm_transitions);
+    EXPECT_EQ(a.disks[d].spin_up_retries, b.disks[d].spin_up_retries);
+    EXPECT_EQ(a.disks[d].media_errors, b.disks[d].media_errors);
+    EXPECT_EQ(a.disks[d].dropped_directives, b.disks[d].dropped_directives);
+  }
+}
+
+sim::SimOptions faulty(sim::SimOptions o) {
+  o.faults.spin_up_failure_prob = 0.3;
+  o.faults.media_error_prob = 0.05;
+  o.faults.dropped_directive_prob = 0.2;
+  o.faults.service_jitter = 0.1;
+  o.faults.seed = 42;
+  return o;
+}
+
+/// Replay the trace under both backings with identical options and
+/// compare the reports field by field.
+template <typename MakePolicy>
+void check_backings(MakePolicy make_policy, sim::SimOptions options,
+                    sim::DispatchMode dispatch) {
+  options.capture_responses = true;
+  options.dispatch = dispatch;
+  auto policy_a = make_policy();
+  const sim::SimReport a =
+      sim::simulate(galgel_trace(), legacy_params(), policy_a, options);
+  auto policy_b = make_policy();
+  const sim::SimReport b =
+      sim::simulate(galgel_trace(), ladder_params(), policy_b, options);
+  expect_bit_identical(a, b);
+}
+
+template <typename MakePolicy>
+void check_dispatch_and_faults(MakePolicy make_policy) {
+  for (const sim::DispatchMode dispatch :
+       {sim::DispatchMode::kForceVirtual, sim::DispatchMode::kForceKernel}) {
+    SCOPED_TRACE(dispatch == sim::DispatchMode::kForceVirtual ? "virtual"
+                                                              : "kernel");
+    {
+      SCOPED_TRACE("fault-free");
+      check_backings(make_policy, sim::SimOptions{}, dispatch);
+    }
+    {
+      SCOPED_TRACE("faulty");
+      check_backings(make_policy, faulty({}), dispatch);
+    }
+  }
+}
+
+TEST(LadderEquivalence, ReplayBase) {
+  check_dispatch_and_faults([] { return policy::BasePolicy(); });
+}
+
+TEST(LadderEquivalence, ReplayTpm) {
+  check_dispatch_and_faults([] { return policy::TpmPolicy(); });
+}
+
+TEST(LadderEquivalence, ReplayAdaptiveTpm) {
+  check_dispatch_and_faults([] { return policy::AdaptiveTpmPolicy(); });
+}
+
+TEST(LadderEquivalence, ReplayDrpm) {
+  check_dispatch_and_faults([] { return policy::DrpmPolicy(); });
+}
+
+TEST(LadderEquivalence, ReplayProactiveDirectives) {
+  check_dispatch_and_faults([] { return policy::ProactivePolicy("CMDRPM"); });
+}
+
+// Tracing must not perturb equivalence, and both backings must emit the
+// same number of events (the ladder backing adds state-name labels, which
+// is a rendering difference, not a behavioral one).
+TEST(LadderEquivalence, TracedReplayMatches) {
+  auto traced_run = [&](const disk::DiskParameters& params,
+                        std::int64_t* events) {
+    obs::CountingSink sink;
+    obs::EventTracer tracer;
+    tracer.add_sink(sink);
+    sim::SimOptions options;
+    options.tracer = &tracer;
+    options.capture_responses = true;
+    policy::TpmPolicy policy;
+    const sim::SimReport report =
+        sim::simulate(galgel_trace(), params, policy, options);
+    *events = sink.total();
+    return report;
+  };
+  std::int64_t legacy_events = 0;
+  std::int64_t ladder_events = 0;
+  const sim::SimReport a = traced_run(legacy_params(), &legacy_events);
+  const sim::SimReport b = traced_run(ladder_params(), &ladder_events);
+  expect_bit_identical(a, b);
+  EXPECT_GT(legacy_events, 0);
+  EXPECT_EQ(legacy_events, ladder_events);
+}
+
+/// One field-by-field SchemeResult comparison (mispredict is optional).
+void expect_same_result(const experiments::SchemeResult& a,
+                        const experiments::SchemeResult& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.execution_ms, b.execution_ms);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.normalized_energy, b.normalized_energy);
+  EXPECT_EQ(a.normalized_time, b.normalized_time);
+  EXPECT_EQ(a.mispredict_pct.has_value(), b.mispredict_pct.has_value());
+  if (a.mispredict_pct && b.mispredict_pct) {
+    EXPECT_EQ(*a.mispredict_pct, *b.mispredict_pct);
+  }
+  EXPECT_EQ(a.power_calls, b.power_calls);
+}
+
+// The full pipeline — compiler, generator, simulator, oracles — under all
+// seven schemes: the ladder backing must land on the same bits scheme by
+// scheme (galgel over 4 disks keeps the runtime small).
+TEST(LadderEquivalence, AllSevenSchemesBitIdentical) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  experiments::ExperimentConfig config_a;
+  config_a.total_disks = 4;
+  config_a.striping.stripe_factor = 4;
+  config_a.disk = legacy_params();
+  experiments::ExperimentConfig config_b = config_a;
+  config_b.disk = ladder_params();
+
+  experiments::Runner runner_a(bench, config_a);
+  experiments::Runner runner_b(bench, config_b);
+  for (const experiments::Scheme scheme : experiments::all_schemes()) {
+    SCOPED_TRACE(experiments::to_string(scheme));
+    expect_same_result(runner_a.run(scheme), runner_b.run(scheme));
+  }
+}
+
+// Faulted end-to-end runs (spin-up failures, dropped directives) through
+// the runner: the fault RNG consumption must line up on both backings.
+TEST(LadderEquivalence, FaultedRunnerBitIdentical) {
+  const workloads::Benchmark bench = workloads::make_galgel();
+  experiments::ExperimentConfig config_a;
+  config_a.total_disks = 4;
+  config_a.striping.stripe_factor = 4;
+  config_a.disk = legacy_params();
+  config_a.faults.spin_up_failure_prob = 0.2;
+  config_a.faults.dropped_directive_prob = 0.1;
+  config_a.faults.seed = 7;
+  experiments::ExperimentConfig config_b = config_a;
+  config_b.disk = ladder_params();
+
+  experiments::Runner runner_a(bench, config_a);
+  experiments::Runner runner_b(bench, config_b);
+  for (const experiments::Scheme scheme :
+       {experiments::Scheme::kTpm, experiments::Scheme::kCmtpm,
+        experiments::Scheme::kCmdrpm}) {
+    SCOPED_TRACE(experiments::to_string(scheme));
+    expect_same_result(runner_a.run(scheme), runner_b.run(scheme));
+  }
+}
+
+}  // namespace
+}  // namespace sdpm

@@ -265,6 +265,51 @@ TEST(ServiceDaemon, EndToEndSubmitAndDrain) {
   delete late;
 }
 
+TEST(ServiceDaemon, DevicePresetsAndV1NotesTravelTheWire) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("device");
+  options.queue_capacity = 8;
+  options.jobs = 2;
+  ServiceDaemon daemon(options);
+  daemon.start();
+  std::thread waiter([&] { daemon.wait(); });
+
+  {
+    Client client(options.socket_path);
+
+    // A v2 spec on a non-default device preset runs end to end.
+    api::JobSpec preset_spec = api::JobSpecBuilder("galgel")
+                                   .scheme("TPM")
+                                   .device("nvme_tiered")
+                                   .build();
+    const std::int64_t preset_id = client.submit(preset_spec);
+    const Json preset_done = client.result(preset_id, /*wait=*/true);
+    EXPECT_EQ(preset_done.at("state").as_string(), "done");
+    EXPECT_FALSE(preset_done.at("result").contains("notes"));
+    EXPECT_GT(preset_done.at("result")
+                  .at("schemes")
+                  .as_array()
+                  .front()
+                  .at("energy_j")
+                  .as_double(),
+              0.0);
+
+    // A v1 spec still runs, and its result carries the deprecation note.
+    api::JobSpec v1 = api::JobSpecBuilder("galgel").scheme("Base").build();
+    v1.version = 1;
+    const std::int64_t v1_id = client.submit(v1);
+    const Json v1_done = client.result(v1_id, /*wait=*/true);
+    EXPECT_EQ(v1_done.at("state").as_string(), "done");
+    ASSERT_TRUE(v1_done.at("result").contains("notes"));
+    const std::string note =
+        v1_done.at("result").at("notes").as_array().front().as_string();
+    EXPECT_EQ(note.rfind("deprecation:", 0), 0u);
+
+    client.shutdown();
+  }
+  waiter.join();
+}
+
 TEST(ServiceDaemon, DrainRejectsNewWorkButFinishesAdmitted) {
   DaemonOptions options;
   options.socket_path = test_socket_path("drain");
